@@ -1,0 +1,406 @@
+//! IR interpreter with cycle-stamped value tracing.
+//!
+//! Executes a scheduled [`HlsDesign`] over its block iteration spaces,
+//! recording for every static op the `(cycle, bits)` sequence of values it
+//! produces and consumes — the native equivalent of the paper's IR-level
+//! detection probes. Cycle stamps follow the FSMD schedule: iteration `t` of
+//! a pipelined block issues at `t × II`, of a sequential block at
+//! `t × (depth + 1)`, and an op within the iteration fires at its scheduled
+//! start cycle.
+//!
+//! Blocks execute in *distributed* order (all iterations of block 0, then
+//! block 1, …). For the affine kernels modeled here this is semantics-
+//! preserving loop distribution — each block's reads depend only on earlier
+//! blocks' completed writes or its own earlier iterations.
+
+use crate::stimuli::Stimuli;
+use pg_hls::HlsDesign;
+use pg_ir::{Opcode, Operand, ValueId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Traced values for one static op.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpTrace {
+    /// `(cycle, bits)` of every produced value, in execution order.
+    pub outputs: Vec<(u64, u32)>,
+    /// Per-operand `(cycle, bits)` of every consumed value.
+    pub inputs: Vec<Vec<(u64, u32)>>,
+}
+
+/// A full execution trace of a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// Per-op traces, indexed by [`ValueId`].
+    pub per_op: Vec<OpTrace>,
+    /// Design latency (cycles) used to normalize activities.
+    pub latency: u64,
+    /// Final array contents (for functional verification).
+    pub final_arrays: HashMap<String, Vec<f32>>,
+}
+
+impl ExecutionTrace {
+    /// Trace of op `v`.
+    pub fn of(&self, v: ValueId) -> &OpTrace {
+        &self.per_op[v.idx()]
+    }
+
+    /// An event-free trace with the design's latency: used by vector-less
+    /// estimators (the Vivado surrogate) that need the netlist structure but
+    /// assume default toggle rates instead of simulating.
+    pub fn empty(design: &HlsDesign) -> Self {
+        ExecutionTrace {
+            per_op: design
+                .ir
+                .ops
+                .iter()
+                .map(|op| OpTrace {
+                    outputs: Vec::new(),
+                    inputs: vec![Vec::new(); op.operands.len()],
+                })
+                .collect(),
+            latency: design.report.latency_cycles,
+            final_arrays: HashMap::new(),
+        }
+    }
+}
+
+/// Runtime value: integer (addresses, counters, flags) or float (data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    I(i64),
+    F(f32),
+}
+
+impl Val {
+    fn bits(self) -> u32 {
+        match self {
+            Val::I(i) => i as i32 as u32,
+            Val::F(f) => f.to_bits(),
+        }
+    }
+
+    fn as_i(self) -> i64 {
+        match self {
+            Val::I(i) => i,
+            Val::F(f) => f as i64,
+        }
+    }
+
+    fn as_f(self) -> f32 {
+        match self {
+            Val::I(i) => i as f32,
+            Val::F(f) => f,
+        }
+    }
+}
+
+/// Executes `design` with `stimuli`, producing the full activity trace.
+///
+/// # Panics
+///
+/// Panics if the design references arrays or scalars missing from the
+/// stimuli (both come from the same kernel in normal use).
+pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
+    let func = &design.ir;
+    // Array storage resolved to dense slots once (the interpreter's inner
+    // loop must not hash strings).
+    let mut array_names: Vec<String> = Vec::new();
+    let mut array_data: Vec<Vec<f32>> = Vec::new();
+    let mut slot_of: HashMap<&str, usize> = HashMap::new();
+    for (name, data) in &stimuli.arrays {
+        slot_of.insert(name.as_str(), array_data.len());
+        array_names.push(name.clone());
+        array_data.push(data.clone());
+    }
+    let mem_slot: Vec<usize> = func
+        .ops
+        .iter()
+        .map(|op| match &op.mem {
+            Some(m) => *slot_of
+                .get(m.array.as_str())
+                .unwrap_or_else(|| panic!("array `{}` missing from stimuli", m.array)),
+            None => usize::MAX,
+        })
+        .collect();
+    let mut per_op: Vec<OpTrace> = func
+        .ops
+        .iter()
+        .map(|op| OpTrace {
+            outputs: Vec::new(),
+            inputs: vec![Vec::new(); op.operands.len()],
+        })
+        .collect();
+
+    let mut block_base: u64 = 0;
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let bs = &design.schedule.blocks[bi];
+        let iter_stride: u64 = if block.pipelined {
+            bs.ii.max(1) as u64
+        } else {
+            bs.depth as u64 + 1
+        };
+        let trips: Vec<usize> = block.dims.iter().map(|d| d.trip).collect();
+        let total: usize = trips.iter().product::<usize>().max(1);
+        let mut env: BTreeMap<String, i64> = BTreeMap::new();
+        // register file for op results within the current iteration
+        let mut regs: Vec<Val> = vec![Val::I(0); func.ops.len()];
+
+        for it in 0..total {
+            // decode iteration index into per-dim counters (row-major)
+            let mut rem = it;
+            for (d, &trip) in block.dims.iter().zip(&trips).rev() {
+                env.insert(d.var.clone(), (rem % trip) as i64);
+                rem /= trip;
+            }
+            let iter_time = block_base + it as u64 * iter_stride;
+            for (oi, &vid) in block.ops.iter().enumerate() {
+                let op = func.op(vid);
+                let t = iter_time + bs.start[oi] as u64;
+                // evaluate operands
+                let mut vals: Vec<Val> = Vec::with_capacity(op.operands.len());
+                for (k, operand) in op.operands.iter().enumerate() {
+                    let v = eval_operand(operand, &regs, &env, stimuli);
+                    per_op[vid.idx()].inputs[k].push((t, v.bits()));
+                    vals.push(v);
+                }
+                let result = step(op.opcode, &vals, op, &env, mem_slot[vid.idx()], &mut array_data);
+                regs[vid.idx()] = result;
+                per_op[vid.idx()].outputs.push((t, result.bits()));
+            }
+        }
+        block_base += total as u64 * iter_stride + bs.depth as u64 + 1;
+    }
+
+    let final_arrays: HashMap<String, Vec<f32>> = array_names
+        .into_iter()
+        .zip(array_data)
+        .collect();
+    ExecutionTrace {
+        per_op,
+        latency: design.report.latency_cycles,
+        final_arrays,
+    }
+}
+
+fn eval_operand(
+    operand: &Operand,
+    regs: &[Val],
+    env: &BTreeMap<String, i64>,
+    stimuli: &Stimuli,
+) -> Val {
+    match operand {
+        Operand::Value(v) => regs[v.idx()],
+        Operand::ConstF(c) => Val::F(*c as f32),
+        Operand::ConstI(c) => Val::I(*c),
+        Operand::IVar(name) => Val::I(*env.get(name).unwrap_or(&0)),
+        Operand::Scalar(name) => Val::F(stimuli.scalar(name)),
+    }
+}
+
+fn step(
+    opcode: Opcode,
+    vals: &[Val],
+    op: &pg_ir::IrOp,
+    env: &BTreeMap<String, i64>,
+    slot: usize,
+    arrays: &mut [Vec<f32>],
+) -> Val {
+    match opcode {
+        Opcode::Alloca => Val::I(0),
+        Opcode::GetElementPtr => {
+            let m = op.mem.as_ref().expect("gep has memref");
+            Val::I(m.linear.eval(env))
+        }
+        Opcode::Load => {
+            let m = op.mem.as_ref().expect("load has memref");
+            let addr = m.linear.eval(env);
+            Val::F(arrays[slot][addr as usize])
+        }
+        Opcode::Store => {
+            let m = op.mem.as_ref().expect("store has memref");
+            let addr = m.linear.eval(env);
+            let value = vals[0].as_f();
+            arrays[slot][addr as usize] = value;
+            Val::F(value)
+        }
+        Opcode::FAdd => Val::F(vals[0].as_f() + vals[1].as_f()),
+        Opcode::FSub => Val::F(vals[0].as_f() - vals[1].as_f()),
+        Opcode::FMul => Val::F(vals[0].as_f() * vals[1].as_f()),
+        Opcode::FDiv => {
+            let d = vals[1].as_f();
+            Val::F(if d == 0.0 { 0.0 } else { vals[0].as_f() / d })
+        }
+        Opcode::FCmp => Val::I((vals[0].as_f() < vals[1].as_f()) as i64),
+        Opcode::Add => Val::I(vals[0].as_i() + vals[1].as_i()),
+        Opcode::Sub => Val::I(vals[0].as_i() - vals[1].as_i()),
+        Opcode::Mul => Val::I(vals[0].as_i() * vals[1].as_i()),
+        Opcode::ICmp => Val::I((vals[0].as_i() < vals[1].as_i()) as i64),
+        Opcode::SExt | Opcode::ZExt | Opcode::Trunc | Opcode::BitCast => vals[0],
+        Opcode::Phi => vals.get(1).copied().unwrap_or(Val::I(0)),
+        Opcode::Br => vals.first().copied().unwrap_or(Val::I(0)),
+        Opcode::Select => {
+            if vals[0].as_i() != 0 {
+                vals[1]
+            } else {
+                vals[2]
+            }
+        }
+        Opcode::Ret => Val::I(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hls::{Directives, HlsFlow};
+    use pg_ir::expr::aff;
+    use pg_ir::{ArrayKind, Expr, Kernel, KernelBuilder};
+
+    fn axpy() -> Kernel {
+        KernelBuilder::new("axpy")
+            .array("a", &[16], ArrayKind::Input)
+            .array("x", &[16], ArrayKind::Input)
+            .array("y", &[16], ArrayKind::Output)
+            .loop_("i", 16, |b| {
+                b.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::load("y", vec![aff("i")])
+                        + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]),
+                );
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn run(kernel: &Kernel, d: &Directives) -> (HlsDesign, Stimuli, ExecutionTrace) {
+        let design = HlsFlow::new().run(kernel, d).unwrap();
+        let stim = Stimuli::for_kernel(kernel, 0);
+        let trace = execute(&design, &stim);
+        (design, stim, trace)
+    }
+
+    #[test]
+    fn computes_axpy_correctly() {
+        let k = axpy();
+        let (_d, stim, trace) = run(&k, &Directives::new());
+        let y = &trace.final_arrays["y"];
+        for i in 0..16 {
+            let expect = stim.arrays["y"][i] + stim.arrays["a"][i] * stim.arrays["x"][i];
+            assert!((y[i] - expect).abs() < 1e-6, "y[{i}] = {} != {expect}", y[i]);
+        }
+    }
+
+    #[test]
+    fn unrolled_design_computes_same_result() {
+        let k = axpy();
+        let (_d0, _s0, t0) = run(&k, &Directives::new());
+        let mut d = Directives::new();
+        d.pipeline("i").unroll("i", 4).partition("a", 4).partition("y", 2);
+        let (_d1, _s1, t1) = run(&k, &d);
+        assert_eq!(t0.final_arrays["y"], t1.final_arrays["y"]);
+    }
+
+    #[test]
+    fn every_op_traced_per_iteration() {
+        let k = axpy();
+        let (design, _s, trace) = run(&k, &Directives::new());
+        for op in &design.ir.ops {
+            let trip = design.ir.blocks[op.block].trip_product();
+            assert_eq!(
+                trace.of(op.id).outputs.len(),
+                trip,
+                "{} executed wrong number of times",
+                op.id
+            );
+            for (k2, inp) in trace.of(op.id).inputs.iter().enumerate() {
+                assert_eq!(inp.len(), trip, "operand {k2} of {}", op.id);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_stamps_monotone_per_op() {
+        let k = axpy();
+        let (_d, _s, trace) = run(&k, &Directives::new());
+        for ot in &trace.per_op {
+            for w in ot.outputs.windows(2) {
+                assert!(w[0].0 < w[1].0, "non-monotone cycle stamps");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_stamps_advance_by_ii() {
+        let k = axpy();
+        let mut dir = Directives::new();
+        dir.pipeline("i");
+        let (design, _s, trace) = run(&k, &dir);
+        let bs = design.schedule.blocks.last().unwrap();
+        // find a load op in the pipelined block
+        let op = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Load)
+            .unwrap();
+        let times: Vec<u64> = trace.of(op.id).outputs.iter().map(|e| e.0).collect();
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], bs.ii as u64);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let k = KernelBuilder::new("mm")
+            .array("a", &[6, 6], ArrayKind::Input)
+            .array("b", &[6, 6], ArrayKind::Input)
+            .array("c", &[6, 6], ArrayKind::Output)
+            .loop_("i", 6, |bb| {
+                bb.loop_("j", 6, |bb| {
+                    bb.loop_("k", 6, |bb| {
+                        bb.assign(
+                            ("c", vec![aff("i"), aff("j")]),
+                            Expr::load("c", vec![aff("i"), aff("j")])
+                                + Expr::load("a", vec![aff("i"), aff("k")])
+                                    * Expr::load("b", vec![aff("k"), aff("j")]),
+                        );
+                    });
+                });
+            })
+            .build()
+            .unwrap();
+        let (_d, stim, trace) = run(&k, &Directives::new());
+        let (a, b, c0) = (&stim.arrays["a"], &stim.arrays["b"], &stim.arrays["c"]);
+        let c = &trace.final_arrays["c"];
+        for i in 0..6 {
+            for j in 0..6 {
+                let mut acc = c0[i * 6 + j];
+                for kk in 0..6 {
+                    acc += a[i * 6 + kk] * b[kk * 6 + j];
+                }
+                assert!((c[i * 6 + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_arguments_flow_through() {
+        let k = KernelBuilder::new("sc")
+            .array("x", &[4], ArrayKind::Input)
+            .array("y", &[4], ArrayKind::Output)
+            .scalar("alpha")
+            .loop_("i", 4, |b| {
+                b.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::scalar("alpha") * Expr::load("x", vec![aff("i")]),
+                );
+            })
+            .build()
+            .unwrap();
+        let (_d, stim, trace) = run(&k, &Directives::new());
+        let alpha = stim.scalar("alpha");
+        for i in 0..4 {
+            assert!((trace.final_arrays["y"][i] - alpha * stim.arrays["x"][i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Switching activity (Eq. 2) and activation rate (Eq. 3).
+//!
+//! Both metrics operate on a cycle-stamped sequence of bit vectors: the
+//! switching activity sums the Hamming distance between consecutive
+//! *changed* values normalized by design latency, and the activation rate
+//! counts the changes themselves. They are computed separately for the
+//! source (producer) and sink (consumer) direction of every graph edge,
+//! giving the four-dimensional edge features of §III-A.
+
+use crate::exec::OpTrace;
+
+/// Eq. 2: `SA = Σ HD(v(i), v(i-1)) / L` over the cycles where the value
+/// changes.
+///
+/// # Examples
+///
+/// ```
+/// // 0b00 -> 0b11 -> 0b11 : one change of Hamming distance 2
+/// let events = [(0u64, 0u32), (1, 3), (2, 3)];
+/// let sa = pg_activity::switching_activity(&events, 10);
+/// assert!((sa - 0.2).abs() < 1e-12);
+/// ```
+pub fn switching_activity(events: &[(u64, u32)], latency: u64) -> f64 {
+    if latency == 0 || events.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    for w in events.windows(2) {
+        total += (w[0].1 ^ w[1].1).count_ones() as u64;
+    }
+    total as f64 / latency as f64
+}
+
+/// Eq. 3: `AR = N_changes / L`, the fraction of cycles in which the value
+/// toggles at all.
+///
+/// # Examples
+///
+/// ```
+/// let events = [(0u64, 1u32), (1, 1), (2, 2), (3, 2)];
+/// let ar = pg_activity::activation_rate(&events, 4);
+/// assert!((ar - 0.25).abs() < 1e-12);
+/// ```
+pub fn activation_rate(events: &[(u64, u32)], latency: u64) -> f64 {
+    if latency == 0 || events.len() < 2 {
+        return 0.0;
+    }
+    let changes = events.windows(2).filter(|w| w[0].1 != w[1].1).count();
+    changes as f64 / latency as f64
+}
+
+/// Per-node activity statistics used as numeric node features: "overall
+/// activation rate, input, output and overall switching activities"
+/// (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeActivity {
+    /// Activation rate of the node's output.
+    pub ar: f64,
+    /// Mean switching activity over input operands.
+    pub sa_in: f64,
+    /// Switching activity of the output.
+    pub sa_out: f64,
+    /// Combined (input + output) switching activity.
+    pub sa_overall: f64,
+}
+
+impl NodeActivity {
+    /// Computes node statistics from an op trace.
+    pub fn from_trace(trace: &OpTrace, latency: u64) -> Self {
+        let sa_out = switching_activity(&trace.outputs, latency);
+        let sa_in = if trace.inputs.is_empty() {
+            0.0
+        } else {
+            trace
+                .inputs
+                .iter()
+                .map(|seq| switching_activity(seq, latency))
+                .sum::<f64>()
+                / trace.inputs.len() as f64
+        };
+        NodeActivity {
+            ar: activation_rate(&trace.outputs, latency),
+            sa_in,
+            sa_out,
+            sa_overall: sa_in + sa_out,
+        }
+    }
+
+    /// Merges statistics of fused nodes (datapath merging averages the
+    /// per-instance activities weighted equally; the merged node represents
+    /// one hardware entity exercised by all instances).
+    pub fn merge(stats: &[NodeActivity]) -> NodeActivity {
+        if stats.is_empty() {
+            return NodeActivity::default();
+        }
+        let n = stats.len() as f64;
+        NodeActivity {
+            ar: stats.iter().map(|s| s.ar).sum::<f64>() / n,
+            sa_in: stats.iter().map(|s| s.sa_in).sum::<f64>() / n,
+            sa_out: stats.iter().map(|s| s.sa_out).sum::<f64>() / n,
+            sa_overall: stats.iter().map(|s| s.sa_overall).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Merges two cycle-stamped event sequences by time (used when datapath
+/// merging fuses edges: the merged wire carries both value streams).
+pub fn merge_events(a: &[(u64, u32)], b: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sa_counts_hamming_distance() {
+        // 0 -> 0xF (4 bits) -> 0x0 (4 bits): total 8 over latency 4
+        let ev = [(0, 0x0), (1, 0xF), (2, 0x0)];
+        assert!((switching_activity(&ev, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sa_ignores_repeats() {
+        let ev = [(0, 5), (1, 5), (2, 5)];
+        assert_eq!(switching_activity(&ev, 4), 0.0);
+        assert_eq!(activation_rate(&ev, 4), 0.0);
+    }
+
+    #[test]
+    fn short_or_zero_latency_is_zero() {
+        assert_eq!(switching_activity(&[(0, 1)], 10), 0.0);
+        assert_eq!(switching_activity(&[(0, 1), (1, 2)], 0), 0.0);
+        assert_eq!(activation_rate(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn ar_counts_changes_only() {
+        let ev = [(0, 1), (1, 2), (2, 2), (3, 3)];
+        assert!((activation_rate(&ev, 8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ar_bounded_by_sa_times_width() {
+        // SA >= AR always (each change toggles >= 1 bit), SA <= 32*AR
+        let ev = [(0, 0u32), (1, u32::MAX), (2, 1), (3, 1), (4, 0)];
+        let sa = switching_activity(&ev, 5);
+        let ar = activation_rate(&ev, 5);
+        assert!(sa >= ar);
+        assert!(sa <= 32.0 * ar);
+    }
+
+    #[test]
+    fn node_activity_from_trace() {
+        let t = OpTrace {
+            outputs: vec![(0, 0), (1, 3), (2, 3)],
+            inputs: vec![vec![(0, 0), (1, 1)], vec![(0, 7), (1, 7)]],
+        };
+        let s = NodeActivity::from_trace(&t, 10);
+        assert!((s.sa_out - 0.2).abs() < 1e-12);
+        assert!((s.sa_in - 0.05).abs() < 1e-12);
+        assert!((s.sa_overall - 0.25).abs() < 1e-12);
+        assert!((s.ar - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_averages() {
+        let a = NodeActivity {
+            ar: 0.2,
+            sa_in: 0.4,
+            sa_out: 0.6,
+            sa_overall: 1.0,
+        };
+        let b = NodeActivity::default();
+        let m = NodeActivity::merge(&[a, b]);
+        assert!((m.ar - 0.1).abs() < 1e-12);
+        assert!((m.sa_overall - 0.5).abs() < 1e-12);
+        assert_eq!(NodeActivity::merge(&[]), NodeActivity::default());
+    }
+
+    #[test]
+    fn merge_events_sorted() {
+        let a = [(0u64, 1u32), (4, 2)];
+        let b = [(1u64, 3u32), (2, 4), (9, 5)];
+        let m = merge_events(&a, &b);
+        let times: Vec<u64> = m.iter().map(|e| e.0).collect();
+        assert_eq!(times, vec![0, 1, 2, 4, 9]);
+        assert_eq!(m.len(), 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion benches for the DSE machinery behind Table III and Fig. 4:
+//! Pareto frontier extraction, ADRS evaluation and the full iterative
+//! sampling loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_dse::{adrs, pareto_frontier, run_dse, DseConfig, Point};
+use pg_util::Rng64;
+
+fn synth_space(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Rng64::new(seed);
+    let mut lat = Vec::with_capacity(n);
+    let mut pow = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = (i + 1) as f64 / n as f64;
+        lat.push(2000.0 * x + 100.0 * rng.f64());
+        pow.push(0.4 / x + 0.05 * rng.normal().abs());
+    }
+    (lat, pow)
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto_frontier");
+    g.sample_size(30);
+    for n in [64usize, 256, 1024] {
+        let (lat, pow) = synth_space(n, 1);
+        let pts: Vec<Point> = lat
+            .iter()
+            .zip(&pow)
+            .enumerate()
+            .map(|(id, (&l, &p))| Point {
+                id,
+                latency: l,
+                power: p,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| pareto_frontier(pts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_adrs(c: &mut Criterion) {
+    let (lat, pow) = synth_space(512, 2);
+    let pts: Vec<Point> = lat
+        .iter()
+        .zip(&pow)
+        .enumerate()
+        .map(|(id, (&l, &p))| Point {
+            id,
+            latency: l,
+            power: p,
+        })
+        .collect();
+    let exact = pareto_frontier(&pts);
+    let approx = pareto_frontier(&pts[..256]);
+    let mut g = c.benchmark_group("adrs");
+    g.sample_size(50);
+    g.bench_function("eq8", |b| b.iter(|| adrs(&exact, &approx)));
+    g.finish();
+}
+
+fn bench_dse_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse_loop");
+    g.sample_size(10);
+    for budget in [0.2f64, 0.4] {
+        let (lat, pow) = synth_space(256, 3);
+        let noisy: Vec<f64> = {
+            let mut rng = Rng64::new(4);
+            pow.iter().map(|p| p * (1.0 + 0.1 * rng.normal())).collect()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("budget{}", (budget * 100.0) as u32)),
+            &budget,
+            |b, &budget| {
+                b.iter(|| run_dse(&lat, &pow, &noisy, &DseConfig::with_budget(budget, 7)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pareto, bench_adrs, bench_dse_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion micro-benches over the estimation pipeline — the runtime
+//! backbone of Table I's speedup column: PowerGear's inference flow
+//! (trace + graph construction + GNN ensemble) versus the Vivado-surrogate
+//! estimation flow, plus the individual stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_activity::{execute, ExecutionTrace, Stimuli};
+use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
+use pg_gnn::{train_ensemble, ModelConfig, TrainConfig};
+use pg_graphcon::GraphFlow;
+use pg_hls::{Directives, HlsFlow};
+use pg_powersim::{BoardOracle, VivadoEstimator};
+
+fn bench_stage_pipeline(c: &mut Criterion) {
+    let kernel = polybench::atax(12);
+    let mut d = Directives::new();
+    d.pipeline("j").unroll("j", 2).partition("A", 2);
+    let flow = HlsFlow::new();
+    let design = flow.run(&kernel, &d).expect("synthesis");
+    let stim = Stimuli::for_kernel(&kernel, 0);
+    let trace = execute(&design, &stim);
+    let gf = GraphFlow::new();
+
+    let mut g = c.benchmark_group("pipeline_stages");
+    g.sample_size(20);
+    g.bench_function("hls_flow", |b| {
+        b.iter(|| flow.run(&kernel, &d).expect("synthesis"))
+    });
+    g.bench_function("activity_trace", |b| b.iter(|| execute(&design, &stim)));
+    g.bench_function("graph_construction", |b| b.iter(|| gf.build(&design, &trace)));
+    g.bench_function("oracle_measure", |b| {
+        b.iter(|| BoardOracle::default().measure(&design, &trace))
+    });
+    g.finish();
+}
+
+fn bench_speedup_pair(c: &mut Criterion) {
+    // Table I runtime column: PowerGear inference flow vs Vivado estimation
+    let cfg = DatasetConfig {
+        size: 12,
+        max_samples: 16,
+        seed: 1,
+        threads: 2,
+    };
+    let ds = build_kernel_dataset(&polybench::mvt(12), &cfg);
+    let data = ds.labeled(PowerTarget::Dynamic);
+    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+    tc.epochs = 6;
+    tc.folds = 2;
+    tc.threads = 1;
+    let ensemble = train_ensemble(&data, &tc);
+
+    let kernel = polybench::mvt(12);
+    let mut d = Directives::new();
+    d.pipeline("j").unroll("j", 4).partition("A", 4);
+    let flow = HlsFlow::new();
+    let design = flow.run(&kernel, &d).expect("synthesis");
+    let stim = Stimuli::for_kernel(&kernel, 1);
+    let est = VivadoEstimator::new();
+    let gf = GraphFlow::new();
+
+    let mut g = c.benchmark_group("table1_speedup");
+    g.sample_size(10);
+    g.bench_function("powergear_inference_flow", |b| {
+        b.iter(|| {
+            let trace = execute(&design, &stim);
+            let mut graph = gf.build(&design, &trace);
+            graph.meta = design
+                .report
+                .metadata_features(&ds.baseline)
+                .into_iter()
+                .map(|v| v as f32)
+                .collect();
+            ensemble.predict(&[&graph])
+        })
+    });
+    g.bench_function("vivado_estimation_flow", |b| b.iter(|| est.estimate_raw(&design)));
+    g.finish();
+}
+
+fn bench_graph_scale(c: &mut Criterion) {
+    // graph construction cost versus unroll factor (design size)
+    let kernel = polybench::gemm(8);
+    let flow = HlsFlow::new();
+    let stim = Stimuli::for_kernel(&kernel, 0);
+    let mut g = c.benchmark_group("graph_vs_unroll");
+    g.sample_size(10);
+    for unroll in [1usize, 2, 4] {
+        let mut d = Directives::new();
+        if unroll > 1 {
+            d.pipeline("k").unroll("k", unroll).partition("A", unroll as usize);
+        }
+        let design = flow.run(&kernel, &d).expect("synthesis");
+        let trace: ExecutionTrace = execute(&design, &stim);
+        g.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |b, _| {
+            b.iter(|| GraphFlow::new().build(&design, &trace))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_stage_pipeline, bench_speedup_pair, bench_graph_scale
+);
+criterion_main!(benches);

@@ -1,0 +1,632 @@
+//! Experiment drivers shared by the table/figure binaries.
+//!
+//! [`evaluate_all`] runs the paper's leave-one-kernel-out protocol once:
+//! for every held-out kernel it trains PowerGear (HEC-GNN ensemble, total +
+//! dynamic), HL-Pow (GBDT, total + dynamic), the calibrated Vivado
+//! surrogate, and the four baseline GNNs (dynamic), then records
+//! per-test-sample predictions and per-kernel runtime medians. Results are
+//! cached as CSV under `results/` keyed by a config hash, so `table1`,
+//! `table3` and `fig4` share one evaluation run.
+
+use crate::runtime::measure_runtimes;
+use pg_datasets::{
+    build_kernel_dataset, leave_one_out, polybench, DatasetConfig, KernelDataset, PowerTarget,
+};
+use pg_gnn::{
+    table2_variants, train_ensemble, train_single, Arch, Ensemble, ModelConfig, TrainConfig,
+};
+use pg_graphcon::PowerGraph;
+use pg_hlpow::HlPowModel;
+use pg_hls::HlsFlow;
+use pg_powersim::VivadoEstimator;
+use pg_util::rng::hash64;
+use pg_util::{mape, Rng64};
+use std::path::{Path, PathBuf};
+
+/// Scale knobs for an evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalConfig {
+    /// Dataset construction settings.
+    pub dataset: DatasetConfig,
+    /// HEC-GNN hidden width.
+    pub hidden: usize,
+    /// Epochs for total-power models (dynamic gets 1.6×).
+    pub epochs: usize,
+    /// Ensemble folds.
+    pub folds: usize,
+    /// Ensemble seeds.
+    pub seeds: Vec<u64>,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training threads.
+    pub threads: usize,
+    /// Vivado calibration subsample size.
+    pub vivado_calib: usize,
+    /// Designs measured for the runtime column.
+    pub runtime_probes: usize,
+    /// Restrict to these kernels (None = all nine).
+    pub kernels: Option<Vec<String>>,
+}
+
+impl EvalConfig {
+    /// Default scale for this environment (~tens of minutes on 2 cores).
+    pub fn quick() -> Self {
+        EvalConfig {
+            dataset: DatasetConfig {
+                size: 16,
+                max_samples: 40,
+                seed: 1,
+                threads: 2,
+            },
+            hidden: 32,
+            epochs: 48,
+            folds: 2,
+            seeds: vec![17],
+            batch_size: 48,
+            lr: 4e-3,
+            threads: 2,
+            vivado_calib: 80,
+            runtime_probes: 5,
+            kernels: None,
+        }
+    }
+
+    /// Larger scale, closer to the paper (hours on 2 cores).
+    pub fn full() -> Self {
+        EvalConfig {
+            dataset: DatasetConfig {
+                size: 16,
+                max_samples: 200,
+                seed: 1,
+                threads: 2,
+            },
+            hidden: 64,
+            epochs: 150,
+            folds: 5,
+            seeds: vec![17, 43],
+            batch_size: 96,
+            lr: 1e-3,
+            threads: 2,
+            vivado_calib: 400,
+            runtime_probes: 10,
+            kernels: None,
+        }
+    }
+
+    /// Parses `--full` / `--kernels a,b` style CLI arguments.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = if args.iter().any(|a| a == "--full") {
+            EvalConfig::full()
+        } else {
+            EvalConfig::quick()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--kernels") {
+            if let Some(list) = args.get(pos + 1) {
+                cfg.kernels = Some(list.split(',').map(|s| s.to_string()).collect());
+            }
+        }
+        cfg
+    }
+
+    /// Stable hash over everything that affects cached results.
+    pub fn hash(&self) -> u64 {
+        let repr = format!(
+            "{:?}|{}|{}|{}|{:?}|{}|{}|{}|{}|{:?}",
+            self.dataset,
+            self.hidden,
+            self.epochs,
+            self.folds,
+            self.seeds,
+            self.batch_size,
+            self.lr,
+            self.vivado_calib,
+            self.runtime_probes,
+            self.kernels
+        );
+        hash64(repr.as_bytes())
+    }
+
+    fn train_config(&self, target: PowerTarget, model: ModelConfig) -> TrainConfig {
+        let mut cfg = TrainConfig::quick(model);
+        cfg.epochs = match target {
+            PowerTarget::Dynamic => self.epochs + self.epochs * 3 / 5,
+            PowerTarget::Total => self.epochs,
+        };
+        cfg.folds = self.folds;
+        cfg.seeds = self.seeds.clone();
+        cfg.batch_size = self.batch_size;
+        cfg.lr = self.lr;
+        cfg.threads = self.threads;
+        cfg.patience = 8;
+        cfg
+    }
+
+    /// Kernel names in evaluation order.
+    pub fn kernel_names(&self) -> Vec<String> {
+        match &self.kernels {
+            Some(list) => list.clone(),
+            None => polybench::KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// One test design's prediction record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredRow {
+    /// Held-out kernel.
+    pub kernel: String,
+    /// Design identifier.
+    pub design_id: String,
+    /// Latency (cycles).
+    pub latency: f64,
+    /// Oracle truth.
+    pub truth_total: f64,
+    /// Oracle truth.
+    pub truth_dyn: f64,
+    /// PowerGear predictions.
+    pub pg_total: f64,
+    /// PowerGear predictions.
+    pub pg_dyn: f64,
+    /// HL-Pow predictions.
+    pub hlpow_total: f64,
+    /// HL-Pow predictions.
+    pub hlpow_dyn: f64,
+    /// Calibrated Vivado surrogate.
+    pub viv_total: f64,
+    /// Calibrated Vivado surrogate.
+    pub viv_dyn: f64,
+    /// Baseline GNN dynamic predictions.
+    pub gcn_dyn: f64,
+    /// Baseline GNN dynamic predictions.
+    pub sage_dyn: f64,
+    /// Baseline GNN dynamic predictions.
+    pub gconv_dyn: f64,
+    /// Baseline GNN dynamic predictions.
+    pub gine_dyn: f64,
+}
+
+/// Per-kernel aggregate info.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub kernel: String,
+    /// Samples in the dataset.
+    pub n_samples: usize,
+    /// Mean graph node count.
+    pub avg_nodes: f64,
+    /// Median PowerGear inference flow time (ms).
+    pub pg_ms: f64,
+    /// Median Vivado estimation flow time (ms).
+    pub viv_ms: f64,
+}
+
+/// A complete cached evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalContext {
+    /// Per-sample predictions for every held-out kernel.
+    pub rows: Vec<PredRow>,
+    /// Per-kernel dataset/runtime info.
+    pub info: Vec<KernelInfo>,
+}
+
+impl EvalContext {
+    /// Rows of one kernel.
+    pub fn rows_of(&self, kernel: &str) -> Vec<&PredRow> {
+        self.rows.iter().filter(|r| r.kernel == kernel).collect()
+    }
+
+    /// MAPE of a predictor column on one kernel.
+    pub fn kernel_mape(
+        &self,
+        kernel: &str,
+        pred: impl Fn(&PredRow) -> f64,
+        truth: impl Fn(&PredRow) -> f64,
+    ) -> f64 {
+        let rows = self.rows_of(kernel);
+        let p: Vec<f64> = rows.iter().map(|r| pred(r)).collect();
+        let t: Vec<f64> = rows.iter().map(|r| truth(r)).collect();
+        mape(&p, &t)
+    }
+}
+
+/// Directory used for cached results and figure data.
+pub fn results_dir() -> PathBuf {
+    let p = PathBuf::from("results");
+    std::fs::create_dir_all(&p).ok();
+    p
+}
+
+fn cache_path(cfg: &EvalConfig) -> PathBuf {
+    results_dir().join(format!("eval_{:016x}.csv", cfg.hash()))
+}
+
+/// Builds the datasets for the configured kernels.
+pub fn build_datasets(cfg: &EvalConfig) -> Vec<KernelDataset> {
+    let names = cfg.kernel_names();
+    polybench::polybench(cfg.dataset.size)
+        .iter()
+        .filter(|k| names.iter().any(|n| *n == k.name))
+        .map(|k| {
+            eprintln!("[dataset] building {} ...", k.name);
+            build_kernel_dataset(k, &cfg.dataset)
+        })
+        .collect()
+}
+
+/// Runs (or loads) the full leave-one-out evaluation.
+pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
+    let path = cache_path(cfg);
+    if let Some(ctx) = load_cache(&path) {
+        eprintln!("[eval] loaded cached results from {}", path.display());
+        return ctx;
+    }
+    let datasets = build_datasets(cfg);
+    let mut ctx = EvalContext::default();
+
+    for held_out in cfg.kernel_names() {
+        eprintln!("[eval] held-out kernel: {held_out}");
+        let split = leave_one_out(&datasets, &held_out);
+        let train_total = split.train_labeled(PowerTarget::Total);
+        let train_dyn = split.train_labeled(PowerTarget::Dynamic);
+        let test_graphs: Vec<&PowerGraph> = split.test.iter().map(|s| &s.graph).collect();
+
+        // PowerGear ensembles.
+        eprintln!("[eval]   training PowerGear (total)...");
+        let pg_total_model = train_ensemble(
+            &train_total,
+            &cfg.train_config(PowerTarget::Total, ModelConfig::hec(cfg.hidden)),
+        );
+        eprintln!("[eval]   training PowerGear (dynamic)...");
+        let pg_dyn_model = train_ensemble(
+            &train_dyn,
+            &cfg.train_config(PowerTarget::Dynamic, ModelConfig::hec(cfg.hidden)),
+        );
+        let pg_total = pg_total_model.predict(&test_graphs);
+        let pg_dyn = pg_dyn_model.predict(&test_graphs);
+
+        // HL-Pow.
+        eprintln!("[eval]   training HL-Pow...");
+        let hl_total = HlPowModel::train(&train_total, 11);
+        let hl_dyn = HlPowModel::train(&train_dyn, 13);
+        let hlpow_total = hl_total.predict_batch(&test_graphs);
+        let hlpow_dyn = hl_dyn.predict_batch(&test_graphs);
+
+        // Vivado surrogate: calibrate on a training subsample.
+        eprintln!("[eval]   calibrating Vivado surrogate...");
+        let (viv_total, viv_dyn) = vivado_predictions(cfg, &split, &datasets);
+
+        // Baseline GNNs (dynamic power).
+        let mut baseline_preds = Vec::new();
+        for arch in [Arch::Gcn, Arch::Sage, Arch::GraphConv, Arch::Gine] {
+            eprintln!("[eval]   training baseline {arch:?}...");
+            let (tr, va) = holdout_split(&train_dyn, 0.2, 23);
+            let mut bc =
+                cfg.train_config(PowerTarget::Dynamic, ModelConfig::baseline(arch, cfg.hidden));
+            bc.epochs = bc.epochs.min(56);
+            bc.folds = 1; // single model
+            let model = train_single(&tr, &va, &bc, 29);
+            baseline_preds.push(model.predict(&test_graphs));
+        }
+
+        for (i, s) in split.test.iter().enumerate() {
+            ctx.rows.push(PredRow {
+                kernel: held_out.clone(),
+                design_id: s.design_id.clone(),
+                latency: s.latency as f64,
+                truth_total: s.power.total,
+                truth_dyn: s.power.dynamic,
+                pg_total: pg_total[i],
+                pg_dyn: pg_dyn[i],
+                hlpow_total: hlpow_total[i],
+                hlpow_dyn: hlpow_dyn[i],
+                viv_total: viv_total[i],
+                viv_dyn: viv_dyn[i],
+                gcn_dyn: baseline_preds[0][i],
+                sage_dyn: baseline_preds[1][i],
+                gconv_dyn: baseline_preds[2][i],
+                gine_dyn: baseline_preds[3][i],
+            });
+        }
+
+        // Runtime probes.
+        let ds = datasets
+            .iter()
+            .find(|d| d.kernel == held_out)
+            .expect("dataset present");
+        let (pg_ms, viv_ms) = measure_runtimes(
+            ds,
+            &pg_dyn_model,
+            cfg.runtime_probes,
+            cfg.dataset.size,
+        );
+        ctx.info.push(KernelInfo {
+            kernel: held_out.clone(),
+            n_samples: ds.samples.len(),
+            avg_nodes: ds.avg_nodes(),
+            pg_ms,
+            viv_ms,
+        });
+    }
+
+    save_cache(&path, &ctx);
+    eprintln!("[eval] cached results to {}", path.display());
+    ctx
+}
+
+/// Calibrated Vivado surrogate predictions for the test samples.
+fn vivado_predictions(
+    cfg: &EvalConfig,
+    split: &pg_datasets::LooSplit<'_>,
+    _datasets: &[KernelDataset],
+) -> (Vec<f64>, Vec<f64>) {
+    let flow = HlsFlow::new();
+    let mut est = VivadoEstimator::new();
+    // calibration pairs from a deterministic training subsample
+    let mut rng = Rng64::new(101);
+    let idx = rng.sample_indices(split.train.len(), cfg.vivado_calib.min(split.train.len()));
+    let mut pairs = Vec::new();
+    for &i in &idx {
+        let s = split.train[i];
+        let kernel = polybench::by_name(&s.kernel, cfg.dataset.size).expect("kernel exists");
+        let design = flow.run(&kernel, &s.directives).expect("resynthesis");
+        let raw = est.estimate_raw(&design);
+        pairs.push((raw.total, s.power.total));
+    }
+    est.calibrate(&pairs);
+    let mut totals = Vec::new();
+    let mut dyns = Vec::new();
+    for s in &split.test {
+        let kernel = polybench::by_name(&s.kernel, cfg.dataset.size).expect("kernel exists");
+        let design = flow.run(&kernel, &s.directives).expect("resynthesis");
+        let e = est.estimate(&design);
+        totals.push(e.total);
+        dyns.push(e.dynamic);
+    }
+    (totals, dyns)
+}
+
+/// Deterministic holdout split of labeled data.
+pub fn holdout_split<'a>(
+    data: &[(&'a PowerGraph, f64)],
+    val_frac: f64,
+    seed: u64,
+) -> (Vec<(&'a PowerGraph, f64)>, Vec<(&'a PowerGraph, f64)>) {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    Rng64::new(seed).shuffle(&mut order);
+    let n_val = ((data.len() as f64 * val_frac) as usize).max(1);
+    let (val_idx, tr_idx) = order.split_at(n_val);
+    (
+        tr_idx.iter().map(|&i| data[i]).collect(),
+        val_idx.iter().map(|&i| data[i]).collect(),
+    )
+}
+
+/// Ablation results: per (variant, kernel) dynamic-power MAPE.
+pub fn ablation_all(cfg: &EvalConfig) -> Vec<(String, String, f64)> {
+    let path = results_dir().join(format!("ablation_{:016x}.csv", cfg.hash()));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        let mut out = Vec::new();
+        for line in text.lines().skip(1) {
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() == 3 {
+                if let Ok(v) = f[2].parse::<f64>() {
+                    out.push((f[0].to_string(), f[1].to_string(), v));
+                }
+            }
+        }
+        if !out.is_empty() {
+            eprintln!("[ablation] loaded cache {}", path.display());
+            return out;
+        }
+    }
+    let datasets = build_datasets(cfg);
+    let mut out = Vec::new();
+    for held_out in cfg.kernel_names() {
+        eprintln!("[ablation] held-out kernel: {held_out}");
+        let split = leave_one_out(&datasets, &held_out);
+        let train_dyn = split.train_labeled(PowerTarget::Dynamic);
+        let test_dyn = split.test_labeled(PowerTarget::Dynamic);
+        for variant in table2_variants(cfg.hidden) {
+            eprintln!("[ablation]   variant {}", variant.name);
+            let err = if variant.ensemble {
+                let tc = cfg.train_config(PowerTarget::Dynamic, variant.config.clone());
+                let ens = train_ensemble(&train_dyn, &tc);
+                ens.evaluate(&test_dyn)
+            } else {
+                let (tr, va) = holdout_split(&train_dyn, 0.2, 37);
+                let tc = cfg.train_config(PowerTarget::Dynamic, variant.config.clone());
+                let model = train_single(&tr, &va, &tc, 41);
+                pg_gnn::evaluate_model(&model, &test_dyn)
+            };
+            out.push((variant.name.to_string(), held_out.clone(), err));
+        }
+    }
+    let mut text = String::from("variant,kernel,mape\n");
+    for (v, k, e) in &out {
+        text.push_str(&format!("{v},{k},{e}\n"));
+    }
+    std::fs::write(&path, text).ok();
+    out
+}
+
+/// Trains a dynamic-power PowerGear ensemble for one held-out kernel
+/// (helper for DSE binaries that need the model itself).
+pub fn train_pg_dynamic(cfg: &EvalConfig, datasets: &[KernelDataset], held_out: &str) -> Ensemble {
+    let split = leave_one_out(datasets, held_out);
+    let train_dyn = split.train_labeled(PowerTarget::Dynamic);
+    train_ensemble(
+        &train_dyn,
+        &cfg.train_config(PowerTarget::Dynamic, ModelConfig::hec(cfg.hidden)),
+    )
+}
+
+// ---- CSV cache ----------------------------------------------------------
+
+fn save_cache(path: &Path, ctx: &EvalContext) {
+    let mut text = String::from(
+        "kernel,design_id,latency,truth_total,truth_dyn,pg_total,pg_dyn,hlpow_total,hlpow_dyn,viv_total,viv_dyn,gcn_dyn,sage_dyn,gconv_dyn,gine_dyn\n",
+    );
+    for r in &ctx.rows {
+        text.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.kernel,
+            r.design_id.replace(',', ";"),
+            r.latency,
+            r.truth_total,
+            r.truth_dyn,
+            r.pg_total,
+            r.pg_dyn,
+            r.hlpow_total,
+            r.hlpow_dyn,
+            r.viv_total,
+            r.viv_dyn,
+            r.gcn_dyn,
+            r.sage_dyn,
+            r.gconv_dyn,
+            r.gine_dyn
+        ));
+    }
+    text.push_str("#info,kernel,n_samples,avg_nodes,pg_ms,viv_ms\n");
+    for i in &ctx.info {
+        text.push_str(&format!(
+            "#info,{},{},{},{},{}\n",
+            i.kernel, i.n_samples, i.avg_nodes, i.pg_ms, i.viv_ms
+        ));
+    }
+    std::fs::write(path, text).ok();
+}
+
+fn load_cache(path: &Path) -> Option<EvalContext> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut ctx = EvalContext::default();
+    for line in text.lines().skip(1) {
+        if let Some(rest) = line.strip_prefix("#info,") {
+            let f: Vec<&str> = rest.split(',').collect();
+            // silently skip the section header and malformed lines
+            if f.len() == 5 {
+                if let (Ok(n), Ok(a), Ok(p), Ok(v)) = (
+                    f[1].parse(),
+                    f[2].parse(),
+                    f[3].parse(),
+                    f[4].parse(),
+                ) {
+                    ctx.info.push(KernelInfo {
+                        kernel: f[0].to_string(),
+                        n_samples: n,
+                        avg_nodes: a,
+                        pg_ms: p,
+                        viv_ms: v,
+                    });
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 15 {
+            continue;
+        }
+        ctx.rows.push(PredRow {
+            kernel: f[0].to_string(),
+            design_id: f[1].to_string(),
+            latency: f[2].parse().ok()?,
+            truth_total: f[3].parse().ok()?,
+            truth_dyn: f[4].parse().ok()?,
+            pg_total: f[5].parse().ok()?,
+            pg_dyn: f[6].parse().ok()?,
+            hlpow_total: f[7].parse().ok()?,
+            hlpow_dyn: f[8].parse().ok()?,
+            viv_total: f[9].parse().ok()?,
+            viv_dyn: f[10].parse().ok()?,
+            gcn_dyn: f[11].parse().ok()?,
+            sage_dyn: f[12].parse().ok()?,
+            gconv_dyn: f[13].parse().ok()?,
+            gine_dyn: f[14].parse().ok()?,
+        });
+    }
+    if ctx.rows.is_empty() {
+        None
+    } else {
+        Some(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_changes_with_scale() {
+        let a = EvalConfig::quick();
+        let mut b = EvalConfig::quick();
+        b.hidden = 64;
+        assert_ne!(a.hash(), b.hash());
+        assert_eq!(a.hash(), EvalConfig::quick().hash());
+    }
+
+    #[test]
+    fn from_args_parses_flags() {
+        let cfg = EvalConfig::from_args(&[
+            "--full".to_string(),
+            "--kernels".to_string(),
+            "atax,mvt".to_string(),
+        ]);
+        assert_eq!(cfg.dataset.max_samples, EvalConfig::full().dataset.max_samples);
+        assert_eq!(cfg.kernel_names(), vec!["atax", "mvt"]);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let ctx = EvalContext {
+            rows: vec![PredRow {
+                kernel: "atax".into(),
+                design_id: "d1".into(),
+                latency: 100.0,
+                truth_total: 0.5,
+                truth_dyn: 0.2,
+                pg_total: 0.51,
+                pg_dyn: 0.21,
+                hlpow_total: 0.52,
+                hlpow_dyn: 0.22,
+                viv_total: 0.6,
+                viv_dyn: 0.3,
+                gcn_dyn: 0.25,
+                sage_dyn: 0.24,
+                gconv_dyn: 0.23,
+                gine_dyn: 0.26,
+            }],
+            info: vec![KernelInfo {
+                kernel: "atax".into(),
+                n_samples: 64,
+                avg_nodes: 120.0,
+                pg_ms: 4.0,
+                viv_ms: 16.0,
+            }],
+        };
+        let path = std::env::temp_dir().join("pg_cache_test.csv");
+        save_cache(&path, &ctx);
+        let loaded = load_cache(&path).expect("cache loads");
+        assert_eq!(loaded, ctx);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn holdout_split_partitions() {
+        let graphs: Vec<PowerGraph> = (0..10)
+            .map(|i| PowerGraph {
+                num_nodes: 1,
+                node_feats: vec![0.0; PowerGraph::NODE_FEATS],
+                design_id: format!("{i}"),
+                ..PowerGraph::default()
+            })
+            .collect();
+        let data: Vec<(&PowerGraph, f64)> = graphs.iter().map(|g| (g, 1.0)).collect();
+        let (tr, va) = holdout_split(&data, 0.2, 1);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(va.len(), 2);
+    }
+}

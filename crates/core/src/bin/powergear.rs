@@ -1,0 +1,169 @@
+//! `powergear` — command-line interface to the estimation pipeline.
+//!
+//! ```text
+//! powergear kernels                      # list built-in kernels
+//! powergear report  <kernel> [directives...]   # HLS report for one design
+//! powergear graph   <kernel> [directives...]   # graph stats + feature dump
+//! powergear measure <kernel> [directives...]   # simulated board measurement
+//! powergear space   <kernel> [N]        # enumerate the design space
+//!
+//! directive syntax:  pipeline=<loop>  unroll=<loop>:<k>  partition=<array>:<k>
+//! common flags:      --size <n>  (problem size, default 12)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! powergear report gemm pipeline=k unroll=k:4 partition=A:4 --size 12
+//! powergear measure atax pipeline=j
+//! ```
+
+use pg_activity::{execute, Stimuli};
+use pg_datasets::polybench;
+use pg_graphcon::GraphFlow;
+use pg_hls::{Directives, HlsFlow};
+use pg_powersim::BoardOracle;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: powergear <kernels|report|graph|measure|space> ...");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "kernels" => {
+            println!("built-in Polybench kernels (use with --size <n>):");
+            for name in polybench::KERNEL_NAMES {
+                let k = polybench::by_name(name, 8).expect("built-in");
+                println!(
+                    "  {:8} loops: {:?}  arrays: {:?}",
+                    name,
+                    k.innermost_loops(),
+                    k.arrays.iter().map(|a| a.name.clone()).collect::<Vec<_>>()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "space" => {
+            let Some(kernel) = load_kernel(&args) else {
+                return ExitCode::FAILURE;
+            };
+            let n: usize = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20);
+            let configs = pg_datasets::sample_space(&kernel, n, 1);
+            println!("{} of the design space of `{}`:", configs.len(), kernel.name);
+            for d in configs {
+                println!("  {d}");
+            }
+            ExitCode::SUCCESS
+        }
+        "report" | "graph" | "measure" => {
+            let Some(kernel) = load_kernel(&args) else {
+                return ExitCode::FAILURE;
+            };
+            let directives = match parse_directives(&args[2..]) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("bad directive: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let design = match HlsFlow::new().run(&kernel, &directives) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("HLS failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "report" => {
+                    let r = &design.report;
+                    println!("design   : {}", design.design_id());
+                    println!("latency  : {} cycles", r.latency_cycles);
+                    println!("clock    : {:.2} ns (target 10.00)", r.clock_ns);
+                    println!("LUT      : {}", r.lut);
+                    println!("FF       : {}", r.ff);
+                    println!("DSP      : {}", r.dsp);
+                    println!("BRAM     : {}", r.bram);
+                    println!("FSM      : {} states", design.fsmd.num_states());
+                }
+                "graph" => {
+                    let trace = execute(&design, &Stimuli::for_kernel(&kernel, 1));
+                    let g = GraphFlow::new().build(&design, &trace);
+                    let rel = g.relation_counts();
+                    println!("graph    : {} nodes, {} edges", g.num_nodes, g.num_edges());
+                    println!(
+                        "relations: A->A {}  A->N {}  N->A {}  N->N {}",
+                        rel[0], rel[1], rel[2], rel[3]
+                    );
+                    let mean_sa: f32 = g.edge_feats.iter().map(|e| e[0]).sum::<f32>()
+                        / g.num_edges().max(1) as f32;
+                    println!("mean edge SA(src): {mean_sa:.4}");
+                }
+                _ => {
+                    let trace = execute(&design, &Stimuli::for_kernel(&kernel, 1));
+                    let p = BoardOracle::default().measure(&design, &trace);
+                    println!("simulated on-board measurement for {}:", design.design_id());
+                    println!("  total   : {:.4} W", p.total);
+                    println!("  dynamic : {:.4} W", p.dynamic);
+                    println!("  static  : {:.4} W", p.static_);
+                    println!("    nets (Eq.1) {:.4} W | FU internal {:.4} W | clock {:.4} W",
+                        p.nets, p.internal, p.clock);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_kernel(args: &[String]) -> Option<pg_ir::Kernel> {
+    let name = args.get(1)?;
+    let size = args
+        .iter()
+        .position(|a| a == "--size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    match polybench::by_name(name, size) {
+        Some(k) => Some(k),
+        None => {
+            eprintln!(
+                "unknown kernel `{name}`; available: {}",
+                polybench::KERNEL_NAMES.join(", ")
+            );
+            None
+        }
+    }
+}
+
+fn parse_directives(args: &[String]) -> Result<Directives, String> {
+    let mut d = Directives::new();
+    for a in args {
+        if a.starts_with("--") {
+            continue; // flags handled elsewhere
+        }
+        if let Some(loop_) = a.strip_prefix("pipeline=") {
+            d.pipeline(loop_);
+        } else if let Some(rest) = a.strip_prefix("unroll=") {
+            let (l, k) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("`{a}` wants unroll=<loop>:<k>"))?;
+            d.unroll(l, k.parse().map_err(|_| format!("bad factor in `{a}`"))?);
+        } else if let Some(rest) = a.strip_prefix("partition=") {
+            let (arr, k) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("`{a}` wants partition=<array>:<k>"))?;
+            d.partition(arr, k.parse().map_err(|_| format!("bad factor in `{a}`"))?);
+        } else if a.parse::<usize>().is_err() {
+            return Err(format!("unrecognized argument `{a}`"));
+        }
+    }
+    Ok(d)
+}

@@ -1,0 +1,300 @@
+//! **PowerGear**: graph-learning-assisted early-stage power estimation for
+//! FPGA HLS — a full Rust reproduction of the DATE 2022 paper.
+//!
+//! PowerGear estimates total and dynamic power of an HLS design right after
+//! high-level synthesis, skipping RTL implementation and gate-level
+//! simulation. It combines a graph construction flow (buffer insertion,
+//! datapath merging, graph trimming, switching-activity feature annotation)
+//! with HEC-GNN, a heterogeneous edge-centric GNN whose aggregation fits
+//! the dynamic-power formula `P = Σ α·C·V²·f`.
+//!
+//! This crate is the user-facing entry point: [`PowerGear::fit`] trains the
+//! total- and dynamic-power ensembles on labeled datasets, and
+//! [`PowerGear::estimate`] runs the complete inference flow (HLS → activity
+//! trace → graph → GNN) for a new kernel/directive configuration.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use powergear::{PowerGear, PowerGearConfig};
+//! use pg_datasets::{build_all, DatasetConfig};
+//! use pg_hls::Directives;
+//!
+//! let datasets = build_all(&DatasetConfig::default());
+//! let model = PowerGear::fit(&datasets, &PowerGearConfig::quick());
+//! let kernel = pg_datasets::polybench::gemm(12);
+//! let mut directives = Directives::new();
+//! directives.pipeline("k").unroll("k", 4);
+//! let estimate = model.estimate(&kernel, &directives)?;
+//! println!("total {:.3} W, dynamic {:.3} W", estimate.total_w, estimate.dynamic_w);
+//! # Ok::<(), pg_hls::HlsError>(())
+//! ```
+
+use pg_activity::{execute, Stimuli};
+use pg_datasets::{KernelDataset, PowerTarget};
+use pg_gnn::{train_ensemble, Ensemble, ModelConfig, TrainConfig};
+use pg_graphcon::{GraphFlow, PowerGraph};
+use pg_hls::{Directives, HlsError, HlsFlow, HlsReport};
+use pg_ir::Kernel;
+
+/// Top-level configuration for [`PowerGear::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerGearConfig {
+    /// Hidden width of HEC-GNN.
+    pub hidden: usize,
+    /// Training epochs per member model.
+    pub epochs: usize,
+    /// Cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Ensemble seeds (paper: 3).
+    pub seeds: Vec<u64>,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl PowerGearConfig {
+    /// Scaled-down defaults for this environment (same pipeline as the
+    /// paper, smaller width/epochs/folds).
+    pub fn quick() -> Self {
+        PowerGearConfig {
+            hidden: 32,
+            epochs: 40,
+            folds: 3,
+            seeds: vec![17],
+            batch_size: 48,
+            lr: 2e-3,
+            threads: 2,
+        }
+    }
+
+    /// The paper's published hyperparameters (heavy on CPU).
+    pub fn paper() -> Self {
+        PowerGearConfig {
+            hidden: 128,
+            epochs: 1200,
+            folds: 10,
+            seeds: vec![17, 43, 91],
+            batch_size: 128,
+            lr: 5e-4,
+            threads: 2,
+        }
+    }
+
+    /// Converts to a GNN training config for `target` power.
+    pub fn train_config(&self, target: PowerTarget) -> TrainConfig {
+        let mut cfg = TrainConfig::quick(ModelConfig::hec(self.hidden));
+        cfg.epochs = match target {
+            // the paper trains dynamic power twice as long
+            PowerTarget::Dynamic => self.epochs * 2,
+            PowerTarget::Total => self.epochs,
+        };
+        cfg.folds = self.folds;
+        cfg.seeds = self.seeds.clone();
+        cfg.batch_size = self.batch_size;
+        cfg.lr = self.lr;
+        cfg.threads = self.threads;
+        cfg
+    }
+}
+
+/// A power estimate for one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerEstimate {
+    /// Estimated total power (W).
+    pub total_w: f64,
+    /// Estimated dynamic power (W).
+    pub dynamic_w: f64,
+    /// HLS-reported latency (cycles).
+    pub latency_cycles: u64,
+    /// The constructed graph's node count (diagnostics).
+    pub graph_nodes: usize,
+}
+
+/// The trained PowerGear estimator: two HEC-GNN ensembles plus the
+/// graph-construction pipeline needed to serve new designs.
+#[derive(Debug, Clone)]
+pub struct PowerGear {
+    /// Ensemble regressing total power.
+    pub total_model: Ensemble,
+    /// Ensemble regressing dynamic power.
+    pub dynamic_model: Ensemble,
+}
+
+impl PowerGear {
+    /// Trains both ensembles on the given kernel datasets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datasets` holds too few samples for the fold count.
+    pub fn fit(datasets: &[KernelDataset], config: &PowerGearConfig) -> PowerGear {
+        let mut total_data = Vec::new();
+        let mut dynamic_data = Vec::new();
+        for ds in datasets {
+            total_data.extend(ds.labeled(PowerTarget::Total));
+            dynamic_data.extend(ds.labeled(PowerTarget::Dynamic));
+        }
+        let total_model = train_ensemble(&total_data, &config.train_config(PowerTarget::Total));
+        let dynamic_model =
+            train_ensemble(&dynamic_data, &config.train_config(PowerTarget::Dynamic));
+        PowerGear {
+            total_model,
+            dynamic_model,
+        }
+    }
+
+    /// Builds the PowerGraph for a new design point exactly as the training
+    /// pipeline does (HLS → trace → graph flow → metadata features).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HlsError`] from synthesis of the design or its
+    /// unoptimized baseline.
+    pub fn build_graph(
+        kernel: &Kernel,
+        directives: &Directives,
+    ) -> Result<(PowerGraph, HlsReport), HlsError> {
+        let flow = HlsFlow::new();
+        let baseline = flow.run(kernel, &Directives::new())?.report;
+        let design = flow.run(kernel, directives)?;
+        let stim = Stimuli::for_kernel(kernel, 1);
+        let trace = execute(&design, &stim);
+        let mut graph = GraphFlow::new().build(&design, &trace);
+        graph.meta = design
+            .report
+            .metadata_features(&baseline)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        Ok((graph, design.report))
+    }
+
+    /// Full inference flow for a new design point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HlsError`] from synthesis.
+    pub fn estimate(
+        &self,
+        kernel: &Kernel,
+        directives: &Directives,
+    ) -> Result<PowerEstimate, HlsError> {
+        let (graph, report) = Self::build_graph(kernel, directives)?;
+        let (total, dynamic) = self.estimate_graph(&graph);
+        Ok(PowerEstimate {
+            total_w: total,
+            dynamic_w: dynamic,
+            latency_cycles: report.latency_cycles,
+            graph_nodes: graph.num_nodes,
+        })
+    }
+
+    /// Inference on an already-constructed graph.
+    pub fn estimate_graph(&self, graph: &PowerGraph) -> (f64, f64) {
+        let total = self.total_model.predict(&[graph])[0];
+        let dynamic = self.dynamic_model.predict(&[graph])[0];
+        (total, dynamic)
+    }
+
+    /// MAPE (%) of both heads on labeled samples: `(total, dynamic)`.
+    pub fn evaluate(&self, samples: &[&pg_datasets::Sample]) -> (f64, f64) {
+        let total: Vec<(&PowerGraph, f64)> = samples
+            .iter()
+            .map(|s| (&s.graph, s.label(PowerTarget::Total)))
+            .collect();
+        let dynamic: Vec<(&PowerGraph, f64)> = samples
+            .iter()
+            .map(|s| (&s.graph, s.label(PowerTarget::Dynamic)))
+            .collect();
+        (
+            self.total_model.evaluate(&total),
+            self.dynamic_model.evaluate(&dynamic),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig};
+
+    fn tiny_datasets() -> Vec<KernelDataset> {
+        let cfg = DatasetConfig {
+            size: 6,
+            max_samples: 14,
+            seed: 1,
+            threads: 1,
+        };
+        vec![
+            build_kernel_dataset(&polybench::mvt(6), &cfg),
+            build_kernel_dataset(&polybench::bicg(6), &cfg),
+        ]
+    }
+
+    fn tiny_config() -> PowerGearConfig {
+        PowerGearConfig {
+            hidden: 12,
+            epochs: 8,
+            folds: 2,
+            seeds: vec![5],
+            batch_size: 16,
+            lr: 3e-3,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn fit_and_estimate_end_to_end() {
+        let ds = tiny_datasets();
+        let model = PowerGear::fit(&ds, &tiny_config());
+        assert_eq!(model.total_model.models.len(), 2);
+        let kernel = polybench::mvt(6);
+        let mut d = Directives::new();
+        d.pipeline("j");
+        let est = model.estimate(&kernel, &d).unwrap();
+        assert!(est.total_w > 0.0, "total {}", est.total_w);
+        assert!(est.dynamic_w > 0.0);
+        assert!(est.latency_cycles > 0);
+        assert!(est.graph_nodes > 3);
+    }
+
+    #[test]
+    fn evaluate_reports_both_heads() {
+        let ds = tiny_datasets();
+        let model = PowerGear::fit(&ds, &tiny_config());
+        let samples: Vec<&pg_datasets::Sample> = ds[0].samples.iter().collect();
+        let (te, de) = model.evaluate(&samples);
+        assert!(te.is_finite() && te >= 0.0);
+        assert!(de.is_finite() && de >= 0.0);
+    }
+
+    #[test]
+    fn dynamic_head_trains_longer() {
+        let cfg = PowerGearConfig::quick();
+        assert_eq!(
+            cfg.train_config(PowerTarget::Dynamic).epochs,
+            2 * cfg.train_config(PowerTarget::Total).epochs
+        );
+    }
+
+    #[test]
+    fn paper_config_published_values() {
+        let cfg = PowerGearConfig::paper();
+        assert_eq!(cfg.hidden, 128);
+        assert_eq!(cfg.folds, 10);
+        assert_eq!(cfg.seeds.len(), 3);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_directives() {
+        let ds = tiny_datasets();
+        let model = PowerGear::fit(&ds, &tiny_config());
+        let kernel = polybench::mvt(6);
+        let mut d = Directives::new();
+        d.pipeline("nonexistent");
+        assert!(model.estimate(&kernel, &d).is_err());
+    }
+}

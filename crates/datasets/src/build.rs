@@ -1,0 +1,267 @@
+//! End-to-end dataset construction: kernel + directive sample → HLS →
+//! activity trace → power graph (with metadata features) → oracle labels.
+//!
+//! This is the "training stage" data collection of Fig. 1, with the
+//! RTL-implementation + on-board measurement replaced by the `pg-powersim`
+//! oracle. Samples are built in parallel across worker threads and are
+//! bit-deterministic for a given configuration.
+
+use crate::space::sample_space;
+use pg_activity::{execute, Stimuli};
+use pg_graphcon::{GraphFlow, PowerGraph};
+use pg_hls::{Directives, HlsFlow, HlsReport};
+use pg_ir::Kernel;
+use pg_powersim::{BoardOracle, PowerBreakdown};
+
+/// Dataset construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Problem size of the Polybench kernels.
+    pub size: usize,
+    /// Maximum design points per kernel (paper: ~500).
+    pub max_samples: usize,
+    /// Sampling / stimuli seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            size: 16,
+            max_samples: 96,
+            seed: 1,
+            threads: 2,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A smaller configuration for unit tests.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            size: 6,
+            max_samples: 10,
+            seed: 1,
+            threads: 1,
+        }
+    }
+}
+
+/// One labeled design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Source kernel.
+    pub kernel: String,
+    /// Design-point identifier.
+    pub design_id: String,
+    /// The directive configuration (kept so estimators can re-synthesize).
+    pub directives: Directives,
+    /// The annotated graph (metadata features filled in).
+    pub graph: PowerGraph,
+    /// Ground-truth power from the board oracle.
+    pub power: PowerBreakdown,
+    /// Design latency in cycles.
+    pub latency: u64,
+    /// HLS report of this design point.
+    pub report: HlsReport,
+}
+
+/// Which power figure a model regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerTarget {
+    /// Total (dynamic + static) power.
+    Total,
+    /// Dynamic power only.
+    Dynamic,
+}
+
+impl Sample {
+    /// The regression target for `target`.
+    pub fn label(&self, target: PowerTarget) -> f64 {
+        match target {
+            PowerTarget::Total => self.power.total,
+            PowerTarget::Dynamic => self.power.dynamic,
+        }
+    }
+}
+
+/// All samples of one kernel plus its unoptimized baseline report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDataset {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem size used.
+    pub size: usize,
+    /// Labeled samples (baseline configuration first).
+    pub samples: Vec<Sample>,
+    /// Report of the unoptimized baseline (scaling-factor reference).
+    pub baseline: HlsReport,
+}
+
+impl KernelDataset {
+    /// Mean node count across sample graphs (Table I "Avg. #Nodes").
+    pub fn avg_nodes(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|s| s.graph.num_nodes as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64
+    }
+
+    /// Labeled `(graph, value)` views for training.
+    pub fn labeled(&self, target: PowerTarget) -> Vec<(&PowerGraph, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (&s.graph, s.label(target)))
+            .collect()
+    }
+}
+
+/// Builds one sample (shared by the parallel driver and the benches).
+pub fn build_sample(
+    kernel: &Kernel,
+    directives: &Directives,
+    stimuli: &Stimuli,
+    baseline: &HlsReport,
+) -> Sample {
+    let flow = HlsFlow::new();
+    let design = flow
+        .run(kernel, directives)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+    let trace = execute(&design, stimuli);
+    let mut graph = GraphFlow::new().build(&design, &trace);
+    graph.meta = design
+        .report
+        .metadata_features(baseline)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let power = BoardOracle::default().measure(&design, &trace);
+    Sample {
+        kernel: kernel.name.clone(),
+        design_id: design.design_id(),
+        directives: directives.clone(),
+        graph,
+        power,
+        latency: design.report.latency_cycles,
+        report: design.report.clone(),
+    }
+}
+
+/// Builds the dataset for one kernel.
+pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDataset {
+    let stimuli = Stimuli::for_kernel(kernel, cfg.seed);
+    let baseline = HlsFlow::new()
+        .run(kernel, &Directives::new())
+        .unwrap_or_else(|e| panic!("{} baseline: {e}", kernel.name))
+        .report;
+    let configs = sample_space(kernel, cfg.max_samples, cfg.seed);
+
+    let samples: Vec<Sample> = if cfg.threads <= 1 || configs.len() < 4 {
+        configs
+            .iter()
+            .map(|d| build_sample(kernel, d, &stimuli, &baseline))
+            .collect()
+    } else {
+        let chunk = configs.len().div_ceil(cfg.threads);
+        let mut out: Vec<Vec<Sample>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = configs
+                .chunks(chunk)
+                .map(|part| {
+                    let stimuli = &stimuli;
+                    let baseline = &baseline;
+                    scope.spawn(move |_| {
+                        part.iter()
+                            .map(|d| build_sample(kernel, d, stimuli, baseline))
+                            .collect::<Vec<Sample>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("dataset worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out.into_iter().flatten().collect()
+    };
+
+    KernelDataset {
+        kernel: kernel.name.clone(),
+        size: cfg.size,
+        samples,
+        baseline,
+    }
+}
+
+/// Builds datasets for all nine Polybench kernels.
+pub fn build_all(cfg: &DatasetConfig) -> Vec<KernelDataset> {
+    crate::polybench::polybench(cfg.size)
+        .iter()
+        .map(|k| build_kernel_dataset(k, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polybench;
+
+    #[test]
+    fn builds_labeled_samples() {
+        let k = polybench::mvt(6);
+        let ds = build_kernel_dataset(&k, &DatasetConfig::tiny());
+        assert_eq!(ds.samples.len(), 10);
+        assert!(ds.samples[0].directives.is_baseline());
+        for s in &ds.samples {
+            assert!(s.graph.validate().is_ok());
+            assert_eq!(s.graph.meta.len(), 10);
+            assert!(s.power.total > s.power.dynamic);
+            assert!(s.latency > 0);
+        }
+        assert!(ds.avg_nodes() > 5.0);
+    }
+
+    #[test]
+    fn labels_differ_across_design_points() {
+        let k = polybench::mvt(6);
+        let ds = build_kernel_dataset(&k, &DatasetConfig::tiny());
+        let first = ds.samples[0].power.dynamic;
+        assert!(
+            ds.samples.iter().any(|s| (s.power.dynamic - first).abs() > 1e-6),
+            "dynamic power must vary across the space"
+        );
+        let labeled = ds.labeled(PowerTarget::Dynamic);
+        assert_eq!(labeled.len(), ds.samples.len());
+        assert!(labeled.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let k = polybench::mvt(6);
+        let mut cfg = DatasetConfig::tiny();
+        let serial = build_kernel_dataset(&k, &cfg);
+        cfg.threads = 2;
+        let parallel = build_kernel_dataset(&k, &cfg);
+        assert_eq!(serial.samples.len(), parallel.samples.len());
+        for (a, b) in serial.samples.iter().zip(&parallel.samples) {
+            assert_eq!(a.design_id, b.design_id);
+            assert_eq!(a.power, b.power);
+        }
+    }
+
+    #[test]
+    fn metadata_scaling_is_unity_for_baseline() {
+        let k = polybench::mvt(6);
+        let ds = build_kernel_dataset(&k, &DatasetConfig::tiny());
+        let meta = &ds.samples[0].graph.meta;
+        for v in &meta[5..10] {
+            assert!((*v - 1.0).abs() < 1e-5, "baseline ratios must be 1, got {v}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Datasets: the paper's nine Polybench kernels, directive design spaces,
+//! synthetic training kernels, and the end-to-end labeled-sample builder.
+//!
+//! * [`polybench`] — atax, bicg, gemm, gesummv, 2mm, 3mm, mvt, syrk, syr2k
+//!   as loop-nest ASTs (Table I workloads);
+//! * [`space`] — pipeline × unroll × partition design-space enumeration and
+//!   deterministic sampling;
+//! * [`synthetic`] — random affine kernels "to increase the diversity of
+//!   loop patterns in training" (§IV);
+//! * [`build`] — kernel + directives → HLS → trace → [`pg_graphcon::PowerGraph`]
+//!   (metadata attached) → oracle power labels;
+//! * [`splits`] — the leave-one-kernel-out evaluation protocol.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
+//! let kernel = polybench::gemm(12);
+//! let ds = build_kernel_dataset(&kernel, &DatasetConfig::default());
+//! let labeled = ds.labeled(PowerTarget::Dynamic);
+//! println!("{} samples, avg {} nodes", labeled.len(), ds.avg_nodes());
+//! ```
+
+pub mod build;
+pub mod polybench;
+pub mod space;
+pub mod splits;
+pub mod synthetic;
+
+pub use build::{
+    build_all, build_kernel_dataset, build_sample, DatasetConfig, KernelDataset, PowerTarget,
+    Sample,
+};
+pub use polybench::{by_name, polybench, KERNEL_NAMES};
+pub use space::{enumerate_space, sample_space};
+pub use splits::{all_splits, leave_one_out, LooSplit};
+pub use synthetic::{synthetic_kernel, synthetic_kernels};

@@ -1,0 +1,492 @@
+//! The nine Polybench kernels of the paper's evaluation (Table I):
+//! atax, bicg, gemm, gesummv, 2mm, 3mm, mvt, syrk, syr2k.
+//!
+//! Each kernel is expressed in the loop-nest AST of `pg-ir`, with constant
+//! problem sizes chosen so that activity tracing stays laptop-fast while
+//! the *relative* graph sizes track the paper (3mm/2mm/syr2k largest,
+//! atax/bicg/mvt smallest). Loop labels are unique per kernel and are the
+//! handles design-space directives attach to.
+
+use pg_ir::expr::{aff, Expr};
+use pg_ir::{ArrayKind, Kernel, KernelBuilder};
+
+/// Names of the nine kernels, in the paper's Table I order.
+pub const KERNEL_NAMES: [&str; 9] = [
+    "atax", "bicg", "gemm", "gesummv", "2mm", "3mm", "mvt", "syrk", "syr2k",
+];
+
+/// Builds every kernel at problem size `n`.
+pub fn polybench(n: usize) -> Vec<Kernel> {
+    vec![
+        atax(n),
+        bicg(n),
+        gemm(n),
+        gesummv(n),
+        two_mm(n),
+        three_mm(n),
+        mvt(n),
+        syrk(n),
+        syr2k(n),
+    ]
+}
+
+/// Looks a kernel up by name at size `n`.
+pub fn by_name(name: &str, n: usize) -> Option<Kernel> {
+    polybench(n).into_iter().find(|k| k.name == name)
+}
+
+/// `atax`: y = Aᵀ(Ax).
+pub fn atax(n: usize) -> Kernel {
+    KernelBuilder::new("atax")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("x", &[n], ArrayKind::Input)
+        .array("tmp", &[n], ArrayKind::Temp)
+        .array("y", &[n], ArrayKind::Output)
+        .loop_("i", n, |b| {
+            b.assign(("tmp", vec![aff("i")]), Expr::Const(0.0));
+            b.loop_("j", n, |b| {
+                b.assign(
+                    ("tmp", vec![aff("i")]),
+                    Expr::load("tmp", vec![aff("i")])
+                        + Expr::load("A", vec![aff("i"), aff("j")])
+                            * Expr::load("x", vec![aff("j")]),
+                );
+            });
+        })
+        .loop_("jy", n, |b| {
+            b.assign(("y", vec![aff("jy")]), Expr::Const(0.0));
+        })
+        .loop_("i2", n, |b| {
+            b.loop_("j2", n, |b| {
+                b.assign(
+                    ("y", vec![aff("j2")]),
+                    Expr::load("y", vec![aff("j2")])
+                        + Expr::load("A", vec![aff("i2"), aff("j2")])
+                            * Expr::load("tmp", vec![aff("i2")]),
+                );
+            });
+        })
+        .build()
+        .expect("atax is well-formed")
+}
+
+/// `bicg`: s = Aᵀr, q = Ap.
+pub fn bicg(n: usize) -> Kernel {
+    KernelBuilder::new("bicg")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("r", &[n], ArrayKind::Input)
+        .array("p", &[n], ArrayKind::Input)
+        .array("s", &[n], ArrayKind::Output)
+        .array("q", &[n], ArrayKind::Output)
+        .loop_("js", n, |b| {
+            b.assign(("s", vec![aff("js")]), Expr::Const(0.0));
+        })
+        .loop_("i", n, |b| {
+            b.assign(("q", vec![aff("i")]), Expr::Const(0.0));
+            b.loop_("j", n, |b| {
+                b.assign(
+                    ("s", vec![aff("j")]),
+                    Expr::load("s", vec![aff("j")])
+                        + Expr::load("r", vec![aff("i")])
+                            * Expr::load("A", vec![aff("i"), aff("j")]),
+                );
+            });
+            b.loop_("j2", n, |b| {
+                b.assign(
+                    ("q", vec![aff("i")]),
+                    Expr::load("q", vec![aff("i")])
+                        + Expr::load("A", vec![aff("i"), aff("j2")])
+                            * Expr::load("p", vec![aff("j2")]),
+                );
+            });
+        })
+        .build()
+        .expect("bicg is well-formed")
+}
+
+/// `gemm`: C = α·A·B + β·C.
+pub fn gemm(n: usize) -> Kernel {
+    KernelBuilder::new("gemm")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("B", &[n, n], ArrayKind::Input)
+        .array("C", &[n, n], ArrayKind::Output)
+        .scalar("alpha")
+        .scalar("beta")
+        .loop_("i0", n, |b| {
+            b.loop_("j0", n, |b| {
+                b.assign(
+                    ("C", vec![aff("i0"), aff("j0")]),
+                    Expr::scalar("beta") * Expr::load("C", vec![aff("i0"), aff("j0")]),
+                );
+            });
+        })
+        .loop_("i", n, |b| {
+            b.loop_("j", n, |b| {
+                b.loop_("k", n, |b| {
+                    b.assign(
+                        ("C", vec![aff("i"), aff("j")]),
+                        Expr::load("C", vec![aff("i"), aff("j")])
+                            + Expr::scalar("alpha")
+                                * Expr::load("A", vec![aff("i"), aff("k")])
+                                * Expr::load("B", vec![aff("k"), aff("j")]),
+                    );
+                });
+            });
+        })
+        .build()
+        .expect("gemm is well-formed")
+}
+
+/// `gesummv`: y = α·A·x + β·B·x.
+pub fn gesummv(n: usize) -> Kernel {
+    KernelBuilder::new("gesummv")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("B", &[n, n], ArrayKind::Input)
+        .array("x", &[n], ArrayKind::Input)
+        .array("tmp", &[n], ArrayKind::Temp)
+        .array("y", &[n], ArrayKind::Output)
+        .scalar("alpha")
+        .scalar("beta")
+        .loop_("i", n, |b| {
+            b.assign(("tmp", vec![aff("i")]), Expr::Const(0.0));
+            b.assign(("y", vec![aff("i")]), Expr::Const(0.0));
+            b.loop_("j", n, |b| {
+                b.assign(
+                    ("tmp", vec![aff("i")]),
+                    Expr::load("tmp", vec![aff("i")])
+                        + Expr::load("A", vec![aff("i"), aff("j")])
+                            * Expr::load("x", vec![aff("j")]),
+                );
+                b.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::load("y", vec![aff("i")])
+                        + Expr::load("B", vec![aff("i"), aff("j")])
+                            * Expr::load("x", vec![aff("j")]),
+                );
+            });
+            b.assign(
+                ("y", vec![aff("i")]),
+                Expr::scalar("alpha") * Expr::load("tmp", vec![aff("i")])
+                    + Expr::scalar("beta") * Expr::load("y", vec![aff("i")]),
+            );
+        })
+        .build()
+        .expect("gesummv is well-formed")
+}
+
+/// `2mm`: D = α·A·B·C + β·D (via tmp = α·A·B).
+pub fn two_mm(n: usize) -> Kernel {
+    KernelBuilder::new("2mm")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("B", &[n, n], ArrayKind::Input)
+        .array("C", &[n, n], ArrayKind::Input)
+        .array("D", &[n, n], ArrayKind::Output)
+        .array("tmp", &[n, n], ArrayKind::Temp)
+        .scalar("alpha")
+        .scalar("beta")
+        .loop_("i", n, |b| {
+            b.loop_("j", n, |b| {
+                b.assign(("tmp", vec![aff("i"), aff("j")]), Expr::Const(0.0));
+                b.loop_("k", n, |b| {
+                    b.assign(
+                        ("tmp", vec![aff("i"), aff("j")]),
+                        Expr::load("tmp", vec![aff("i"), aff("j")])
+                            + Expr::scalar("alpha")
+                                * Expr::load("A", vec![aff("i"), aff("k")])
+                                * Expr::load("B", vec![aff("k"), aff("j")]),
+                    );
+                });
+            });
+        })
+        .loop_("i2", n, |b| {
+            b.loop_("j2", n, |b| {
+                b.assign(
+                    ("D", vec![aff("i2"), aff("j2")]),
+                    Expr::scalar("beta") * Expr::load("D", vec![aff("i2"), aff("j2")]),
+                );
+                b.loop_("k2", n, |b| {
+                    b.assign(
+                        ("D", vec![aff("i2"), aff("j2")]),
+                        Expr::load("D", vec![aff("i2"), aff("j2")])
+                            + Expr::load("tmp", vec![aff("i2"), aff("k2")])
+                                * Expr::load("C", vec![aff("k2"), aff("j2")]),
+                    );
+                });
+            });
+        })
+        .build()
+        .expect("2mm is well-formed")
+}
+
+/// `3mm`: G = (A·B)·(C·D).
+pub fn three_mm(n: usize) -> Kernel {
+    KernelBuilder::new("3mm")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("B", &[n, n], ArrayKind::Input)
+        .array("C", &[n, n], ArrayKind::Input)
+        .array("D", &[n, n], ArrayKind::Input)
+        .array("E", &[n, n], ArrayKind::Temp)
+        .array("F", &[n, n], ArrayKind::Temp)
+        .array("G", &[n, n], ArrayKind::Output)
+        .loop_("i", n, |b| {
+            b.loop_("j", n, |b| {
+                b.assign(("E", vec![aff("i"), aff("j")]), Expr::Const(0.0));
+                b.loop_("k", n, |b| {
+                    b.assign(
+                        ("E", vec![aff("i"), aff("j")]),
+                        Expr::load("E", vec![aff("i"), aff("j")])
+                            + Expr::load("A", vec![aff("i"), aff("k")])
+                                * Expr::load("B", vec![aff("k"), aff("j")]),
+                    );
+                });
+            });
+        })
+        .loop_("i2", n, |b| {
+            b.loop_("j2", n, |b| {
+                b.assign(("F", vec![aff("i2"), aff("j2")]), Expr::Const(0.0));
+                b.loop_("k2", n, |b| {
+                    b.assign(
+                        ("F", vec![aff("i2"), aff("j2")]),
+                        Expr::load("F", vec![aff("i2"), aff("j2")])
+                            + Expr::load("C", vec![aff("i2"), aff("k2")])
+                                * Expr::load("D", vec![aff("k2"), aff("j2")]),
+                    );
+                });
+            });
+        })
+        .loop_("i3", n, |b| {
+            b.loop_("j3", n, |b| {
+                b.assign(("G", vec![aff("i3"), aff("j3")]), Expr::Const(0.0));
+                b.loop_("k3", n, |b| {
+                    b.assign(
+                        ("G", vec![aff("i3"), aff("j3")]),
+                        Expr::load("G", vec![aff("i3"), aff("j3")])
+                            + Expr::load("E", vec![aff("i3"), aff("k3")])
+                                * Expr::load("F", vec![aff("k3"), aff("j3")]),
+                    );
+                });
+            });
+        })
+        .build()
+        .expect("3mm is well-formed")
+}
+
+/// `mvt`: x1 += A·y1, x2 += Aᵀ·y2.
+pub fn mvt(n: usize) -> Kernel {
+    KernelBuilder::new("mvt")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("y1", &[n], ArrayKind::Input)
+        .array("y2", &[n], ArrayKind::Input)
+        .array("x1", &[n], ArrayKind::Output)
+        .array("x2", &[n], ArrayKind::Output)
+        .loop_("i", n, |b| {
+            b.loop_("j", n, |b| {
+                b.assign(
+                    ("x1", vec![aff("i")]),
+                    Expr::load("x1", vec![aff("i")])
+                        + Expr::load("A", vec![aff("i"), aff("j")])
+                            * Expr::load("y1", vec![aff("j")]),
+                );
+            });
+        })
+        .loop_("i2", n, |b| {
+            b.loop_("j2", n, |b| {
+                b.assign(
+                    ("x2", vec![aff("i2")]),
+                    Expr::load("x2", vec![aff("i2")])
+                        + Expr::load("A", vec![aff("j2"), aff("i2")])
+                            * Expr::load("y2", vec![aff("j2")]),
+                );
+            });
+        })
+        .build()
+        .expect("mvt is well-formed")
+}
+
+/// `syrk`: C = α·A·Aᵀ + β·C.
+pub fn syrk(n: usize) -> Kernel {
+    KernelBuilder::new("syrk")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("C", &[n, n], ArrayKind::Output)
+        .scalar("alpha")
+        .scalar("beta")
+        .loop_("i0", n, |b| {
+            b.loop_("j0", n, |b| {
+                b.assign(
+                    ("C", vec![aff("i0"), aff("j0")]),
+                    Expr::scalar("beta") * Expr::load("C", vec![aff("i0"), aff("j0")]),
+                );
+            });
+        })
+        .loop_("i", n, |b| {
+            b.loop_("j", n, |b| {
+                b.loop_("k", n, |b| {
+                    b.assign(
+                        ("C", vec![aff("i"), aff("j")]),
+                        Expr::load("C", vec![aff("i"), aff("j")])
+                            + Expr::scalar("alpha")
+                                * Expr::load("A", vec![aff("i"), aff("k")])
+                                * Expr::load("A", vec![aff("j"), aff("k")]),
+                    );
+                });
+            });
+        })
+        .build()
+        .expect("syrk is well-formed")
+}
+
+/// `syr2k`: C = α·A·Bᵀ + α·B·Aᵀ + β·C.
+pub fn syr2k(n: usize) -> Kernel {
+    KernelBuilder::new("syr2k")
+        .array("A", &[n, n], ArrayKind::Input)
+        .array("B", &[n, n], ArrayKind::Input)
+        .array("C", &[n, n], ArrayKind::Output)
+        .scalar("alpha")
+        .scalar("beta")
+        .loop_("i0", n, |b| {
+            b.loop_("j0", n, |b| {
+                b.assign(
+                    ("C", vec![aff("i0"), aff("j0")]),
+                    Expr::scalar("beta") * Expr::load("C", vec![aff("i0"), aff("j0")]),
+                );
+            });
+        })
+        .loop_("i", n, |b| {
+            b.loop_("j", n, |b| {
+                b.loop_("k", n, |b| {
+                    b.assign(
+                        ("C", vec![aff("i"), aff("j")]),
+                        Expr::load("C", vec![aff("i"), aff("j")])
+                            + Expr::scalar("alpha")
+                                * Expr::load("A", vec![aff("i"), aff("k")])
+                                * Expr::load("B", vec![aff("j"), aff("k")])
+                            + Expr::scalar("alpha")
+                                * Expr::load("B", vec![aff("i"), aff("k")])
+                                * Expr::load("A", vec![aff("j"), aff("k")]),
+                    );
+                });
+            });
+        })
+        .build()
+        .expect("syr2k is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_activity::{execute, Stimuli};
+    use pg_hls::{Directives, HlsFlow};
+
+    #[test]
+    fn all_nine_build_and_validate() {
+        let ks = polybench(8);
+        assert_eq!(ks.len(), 9);
+        let names: Vec<&str> = ks.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, KERNEL_NAMES.to_vec());
+        for k in &ks {
+            assert!(k.validate().is_ok(), "{} invalid", k.name);
+            assert!(!k.innermost_loops().is_empty(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_each() {
+        for name in KERNEL_NAMES {
+            assert!(by_name(name, 8).is_some(), "{name}");
+        }
+        assert!(by_name("nope", 8).is_none());
+    }
+
+    #[test]
+    fn all_kernels_synthesize_and_execute() {
+        for k in polybench(6) {
+            let design = HlsFlow::new()
+                .run(&k, &Directives::new())
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let trace = execute(&design, &Stimuli::for_kernel(&k, 0));
+            assert!(trace.latency > 0, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn gemm_functional_check() {
+        let k = gemm(5);
+        let design = HlsFlow::new().run(&k, &Directives::new()).unwrap();
+        let stim = Stimuli::for_kernel(&k, 0);
+        let trace = execute(&design, &stim);
+        let (a, b, c0) = (&stim.arrays["A"], &stim.arrays["B"], &stim.arrays["C"]);
+        let (alpha, beta) = (stim.scalar("alpha"), stim.scalar("beta"));
+        let c = &trace.final_arrays["C"];
+        for i in 0..5 {
+            for j in 0..5 {
+                let mut acc = beta * c0[i * 5 + j];
+                for kk in 0..5 {
+                    acc += alpha * a[i * 5 + kk] * b[kk * 5 + j];
+                }
+                assert!((c[i * 5 + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn atax_functional_check() {
+        let k = atax(5);
+        let design = HlsFlow::new().run(&k, &Directives::new()).unwrap();
+        let stim = Stimuli::for_kernel(&k, 0);
+        let trace = execute(&design, &stim);
+        let (a, x) = (&stim.arrays["A"], &stim.arrays["x"]);
+        let y = &trace.final_arrays["y"];
+        let mut tmp = vec![0.0f32; 5];
+        for i in 0..5 {
+            for j in 0..5 {
+                tmp[i] += a[i * 5 + j] * x[j];
+            }
+        }
+        for j in 0..5 {
+            let mut acc = 0.0f32;
+            for i in 0..5 {
+                acc += a[i * 5 + j] * tmp[i];
+            }
+            assert!((y[j] - acc).abs() < 1e-4, "y[{j}]");
+        }
+    }
+
+    #[test]
+    fn mvt_transposed_access_works() {
+        let k = mvt(4);
+        let design = HlsFlow::new().run(&k, &Directives::new()).unwrap();
+        let stim = Stimuli::for_kernel(&k, 0);
+        let trace = execute(&design, &stim);
+        let a = &stim.arrays["A"];
+        let (y2, x2_0) = (&stim.arrays["y2"], &stim.arrays["x2"]);
+        let x2 = &trace.final_arrays["x2"];
+        for i in 0..4 {
+            let mut acc = x2_0[i];
+            for j in 0..4 {
+                acc += a[j * 4 + i] * y2[j];
+            }
+            assert!((x2[i] - acc).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relative_complexity_ordering() {
+        // 3mm-family kernels must produce larger IR than atax-family
+        let ks = polybench(8);
+        let size = |name: &str| {
+            ks.iter()
+                .find(|k| k.name == name)
+                .map(|k| {
+                    HlsFlow::new()
+                        .run(k, &Directives::new())
+                        .unwrap()
+                        .ir
+                        .len()
+                })
+                .unwrap()
+        };
+        assert!(size("3mm") > size("gemm"));
+        assert!(size("2mm") > size("atax"));
+        assert!(size("3mm") > size("mvt"));
+    }
+}

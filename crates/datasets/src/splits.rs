@@ -1,0 +1,127 @@
+//! Leave-one-kernel-out splits.
+//!
+//! "We leave one target application out of the nine applications as the
+//! test dataset, and use all the others for training. With this
+//! leave-one-out training scheme, we can verify the transferability of the
+//! models" (§IV-A).
+
+use crate::build::{KernelDataset, PowerTarget, Sample};
+use pg_graphcon::PowerGraph;
+
+/// A leave-one-out split: borrowed training and test sample views.
+#[derive(Debug, Clone)]
+pub struct LooSplit<'a> {
+    /// Name of the held-out kernel.
+    pub test_kernel: String,
+    /// Training samples (all other kernels).
+    pub train: Vec<&'a Sample>,
+    /// Test samples (the held-out kernel).
+    pub test: Vec<&'a Sample>,
+}
+
+impl<'a> LooSplit<'a> {
+    /// Labeled `(graph, value)` training pairs.
+    pub fn train_labeled(&self, target: PowerTarget) -> Vec<(&'a PowerGraph, f64)> {
+        self.train
+            .iter()
+            .map(|s| (&s.graph, s.label(target)))
+            .collect()
+    }
+
+    /// Labeled `(graph, value)` test pairs.
+    pub fn test_labeled(&self, target: PowerTarget) -> Vec<(&'a PowerGraph, f64)> {
+        self.test
+            .iter()
+            .map(|s| (&s.graph, s.label(target)))
+            .collect()
+    }
+}
+
+/// Builds the split holding out `test_kernel`.
+///
+/// # Panics
+///
+/// Panics if `test_kernel` is not present in `datasets`.
+pub fn leave_one_out<'a>(datasets: &'a [KernelDataset], test_kernel: &str) -> LooSplit<'a> {
+    assert!(
+        datasets.iter().any(|d| d.kernel == test_kernel),
+        "unknown test kernel `{test_kernel}`"
+    );
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for ds in datasets {
+        if ds.kernel == test_kernel {
+            test.extend(ds.samples.iter());
+        } else {
+            train.extend(ds.samples.iter());
+        }
+    }
+    LooSplit {
+        test_kernel: test_kernel.to_string(),
+        train,
+        test,
+    }
+}
+
+/// All nine leave-one-out splits, in dataset order.
+pub fn all_splits(datasets: &[KernelDataset]) -> Vec<LooSplit<'_>> {
+    datasets
+        .iter()
+        .map(|d| leave_one_out(datasets, &d.kernel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_kernel_dataset, DatasetConfig};
+    use crate::polybench;
+
+    fn two_datasets() -> Vec<KernelDataset> {
+        let cfg = DatasetConfig::tiny();
+        vec![
+            build_kernel_dataset(&polybench::mvt(6), &cfg),
+            build_kernel_dataset(&polybench::bicg(6), &cfg),
+        ]
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let ds = two_datasets();
+        let split = leave_one_out(&ds, "mvt");
+        assert_eq!(split.test_kernel, "mvt");
+        assert!(split.test.iter().all(|s| s.kernel == "mvt"));
+        assert!(split.train.iter().all(|s| s.kernel != "mvt"));
+        assert_eq!(
+            split.train.len() + split.test.len(),
+            ds.iter().map(|d| d.samples.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn labeled_views_match_targets() {
+        let ds = two_datasets();
+        let split = leave_one_out(&ds, "bicg");
+        let tot = split.test_labeled(PowerTarget::Total);
+        let dyn_ = split.test_labeled(PowerTarget::Dynamic);
+        for ((_, t), (_, d)) in tot.iter().zip(&dyn_) {
+            assert!(t > d, "total must exceed dynamic");
+        }
+    }
+
+    #[test]
+    fn all_splits_cover_each_kernel() {
+        let ds = two_datasets();
+        let splits = all_splits(&ds);
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[0].test_kernel, "mvt");
+        assert_eq!(splits[1].test_kernel, "bicg");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_kernel_panics() {
+        let ds = two_datasets();
+        leave_one_out(&ds, "gemm");
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic kernel generator.
+//!
+//! The paper "include[s] some synthetic datasets to increase the diversity
+//! of loop patterns in training" (§IV). This generator emits random affine
+//! kernels: 1–2 loop nests of depth 1–3 over randomly-shaped arrays, with
+//! random multiply-accumulate expression trees — structurally similar to
+//! Polybench but with fresh loop patterns.
+
+use pg_ir::expr::{aff, AffineExpr, Expr};
+use pg_ir::{ArrayKind, Kernel, KernelBuilder};
+use pg_util::Rng64;
+
+/// Generates `count` random kernels of problem size `n`.
+pub fn synthetic_kernels(count: usize, n: usize, seed: u64) -> Vec<Kernel> {
+    (0..count)
+        .map(|i| synthetic_kernel(i, n, seed))
+        .collect()
+}
+
+/// Generates the `index`-th synthetic kernel.
+pub fn synthetic_kernel(index: usize, n: usize, seed: u64) -> Kernel {
+    let mut rng = Rng64::new(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let name = format!("synth{index}");
+    let num_inputs = 1 + rng.below(3);
+    let mut b = KernelBuilder::new(&name);
+    let mut arrays_1d: Vec<String> = Vec::new();
+    let mut arrays_2d: Vec<String> = Vec::new();
+    for a in 0..num_inputs {
+        let nm = format!("in{a}");
+        if rng.bool(0.5) {
+            b = b.array(&nm, &[n, n], ArrayKind::Input);
+            arrays_2d.push(nm);
+        } else {
+            b = b.array(&nm, &[n], ArrayKind::Input);
+            arrays_1d.push(nm);
+        }
+    }
+    b = b.array("out", &[n, n], ArrayKind::Output);
+    if rng.bool(0.4) {
+        b = b.scalar("alpha");
+    }
+    let has_alpha = rng.clone(); // snapshot irrelevant; track via flag below
+    let _ = has_alpha;
+    let use_alpha = {
+        // rebuild deterministic flag: whether the scalar was added
+        // (mirrors the bool drawn above; we re-derive from builder state)
+        false
+    };
+    let _ = use_alpha;
+
+    let depth = 2 + rng.below(2); // 2 or 3 loop dims
+    let vars: Vec<String> = (0..depth).map(|d| format!("v{d}")).collect();
+
+    // expression over available arrays using the two outermost vars
+    let load_2d = |arr: &str, i: &str, j: &str| Expr::load(arr, vec![aff(i), aff(j)]);
+    let load_1d = |arr: &str, i: &str| Expr::load(arr, vec![aff(i)]);
+
+    let mk_term = |rng: &mut Rng64, i: &str, j: &str| -> Expr {
+        if !arrays_2d.is_empty() && rng.bool(0.6) {
+            let a = arrays_2d[rng.below(arrays_2d.len())].clone();
+            load_2d(&a, i, j)
+        } else if !arrays_1d.is_empty() {
+            let a = arrays_1d[rng.below(arrays_1d.len())].clone();
+            load_1d(&a, if rng.bool(0.5) { i } else { j })
+        } else {
+            Expr::Const(1.5)
+        }
+    };
+
+    let (i, j) = (vars[0].clone(), vars[1].clone());
+    let reduction = depth == 3;
+    let kvar = if reduction { Some(vars[2].clone()) } else { None };
+    let mut rhs = Expr::load("out", vec![aff(&i), aff(&j)]);
+    let terms = 1 + rng.below(2);
+    for _ in 0..terms {
+        let (iv, jv) = match &kvar {
+            Some(k) if rng.bool(0.7) => (i.clone(), k.clone()),
+            _ => (i.clone(), j.clone()),
+        };
+        let t1 = mk_term(&mut rng, &iv, &jv);
+        let t2 = mk_term(&mut rng, &jv, &iv);
+        let product = t1 * t2;
+        rhs = if rng.bool(0.8) { rhs + product } else { rhs - product };
+    }
+
+    let target: (&str, Vec<AffineExpr>) = ("out", vec![aff(&i), aff(&j)]);
+    let built = match depth {
+        2 => b.loop_(&i, n, |lb| {
+            lb.loop_(&j, n, |lb| {
+                lb.assign(target.clone(), rhs.clone());
+            });
+        }),
+        _ => {
+            let k = kvar.expect("depth 3 has a reduction var");
+            b.loop_(&i, n, move |lb| {
+                lb.loop_(&j, n, |lb| {
+                    lb.loop_(&k, n, |lb| {
+                        lb.assign(target.clone(), rhs.clone());
+                    });
+                });
+            })
+        }
+    };
+    built.build().expect("synthetic kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hls::{Directives, HlsFlow};
+
+    #[test]
+    fn generates_valid_kernels() {
+        let ks = synthetic_kernels(12, 6, 99);
+        assert_eq!(ks.len(), 12);
+        for k in &ks {
+            assert!(k.validate().is_ok(), "{} invalid", k.name);
+        }
+    }
+
+    #[test]
+    fn kernels_synthesize() {
+        for k in synthetic_kernels(6, 6, 7) {
+            HlsFlow::new()
+                .run(&k, &Directives::new())
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_diverse() {
+        let a = synthetic_kernels(8, 6, 3);
+        let b = synthetic_kernels(8, 6, 3);
+        assert_eq!(a, b);
+        // at least two distinct loop depths across the batch
+        let depths: std::collections::HashSet<usize> = a
+            .iter()
+            .map(|k| k.loop_labels().len())
+            .collect();
+        assert!(depths.len() >= 2, "expected diverse loop patterns");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ks = synthetic_kernels(10, 6, 1);
+        let names: std::collections::HashSet<String> =
+            ks.iter().map(|k| k.name.clone()).collect();
+        assert_eq!(names.len(), 10);
+    }
+}

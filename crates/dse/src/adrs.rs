@@ -1,0 +1,103 @@
+//! Average distance from reference set (Eq. 8).
+//!
+//! `ADRS(Γ, Ω) = (1/|Γ|) Σ_{γ∈Γ} min_{ω∈Ω} f(γ, ω)` where `Γ` is the exact
+//! Pareto set, `Ω` the approximate one, and `f` the normalized positive
+//! shortfall `max(0, (ω.lat − γ.lat)/γ.lat, (ω.pow − γ.pow)/γ.pow)` — the
+//! customary metric in HLS DSE literature. Lower is better; 0 means the
+//! approximate set covers the exact frontier.
+
+use crate::pareto::Point;
+
+/// Normalized distance of approximate point `w` from exact point `g`.
+pub fn point_distance(g: &Point, w: &Point) -> f64 {
+    let dl = if g.latency.abs() > 1e-12 {
+        (w.latency - g.latency) / g.latency
+    } else {
+        w.latency - g.latency
+    };
+    let dp = if g.power.abs() > 1e-12 {
+        (w.power - g.power) / g.power
+    } else {
+        w.power - g.power
+    };
+    dl.max(dp).max(0.0)
+}
+
+/// Eq. 8 over the exact set `gamma` and approximate set `omega`.
+///
+/// # Panics
+///
+/// Panics if either set is empty.
+pub fn adrs(gamma: &[Point], omega: &[Point]) -> f64 {
+    assert!(!gamma.is_empty(), "exact Pareto set is empty");
+    assert!(!omega.is_empty(), "approximate Pareto set is empty");
+    let total: f64 = gamma
+        .iter()
+        .map(|g| {
+            omega
+                .iter()
+                .map(|w| point_distance(g, w))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / gamma.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: usize, l: f64, p: f64) -> Point {
+        Point {
+            id,
+            latency: l,
+            power: p,
+        }
+    }
+
+    #[test]
+    fn identical_sets_zero() {
+        let g = vec![pt(0, 1.0, 4.0), pt(1, 2.0, 2.0), pt(2, 4.0, 1.0)];
+        assert_eq!(adrs(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn superset_still_zero() {
+        let g = vec![pt(0, 1.0, 4.0), pt(1, 4.0, 1.0)];
+        let mut o = g.clone();
+        o.push(pt(2, 2.0, 2.0));
+        assert_eq!(adrs(&g, &o), 0.0);
+    }
+
+    #[test]
+    fn worse_approximation_positive() {
+        let g = vec![pt(0, 1.0, 1.0)];
+        let o = vec![pt(1, 1.5, 1.2)];
+        let d = adrs(&g, &o);
+        assert!((d - 0.5).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn distance_ignores_improvements() {
+        // approximate point better in one dim: only shortfall counts
+        let g = pt(0, 2.0, 2.0);
+        let w = pt(1, 1.0, 2.2);
+        assert!((point_distance(&g, &w) - 0.1).abs() < 1e-12);
+        let better = pt(2, 1.0, 1.0);
+        assert_eq!(point_distance(&g, &better), 0.0);
+    }
+
+    #[test]
+    fn adrs_monotone_in_coverage() {
+        let g = vec![pt(0, 1.0, 4.0), pt(1, 2.0, 2.0), pt(2, 4.0, 1.0)];
+        let partial = vec![g[0]];
+        let fuller = vec![g[0], g[1]];
+        assert!(adrs(&g, &fuller) <= adrs(&g, &partial));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_exact_panics() {
+        adrs(&[], &[pt(0, 1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The HEC-GNN ablation variants of Table II.
+//!
+//! * `w/o opt.` — no edge features, no directionality, no heterogeneity, no
+//!   metadata (single model);
+//! * `w/o e.f.` — aggregate neighbor node embeddings instead of edge
+//!   features (single);
+//! * `w/o dir.` — undirected message passing (single);
+//! * `w/o hetr.` — one shared relation weight (single);
+//! * `w/o md.` — no metadata embedding branch (single);
+//! * `sgl.` — the full model, single instance (no ensemble);
+//! * `prop.` — the full model with the k-fold × seed ensemble.
+
+use crate::model::ModelConfig;
+
+/// One ablation variant: display name, model configuration, and whether the
+/// ensemble strategy is applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Paper's column label.
+    pub name: &'static str,
+    /// Model configuration.
+    pub config: ModelConfig,
+    /// `true` for the full `prop.` ensemble; single model otherwise.
+    pub ensemble: bool,
+}
+
+/// All seven Table II variants at the given hidden width, in paper order.
+pub fn table2_variants(hidden: usize) -> Vec<Variant> {
+    let base = ModelConfig::hec(hidden);
+
+    let mut wo_opt = base.clone();
+    wo_opt.use_edge_feats = false;
+    wo_opt.directed = false;
+    wo_opt.heterogeneous = false;
+    wo_opt.use_metadata = false;
+
+    let mut wo_ef = base.clone();
+    wo_ef.use_edge_feats = false;
+
+    let mut wo_dir = base.clone();
+    wo_dir.directed = false;
+
+    let mut wo_hetr = base.clone();
+    wo_hetr.heterogeneous = false;
+
+    let mut wo_md = base.clone();
+    wo_md.use_metadata = false;
+
+    vec![
+        Variant {
+            name: "w/o opt.",
+            config: wo_opt,
+            ensemble: false,
+        },
+        Variant {
+            name: "w/o e.f.",
+            config: wo_ef,
+            ensemble: false,
+        },
+        Variant {
+            name: "w/o dir.",
+            config: wo_dir,
+            ensemble: false,
+        },
+        Variant {
+            name: "w/o hetr.",
+            config: wo_hetr,
+            ensemble: false,
+        },
+        Variant {
+            name: "w/o md.",
+            config: wo_md,
+            ensemble: false,
+        },
+        Variant {
+            name: "sgl.",
+            config: base.clone(),
+            ensemble: false,
+        },
+        Variant {
+            name: "prop.",
+            config: base,
+            ensemble: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_variants_in_paper_order() {
+        let v = table2_variants(16);
+        let names: Vec<&str> = v.iter().map(|x| x.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "w/o opt.", "w/o e.f.", "w/o dir.", "w/o hetr.", "w/o md.", "sgl.", "prop."
+            ]
+        );
+    }
+
+    #[test]
+    fn only_prop_is_ensembled() {
+        let v = table2_variants(16);
+        assert!(v.iter().filter(|x| x.ensemble).count() == 1);
+        assert!(v.last().unwrap().ensemble);
+    }
+
+    #[test]
+    fn switches_match_names() {
+        let v = table2_variants(16);
+        let by_name = |n: &str| v.iter().find(|x| x.name == n).unwrap();
+        assert!(!by_name("w/o e.f.").config.use_edge_feats);
+        assert!(by_name("w/o e.f.").config.heterogeneous);
+        assert!(!by_name("w/o dir.").config.directed);
+        assert!(!by_name("w/o hetr.").config.heterogeneous);
+        assert!(!by_name("w/o md.").config.use_metadata);
+        let wo = &by_name("w/o opt.").config;
+        assert!(!wo.use_edge_feats && !wo.directed && !wo.heterogeneous && !wo.use_metadata);
+        let prop = &by_name("prop.").config;
+        assert!(prop.use_edge_feats && prop.directed && prop.heterogeneous && prop.use_metadata);
+    }
+}

@@ -1,0 +1,575 @@
+//! GNN models for power regression.
+//!
+//! [`PowerModel`] implements the paper's HEC-GNN (Eq. 4–7) and the four
+//! baseline convolutions it is compared against (GCN, GraphSAGE, GraphConv,
+//! GINE), sharing the outer architecture: `layers` graph convolutions,
+//! jumping-knowledge sum pooling over *all* layer outputs (Eq. 6), an
+//! optional metadata MLP (HLS-report globals), and a two-layer regression
+//! head (Eq. 7). Ablation switches (edge features / directionality /
+//! heterogeneity / metadata) reproduce the variants of Table II.
+//!
+//! The HEC-GNN aggregation exploits linearity: `Σ_u W_r W_E e_{u,v,r}` is
+//! computed as `W_r · W_E · Σ_u e_{u,v,r}` — edge features are scatter-added
+//! per relation *before* the two projections, which is mathematically
+//! identical to Eq. 5 and far cheaper.
+
+use crate::batch::{GraphBatch, RelEdges};
+use pg_graphcon::{PowerGraph, Relation};
+use pg_tensor::{init, Matrix, ParamStore, Tape, Var};
+use pg_util::Rng64;
+
+/// Convolution architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// The paper's heterogeneous edge-centric convolution (Eq. 4–5).
+    Hec,
+    /// Kipf & Welling GCN (baseline [13]).
+    Gcn,
+    /// GraphSAGE with mean aggregation (baseline [14]).
+    Sage,
+    /// Morris et al. GraphConv with edge weights (baseline [16]).
+    GraphConv,
+    /// GINE with edge-feature injection (baseline [15]).
+    Gine,
+}
+
+/// Model hyperparameters and ablation switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Convolution type.
+    pub arch: Arch,
+    /// Hidden dimension (paper: 128; scaled defaults are smaller).
+    pub hidden: usize,
+    /// Number of convolution layers (paper: 3).
+    pub layers: usize,
+    /// Dropout rate (paper: 0.2).
+    pub dropout: f32,
+    /// Use edge features in aggregation (HEC `w/o e.f.` ablation).
+    pub use_edge_feats: bool,
+    /// Respect edge direction (HEC `w/o dir.` ablation aggregates both
+    /// ways).
+    pub directed: bool,
+    /// Separate weights per relation type (HEC `w/o hetr.` ablation).
+    pub heterogeneous: bool,
+    /// Use the metadata MLP (HEC `w/o md.` ablation).
+    pub use_metadata: bool,
+    /// Node feature width.
+    pub node_dim: usize,
+    /// Metadata feature width.
+    pub meta_dim: usize,
+}
+
+impl ModelConfig {
+    /// The full HEC-GNN configuration of the paper, at the given hidden
+    /// width.
+    pub fn hec(hidden: usize) -> Self {
+        ModelConfig {
+            arch: Arch::Hec,
+            hidden,
+            layers: 3,
+            dropout: 0.2,
+            use_edge_feats: true,
+            directed: true,
+            heterogeneous: true,
+            use_metadata: true,
+            node_dim: PowerGraph::NODE_FEATS,
+            meta_dim: 10,
+        }
+    }
+
+    /// A baseline GNN configuration (node-centric; no metadata branch, as
+    /// the baselines in Table I).
+    pub fn baseline(arch: Arch, hidden: usize) -> Self {
+        ModelConfig {
+            arch,
+            hidden,
+            layers: 3,
+            dropout: 0.2,
+            use_edge_feats: matches!(arch, Arch::GraphConv | Arch::Gine),
+            directed: true,
+            heterogeneous: false,
+            use_metadata: false,
+            node_dim: PowerGraph::NODE_FEATS,
+            meta_dim: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slots {
+    wv: Vec<usize>,
+    we: Vec<usize>,
+    wr: Vec<Vec<usize>>,
+    w2: Vec<usize>,
+    w3: Vec<usize>,
+    bias: Vec<usize>,
+    meta_w: usize,
+    meta_b: usize,
+    head_w1: usize,
+    head_b1: usize,
+    head_w2: usize,
+    head_b2: usize,
+}
+
+/// A trainable power-regression model.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Hyperparameters.
+    pub config: ModelConfig,
+    /// Parameters.
+    pub store: ParamStore,
+    slots: Slots,
+    /// Output scale: the model regresses `power / target_scale`.
+    pub target_scale: f32,
+}
+
+impl PowerModel {
+    /// Creates a model with Glorot-initialized weights.
+    pub fn new(config: ModelConfig, seed: u64) -> Self {
+        let mut rng = Rng64::new(seed ^ 0x9e37_79b9);
+        let mut store = ParamStore::new();
+        let mut slots = Slots::default();
+        let h = config.hidden;
+        for l in 0..config.layers {
+            let ind = if l == 0 { config.node_dim } else { h };
+            slots
+                .wv
+                .push(store.register(&format!("wv{l}"), init::glorot(ind, h, &mut rng)));
+            let we_dims = match config.arch {
+                Arch::Hec => {
+                    if config.use_edge_feats {
+                        Some((PowerGraph::EDGE_FEATS, h))
+                    } else {
+                        Some((ind, h))
+                    }
+                }
+                Arch::Gine => Some((PowerGraph::EDGE_FEATS, ind)),
+                _ => None,
+            };
+            if let Some((r, c)) = we_dims {
+                slots
+                    .we
+                    .push(store.register(&format!("we{l}"), init::glorot(r, c, &mut rng)));
+            } else {
+                slots.we.push(usize::MAX);
+            }
+            if config.arch == Arch::Hec && config.heterogeneous {
+                let mut per_rel = Vec::new();
+                for r in 0..Relation::COUNT {
+                    per_rel.push(
+                        store.register(&format!("wr{l}_{r}"), init::glorot(h, h, &mut rng)),
+                    );
+                }
+                slots.wr.push(per_rel);
+            } else {
+                slots.wr.push(Vec::new());
+            }
+            if matches!(config.arch, Arch::Sage | Arch::GraphConv) {
+                slots
+                    .w2
+                    .push(store.register(&format!("w2_{l}"), init::glorot(ind, h, &mut rng)));
+            } else {
+                slots.w2.push(usize::MAX);
+            }
+            if config.arch == Arch::Gine {
+                slots
+                    .w3
+                    .push(store.register(&format!("w3_{l}"), init::glorot(h, h, &mut rng)));
+            } else {
+                slots.w3.push(usize::MAX);
+            }
+            slots
+                .bias
+                .push(store.register(&format!("b{l}"), init::zeros(1, h)));
+        }
+        slots.meta_w = store.register("meta_w", init::glorot(config.meta_dim, h, &mut rng));
+        slots.meta_b = store.register("meta_b", init::zeros(1, h));
+        let head_in = if config.use_metadata { 2 * h } else { h };
+        slots.head_w1 = store.register("head_w1", init::glorot(head_in, h, &mut rng));
+        slots.head_b1 = store.register("head_b1", init::zeros(1, h));
+        slots.head_w2 = store.register("head_w2", init::glorot(h, 1, &mut rng));
+        slots.head_b2 = store.register("head_b2", init::constant(1, 1, 1.0));
+        PowerModel {
+            config,
+            store,
+            slots,
+            target_scale: 1.0,
+        }
+    }
+
+    fn p(&self, tape: &mut Tape, slot: usize) -> Var {
+        tape.param(slot, self.store.get(slot).clone())
+    }
+
+    /// Forward pass over a batch; returns the `G × 1` normalized-power
+    /// prediction node.
+    pub fn forward(&self, tape: &mut Tape, batch: &GraphBatch, train: bool, rng: &mut Rng64) -> Var {
+        let n = batch.num_nodes;
+        let mut x = tape.leaf(batch.node_feats.clone());
+        let mut layer_outputs = Vec::with_capacity(self.config.layers);
+        for l in 0..self.config.layers {
+            let h = match self.config.arch {
+                Arch::Hec => self.hec_layer(tape, batch, x, l, n),
+                Arch::Gcn => self.gcn_layer(tape, batch, x, l, n),
+                Arch::Sage => self.sage_layer(tape, batch, x, l, n),
+                Arch::GraphConv => self.graphconv_layer(tape, batch, x, l, n),
+                Arch::Gine => self.gine_layer(tape, batch, x, l, n),
+            };
+            let h = tape.dropout(h, self.config.dropout, train, rng);
+            layer_outputs.push(h);
+            x = h;
+        }
+        // Eq. 6: jumping-knowledge sum pooling over all conv layers.
+        let pooled: Vec<Var> = layer_outputs
+            .into_iter()
+            .map(|h| tape.scatter_add(h, &batch.graph_of, batch.num_graphs))
+            .collect();
+        let hg = tape.add_n(pooled);
+        // Eq. 7: optional metadata embedding, then the regression head.
+        let joint = if self.config.use_metadata {
+            assert_eq!(
+                batch.meta.cols, self.config.meta_dim,
+                "metadata width mismatch: batch has {}, model expects {}",
+                batch.meta.cols, self.config.meta_dim
+            );
+            let meta = tape.leaf(batch.meta.clone());
+            let mw = self.p(tape, self.slots.meta_w);
+            let mb = self.p(tape, self.slots.meta_b);
+            let m1 = tape.matmul(meta, mw);
+            let m2 = tape.add_row(m1, mb);
+            let hm = tape.relu(m2);
+            tape.concat_cols(hg, hm)
+        } else {
+            hg
+        };
+        let w1 = self.p(tape, self.slots.head_w1);
+        let b1 = self.p(tape, self.slots.head_b1);
+        let z1 = tape.matmul(joint, w1);
+        let z1b = tape.add_row(z1, b1);
+        let z1r = tape.relu(z1b);
+        let w2 = self.p(tape, self.slots.head_w2);
+        let b2 = self.p(tape, self.slots.head_b2);
+        let out = tape.matmul(z1r, w2);
+        tape.add_row(out, b2)
+    }
+
+    /// Relation groups the HEC layer aggregates over, honoring the
+    /// heterogeneity and directionality switches.
+    fn hec_groups<'a>(&self, batch: &'a GraphBatch) -> Vec<(usize, &'a RelEdges)> {
+        let mut groups: Vec<(usize, &RelEdges)> = Vec::new();
+        if self.config.heterogeneous {
+            for (r, e) in batch.rel.iter().enumerate() {
+                groups.push((r, e));
+            }
+            if !self.config.directed {
+                for (r, e) in batch.rel_rev.iter().enumerate() {
+                    groups.push((r, e));
+                }
+            }
+        } else {
+            groups.push((0, &batch.all));
+            if !self.config.directed {
+                groups.push((0, &batch.all_rev));
+            }
+        }
+        groups
+    }
+
+    fn hec_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
+        let wv = self.p(tape, self.slots.wv[l]);
+        let mut terms = vec![tape.matmul(x, wv)];
+        let we = self.p(tape, self.slots.we[l]);
+        for (r, edges) in self.hec_groups(batch) {
+            if edges.is_empty() {
+                continue;
+            }
+            let agg = if self.config.use_edge_feats {
+                // Σ_u e_{u,v,r} first (linearity of Eq. 5), then W_E, W_r.
+                let ef = tape.leaf(edges.feats.clone());
+                let summed = tape.scatter_add(ef, &edges.dst, n);
+                tape.matmul(summed, we)
+            } else {
+                let hs = tape.gather(x, &edges.src);
+                let summed = tape.scatter_add(hs, &edges.dst, n);
+                tape.matmul(summed, we)
+            };
+            let msg = if self.config.heterogeneous {
+                let wr = self.p(tape, self.slots.wr[l][r]);
+                tape.matmul(agg, wr)
+            } else {
+                agg
+            };
+            terms.push(msg);
+        }
+        let s = tape.add_n(terms);
+        let b = self.p(tape, self.slots.bias[l]);
+        let sb = tape.add_row(s, b);
+        tape.relu(sb)
+    }
+
+    fn gcn_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
+        let hs = tape.gather(x, &batch.gcn_src);
+        let hw = tape.scale_rows(hs, &batch.gcn_coeff);
+        let agg = tape.scatter_add(hw, &batch.gcn_dst, n);
+        let wv = self.p(tape, self.slots.wv[l]);
+        let m = tape.matmul(agg, wv);
+        let b = self.p(tape, self.slots.bias[l]);
+        let mb = tape.add_row(m, b);
+        tape.relu(mb)
+    }
+
+    fn sage_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
+        let inv_deg: Vec<f32> = batch.in_degree.iter().map(|&d| 1.0 / d.max(1.0)).collect();
+        let hs = tape.gather(x, &batch.all.src);
+        let agg = tape.scatter_add(hs, &batch.all.dst, n);
+        let mean = tape.scale_rows(agg, &inv_deg);
+        let wv = self.p(tape, self.slots.wv[l]);
+        let w2 = self.p(tape, self.slots.w2[l]);
+        let self_term = tape.matmul(x, wv);
+        let neigh_term = tape.matmul(mean, w2);
+        let s = tape.add(self_term, neigh_term);
+        let b = self.p(tape, self.slots.bias[l]);
+        let sb = tape.add_row(s, b);
+        tape.relu(sb)
+    }
+
+    fn graphconv_layer(
+        &self,
+        tape: &mut Tape,
+        batch: &GraphBatch,
+        x: Var,
+        l: usize,
+        n: usize,
+    ) -> Var {
+        // Edge weight = mean of the 4 activity features (GraphConv consumes
+        // scalar edge weights).
+        let ew: Vec<f32> = (0..batch.all.len())
+            .map(|e| batch.all.feats.row(e).iter().sum::<f32>() / 4.0)
+            .collect();
+        let hs = tape.gather(x, &batch.all.src);
+        let hw = tape.scale_rows(hs, &ew);
+        let agg = tape.scatter_add(hw, &batch.all.dst, n);
+        let wv = self.p(tape, self.slots.wv[l]);
+        let w2 = self.p(tape, self.slots.w2[l]);
+        let self_term = tape.matmul(x, wv);
+        let neigh_term = tape.matmul(agg, w2);
+        let s = tape.add(self_term, neigh_term);
+        let b = self.p(tape, self.slots.bias[l]);
+        let sb = tape.add_row(s, b);
+        tape.relu(sb)
+    }
+
+    fn gine_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
+        if batch.all.is_empty() {
+            let wv = self.p(tape, self.slots.wv[l]);
+            let m = tape.matmul(x, wv);
+            let b = self.p(tape, self.slots.bias[l]);
+            let mb = tape.add_row(m, b);
+            return tape.relu(mb);
+        }
+        let hs = tape.gather(x, &batch.all.src);
+        let ef = tape.leaf(batch.all.feats.clone());
+        let we = self.p(tape, self.slots.we[l]);
+        let ep = tape.matmul(ef, we);
+        let s = tape.add(hs, ep);
+        let r = tape.relu(s);
+        let agg = tape.scatter_add(r, &batch.all.dst, n);
+        let tot = tape.add(x, agg); // ε = 0
+        let wv = self.p(tape, self.slots.wv[l]);
+        let m1 = tape.matmul(tot, wv);
+        let b = self.p(tape, self.slots.bias[l]);
+        let m1b = tape.add_row(m1, b);
+        let m1r = tape.relu(m1b);
+        let w3 = self.p(tape, self.slots.w3[l]);
+        tape.matmul(m1r, w3)
+    }
+
+    /// One training step's loss and gradients for a batch.
+    pub fn loss_and_grads(
+        &self,
+        batch: &GraphBatch,
+        rng: &mut Rng64,
+    ) -> (f64, Vec<Option<Matrix>>) {
+        let mut tape = Tape::new();
+        let pred = self.forward(&mut tape, batch, true, rng);
+        let scaled: Vec<f32> = batch
+            .targets
+            .iter()
+            .map(|&t| t / self.target_scale)
+            .collect();
+        let loss = tape.mape_loss(pred, &scaled);
+        let value = tape.value(loss).data[0] as f64;
+        (value, tape.backward(loss))
+    }
+
+    /// Predicts absolute power for a set of graphs (eval mode).
+    pub fn predict(&self, graphs: &[&PowerGraph]) -> Vec<f64> {
+        let targets = vec![0.0; graphs.len()];
+        let batch = GraphBatch::new(graphs, &targets);
+        self.predict_prebuilt(&batch)
+    }
+
+    /// Predicts on an already-assembled batch (lets ensembles share one
+    /// batch across members). Power is strictly positive, so raw network
+    /// outputs are floored at 1 mW.
+    pub fn predict_prebuilt(&self, batch: &GraphBatch) -> Vec<f64> {
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0);
+        let pred = self.forward(&mut tape, batch, false, &mut rng);
+        tape.value(pred)
+            .data
+            .iter()
+            .map(|&v| ((v * self.target_scale) as f64).max(1e-3))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph(seed: u64) -> PowerGraph {
+        let mut rng = Rng64::new(seed);
+        let nodes = 5 + rng.below(4);
+        let f = PowerGraph::NODE_FEATS;
+        let mut node_feats = vec![0.0f32; nodes * f];
+        for n in 0..nodes {
+            node_feats[n * f + rng.below(5)] = 1.0;
+            node_feats[n * f + 28 + rng.below(6)] = rng.f32();
+        }
+        let edges: Vec<(u32, u32)> = (1..nodes as u32).map(|d| (d - 1, d)).collect();
+        let ne = edges.len();
+        PowerGraph {
+            kernel: "t".into(),
+            design_id: format!("t{seed}"),
+            num_nodes: nodes,
+            node_feats,
+            edges,
+            edge_feats: (0..ne)
+                .map(|_| [rng.f32(), rng.f32(), rng.f32() * 0.5, rng.f32() * 0.5])
+                .collect(),
+            edge_rel: (0..ne)
+                .map(|i| match i % 4 {
+                    0 => Relation::AA,
+                    1 => Relation::AN,
+                    2 => Relation::NA,
+                    _ => Relation::NN,
+                })
+                .collect(),
+            meta: (0..10).map(|k| 0.1 * k as f32).collect(),
+        }
+    }
+
+    fn all_archs() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::hec(16),
+            ModelConfig::baseline(Arch::Gcn, 16),
+            ModelConfig::baseline(Arch::Sage, 16),
+            ModelConfig::baseline(Arch::GraphConv, 16),
+            ModelConfig::baseline(Arch::Gine, 16),
+        ]
+    }
+
+    #[test]
+    fn forward_shapes_for_every_arch() {
+        let graphs: Vec<PowerGraph> = (0..3).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs, &[1.0, 2.0, 3.0]);
+        for cfg in all_archs() {
+            let model = PowerModel::new(cfg.clone(), 1);
+            let mut tape = Tape::new();
+            let mut rng = Rng64::new(0);
+            let out = model.forward(&mut tape, &batch, false, &mut rng);
+            let v = tape.value(out);
+            assert_eq!((v.rows, v.cols), (3, 1), "arch {:?}", cfg.arch);
+            assert!(v.is_finite(), "arch {:?}", cfg.arch);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_used_params() {
+        let graphs: Vec<PowerGraph> = (0..4).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs, &[1.0, 1.5, 0.5, 2.0]);
+        let model = PowerModel::new(ModelConfig::hec(16), 2);
+        let mut rng = Rng64::new(3);
+        let (loss, grads) = model.loss_and_grads(&batch, &mut rng);
+        assert!(loss.is_finite() && loss > 0.0);
+        let with_grad = grads.iter().filter(|g| g.is_some()).count();
+        // wv, we, 4 wr, bias per layer x3 + meta 2 + head 4
+        assert!(
+            with_grad >= 3 * 3 + 2 + 4,
+            "only {with_grad} params received gradients"
+        );
+    }
+
+    #[test]
+    fn ablation_switches_change_param_count() {
+        let full = PowerModel::new(ModelConfig::hec(16), 1);
+        let mut no_het = ModelConfig::hec(16);
+        no_het.heterogeneous = false;
+        let nh = PowerModel::new(no_het, 1);
+        assert!(full.store.len() > nh.store.len());
+        let mut no_md = ModelConfig::hec(16);
+        no_md.use_metadata = false;
+        let nm = PowerModel::new(no_md, 1);
+        // metadata params still registered but head shrinks
+        assert!(
+            nm.store.get(nm.slots.head_w1).rows < full.store.get(full.slots.head_w1).rows
+        );
+    }
+
+    #[test]
+    fn undirected_variant_runs() {
+        let graphs: Vec<PowerGraph> = (0..2).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs, &[1.0, 2.0]);
+        let mut cfg = ModelConfig::hec(16);
+        cfg.directed = false;
+        let model = PowerModel::new(cfg, 1);
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0);
+        let out = model.forward(&mut tape, &batch, false, &mut rng);
+        assert!(tape.value(out).is_finite());
+    }
+
+    #[test]
+    fn overfits_two_graphs() {
+        // sanity: HEC-GNN can fit two targets exactly
+        let graphs: Vec<PowerGraph> = (0..2).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs, &[0.5, 2.0]);
+        let mut cfg = ModelConfig::hec(16);
+        cfg.dropout = 0.0;
+        let mut model = PowerModel::new(cfg, 4);
+        model.target_scale = 1.0;
+        let mut opt = pg_tensor::Adam::new(0.01);
+        let mut rng = Rng64::new(5);
+        let mut last = f64::MAX;
+        for _ in 0..300 {
+            let (loss, grads) = model.loss_and_grads(&batch, &mut rng);
+            opt.step(&mut model.store, &grads);
+            last = loss;
+        }
+        assert!(last < 0.05, "failed to overfit: loss {last}");
+        let preds = model.predict(&refs);
+        assert!((preds[0] - 0.5).abs() < 0.15, "pred {:?}", preds);
+        assert!((preds[1] - 2.0).abs() < 0.3, "pred {:?}", preds);
+    }
+
+    #[test]
+    fn predict_scales_output() {
+        let graphs: Vec<PowerGraph> = (0..2).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let mut model = PowerModel::new(ModelConfig::hec(16), 1);
+        let p1 = model.predict(&refs);
+        model.target_scale = 2.0;
+        let p2 = model.predict(&refs);
+        for (a, b) in p1.iter().zip(&p2) {
+            // scaling holds wherever the positive-power floor is inactive
+            if *a > 1e-3 && *b > 1e-3 {
+                assert!((b - 2.0 * a).abs() < 1e-4);
+            }
+        }
+    }
+}

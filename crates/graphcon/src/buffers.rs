@@ -1,0 +1,338 @@
+//! Buffer insertion (§III-A).
+//!
+//! "Memory elements can be inferred from DFG nodes with IR opcodes `alloca`
+//! and `getelementptr` followed by `load` or `store`." This pass pattern-
+//! matches those nodes, materializes one buffer node per `(array, bank)`,
+//! reroutes address computation into the buffer and data through it
+//! (`store → buffer → load`), annotates buffers with their memory resource
+//! utilization, and retires the `alloca`/`getelementptr` nodes along with
+//! the raw store→load shortcut edges.
+
+use crate::dfg::{NodeKind, WorkEdge, WorkGraph, WorkNode};
+use pg_activity::NodeActivity;
+use pg_hls::HlsDesign;
+use pg_ir::Opcode;
+use std::collections::HashMap;
+
+/// Runs buffer insertion on `g`.
+pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
+    // Materialize one buffer node per (array, bank).
+    let mut buffer_of: HashMap<(String, usize), usize> = HashMap::new();
+    for (decl, banks) in &design.arrays {
+        let blocks_total = design.lib.bram_blocks(decl.len(), *banks) as f64;
+        for bank in 0..*banks {
+            let kind = if decl.kind.is_io() {
+                NodeKind::BufferIo
+            } else {
+                NodeKind::BufferInternal
+            };
+            let idx = g.add_node(WorkNode {
+                kind,
+                ops: vec![],
+                activity: NodeActivity::default(),
+                bram: blocks_total / *banks as f64,
+                array: Some(decl.name.clone()),
+                bank,
+                alive: true,
+            });
+            buffer_of.insert((decl.name.clone(), bank), idx);
+        }
+    }
+    let banks_of: HashMap<String, usize> = design
+        .arrays
+        .iter()
+        .map(|(d, b)| (d.name.clone(), *b))
+        .collect();
+    let buffers_for = |array: &str, bank: Option<usize>| -> Vec<usize> {
+        let banks = banks_of.get(array).copied().unwrap_or(1);
+        match bank {
+            Some(b) => vec![buffer_of[&(array.to_string(), b.min(banks - 1))]],
+            None => (0..banks)
+                .map(|b| buffer_of[&(array.to_string(), b)])
+                .collect(),
+        }
+    };
+
+    let func = &design.ir;
+    // Plan rewires before mutating.
+    let mut new_edges: Vec<WorkEdge> = Vec::new();
+    let mut kill_nodes: Vec<usize> = Vec::new();
+    let mut kill_edges: Vec<usize> = Vec::new();
+
+    for (ni, node) in g.nodes.iter().enumerate() {
+        if !node.alive {
+            continue;
+        }
+        let opcode = match &node.kind {
+            NodeKind::Op(o) => *o,
+            _ => continue,
+        };
+        match opcode {
+            Opcode::Alloca => kill_nodes.push(ni),
+            Opcode::GetElementPtr => {
+                let op = func.op(node.ops[0]);
+                let m = op.mem.as_ref().expect("gep has memref");
+                let targets = buffers_for(&m.array, m.bank);
+                // predecessors (index arithmetic) now feed the buffer
+                for (ei, e) in g.edges.iter().enumerate() {
+                    if !e.alive {
+                        continue;
+                    }
+                    if e.dst == ni {
+                        kill_edges.push(ei);
+                        for &b in &targets {
+                            new_edges.push(WorkEdge {
+                                src: e.src,
+                                dst: b,
+                                src_ev: e.src_ev.clone(),
+                                snk_ev: e.snk_ev.clone(),
+                                alive: true,
+                            });
+                        }
+                    } else if e.src == ni {
+                        // gep -> load/store address edge: retire; data path
+                        // is rebuilt below from the load/store side
+                        kill_edges.push(ei);
+                    }
+                }
+                kill_nodes.push(ni);
+            }
+            Opcode::Load => {
+                let op = func.op(node.ops[0]);
+                let m = op.mem.as_ref().expect("load has memref");
+                for &b in &buffers_for(&m.array, m.bank) {
+                    new_edges.push(WorkEdge {
+                        src: b,
+                        dst: ni,
+                        src_ev: trace_outputs(g, ni),
+                        snk_ev: trace_outputs(g, ni),
+                        alive: true,
+                    });
+                }
+            }
+            Opcode::Store => {
+                let op = func.op(node.ops[0]);
+                let m = op.mem.as_ref().expect("store has memref");
+                for &b in &buffers_for(&m.array, m.bank) {
+                    new_edges.push(WorkEdge {
+                        src: ni,
+                        dst: b,
+                        src_ev: trace_outputs(g, ni),
+                        snk_ev: trace_outputs(g, ni),
+                        alive: true,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Raw store→load shortcuts are now mediated by buffers.
+    for (ei, e) in g.edges.iter().enumerate() {
+        if !e.alive {
+            continue;
+        }
+        let src_store = matches!(g.nodes[e.src].kind, NodeKind::Op(Opcode::Store));
+        let dst_load = matches!(g.nodes[e.dst].kind, NodeKind::Op(Opcode::Load));
+        if src_store && dst_load {
+            kill_edges.push(ei);
+        }
+    }
+
+    for ei in kill_edges {
+        g.edges[ei].alive = false;
+    }
+    for ni in kill_nodes {
+        g.nodes[ni].alive = false;
+        for e in &mut g.edges {
+            if e.alive && (e.src == ni || e.dst == ni) {
+                e.alive = false;
+            }
+        }
+    }
+    for e in new_edges {
+        if g.nodes[e.src].alive && g.nodes[e.dst].alive {
+            g.add_edge(e);
+        }
+    }
+
+    // Buffer activity: aggregate of the traffic flowing through it.
+    for bi in buffer_of.values() {
+        let mut stats = Vec::new();
+        for e in g.edges.iter().filter(|e| e.alive) {
+            if e.dst == *bi {
+                stats.push(g.nodes[e.src].activity);
+            } else if e.src == *bi {
+                stats.push(g.nodes[e.dst].activity);
+            }
+        }
+        g.nodes[*bi].activity = NodeActivity::merge(&stats);
+    }
+
+    g.fuse_parallel_edges();
+    debug_assert_eq!(g.check(), Ok(()));
+}
+
+/// Output events of node `ni` (its first op's trace was copied onto its
+/// outgoing def-use edges at build time; for loads/stores we reuse the
+/// node's own event record held in its activity source edges).
+fn trace_outputs(g: &WorkGraph, ni: usize) -> Vec<(u64, u32)> {
+    // The raw builder put the op's outputs on every outgoing edge; find one.
+    for e in g.edges.iter() {
+        if e.alive && e.src == ni && !e.src_ev.is_empty() {
+            return e.src_ev.clone();
+        }
+    }
+    // Stores may have no outgoing def-use edge: fall back to input events.
+    for e in g.edges.iter() {
+        if e.alive && e.dst == ni && !e.snk_ev.is_empty() {
+            return e.snk_ev.clone();
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_raw;
+    use pg_activity::{execute, Stimuli};
+    use pg_hls::{Directives, HlsFlow};
+    use pg_ir::expr::aff;
+    use pg_ir::{ArrayKind, Expr, Kernel, KernelBuilder};
+
+    fn kernel() -> Kernel {
+        KernelBuilder::new("bk")
+            .array("a", &[16], ArrayKind::Input)
+            .array("t", &[16], ArrayKind::Temp)
+            .array("y", &[16], ArrayKind::Output)
+            .loop_("i", 16, |b| {
+                b.assign(
+                    ("t", vec![aff("i")]),
+                    Expr::load("a", vec![aff("i")]) * Expr::Const(2.0),
+                );
+            })
+            .loop_("j", 16, |b| {
+                b.assign(("y", vec![aff("j")]), Expr::load("t", vec![aff("j")]));
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn with_buffers(d: &Directives) -> (HlsDesign, WorkGraph) {
+        let k = kernel();
+        let design = HlsFlow::new().run(&k, d).unwrap();
+        let stim = Stimuli::for_kernel(&k, 0);
+        let trace = execute(&design, &stim);
+        let mut g = build_raw(&design, &trace);
+        insert_buffers(&mut g, &design);
+        (design, g)
+    }
+
+    fn count_kind(g: &WorkGraph, pred: impl Fn(&NodeKind) -> bool) -> usize {
+        g.nodes
+            .iter()
+            .filter(|n| n.alive && pred(&n.kind))
+            .count()
+    }
+
+    #[test]
+    fn buffers_created_per_bank() {
+        let (_d, g) = with_buffers(&Directives::new());
+        assert_eq!(count_kind(&g, |k| matches!(k, NodeKind::BufferIo)), 2);
+        assert_eq!(
+            count_kind(&g, |k| matches!(k, NodeKind::BufferInternal)),
+            1
+        );
+        let mut d = Directives::new();
+        d.partition("t", 4);
+        let (_d2, g2) = with_buffers(&d);
+        assert_eq!(
+            count_kind(&g2, |k| matches!(k, NodeKind::BufferInternal)),
+            4
+        );
+    }
+
+    #[test]
+    fn geps_and_allocas_removed() {
+        let (_d, g) = with_buffers(&Directives::new());
+        assert_eq!(
+            count_kind(&g, |k| matches!(
+                k,
+                NodeKind::Op(Opcode::GetElementPtr) | NodeKind::Op(Opcode::Alloca)
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn store_routes_through_buffer_to_load() {
+        let (design, g) = with_buffers(&Directives::new());
+        // find the internal buffer for t
+        let buf = g
+            .nodes
+            .iter()
+            .position(|n| {
+                n.alive
+                    && matches!(n.kind, NodeKind::BufferInternal)
+                    && n.array.as_deref() == Some("t")
+            })
+            .unwrap();
+        let store_t = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Store && o.mem.as_ref().unwrap().array == "t")
+            .unwrap();
+        let load_t = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "t")
+            .unwrap();
+        assert!(g.succs(store_t.id.idx()).contains(&buf));
+        assert!(g.preds(load_t.id.idx()).contains(&buf));
+        // the direct store->load shortcut is gone
+        assert!(!g.succs(store_t.id.idx()).contains(&load_t.id.idx()));
+    }
+
+    #[test]
+    fn buffers_annotated_with_bram() {
+        let (design, g) = with_buffers(&Directives::new());
+        let total: f64 = g
+            .nodes
+            .iter()
+            .filter(|n| n.alive && n.array.is_some() && matches!(n.kind, NodeKind::BufferIo | NodeKind::BufferInternal))
+            .map(|n| n.bram)
+            .sum();
+        assert!((total - design.report.bram as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_arithmetic_feeds_buffer() {
+        let (_design, g) = with_buffers(&Directives::new());
+        let buf = g
+            .nodes
+            .iter()
+            .position(|n| {
+                n.alive
+                    && matches!(n.kind, NodeKind::BufferIo)
+                    && n.array.as_deref() == Some("a")
+            })
+            .unwrap();
+        let preds = g.preds(buf);
+        assert!(
+            preds
+                .iter()
+                .any(|&p| matches!(g.nodes[p].kind, NodeKind::Op(Opcode::SExt))),
+            "address path should reach the buffer"
+        );
+    }
+
+    #[test]
+    fn graph_still_consistent() {
+        let (_d, g) = with_buffers(&Directives::new());
+        assert_eq!(g.check(), Ok(()));
+        assert!(g.num_edges() > 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Raw DFG construction from HLS artifacts.
+//!
+//! The "original HLS DFG" of Fig. 2: one node per static IR op, SSA def-use
+//! edges carrying the traced value events, and store→load memory edges for
+//! aliasing accesses (these are replaced by explicit buffer nodes in the
+//! buffer-insertion pass).
+
+use crate::dfg::{NodeKind, WorkEdge, WorkGraph, WorkNode};
+use pg_activity::{ExecutionTrace, NodeActivity};
+use pg_hls::schedule::may_alias;
+use pg_hls::HlsDesign;
+use pg_ir::{Opcode, Operand};
+
+/// Builds the raw dataflow graph of `design` annotated with traced events.
+pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
+    let func = &design.ir;
+    let mut g = WorkGraph {
+        latency: trace.latency,
+        ..WorkGraph::default()
+    };
+
+    // One node per static op; node index == ValueId index.
+    for op in &func.ops {
+        let t = trace.of(op.id);
+        g.add_node(WorkNode {
+            kind: NodeKind::Op(op.opcode),
+            ops: vec![op.id],
+            activity: NodeActivity::from_trace(t, trace.latency),
+            bram: 0.0,
+            array: op.mem.as_ref().map(|m| m.array.clone()),
+            bank: op.mem.as_ref().and_then(|m| m.bank).unwrap_or(0),
+            alive: true,
+        });
+    }
+
+    // SSA def-use edges.
+    for op in &func.ops {
+        for (k, operand) in op.operands.iter().enumerate() {
+            if let Operand::Value(u) = operand {
+                g.add_edge(WorkEdge {
+                    src: u.idx(),
+                    dst: op.id.idx(),
+                    src_ev: trace.of(*u).outputs.clone(),
+                    snk_ev: trace.of(op.id).inputs[k].clone(),
+                    alive: true,
+                });
+            }
+        }
+    }
+
+    // Memory dataflow: store -> later-or-same-block load on aliasing refs.
+    let stores: Vec<&pg_ir::IrOp> = func
+        .ops
+        .iter()
+        .filter(|o| o.opcode == Opcode::Store)
+        .collect();
+    let loads: Vec<&pg_ir::IrOp> = func
+        .ops
+        .iter()
+        .filter(|o| o.opcode == Opcode::Load)
+        .collect();
+    for s in &stores {
+        let ms = s.mem.as_ref().expect("store has memref");
+        for l in &loads {
+            if l.block < s.block {
+                continue;
+            }
+            let ml = l.mem.as_ref().expect("load has memref");
+            if may_alias(ms, ml) {
+                g.add_edge(WorkEdge {
+                    src: s.id.idx(),
+                    dst: l.id.idx(),
+                    src_ev: trace.of(s.id).outputs.clone(),
+                    snk_ev: trace.of(l.id).outputs.clone(),
+                    alive: true,
+                });
+            }
+        }
+    }
+
+    g.fuse_parallel_edges();
+    debug_assert_eq!(g.check(), Ok(()));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_activity::{execute, Stimuli};
+    use pg_hls::{Directives, HlsFlow};
+    use pg_ir::expr::aff;
+    use pg_ir::{ArrayKind, Expr, Kernel, KernelBuilder};
+
+    fn axpy() -> Kernel {
+        KernelBuilder::new("axpy")
+            .array("a", &[16], ArrayKind::Input)
+            .array("x", &[16], ArrayKind::Input)
+            .array("y", &[16], ArrayKind::Output)
+            .loop_("i", 16, |b| {
+                b.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::load("y", vec![aff("i")])
+                        + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]),
+                );
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn raw(kernel: &Kernel) -> (HlsDesign, WorkGraph) {
+        let design = HlsFlow::new().run(kernel, &Directives::new()).unwrap();
+        let stim = Stimuli::for_kernel(kernel, 0);
+        let trace = execute(&design, &stim);
+        let g = build_raw(&design, &trace);
+        (design, g)
+    }
+
+    #[test]
+    fn node_per_static_op() {
+        let k = axpy();
+        let (design, g) = raw(&k);
+        assert_eq!(g.num_nodes(), design.ir.len());
+    }
+
+    #[test]
+    fn def_use_edges_present() {
+        let k = axpy();
+        let (design, g) = raw(&k);
+        // every def-use pair within a block appears as an edge
+        let fmul = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::FMul)
+            .unwrap();
+        let preds = g.preds(fmul.id.idx());
+        assert_eq!(preds.len(), 2, "fmul should have two load preds");
+    }
+
+    #[test]
+    fn store_to_load_memory_edge() {
+        let k = axpy();
+        let (design, g) = raw(&k);
+        let store = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Store)
+            .unwrap();
+        let y_load = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| {
+                o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "y"
+            })
+            .unwrap();
+        assert!(
+            g.succs(store.id.idx()).contains(&y_load.id.idx()),
+            "store y -> load y memory edge missing"
+        );
+    }
+
+    #[test]
+    fn events_attached_to_edges() {
+        let k = axpy();
+        let (_design, g) = raw(&k);
+        let with_events = g
+            .edges
+            .iter()
+            .filter(|e| e.alive && !e.src_ev.is_empty())
+            .count();
+        assert!(with_events > 5, "expected traced events on edges");
+        // all event sequences are time-sorted
+        for e in g.edges.iter().filter(|e| e.alive) {
+            for w in e.src_ev.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_memory_edge_between_disjoint_arrays() {
+        let k = axpy();
+        let (design, g) = raw(&k);
+        let store = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Store)
+            .unwrap();
+        let a_load = design
+            .ir
+            .ops
+            .iter()
+            .find(|o| {
+                o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "a"
+            })
+            .unwrap();
+        assert!(!g.succs(store.id.idx()).contains(&a_load.id.idx()));
+    }
+}

@@ -1,0 +1,446 @@
+//! Graph data structures for the construction flow.
+//!
+//! [`WorkGraph`] is the mutable representation the optimization passes
+//! (buffer insertion, datapath merging, trimming) operate on; it keeps the
+//! cycle-stamped value-event sequences on every edge so that activities can
+//! be recomputed after edges are fused or rerouted. [`PowerGraph`] is the
+//! finalized, feature-annotated sample consumed by the GNN.
+
+use pg_activity::NodeActivity;
+use pg_ir::{OpClass, Opcode, ValueId};
+use std::collections::HashMap;
+
+/// Kind of a graph node after construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An IR operation (possibly representing several merged instances).
+    Op(Opcode),
+    /// An interface (I/O) buffer bank.
+    BufferIo,
+    /// An internal (alloca-derived) buffer bank.
+    BufferInternal,
+}
+
+impl NodeKind {
+    /// `true` for arithmetic (A) nodes in the paper's edge typing; buffers
+    /// are non-arithmetic.
+    pub fn is_arithmetic(&self) -> bool {
+        match self {
+            NodeKind::Op(o) => o.is_arithmetic(),
+            _ => false,
+        }
+    }
+
+    /// One-hot opcode slot: IR opcodes use their own index, buffers take the
+    /// two trailing slots.
+    pub fn opcode_slot(&self) -> usize {
+        match self {
+            NodeKind::Op(o) => o.index(),
+            NodeKind::BufferIo => Opcode::COUNT,
+            NodeKind::BufferInternal => Opcode::COUNT + 1,
+        }
+    }
+
+    /// One-hot class slot: the four [`OpClass`]es plus a buffer class.
+    pub fn class_slot(&self) -> usize {
+        match self {
+            NodeKind::Op(o) => o.class().index(),
+            _ => OpClass::COUNT,
+        }
+    }
+}
+
+/// Heterogeneous edge relation (source class → sink class), §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// arithmetic → arithmetic
+    AA,
+    /// arithmetic → non-arithmetic
+    AN,
+    /// non-arithmetic → arithmetic
+    NA,
+    /// non-arithmetic → non-arithmetic
+    NN,
+}
+
+impl Relation {
+    /// Number of relation types.
+    pub const COUNT: usize = 4;
+
+    /// Relation from source/sink arithmetic-ness.
+    pub fn from_classes(src_arith: bool, dst_arith: bool) -> Self {
+        match (src_arith, dst_arith) {
+            (true, true) => Relation::AA,
+            (true, false) => Relation::AN,
+            (false, true) => Relation::NA,
+            (false, false) => Relation::NN,
+        }
+    }
+
+    /// Stable index for per-relation weights.
+    pub fn index(self) -> usize {
+        match self {
+            Relation::AA => 0,
+            Relation::AN => 1,
+            Relation::NA => 2,
+            Relation::NN => 3,
+        }
+    }
+}
+
+/// A node of the working graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkNode {
+    /// Kind (op or buffer).
+    pub kind: NodeKind,
+    /// IR op instances represented (empty for buffers).
+    pub ops: Vec<ValueId>,
+    /// Activity statistics (merged across instances).
+    pub activity: NodeActivity,
+    /// BRAM blocks for buffer nodes (0 otherwise).
+    pub bram: f64,
+    /// Backing array for buffers.
+    pub array: Option<String>,
+    /// Bank index for buffers.
+    pub bank: usize,
+    /// Liveness flag (passes tombstone instead of reindexing).
+    pub alive: bool,
+}
+
+/// An edge of the working graph with raw event sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkEdge {
+    /// Source node index.
+    pub src: usize,
+    /// Sink node index.
+    pub dst: usize,
+    /// `(cycle, bits)` events injected by the source.
+    pub src_ev: Vec<(u64, u32)>,
+    /// `(cycle, bits)` events consumed by the sink.
+    pub snk_ev: Vec<(u64, u32)>,
+    /// Liveness flag.
+    pub alive: bool,
+}
+
+/// The mutable graph the construction passes transform.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkGraph {
+    /// Nodes (tombstoned, never removed).
+    pub nodes: Vec<WorkNode>,
+    /// Edges (tombstoned, never removed).
+    pub edges: Vec<WorkEdge>,
+    /// Design latency for activity normalization.
+    pub latency: u64,
+}
+
+impl WorkGraph {
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, node: WorkNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds an edge, returning its index.
+    pub fn add_edge(&mut self, edge: WorkEdge) -> usize {
+        self.edges.push(edge);
+        self.edges.len() - 1
+    }
+
+    /// Alive-node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Alive-edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.alive).count()
+    }
+
+    /// Alive predecessor node indices of `v` (sorted, deduplicated).
+    pub fn preds(&self, v: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = self
+            .edges
+            .iter()
+            .filter(|e| e.alive && e.dst == v && self.nodes[e.src].alive)
+            .map(|e| e.src)
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    /// Alive successor node indices of `v` (sorted, deduplicated).
+    pub fn succs(&self, v: usize) -> Vec<usize> {
+        let mut s: Vec<usize> = self
+            .edges
+            .iter()
+            .filter(|e| e.alive && e.src == v && self.nodes[e.dst].alive)
+            .map(|e| e.dst)
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Fuses parallel edges (same `(src, dst)`) by time-merging their event
+    /// sequences. Called after passes that re-point edges.
+    pub fn fuse_parallel_edges(&mut self) {
+        let mut first: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut to_merge: Vec<(usize, usize)> = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.alive {
+                continue;
+            }
+            match first.entry((e.src, e.dst)) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    to_merge.push((*o.get(), i));
+                }
+            }
+        }
+        for (keep, drop) in to_merge {
+            let (se, de) = {
+                let d = &self.edges[drop];
+                (d.src_ev.clone(), d.snk_ev.clone())
+            };
+            let k = &mut self.edges[keep];
+            k.src_ev = pg_activity::sa::merge_events(&k.src_ev, &se);
+            k.snk_ev = pg_activity::sa::merge_events(&k.snk_ev, &de);
+            self.edges[drop].alive = false;
+        }
+    }
+
+    /// Sanity invariants: alive edges point at alive nodes.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.alive {
+                continue;
+            }
+            if e.src >= self.nodes.len() || e.dst >= self.nodes.len() {
+                return Err(format!("edge {i} out of range"));
+            }
+            if !self.nodes[e.src].alive || !self.nodes[e.dst].alive {
+                return Err(format!("edge {i} touches dead node"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A finalized graph sample: the output of the construction flow and the
+/// input to HEC-GNN.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerGraph {
+    /// Source kernel name.
+    pub kernel: String,
+    /// Design-point identifier.
+    pub design_id: String,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Flattened node features, `num_nodes × NODE_FEATS` row-major.
+    pub node_feats: Vec<f32>,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(u32, u32)>,
+    /// Four-dimensional edge features `[SA_src, SA_snk, AR_src, AR_snk]`.
+    pub edge_feats: Vec<[f32; 4]>,
+    /// Edge relation types.
+    pub edge_rel: Vec<Relation>,
+    /// Global metadata features (HLS report; filled by the dataset builder
+    /// once the unoptimized baseline is known).
+    pub meta: Vec<f32>,
+}
+
+impl PowerGraph {
+    /// Node feature width: 5 class slots + 23 opcode slots + 6 numeric.
+    pub const NODE_FEATS: usize = OpClass::COUNT + 1 + Opcode::COUNT + 2 + 6;
+    /// Edge feature width (Eq. 2/3 in both directions).
+    pub const EDGE_FEATS: usize = 4;
+
+    /// Features of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &[f32] {
+        &self.node_feats[i * Self::NODE_FEATS..(i + 1) * Self::NODE_FEATS]
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Histogram of edges per relation type.
+    pub fn relation_counts(&self) -> [usize; Relation::COUNT] {
+        let mut c = [0usize; Relation::COUNT];
+        for r in &self.edge_rel {
+            c[r.index()] += 1;
+        }
+        c
+    }
+
+    /// Structural validation (used by tests and property checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_feats.len() != self.num_nodes * Self::NODE_FEATS {
+            return Err("node feature buffer size mismatch".into());
+        }
+        if self.edges.len() != self.edge_feats.len() || self.edges.len() != self.edge_rel.len() {
+            return Err("edge array length mismatch".into());
+        }
+        for &(s, d) in &self.edges {
+            if s as usize >= self.num_nodes || d as usize >= self.num_nodes {
+                return Err(format!("edge ({s},{d}) out of range"));
+            }
+        }
+        for f in &self.node_feats {
+            if !f.is_finite() {
+                return Err("non-finite node feature".into());
+            }
+        }
+        for ef in &self.edge_feats {
+            if ef.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err("invalid edge feature".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_node(kind: NodeKind) -> WorkNode {
+        WorkNode {
+            kind,
+            ops: vec![],
+            activity: NodeActivity::default(),
+            bram: 0.0,
+            array: None,
+            bank: 0,
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn relation_mapping() {
+        assert_eq!(Relation::from_classes(true, true), Relation::AA);
+        assert_eq!(Relation::from_classes(true, false), Relation::AN);
+        assert_eq!(Relation::from_classes(false, true), Relation::NA);
+        assert_eq!(Relation::from_classes(false, false), Relation::NN);
+        let idx: Vec<usize> = [Relation::AA, Relation::AN, Relation::NA, Relation::NN]
+            .iter()
+            .map(|r| r.index())
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn node_kind_slots_distinct() {
+        let a = NodeKind::Op(Opcode::FAdd);
+        let b = NodeKind::BufferIo;
+        let c = NodeKind::BufferInternal;
+        assert_ne!(a.opcode_slot(), b.opcode_slot());
+        assert_ne!(b.opcode_slot(), c.opcode_slot());
+        assert!(c.opcode_slot() < Opcode::COUNT + 2);
+        assert_eq!(b.class_slot(), OpClass::COUNT);
+        assert!(a.is_arithmetic());
+        assert!(!b.is_arithmetic());
+    }
+
+    #[test]
+    fn preds_succs_respect_liveness() {
+        let mut g = WorkGraph::default();
+        let a = g.add_node(mk_node(NodeKind::Op(Opcode::Load)));
+        let b = g.add_node(mk_node(NodeKind::Op(Opcode::FAdd)));
+        let c = g.add_node(mk_node(NodeKind::Op(Opcode::Store)));
+        g.add_edge(WorkEdge {
+            src: a,
+            dst: b,
+            src_ev: vec![],
+            snk_ev: vec![],
+            alive: true,
+        });
+        g.add_edge(WorkEdge {
+            src: b,
+            dst: c,
+            src_ev: vec![],
+            snk_ev: vec![],
+            alive: true,
+        });
+        assert_eq!(g.preds(b), vec![a]);
+        assert_eq!(g.succs(b), vec![c]);
+        g.nodes[a].alive = false;
+        g.edges[0].alive = false;
+        assert!(g.preds(b).is_empty());
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn fuse_parallel_edges_merges_events() {
+        let mut g = WorkGraph::default();
+        let a = g.add_node(mk_node(NodeKind::Op(Opcode::Load)));
+        let b = g.add_node(mk_node(NodeKind::Op(Opcode::FAdd)));
+        g.add_edge(WorkEdge {
+            src: a,
+            dst: b,
+            src_ev: vec![(0, 1)],
+            snk_ev: vec![(0, 1)],
+            alive: true,
+        });
+        g.add_edge(WorkEdge {
+            src: a,
+            dst: b,
+            src_ev: vec![(1, 2)],
+            snk_ev: vec![(1, 2)],
+            alive: true,
+        });
+        g.fuse_parallel_edges();
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges.iter().find(|e| e.alive).unwrap();
+        assert_eq!(e.src_ev, vec![(0, 1), (1, 2)]);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn check_catches_dead_endpoint() {
+        let mut g = WorkGraph::default();
+        let a = g.add_node(mk_node(NodeKind::Op(Opcode::Load)));
+        let b = g.add_node(mk_node(NodeKind::Op(Opcode::FAdd)));
+        g.add_edge(WorkEdge {
+            src: a,
+            dst: b,
+            src_ev: vec![],
+            snk_ev: vec![],
+            alive: true,
+        });
+        g.nodes[b].alive = false;
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn powergraph_validation() {
+        let g = PowerGraph {
+            kernel: "k".into(),
+            design_id: "d".into(),
+            num_nodes: 2,
+            node_feats: vec![0.0; 2 * PowerGraph::NODE_FEATS],
+            edges: vec![(0, 1)],
+            edge_feats: vec![[0.1, 0.1, 0.05, 0.05]],
+            edge_rel: vec![Relation::NA],
+            meta: vec![],
+        };
+        assert!(g.validate().is_ok());
+        assert_eq!(g.relation_counts(), [0, 0, 1, 0]);
+        let mut bad = g.clone();
+        bad.edges[0].1 = 9;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! PowerGear's graph construction flow (§III-A of the paper).
+//!
+//! Transforms an HLS design plus its activity trace into a directed,
+//! heterogeneous, feature-annotated graph sample ([`PowerGraph`]):
+//!
+//! 1. **Raw DFG build** — one node per static IR op, SSA def-use edges and
+//!    store→load memory edges, all carrying cycle-stamped value events;
+//! 2. **Buffer insertion** — `alloca`/`getelementptr`+`load`/`store`
+//!    patterns become explicit I/O / internal buffer nodes annotated with
+//!    memory resource utilization;
+//! 3. **Datapath merging** — nodes bound to the same functional unit
+//!    (resource sharing across FSM states) and duplicate chains between the
+//!    same endpoints are fused, restoring the real hardware structure;
+//! 4. **Graph trimming** — cast/control noise (`sext`, `trunc`, …) is
+//!    bypassed;
+//! 5. **Feature annotation** — per-edge switching activities and activation
+//!    rates (Eq. 2/3, both dataflow directions), A/N relation types, and
+//!    node one-hot + activity features.
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_activity::{execute, Stimuli};
+//! use pg_graphcon::GraphFlow;
+//! use pg_hls::{Directives, HlsFlow};
+//! use pg_ir::{ArrayKind, KernelBuilder};
+//! use pg_ir::expr::{aff, Expr};
+//!
+//! let k = KernelBuilder::new("scale")
+//!     .array("x", &[8], ArrayKind::Input)
+//!     .array("y", &[8], ArrayKind::Output)
+//!     .loop_("i", 8, |b| {
+//!         b.assign(("y", vec![aff("i")]),
+//!                  Expr::load("x", vec![aff("i")]) * Expr::Const(2.0));
+//!     })
+//!     .build()?;
+//! let design = HlsFlow::new().run(&k, &Directives::new())?;
+//! let trace = execute(&design, &Stimuli::for_kernel(&k, 0));
+//! let graph = GraphFlow::new().build(&design, &trace);
+//! assert!(graph.validate().is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod annotate;
+pub mod buffers;
+pub mod build;
+pub mod dfg;
+pub mod flow;
+pub mod merge;
+pub mod trim;
+
+pub use dfg::{NodeKind, PowerGraph, Relation, WorkEdge, WorkGraph, WorkNode};
+pub use flow::{GraphConfig, GraphFlow};

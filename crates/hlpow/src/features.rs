@@ -1,0 +1,116 @@
+//! HL-Pow feature construction.
+//!
+//! HL-Pow [7] "adopts histograms as a way of feature alignment over
+//! different designs … encoding the activities of each type of HLS
+//! operations into a histogram individually, concatenating histograms as
+//! overall design features". Crucially it models *operations only* — no
+//! interconnect structure and no per-edge activities — which is exactly the
+//! gap PowerGear's graphs close. Features here are per-opcode-slot
+//! histograms of node switching activity, concatenated with the global HLS
+//! report metadata.
+
+use pg_graphcon::PowerGraph;
+
+/// Histogram bins per operation type.
+pub const BINS: usize = 8;
+/// Bin upper edges over switching activity (bits/cycle).
+pub const BIN_EDGES: [f32; BINS - 1] = [0.01, 0.03, 0.08, 0.2, 0.5, 1.2, 3.0];
+
+/// Number of opcode slots (IR opcodes + the two buffer classes).
+pub const OP_SLOTS: usize = 23;
+
+/// Total feature width.
+pub const FEATURE_DIM: usize = OP_SLOTS * BINS + 10;
+
+fn bin_of(activity: f32) -> usize {
+    for (b, &edge) in BIN_EDGES.iter().enumerate() {
+        if activity <= edge {
+            return b;
+        }
+    }
+    BINS - 1
+}
+
+/// Extracts the HL-Pow feature vector of a graph sample.
+///
+/// Uses only per-node information (opcode identity + activity) and the
+/// global metadata — never edge features — matching the baseline's design.
+pub fn hlpow_features(graph: &PowerGraph) -> Vec<f64> {
+    let mut feats = vec![0.0f64; FEATURE_DIM];
+    let class_width = 5; // class one-hot width before opcode one-hot
+    let numeric_base = class_width + OP_SLOTS;
+    for n in 0..graph.num_nodes {
+        let row = graph.node(n);
+        let opcode_slot = row[class_width..class_width + OP_SLOTS]
+            .iter()
+            .position(|&v| v > 0.5)
+            .unwrap_or(0);
+        let sa_overall = row[numeric_base + 3];
+        let bin = bin_of(sa_overall);
+        feats[opcode_slot * BINS + bin] += 1.0;
+    }
+    for (k, &m) in graph.meta.iter().take(10).enumerate() {
+        feats[OP_SLOTS * BINS + k] = m as f64;
+    }
+    feats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graphcon::Relation;
+
+    fn graph_with(activities: &[(usize, f32)]) -> PowerGraph {
+        let f = PowerGraph::NODE_FEATS;
+        let n = activities.len();
+        let mut node_feats = vec![0.0f32; n * f];
+        for (i, &(slot, sa)) in activities.iter().enumerate() {
+            node_feats[i * f + 5 + slot] = 1.0;
+            node_feats[i * f + 5 + OP_SLOTS + 3] = sa;
+        }
+        PowerGraph {
+            kernel: "t".into(),
+            design_id: "t".into(),
+            num_nodes: n,
+            node_feats,
+            edges: vec![],
+            edge_feats: vec![],
+            edge_rel: Vec::<Relation>::new(),
+            meta: vec![0.5; 10],
+        }
+    }
+
+    #[test]
+    fn histogram_counts_nodes_by_type_and_bin() {
+        let g = graph_with(&[(2, 0.0), (2, 0.05), (7, 2.0)]);
+        let feats = hlpow_features(&g);
+        assert_eq!(feats.len(), FEATURE_DIM);
+        assert_eq!(feats[2 * BINS + bin_of(0.0)], 1.0);
+        assert_eq!(feats[2 * BINS + bin_of(0.05)], 1.0);
+        assert_eq!(feats[7 * BINS + bin_of(2.0)], 1.0);
+        let total: f64 = feats[..OP_SLOTS * BINS].iter().sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn metadata_appended() {
+        let g = graph_with(&[(0, 0.1)]);
+        let feats = hlpow_features(&g);
+        for k in 0..10 {
+            assert!((feats[OP_SLOTS * BINS + k] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bins_are_monotone() {
+        assert_eq!(bin_of(0.0), 0);
+        assert!(bin_of(0.02) > bin_of(0.005));
+        assert_eq!(bin_of(100.0), BINS - 1);
+        let mut prev = 0;
+        for sa in [0.0, 0.02, 0.05, 0.1, 0.3, 0.8, 2.0, 5.0] {
+            let b = bin_of(sa);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

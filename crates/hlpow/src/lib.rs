@@ -1,0 +1,27 @@
+//! HL-Pow baseline [7]: histogram features + gradient-boosted trees.
+//!
+//! HL-Pow is the state-of-the-art learning-based HLS power model the paper
+//! compares against (Table I, Table III). It aligns designs by encoding
+//! per-operation-type activity histograms — deliberately blind to
+//! interconnect structure and per-edge switching activity, which is the gap
+//! PowerGear closes.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pg_hlpow::HlPowModel;
+//! # let samples: Vec<(pg_graphcon::PowerGraph, f64)> = vec![];
+//! let data: Vec<(&pg_graphcon::PowerGraph, f64)> =
+//!     samples.iter().map(|(g, t)| (g, *t)).collect();
+//! let model = HlPowModel::train(&data, 1);
+//! let err = model.evaluate(&data);
+//! println!("HL-Pow MAPE = {err:.2}%");
+//! ```
+
+pub mod features;
+pub mod gbdt;
+pub mod train;
+
+pub use features::{hlpow_features, FEATURE_DIM};
+pub use gbdt::{Gbdt, GbdtConfig, Tree};
+pub use train::{search_grid, HlPowModel};

@@ -1,0 +1,300 @@
+//! Functional-unit binding with cross-state resource sharing.
+//!
+//! After scheduling, operations of the same FU kind whose initiations never
+//! coincide are bound to the same hardware instance — both within a block
+//! (across FSM states) and across blocks (blocks execute sequentially, so
+//! rank-r instances are shared globally). The resulting sharing sets are
+//! exactly what the paper's datapath-merging pass consumes: "we merge the
+//! DFG nodes utilizing the same set of hardware resources" (§III-A).
+
+use crate::resources::{FuKind, FuLibrary};
+use crate::schedule::Schedule;
+use pg_ir::{IrFunction, ValueId};
+use std::collections::HashMap;
+
+/// One physical functional-unit instance and the ops time-sharing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuInstance {
+    /// FU kind.
+    pub kind: FuKind,
+    /// Global index within this kind (or within this memory bank).
+    pub index: usize,
+    /// Ops bound to the instance, in schedule order.
+    pub ops: Vec<ValueId>,
+    /// For [`FuKind::MemPort`]: the `(array, bank)` the port belongs to.
+    pub mem: Option<(String, usize)>,
+}
+
+/// Binding of every shareable op to a hardware instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Binding {
+    /// All instances.
+    pub instances: Vec<FuInstance>,
+    /// Map op → index into [`Binding::instances`].
+    pub op_to_instance: HashMap<ValueId, usize>,
+    /// Total 32-bit multiplexer inputs introduced by sharing.
+    pub mux_inputs: u32,
+    /// Total register bits (output + pipeline staging estimate).
+    pub reg_bits: u64,
+}
+
+impl Binding {
+    /// Number of instances of `kind`.
+    pub fn count_of(&self, kind: FuKind) -> usize {
+        self.instances.iter().filter(|i| i.kind == kind).count()
+    }
+
+    /// Ops sharing the same instance as `v` (including `v`), empty if the op
+    /// is unbound (wire/control).
+    pub fn sharing_set(&self, v: ValueId) -> &[ValueId] {
+        match self.op_to_instance.get(&v) {
+            Some(&i) => &self.instances[i].ops,
+            None => &[],
+        }
+    }
+}
+
+/// Binds all shareable ops of `func` given its schedule.
+pub fn bind(func: &IrFunction, sched: &Schedule, lib: &FuLibrary) -> Binding {
+    // key -> (slot -> rank counter) is rebuilt per block; the map below
+    // tracks global instances: (kind-or-memkey, rank) -> instance index.
+    let mut instance_index: HashMap<(FuKind, Option<(String, usize)>, usize), usize> =
+        HashMap::new();
+    let mut binding = Binding::default();
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let bs = &sched.blocks[bi];
+        let pipelined = block.pipelined;
+        // (kind, memkey, slot) -> rank counter within this block
+        let mut slot_rank: HashMap<(FuKind, Option<(String, usize)>, u32), usize> =
+            HashMap::new();
+        // deterministic order: by start cycle, then program order
+        let mut order: Vec<usize> = (0..block.ops.len()).collect();
+        order.sort_by_key(|&i| (bs.start[i], i));
+        for i in order {
+            let vid = block.ops[i];
+            let op = func.op(vid);
+            let kind = lib.kind_of(op.opcode);
+            if !kind.is_shareable() {
+                continue;
+            }
+            let memkey = if kind == FuKind::MemPort {
+                let m = op.mem.as_ref().expect("mem op has memref");
+                Some((m.array.clone(), m.bank.unwrap_or(0)))
+            } else {
+                None
+            };
+            let slot = if pipelined && bs.ii > 0 {
+                bs.start[i] % bs.ii
+            } else {
+                bs.start[i]
+            };
+            let rank_key = (kind, memkey.clone(), slot);
+            let rank = {
+                let r = slot_rank.entry(rank_key).or_insert(0);
+                let cur = *r;
+                *r += 1;
+                cur
+            };
+            let global_key = (kind, memkey.clone(), rank);
+            let inst = *instance_index.entry(global_key).or_insert_with(|| {
+                binding.instances.push(FuInstance {
+                    kind,
+                    index: rank,
+                    ops: Vec::new(),
+                    mem: memkey.clone(),
+                });
+                binding.instances.len() - 1
+            });
+            binding.instances[inst].ops.push(vid);
+            binding.op_to_instance.insert(vid, inst);
+        }
+    }
+
+    // Mux inputs: each instance with k>1 bound ops muxes its two operand
+    // ports (and the write port for memory).
+    for inst in &binding.instances {
+        let k = inst.ops.len() as u32;
+        if k > 1 {
+            binding.mux_inputs += 2 * (k - 1);
+        }
+    }
+
+    // Register estimate: one output register per producing op, plus one
+    // staging register per def-use edge that crosses a cycle boundary.
+    let mut reg_bits: u64 = 0;
+    for op in &func.ops {
+        if op.bits > 0 && lib.latency(op.opcode) > 0 {
+            reg_bits += op.bits as u64;
+        }
+    }
+    for op in &func.ops {
+        for u in op.value_operands() {
+            let def = func.op(u);
+            if def.block == op.block {
+                let s_use = sched.op_start(func, op.id);
+                let s_def = sched.op_start(func, u) + lib.latency(def.opcode);
+                if s_use > s_def {
+                    reg_bits += def.bits.min(32) as u64;
+                }
+            }
+        }
+    }
+    binding.reg_bits = reg_bits;
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::Directives;
+    use crate::lower::lower;
+    use crate::schedule::schedule;
+    use pg_ir::expr::aff;
+    use pg_ir::{ArrayKind, Expr, Kernel, KernelBuilder, Opcode};
+
+    fn two_adds() -> Kernel {
+        // chained fadds: the second depends on the first through memory,
+        // so they start in different FSM states and can share one FU
+        KernelBuilder::new("twoadd")
+            .array("a", &[8], ArrayKind::Input)
+            .array("b", &[8], ArrayKind::Input)
+            .array("y", &[8], ArrayKind::Output)
+            .array("z", &[8], ArrayKind::Output)
+            .loop_("i", 8, |bb| {
+                bb.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::load("a", vec![aff("i")]) + Expr::Const(1.0),
+                );
+                bb.assign(
+                    ("z", vec![aff("i")]),
+                    Expr::load("y", vec![aff("i")]) + Expr::load("b", vec![aff("i")]),
+                );
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn run(kernel: &Kernel, d: &Directives) -> (pg_ir::IrFunction, Schedule, Binding) {
+        let lib = FuLibrary::default();
+        let f = lower(kernel, d).unwrap();
+        let s = schedule(&f, &lib, d);
+        let b = bind(&f, &s, &lib);
+        (f, s, b)
+    }
+
+    #[test]
+    fn every_shareable_op_is_bound() {
+        let lib = FuLibrary::default();
+        let d = Directives::new();
+        let (f, _s, b) = run(&two_adds(), &d);
+        for op in &f.ops {
+            let kind = lib.kind_of(op.opcode);
+            if kind.is_shareable() {
+                assert!(
+                    b.op_to_instance.contains_key(&op.id),
+                    "{} unbound",
+                    op.id
+                );
+            } else {
+                assert!(!b.op_to_instance.contains_key(&op.id));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_adds_share_one_fu() {
+        // non-pipelined: loads of a and b collide on different arrays'
+        // ports, fadds start at different cycles and can share
+        let d = Directives::new();
+        let (f, s, b) = run(&two_adds(), &d);
+        let fadds: Vec<ValueId> = f
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::FAdd)
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(fadds.len(), 2);
+        let starts: Vec<u32> = fadds.iter().map(|&v| s.op_start(&f, v)).collect();
+        if starts[0] != starts[1] {
+            assert_eq!(
+                b.op_to_instance[&fadds[0]],
+                b.op_to_instance[&fadds[1]],
+                "fadds at different cycles should share"
+            );
+            assert_eq!(b.count_of(FuKind::FAddSub), 1);
+        }
+    }
+
+    #[test]
+    fn conflicting_ops_get_distinct_instances() {
+        let (f, s, b) = {
+            let mut d = Directives::new();
+            d.pipeline("i").unroll("i", 2).partition("a", 2).partition("b", 2)
+                .partition("y", 2).partition("z", 2);
+            run(&two_adds(), &d)
+        };
+        // with II=1 all 4 fadds initiate every cycle: 4 instances
+        let ii = s.blocks.last().unwrap().ii;
+        if ii == 1 {
+            assert_eq!(b.count_of(FuKind::FAddSub), 4);
+        }
+        // no instance holds two ops with the same modulo slot
+        for inst in &b.instances {
+            let mut slots = std::collections::HashSet::new();
+            for &v in &inst.ops {
+                let op = f.op(v);
+                let bs = &s.blocks[op.block];
+                let slot = if f.blocks[op.block].pipelined {
+                    (s.op_start(&f, v) % bs.ii, op.block)
+                } else {
+                    (s.op_start(&f, v), op.block)
+                };
+                assert!(slots.insert(slot), "double-booked instance");
+            }
+        }
+    }
+
+    #[test]
+    fn mem_ports_are_per_bank() {
+        let mut d = Directives::new();
+        d.partition("a", 2);
+        let (_f, _s, b) = run(&two_adds(), &d);
+        let a_ports: Vec<&FuInstance> = b
+            .instances
+            .iter()
+            .filter(|i| i.kind == FuKind::MemPort && i.mem.as_ref().is_some_and(|m| m.0 == "a"))
+            .collect();
+        // bank info recorded
+        assert!(a_ports.iter().all(|i| i.mem.as_ref().unwrap().1 < 2));
+    }
+
+    #[test]
+    fn sharing_set_roundtrip() {
+        let d = Directives::new();
+        let (f, _s, b) = run(&two_adds(), &d);
+        for op in &f.ops {
+            if let Some(&i) = b.op_to_instance.get(&op.id) {
+                assert!(b.instances[i].ops.contains(&op.id));
+                assert!(b.sharing_set(op.id).contains(&op.id));
+            }
+        }
+        // unbound op returns empty set
+        let wire = f
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::GetElementPtr)
+            .unwrap();
+        assert!(b.sharing_set(wire.id).is_empty());
+    }
+
+    #[test]
+    fn registers_and_muxes_accounted() {
+        let d = Directives::new();
+        let (_f, _s, b) = run(&two_adds(), &d);
+        assert!(b.reg_bits > 0);
+        // sharing occurs somewhere in a sequential schedule
+        assert!(b.instances.iter().any(|i| i.ops.len() > 1));
+        assert!(b.mux_inputs > 0);
+    }
+}

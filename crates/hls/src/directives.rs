@@ -1,0 +1,186 @@
+//! HLS optimization directives.
+//!
+//! The paper's design spaces are generated "by applying loop pipelining,
+//! loop unrolling and buffer partitioning" (§IV). [`Directives`] captures
+//! one point of that space: per-loop pipeline/unroll settings and per-array
+//! cyclic partition factors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A directive configuration (one design point).
+///
+/// Loops are addressed by their induction-variable label, arrays by name.
+/// Unknown labels are tolerated at construction and rejected by the HLS
+/// flow, so a single configuration grammar can serve every kernel.
+///
+/// # Examples
+///
+/// ```
+/// use pg_hls::Directives;
+/// let mut d = Directives::new();
+/// d.pipeline("j").unroll("j", 4).partition("a", 2);
+/// assert!(d.is_pipelined("j"));
+/// assert_eq!(d.unroll_factor("j"), 4);
+/// assert_eq!(d.partition_factor("a"), 2);
+/// assert_eq!(d.partition_factor("other"), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Directives {
+    pipeline: BTreeMap<String, bool>,
+    unroll: BTreeMap<String, usize>,
+    partition: BTreeMap<String, usize>,
+}
+
+impl Directives {
+    /// An empty (baseline / unoptimized) configuration.
+    pub fn new() -> Self {
+        Directives::default()
+    }
+
+    /// Enables pipelining on the loop labelled `label`.
+    pub fn pipeline(&mut self, label: &str) -> &mut Self {
+        self.pipeline.insert(label.to_string(), true);
+        self
+    }
+
+    /// Sets the unroll factor of the loop labelled `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn unroll(&mut self, label: &str, factor: usize) -> &mut Self {
+        assert!(factor > 0, "unroll factor must be positive");
+        self.unroll.insert(label.to_string(), factor);
+        self
+    }
+
+    /// Sets the cyclic partition factor of array `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn partition(&mut self, array: &str, factor: usize) -> &mut Self {
+        assert!(factor > 0, "partition factor must be positive");
+        self.partition.insert(array.to_string(), factor);
+        self
+    }
+
+    /// Whether the loop labelled `label` is pipelined.
+    pub fn is_pipelined(&self, label: &str) -> bool {
+        self.pipeline.get(label).copied().unwrap_or(false)
+    }
+
+    /// Unroll factor for `label` (1 when unset).
+    pub fn unroll_factor(&self, label: &str) -> usize {
+        self.unroll.get(label).copied().unwrap_or(1)
+    }
+
+    /// Partition factor for `array` (1 when unset).
+    pub fn partition_factor(&self, array: &str) -> usize {
+        self.partition.get(array).copied().unwrap_or(1)
+    }
+
+    /// Labels with explicit pipeline settings.
+    pub fn pipelined_loops(&self) -> impl Iterator<Item = &str> {
+        self.pipeline
+            .iter()
+            .filter(|(_, &on)| on)
+            .map(|(l, _)| l.as_str())
+    }
+
+    /// `(label, factor)` pairs with factor > 1.
+    pub fn unrolled_loops(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.unroll
+            .iter()
+            .filter(|(_, &f)| f > 1)
+            .map(|(l, &f)| (l.as_str(), f))
+    }
+
+    /// `(array, factor)` pairs with factor > 1.
+    pub fn partitioned_arrays(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.partition
+            .iter()
+            .filter(|(_, &f)| f > 1)
+            .map(|(a, &f)| (a.as_str(), f))
+    }
+
+    /// `true` when no directive is set (the unoptimized baseline).
+    pub fn is_baseline(&self) -> bool {
+        !self.pipeline.values().any(|&b| b)
+            && !self.unroll.values().any(|&f| f > 1)
+            && !self.partition.values().any(|&f| f > 1)
+    }
+
+    /// A stable short identifier for file names and hashing, e.g.
+    /// `p[j]u[j=4]pa[a=2]`.
+    pub fn id(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Directives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p: Vec<&str> = self.pipelined_loops().collect();
+        let u: Vec<String> = self
+            .unrolled_loops()
+            .map(|(l, k)| format!("{l}={k}"))
+            .collect();
+        let pa: Vec<String> = self
+            .partitioned_arrays()
+            .map(|(a, k)| format!("{a}={k}"))
+            .collect();
+        write!(f, "p[{}]u[{}]pa[{}]", p.join(","), u.join(","), pa.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_baseline() {
+        let d = Directives::new();
+        assert!(d.is_baseline());
+        assert!(!d.is_pipelined("i"));
+        assert_eq!(d.unroll_factor("i"), 1);
+        assert_eq!(d.partition_factor("a"), 1);
+    }
+
+    #[test]
+    fn setters_and_getters() {
+        let mut d = Directives::new();
+        d.pipeline("i").unroll("j", 8).partition("buf", 4);
+        assert!(d.is_pipelined("i"));
+        assert!(!d.is_baseline());
+        assert_eq!(d.unroll_factor("j"), 8);
+        assert_eq!(d.partition_factor("buf"), 4);
+        assert_eq!(d.unrolled_loops().count(), 1);
+        assert_eq!(d.partitioned_arrays().count(), 1);
+    }
+
+    #[test]
+    fn id_is_stable_and_distinct() {
+        let mut a = Directives::new();
+        a.pipeline("i").unroll("i", 2);
+        let mut b = Directives::new();
+        b.unroll("i", 2).pipeline("i");
+        assert_eq!(a.id(), b.id());
+        let mut c = Directives::new();
+        c.unroll("i", 4);
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn unroll_one_is_baseline() {
+        let mut d = Directives::new();
+        d.unroll("i", 1).partition("a", 1);
+        assert!(d.is_baseline());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_unroll_panics() {
+        Directives::new().unroll("i", 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! A from-scratch high-level synthesis (HLS) substrate.
+//!
+//! The paper's PowerGear flow consumes artifacts of Vivado HLS: the
+//! intermediate representation (IR) from front-end compilation and the
+//! finite state machine with datapath (FSMD) from back-end optimization,
+//! plus the HLS report (resources, latency, timing). This crate rebuilds
+//! that tool chain for the kernel descriptions in `pg-ir`:
+//!
+//! * [`Directives`] — loop pipelining, loop unrolling and array (buffer)
+//!   partitioning, the three knobs the paper's design spaces sweep;
+//! * [`lower`] — front end: kernel + directives → SSA [`pg_ir::IrFunction`]
+//!   (unrolling applied, address arithmetic and casts materialized);
+//! * [`schedule`] — back end: dependence- and resource-constrained list
+//!   scheduling with initiation-interval (II) analysis for pipelined loops
+//!   (memory-port and loop-carried recurrence limits);
+//! * [`bind`] — functional-unit binding with cross-state resource sharing
+//!   (the sharing sets later drive the paper's datapath-merging pass);
+//! * [`fsmd`] — the FSMD controller abstraction;
+//! * [`report`] — LUT/FF/DSP/BRAM utilization, latency and achieved clock
+//!   estimates, and the scaling factors versus the unoptimized baseline
+//!   that PowerGear feeds to its metadata MLP.
+//!
+//! The entry point is [`HlsFlow::run`], which returns an [`HlsDesign`]
+//! bundling every artifact downstream crates need.
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_hls::{Directives, HlsFlow};
+//! use pg_ir::{ArrayKind, KernelBuilder};
+//! use pg_ir::expr::{aff, Expr};
+//!
+//! let kernel = KernelBuilder::new("axpy")
+//!     .array("a", &[16], ArrayKind::Input)
+//!     .array("x", &[16], ArrayKind::Input)
+//!     .array("y", &[16], ArrayKind::Output)
+//!     .loop_("i", 16, |b| {
+//!         b.assign(
+//!             ("y", vec![aff("i")]),
+//!             Expr::load("y", vec![aff("i")])
+//!                 + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]),
+//!         );
+//!     })
+//!     .build()?;
+//!
+//! let mut dir = Directives::new();
+//! dir.pipeline("i").unroll("i", 2).partition("y", 2);
+//! let design = HlsFlow::default().run(&kernel, &dir)?;
+//! assert!(design.report.latency_cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod bind;
+pub mod directives;
+pub mod flow;
+pub mod fsmd;
+pub mod lower;
+pub mod report;
+pub mod resources;
+pub mod schedule;
+
+pub use bind::{Binding, FuInstance};
+pub use directives::Directives;
+pub use flow::{HlsDesign, HlsError, HlsFlow};
+pub use fsmd::{FsmState, Fsmd};
+pub use report::HlsReport;
+pub use resources::{FuKind, FuLibrary, FuSpec};
+pub use schedule::{BlockSchedule, Schedule};

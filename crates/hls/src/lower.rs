@@ -1,0 +1,719 @@
+//! HLS front end: lowering kernels to SSA IR with directives applied.
+//!
+//! Mirrors what Vivado HLS front-end compilation produces (Fig. 1 "IR"):
+//! loop unrolling is performed here (unrolled lanes become distinct static
+//! ops whose affine subscripts carry the lane offset), address arithmetic is
+//! materialized as integer `mul`/`add` chains followed by `sext` casts and
+//! `getelementptr`, internal arrays get `alloca`s, and every loop dimension
+//! contributes `phi`/`add`/`icmp`/`br` control ops. The cast/control noise is
+//! deliberate: the paper's graph-trimming pass exists to remove it.
+
+use crate::directives::Directives;
+use crate::flow::HlsError;
+use pg_ir::expr::{AffineExpr, ArrayRef, Expr};
+use pg_ir::{ArrayKind, BinOp, Block, Kernel, Loop, Opcode};
+use pg_ir::{IrFunction, LoopDim, MemRef, Operand, ValueId};
+use std::collections::HashMap;
+
+/// Lowers `kernel` with `directives` into an SSA [`IrFunction`].
+///
+/// # Errors
+///
+/// Returns [`HlsError`] when a directive references an unknown loop/array,
+/// or when pipeline/unroll targets a non-innermost loop (the only placement
+/// the design spaces use, mirroring the paper's setup).
+pub fn lower(kernel: &Kernel, directives: &Directives) -> Result<IrFunction, HlsError> {
+    validate_directives(kernel, directives)?;
+    let mut lw = Lowerer {
+        kernel,
+        directives,
+        func: IrFunction::new(&format!("{}_{}", kernel.name, directives.id())),
+    };
+    lw.emit_allocas();
+    lw.lower_blocks(&kernel.body, &mut Vec::new())?;
+    debug_assert_eq!(lw.func.validate(), Ok(()));
+    Ok(lw.func)
+}
+
+fn validate_directives(kernel: &Kernel, d: &Directives) -> Result<(), HlsError> {
+    let labels = kernel.loop_labels();
+    let innermost = kernel.innermost_loops();
+    for l in d.pipelined_loops() {
+        if !labels.iter().any(|x| x == l) {
+            return Err(HlsError::UnknownLoop(l.to_string()));
+        }
+        if !innermost.iter().any(|x| x == l) {
+            return Err(HlsError::NotInnermost(l.to_string()));
+        }
+    }
+    for (l, _) in d.unrolled_loops() {
+        if !labels.iter().any(|x| x == l) {
+            return Err(HlsError::UnknownLoop(l.to_string()));
+        }
+        if !innermost.iter().any(|x| x == l) {
+            return Err(HlsError::NotInnermost(l.to_string()));
+        }
+    }
+    for (a, _) in d.partitioned_arrays() {
+        if kernel.array(a).is_none() {
+            return Err(HlsError::UnknownArray(a.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// Largest divisor of `trip` that is ≤ `factor` (Vivado pads remainder
+/// iterations; we clamp to an exact divisor instead and document it).
+pub fn clamp_unroll(trip: usize, factor: usize) -> usize {
+    let f = factor.min(trip).max(1);
+    (1..=f).rev().find(|k| trip % k == 0).unwrap_or(1)
+}
+
+struct Lowerer<'a> {
+    kernel: &'a Kernel,
+    directives: &'a Directives,
+    func: IrFunction,
+}
+
+/// Per-block lowering caches (common-subexpression elimination for address
+/// arithmetic, as a real compiler front end would do).
+#[derive(Default)]
+struct BlockCtx {
+    block: usize,
+    /// affine index expression -> operand producing its value
+    index_cache: HashMap<AffineExpr, Operand>,
+    /// (array, substituted subscripts) -> gep value
+    gep_cache: HashMap<(String, Vec<AffineExpr>), ValueId>,
+    /// induction variable -> its phi op (index arithmetic consumes the phi
+    /// value, keeping the dataflow graph connected as in real LLVM IR)
+    phi_of: HashMap<String, ValueId>,
+}
+
+impl BlockCtx {
+    /// Operand reading induction variable `v`: the phi value when the block
+    /// defines one, a raw `IVar` otherwise.
+    fn ivar(&self, v: &str) -> Operand {
+        match self.phi_of.get(v) {
+            Some(&p) => Operand::Value(p),
+            None => Operand::IVar(v.to_string()),
+        }
+    }
+}
+
+impl<'a> Lowerer<'a> {
+    fn emit_allocas(&mut self) {
+        let temps: Vec<_> = self
+            .kernel
+            .arrays
+            .iter()
+            .filter(|a| a.kind == ArrayKind::Temp)
+            .cloned()
+            .collect();
+        if temps.is_empty() {
+            return;
+        }
+        let b = self
+            .func
+            .push_block(&format!("{}.entry", self.kernel.name), vec![], false, 1);
+        for a in temps {
+            let mem = MemRef {
+                array: a.name.clone(),
+                indices: vec![],
+                linear: AffineExpr::constant(0),
+                bank: None,
+            };
+            self.func
+                .push_op(b, Opcode::Alloca, vec![], 32, Some(mem), 0);
+        }
+    }
+
+    fn lower_blocks(
+        &mut self,
+        blocks: &[Block],
+        ctx: &mut Vec<LoopDim>,
+    ) -> Result<(), HlsError> {
+        // Group consecutive statements into straight-line regions.
+        let mut stmt_run: Vec<&pg_ir::Stmt> = Vec::new();
+        for b in blocks {
+            match b {
+                Block::Stmt(s) => stmt_run.push(s),
+                Block::Loop(l) => {
+                    if !stmt_run.is_empty() {
+                        self.emit_stmt_block(&stmt_run, ctx, None)?;
+                        stmt_run.clear();
+                    }
+                    self.lower_loop(l, ctx)?;
+                }
+            }
+        }
+        if !stmt_run.is_empty() {
+            self.emit_stmt_block(&stmt_run, ctx, None)?;
+        }
+        Ok(())
+    }
+
+    fn lower_loop(&mut self, l: &Loop, ctx: &mut Vec<LoopDim>) -> Result<(), HlsError> {
+        let innermost = l.body.iter().all(|c| matches!(c, Block::Stmt(_)));
+        if innermost {
+            let stmts: Vec<&pg_ir::Stmt> = l
+                .body
+                .iter()
+                .map(|c| match c {
+                    Block::Stmt(s) => s,
+                    Block::Loop(_) => unreachable!("innermost checked above"),
+                })
+                .collect();
+            self.emit_stmt_block(&stmts, ctx, Some(l))?;
+        } else {
+            ctx.push(LoopDim {
+                var: l.var.clone(),
+                trip: l.trip,
+                source_label: l.var.clone(),
+            });
+            self.lower_blocks(&l.body, ctx)?;
+            ctx.pop();
+        }
+        Ok(())
+    }
+
+    /// Emits one IR block for a run of statements. `inner` is the innermost
+    /// loop owning the statements (None for statements between loops).
+    fn emit_stmt_block(
+        &mut self,
+        stmts: &[&pg_ir::Stmt],
+        ctx: &[LoopDim],
+        inner: Option<&Loop>,
+    ) -> Result<(), HlsError> {
+        let mut dims = ctx.to_vec();
+        let (unroll, pipelined, inner_var) = match inner {
+            Some(l) => {
+                let u = clamp_unroll(l.trip, self.directives.unroll_factor(&l.var));
+                dims.push(LoopDim {
+                    var: l.var.clone(),
+                    trip: l.trip / u,
+                    source_label: l.var.clone(),
+                });
+                (u, self.directives.is_pipelined(&l.var), Some(l.var.clone()))
+            }
+            None => (1, false, None),
+        };
+        let label = format!(
+            "{}.{}",
+            self.kernel.name,
+            dims.iter()
+                .map(|d| d.var.as_str())
+                .collect::<Vec<_>>()
+                .join(".")
+        );
+        let block = self.func.push_block(&label, dims.clone(), pipelined, unroll);
+        let mut bc = BlockCtx {
+            block,
+            ..BlockCtx::default()
+        };
+
+        // Loop-control scaffolding: one phi per dimension up front; index
+        // arithmetic and counter updates consume the phi value.
+        for d in &dims {
+            let phi = self.func.push_op(
+                block,
+                Opcode::Phi,
+                vec![Operand::ConstI(0), Operand::IVar(d.var.clone())],
+                32,
+                None,
+                0,
+            );
+            bc.phi_of.insert(d.var.clone(), phi);
+        }
+
+        for lane in 0..unroll {
+            for stmt in stmts {
+                self.lower_stmt(&mut bc, stmt, inner_var.as_deref(), unroll, lane)?;
+            }
+        }
+
+        // Counter increment / exit test / branch per dimension, then br.
+        let mut last_cmp = None;
+        for d in &dims {
+            let inc = self.func.push_op(
+                block,
+                Opcode::Add,
+                vec![bc.ivar(&d.var), Operand::ConstI(1)],
+                32,
+                None,
+                0,
+            );
+            let cmp = self.func.push_op(
+                block,
+                Opcode::ICmp,
+                vec![Operand::Value(inc), Operand::ConstI(d.trip as i64)],
+                1,
+                None,
+                0,
+            );
+            last_cmp = Some(cmp);
+        }
+        let br_operands = match last_cmp {
+            Some(c) => vec![Operand::Value(c)],
+            None => vec![],
+        };
+        self.func.push_op(block, Opcode::Br, br_operands, 0, None, 0);
+        Ok(())
+    }
+
+    fn lower_stmt(
+        &mut self,
+        bc: &mut BlockCtx,
+        stmt: &pg_ir::Stmt,
+        inner_var: Option<&str>,
+        unroll: usize,
+        lane: usize,
+    ) -> Result<(), HlsError> {
+        let value = self.lower_expr(bc, &stmt.expr, inner_var, unroll, lane)?;
+        let target = self.subst_ref(&stmt.target, inner_var, unroll, lane);
+        let gep = self.lower_gep(bc, &target)?;
+        self.func.push_op(
+            bc.block,
+            Opcode::Store,
+            vec![value, Operand::Value(gep)],
+            0,
+            Some(self.memref(&target)),
+            lane,
+        );
+        Ok(())
+    }
+
+    fn lower_expr(
+        &mut self,
+        bc: &mut BlockCtx,
+        expr: &Expr,
+        inner_var: Option<&str>,
+        unroll: usize,
+        lane: usize,
+    ) -> Result<Operand, HlsError> {
+        match expr {
+            Expr::Const(c) => Ok(Operand::ConstF(*c)),
+            Expr::Scalar(s) => Ok(Operand::Scalar(s.clone())),
+            Expr::IVar(v) => Ok(bc.ivar(v)),
+            Expr::Load(r) => {
+                let r = self.subst_ref(r, inner_var, unroll, lane);
+                let gep = self.lower_gep(bc, &r)?;
+                let load = self.func.push_op(
+                    bc.block,
+                    Opcode::Load,
+                    vec![Operand::Value(gep)],
+                    32,
+                    Some(self.memref(&r)),
+                    lane,
+                );
+                Ok(Operand::Value(load))
+            }
+            Expr::Bin(op, l, rhs) => {
+                let lv = self.lower_expr(bc, l, inner_var, unroll, lane)?;
+                let rv = self.lower_expr(bc, rhs, inner_var, unroll, lane)?;
+                let opcode = match op {
+                    BinOp::Add => Opcode::FAdd,
+                    BinOp::Sub => Opcode::FSub,
+                    BinOp::Mul => Opcode::FMul,
+                    BinOp::Div => Opcode::FDiv,
+                };
+                let v = self
+                    .func
+                    .push_op(bc.block, opcode, vec![lv, rv], 32, None, lane);
+                Ok(Operand::Value(v))
+            }
+        }
+    }
+
+    /// Applies the unroll substitution `inner := unroll*inner + lane` to all
+    /// subscripts of a reference.
+    fn subst_ref(
+        &self,
+        r: &ArrayRef,
+        inner_var: Option<&str>,
+        unroll: usize,
+        lane: usize,
+    ) -> ArrayRef {
+        if unroll <= 1 || inner_var.is_none() {
+            return r.clone();
+        }
+        let v = inner_var.expect("checked above");
+        ArrayRef {
+            array: r.array.clone(),
+            indices: r
+                .indices
+                .iter()
+                .map(|e| e.substitute(v, unroll as i64, lane as i64))
+                .collect(),
+        }
+    }
+
+    fn memref(&self, r: &ArrayRef) -> MemRef {
+        let decl = self
+            .kernel
+            .array(&r.array)
+            .expect("validated before lowering");
+        // Row-major flattening.
+        let mut linear = AffineExpr::constant(0);
+        let mut stride = 1i64;
+        for (idx, &dim) in r.indices.iter().zip(&decl.dims).rev() {
+            linear = linear.add(&idx.clone().scaled(stride));
+            stride *= dim as i64;
+        }
+        let p = self.directives.partition_factor(&r.array);
+        let bank = bank_of(&linear, p);
+        MemRef {
+            array: r.array.clone(),
+            indices: r.indices.clone(),
+            linear,
+            bank,
+        }
+    }
+
+    /// Lowers the address computation for `r`: per-dimension integer index
+    /// arithmetic, `sext` casts and a (CSE-cached) `getelementptr`.
+    fn lower_gep(&mut self, bc: &mut BlockCtx, r: &ArrayRef) -> Result<ValueId, HlsError> {
+        let key = (r.array.clone(), r.indices.clone());
+        if let Some(&g) = bc.gep_cache.get(&key) {
+            return Ok(g);
+        }
+        let mut idx_operands = Vec::new();
+        for idx in &r.indices {
+            let val = self.lower_affine(bc, idx);
+            // LLVM front ends sign-extend i32 indices to i64 for gep.
+            let extended = match val {
+                Operand::ConstI(_) => val,
+                other => {
+                    let key = sext_key(idx);
+                    if let Some(op) = bc.index_cache.get(&key) {
+                        op.clone()
+                    } else {
+                        let s = self.func.push_op(
+                            bc.block,
+                            Opcode::SExt,
+                            vec![other],
+                            64,
+                            None,
+                            0,
+                        );
+                        bc.index_cache.insert(key, Operand::Value(s));
+                        Operand::Value(s)
+                    }
+                }
+            };
+            idx_operands.push(extended);
+        }
+        let gep = self.func.push_op(
+            bc.block,
+            Opcode::GetElementPtr,
+            idx_operands,
+            64,
+            Some(self.memref(r)),
+            0,
+        );
+        bc.gep_cache.insert(key, gep);
+        Ok(gep)
+    }
+
+    /// Lowers an affine expression to integer ops, with CSE.
+    fn lower_affine(&mut self, bc: &mut BlockCtx, e: &AffineExpr) -> Operand {
+        if let Some(op) = bc.index_cache.get(e) {
+            return op.clone();
+        }
+        let result = if e.is_constant() {
+            Operand::ConstI(e.offset)
+        } else if e.terms.len() == 1 && e.terms[0].1 == 1 && e.offset == 0 {
+            bc.ivar(&e.terms[0].0)
+        } else {
+            let mut acc: Option<Operand> = None;
+            for (v, c) in &e.terms {
+                let term = if *c == 1 {
+                    bc.ivar(v)
+                } else {
+                    let single = AffineExpr {
+                        terms: vec![(v.clone(), *c)],
+                        offset: 0,
+                    };
+                    if let Some(op) = bc.index_cache.get(&single) {
+                        op.clone()
+                    } else {
+                        let m = self.func.push_op(
+                            bc.block,
+                            Opcode::Mul,
+                            vec![bc.ivar(v), Operand::ConstI(*c)],
+                            32,
+                            None,
+                            0,
+                        );
+                        bc.index_cache.insert(single, Operand::Value(m));
+                        Operand::Value(m)
+                    }
+                };
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => {
+                        let a = self.func.push_op(
+                            bc.block,
+                            Opcode::Add,
+                            vec![prev, term],
+                            32,
+                            None,
+                            0,
+                        );
+                        Operand::Value(a)
+                    }
+                });
+            }
+            let mut out = acc.expect("non-constant affine has at least one term");
+            if e.offset != 0 {
+                let a = self.func.push_op(
+                    bc.block,
+                    Opcode::Add,
+                    vec![out, Operand::ConstI(e.offset)],
+                    32,
+                    None,
+                    0,
+                );
+                out = Operand::Value(a);
+            }
+            out
+        };
+        bc.index_cache.insert(e.clone(), result.clone());
+        result
+    }
+}
+
+/// Cache key for the sext of an index expression (distinct from the raw
+/// value's key).
+fn sext_key(e: &AffineExpr) -> AffineExpr {
+    // Tag by shifting into an otherwise-unused huge offset space.
+    e.clone().plus(1 << 40)
+}
+
+/// Statically resolves the cyclic-partition bank of a flattened affine
+/// address, when every variable stride is a multiple of the factor.
+pub fn bank_of(linear: &AffineExpr, partitions: usize) -> Option<usize> {
+    if partitions <= 1 {
+        return Some(0);
+    }
+    let p = partitions as i64;
+    if linear.terms.iter().all(|(_, c)| c % p == 0) {
+        Some(linear.offset.rem_euclid(p) as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_ir::expr::aff;
+    use pg_ir::KernelBuilder;
+
+    fn axpy() -> Kernel {
+        KernelBuilder::new("axpy")
+            .array("a", &[16], ArrayKind::Input)
+            .array("x", &[16], ArrayKind::Input)
+            .array("y", &[16], ArrayKind::Output)
+            .loop_("i", 16, |b| {
+                b.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::load("y", vec![aff("i")])
+                        + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]),
+                );
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn mm() -> Kernel {
+        KernelBuilder::new("mm")
+            .array("a", &[8, 8], ArrayKind::Input)
+            .array("b", &[8, 8], ArrayKind::Input)
+            .array("c", &[8, 8], ArrayKind::Output)
+            .loop_("i", 8, |bb| {
+                bb.loop_("j", 8, |bb| {
+                    bb.loop_("k", 8, |bb| {
+                        bb.assign(
+                            ("c", vec![aff("i"), aff("j")]),
+                            Expr::load("c", vec![aff("i"), aff("j")])
+                                + Expr::load("a", vec![aff("i"), aff("k")])
+                                    * Expr::load("b", vec![aff("k"), aff("j")]),
+                        );
+                    });
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lowers_baseline_axpy() {
+        let f = lower(&axpy(), &Directives::new()).unwrap();
+        assert!(f.validate().is_ok());
+        let h = f.opcode_counts();
+        assert_eq!(h[&Opcode::Load], 3);
+        assert_eq!(h[&Opcode::Store], 1);
+        assert_eq!(h[&Opcode::FMul], 1);
+        assert_eq!(h[&Opcode::FAdd], 1);
+        // y gep CSEd between load and store
+        assert_eq!(h[&Opcode::GetElementPtr], 3);
+        assert_eq!(h[&Opcode::Phi], 1);
+        assert_eq!(h[&Opcode::Br], 1);
+    }
+
+    #[test]
+    fn unroll_replicates_datapath() {
+        let mut d = Directives::new();
+        d.unroll("i", 4);
+        let f = lower(&axpy(), &d).unwrap();
+        let h = f.opcode_counts();
+        assert_eq!(h[&Opcode::FMul], 4);
+        assert_eq!(h[&Opcode::Load], 12);
+        assert_eq!(f.blocks[0].dims[0].trip, 4);
+        assert_eq!(f.blocks[0].unroll, 4);
+    }
+
+    #[test]
+    fn unroll_clamps_to_divisor() {
+        assert_eq!(clamp_unroll(16, 8), 8);
+        assert_eq!(clamp_unroll(12, 8), 6);
+        assert_eq!(clamp_unroll(7, 3), 1);
+        assert_eq!(clamp_unroll(7, 7), 7);
+    }
+
+    #[test]
+    fn mm_has_three_dims_one_block() {
+        let f = lower(&mm(), &Directives::new()).unwrap();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].dims.len(), 3);
+        assert_eq!(f.blocks[0].trip_product(), 512);
+        // three phis + three inc/cmp pairs
+        let h = f.opcode_counts();
+        assert_eq!(h[&Opcode::Phi], 3);
+        assert_eq!(h[&Opcode::ICmp], 3);
+    }
+
+    #[test]
+    fn mm_gep_linearizes_row_major() {
+        let f = lower(&mm(), &Directives::new()).unwrap();
+        let gep = f
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::GetElementPtr && o.mem.as_ref().unwrap().array == "a")
+            .unwrap();
+        let linear = &gep.mem.as_ref().unwrap().linear;
+        // a[i][k] row-major with dim 8 -> 8*i + k
+        let env: std::collections::BTreeMap<String, i64> =
+            [("i".to_string(), 2), ("k".to_string(), 3)].into_iter().collect();
+        assert_eq!(linear.eval(&env), 19);
+    }
+
+    #[test]
+    fn partition_banks_resolved_for_unrolled_access() {
+        // unroll 2, partition 2: lane accesses alternate banks statically
+        let mut d = Directives::new();
+        d.unroll("i", 2).partition("a", 2);
+        let f = lower(&axpy(), &d).unwrap();
+        let banks: Vec<Option<usize>> = f
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "a")
+            .map(|o| o.mem.as_ref().unwrap().bank)
+            .collect();
+        assert_eq!(banks, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn unpartitioned_access_is_bank_zero() {
+        let f = lower(&axpy(), &Directives::new()).unwrap();
+        for o in &f.ops {
+            if let Some(m) = &o.mem {
+                if o.opcode != Opcode::Alloca {
+                    assert_eq!(m.bank, Some(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_bank_when_not_divisible() {
+        assert_eq!(bank_of(&aff("i"), 2), None);
+        assert_eq!(bank_of(&aff("i").scaled(4), 2), Some(0));
+        assert_eq!(bank_of(&aff("i").scaled(4).plus(3), 2), Some(1));
+    }
+
+    #[test]
+    fn temp_arrays_get_allocas() {
+        let k = KernelBuilder::new("t")
+            .array("tmp", &[8], ArrayKind::Temp)
+            .array("y", &[8], ArrayKind::Output)
+            .loop_("i", 8, |b| {
+                b.assign(("tmp", vec![aff("i")]), Expr::Const(0.0));
+                b.assign(("y", vec![aff("i")]), Expr::load("tmp", vec![aff("i")]));
+            })
+            .build()
+            .unwrap();
+        let f = lower(&k, &Directives::new()).unwrap();
+        assert_eq!(f.opcode_counts()[&Opcode::Alloca], 1);
+        assert_eq!(f.blocks[0].label, "t.entry");
+    }
+
+    #[test]
+    fn rejects_unknown_loop_directive() {
+        let mut d = Directives::new();
+        d.pipeline("zz");
+        assert!(matches!(
+            lower(&axpy(), &d),
+            Err(HlsError::UnknownLoop(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_innermost_pipeline() {
+        let mut d = Directives::new();
+        d.pipeline("i");
+        assert!(matches!(lower(&mm(), &d), Err(HlsError::NotInnermost(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_array_partition() {
+        let mut d = Directives::new();
+        d.partition("zz", 2);
+        assert!(matches!(
+            lower(&axpy(), &d),
+            Err(HlsError::UnknownArray(_))
+        ));
+    }
+
+    #[test]
+    fn sext_emitted_for_variable_indices() {
+        let f = lower(&axpy(), &Directives::new()).unwrap();
+        assert!(f.opcode_counts()[&Opcode::SExt] >= 1);
+    }
+
+    #[test]
+    fn stmts_between_loops_get_own_block() {
+        let k = KernelBuilder::new("t2")
+            .array("tmp", &[8], ArrayKind::Temp)
+            .array("a", &[8, 8], ArrayKind::Input)
+            .array("y", &[8], ArrayKind::Output)
+            .loop_("i", 8, |b| {
+                b.assign(("tmp", vec![aff("i")]), Expr::Const(0.0));
+                b.loop_("j", 8, |b| {
+                    b.assign(
+                        ("tmp", vec![aff("i")]),
+                        Expr::load("tmp", vec![aff("i")])
+                            + Expr::load("a", vec![aff("i"), aff("j")]),
+                    );
+                });
+                b.assign(("y", vec![aff("i")]), Expr::load("tmp", vec![aff("i")]));
+            })
+            .build()
+            .unwrap();
+        let f = lower(&k, &Directives::new()).unwrap();
+        // entry (alloca), init stmt block, inner loop block, tail stmt block
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.blocks[1].dims.len(), 1);
+        assert_eq!(f.blocks[2].dims.len(), 2);
+    }
+}

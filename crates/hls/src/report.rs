@@ -1,0 +1,178 @@
+//! HLS report: resource utilization, latency and timing estimates.
+//!
+//! PowerGear feeds its metadata MLP with "the global resource utilization
+//! (LUT, DSP and BRAM), timing information (latency and achieved clock
+//! period) in HLS, and the scaling factors, i.e., the ratio of the above
+//! design metrics over those of the unoptimized baseline" (§III-B). This
+//! module produces those quantities from the scheduled, bound design.
+
+use crate::bind::Binding;
+use crate::fsmd::Fsmd;
+use crate::resources::{FuKind, FuLibrary};
+use crate::schedule::Schedule;
+use pg_ir::{ArrayDecl, IrFunction};
+
+/// Post-synthesis estimates for one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsReport {
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// DSP blocks.
+    pub dsp: u32,
+    /// 18 Kb block RAMs.
+    pub bram: u32,
+    /// End-to-end latency in cycles.
+    pub latency_cycles: u64,
+    /// Achieved clock period estimate (ns).
+    pub clock_ns: f64,
+}
+
+impl HlsReport {
+    /// The five metadata scalars the paper uses, plus their scaling factors
+    /// against the unoptimized `baseline` design — ten features total, in a
+    /// scale suitable for an MLP (log/normalized).
+    pub fn metadata_features(&self, baseline: &HlsReport) -> Vec<f64> {
+        // ratios are clamped: unrolled designs can blow LUT/DSP up 30x over
+        // the baseline, and unbounded ratio features transfer poorly to
+        // kernels unseen in training
+        let ratio = |a: f64, b: f64| {
+            if b > 0.0 {
+                (a / b).min(4.0)
+            } else {
+                1.0
+            }
+        };
+        vec![
+            (self.lut as f64 / 1e4).min(10.0),
+            (self.dsp as f64 / 1e2).min(10.0),
+            (self.bram as f64 / 1e2).min(10.0),
+            ((self.latency_cycles.max(1) as f64).log10()) / 6.0,
+            self.clock_ns / 10.0,
+            ratio(self.lut as f64, baseline.lut as f64),
+            ratio(self.dsp as f64, baseline.dsp as f64),
+            ratio(self.bram as f64, baseline.bram as f64),
+            ratio(
+                (self.latency_cycles.max(1) as f64).log10(),
+                (baseline.latency_cycles.max(1) as f64).log10(),
+            ),
+            ratio(self.clock_ns, baseline.clock_ns),
+        ]
+    }
+
+    /// Number of metadata features produced by [`Self::metadata_features`].
+    pub const NUM_FEATURES: usize = 10;
+}
+
+/// Computes the report for a scheduled & bound design.
+pub fn report(
+    func: &IrFunction,
+    sched: &Schedule,
+    binding: &Binding,
+    fsmd: &Fsmd,
+    arrays: &[(ArrayDecl, usize)],
+    lib: &FuLibrary,
+) -> HlsReport {
+    let mut lut = 0u32;
+    let mut ff = 0u32;
+    let mut dsp = 0u32;
+    for inst in &binding.instances {
+        let spec = lib.spec(inst.kind);
+        lut += spec.lut;
+        ff += spec.ff;
+        dsp += spec.dsp;
+    }
+    // Wiring/cast glue for unbound ops.
+    for op in &func.ops {
+        let kind = lib.kind_of(op.opcode);
+        if !kind.is_shareable() {
+            lut += lib.spec(kind).lut;
+        }
+    }
+    // Sharing muxes: a 2:1 32-bit mux is ~16 LUT6; each extra input adds 16.
+    lut += binding.mux_inputs * 16;
+    // Control: one-hot FSM + next-state logic.
+    let states = fsmd.num_states() as u32;
+    lut += 40 + states * 3;
+    ff += 32 + states;
+    ff += binding.reg_bits.min(u32::MAX as u64) as u32;
+
+    let bram: u32 = arrays
+        .iter()
+        .map(|(a, banks)| lib.bram_blocks(a.len(), *banks))
+        .sum();
+
+    // Achieved clock: slowest FU stage plus wire/mux penalties that grow
+    // with design size (routing congestion surrogate).
+    let max_fu_delay = binding
+        .instances
+        .iter()
+        .map(|i| lib.spec(i.kind).delay_ns)
+        .fold(2.0f64, f64::max);
+    let max_share = binding
+        .instances
+        .iter()
+        .map(|i| i.ops.len())
+        .max()
+        .unwrap_or(1) as f64;
+    let mux_penalty = 0.25 * max_share.log2().max(0.0);
+    let wire_penalty = 0.35 * ((lut.max(1) as f64).log10() - 2.0).max(0.0);
+    let clock_ns = (max_fu_delay + mux_penalty + wire_penalty).clamp(2.0, 16.0);
+
+    let _ = FuKind::ALL; // (documented ordering referenced by power model)
+    HlsReport {
+        lut,
+        ff,
+        dsp,
+        bram,
+        latency_cycles: sched.total_latency,
+        clock_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(lut: u32, dsp: u32, bram: u32, lat: u64, clk: f64) -> HlsReport {
+        HlsReport {
+            lut,
+            ff: lut / 2,
+            dsp,
+            bram,
+            latency_cycles: lat,
+            clock_ns: clk,
+        }
+    }
+
+    #[test]
+    fn metadata_has_ten_features() {
+        let base = mk(1000, 4, 8, 10_000, 8.0);
+        let cur = mk(2000, 8, 8, 5_000, 8.5);
+        let f = cur.metadata_features(&base);
+        assert_eq!(f.len(), HlsReport::NUM_FEATURES);
+        // scaling factors land in sensible ranges
+        assert!((f[5] - 2.0).abs() < 1e-9, "lut ratio");
+        assert!((f[6] - 2.0).abs() < 1e-9, "dsp ratio");
+        assert!((f[7] - 1.0).abs() < 1e-9, "bram ratio");
+        assert!(f[8] < 1.0, "latency ratio shrinks");
+    }
+
+    #[test]
+    fn baseline_scaling_is_unity() {
+        let base = mk(1000, 4, 8, 10_000, 8.0);
+        let f = base.metadata_features(&base);
+        for v in &f[5..10] {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_baseline_guarded() {
+        let base = mk(0, 0, 0, 1, 8.0);
+        let cur = mk(100, 1, 1, 1, 8.0);
+        let f = cur.metadata_features(&base);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,242 @@
+//! Functional-unit library and device model.
+//!
+//! Latency/area numbers approximate Vivado HLS mapping 32-bit operations
+//! onto a Xilinx UltraScale+ device at a 10 ns target clock (the paper's
+//! ZCU102 at 100 MHz): pipelined floating-point cores (DSP-based mul,
+//! fabric+DSP add), combinational integer index arithmetic, and dual-port
+//! block RAM. Absolute numbers need not match Vivado exactly — downstream
+//! models only rely on their *relative* magnitudes and on their response to
+//! directives.
+
+use pg_ir::Opcode;
+
+/// The class of functional unit an opcode maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Floating-point adder/subtractor core.
+    FAddSub,
+    /// Floating-point multiplier core.
+    FMul,
+    /// Floating-point divider core.
+    FDiv,
+    /// Floating-point comparator.
+    FCmp,
+    /// Integer ALU (add/sub/compare).
+    IntAlu,
+    /// Integer multiplier.
+    IntMul,
+    /// Block-RAM read/write port.
+    MemPort,
+    /// Address generation / wiring (gep, casts) — no standalone FU.
+    Wire,
+    /// Control logic (phi/br/select/ret).
+    Control,
+}
+
+impl FuKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [FuKind; 9] = [
+        FuKind::FAddSub,
+        FuKind::FMul,
+        FuKind::FDiv,
+        FuKind::FCmp,
+        FuKind::IntAlu,
+        FuKind::IntMul,
+        FuKind::MemPort,
+        FuKind::Wire,
+        FuKind::Control,
+    ];
+
+    /// `true` when this kind occupies a shareable hardware instance.
+    pub fn is_shareable(self) -> bool {
+        !matches!(self, FuKind::Wire | FuKind::Control)
+    }
+}
+
+/// Timing and area of one functional-unit kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuSpec {
+    /// Cycles from operand issue to result (0 = combinational).
+    pub latency: u32,
+    /// LUT cost per instance.
+    pub lut: u32,
+    /// Flip-flop cost per instance.
+    pub ff: u32,
+    /// DSP blocks per instance.
+    pub dsp: u32,
+    /// Combinational delay contribution (ns) for clock estimation.
+    pub delay_ns: f64,
+}
+
+/// The functional-unit library plus device-level constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuLibrary {
+    /// Read/write ports per BRAM bank (true dual port).
+    pub mem_ports_per_bank: u32,
+    /// Words per 18 Kb BRAM at 32-bit width.
+    pub bram_words: u32,
+    /// Target clock period (ns); the board runs at this frequency.
+    pub target_clock_ns: f64,
+    /// Supply voltage (V) for the power formula.
+    pub vdd: f64,
+}
+
+impl Default for FuLibrary {
+    fn default() -> Self {
+        FuLibrary {
+            mem_ports_per_bank: 2,
+            bram_words: 512,
+            target_clock_ns: 10.0,
+            vdd: 0.85,
+        }
+    }
+}
+
+impl FuLibrary {
+    /// The FU kind an opcode executes on.
+    pub fn kind_of(&self, op: Opcode) -> FuKind {
+        use Opcode::*;
+        match op {
+            FAdd | FSub => FuKind::FAddSub,
+            FMul => FuKind::FMul,
+            FDiv => FuKind::FDiv,
+            FCmp => FuKind::FCmp,
+            Add | Sub | ICmp => FuKind::IntAlu,
+            Mul => FuKind::IntMul,
+            Load | Store => FuKind::MemPort,
+            Alloca | GetElementPtr | SExt | ZExt | Trunc | BitCast => FuKind::Wire,
+            Phi | Br | Select | Ret => FuKind::Control,
+        }
+    }
+
+    /// Timing/area spec of a kind.
+    pub fn spec(&self, kind: FuKind) -> FuSpec {
+        match kind {
+            FuKind::FAddSub => FuSpec {
+                latency: 4,
+                lut: 214,
+                ff: 324,
+                dsp: 2,
+                delay_ns: 5.8,
+            },
+            FuKind::FMul => FuSpec {
+                latency: 3,
+                lut: 78,
+                ff: 151,
+                dsp: 3,
+                delay_ns: 5.2,
+            },
+            FuKind::FDiv => FuSpec {
+                latency: 14,
+                lut: 792,
+                ff: 1446,
+                dsp: 0,
+                delay_ns: 6.9,
+            },
+            FuKind::FCmp => FuSpec {
+                latency: 1,
+                lut: 66,
+                ff: 48,
+                dsp: 0,
+                delay_ns: 3.1,
+            },
+            FuKind::IntAlu => FuSpec {
+                latency: 0,
+                lut: 39,
+                ff: 0,
+                dsp: 0,
+                delay_ns: 1.9,
+            },
+            FuKind::IntMul => FuSpec {
+                latency: 1,
+                lut: 20,
+                ff: 40,
+                dsp: 1,
+                delay_ns: 4.0,
+            },
+            FuKind::MemPort => FuSpec {
+                latency: 1,
+                lut: 12,
+                ff: 8,
+                dsp: 0,
+                delay_ns: 2.3,
+            },
+            FuKind::Wire => FuSpec {
+                latency: 0,
+                lut: 2,
+                ff: 0,
+                dsp: 0,
+                delay_ns: 0.3,
+            },
+            FuKind::Control => FuSpec {
+                latency: 0,
+                lut: 4,
+                ff: 2,
+                dsp: 0,
+                delay_ns: 0.6,
+            },
+        }
+    }
+
+    /// Latency in cycles of an opcode.
+    pub fn latency(&self, op: Opcode) -> u32 {
+        self.spec(self.kind_of(op)).latency
+    }
+
+    /// BRAM banks needed for `elems` 32-bit words split into `partitions`
+    /// cyclic banks (each bank is padded to whole 18 Kb blocks).
+    pub fn bram_blocks(&self, elems: usize, partitions: usize) -> u32 {
+        let per_bank = elems.div_ceil(partitions.max(1));
+        let blocks_per_bank = (per_bank as u32).div_ceil(self.bram_words).max(1);
+        blocks_per_bank * partitions.max(1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_all_opcodes() {
+        let lib = FuLibrary::default();
+        for op in Opcode::ALL {
+            // must not panic and must return a spec
+            let k = lib.kind_of(op);
+            let s = lib.spec(k);
+            assert!(s.delay_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn float_ops_have_multicycle_latency() {
+        let lib = FuLibrary::default();
+        assert!(lib.latency(Opcode::FAdd) >= 3);
+        assert!(lib.latency(Opcode::FDiv) > lib.latency(Opcode::FMul));
+        assert_eq!(lib.latency(Opcode::GetElementPtr), 0);
+    }
+
+    #[test]
+    fn memports_are_shareable_wires_not() {
+        assert!(FuKind::MemPort.is_shareable());
+        assert!(FuKind::FAddSub.is_shareable());
+        assert!(!FuKind::Wire.is_shareable());
+        assert!(!FuKind::Control.is_shareable());
+    }
+
+    #[test]
+    fn bram_blocks_scale_with_partitions() {
+        let lib = FuLibrary::default();
+        // 1024 words, 1 bank -> 2 blocks; 4 banks of 256 -> 4 blocks (padding)
+        assert_eq!(lib.bram_blocks(1024, 1), 2);
+        assert_eq!(lib.bram_blocks(1024, 4), 4);
+        // tiny array still costs one block per bank
+        assert_eq!(lib.bram_blocks(16, 2), 2);
+    }
+
+    #[test]
+    fn dsp_costs_present_for_float_mul() {
+        let lib = FuLibrary::default();
+        assert!(lib.spec(FuKind::FMul).dsp > 0);
+        assert_eq!(lib.spec(FuKind::FDiv).dsp, 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Affine index expressions and arithmetic expression trees.
+//!
+//! Polybench kernels (the paper's workload) are affine programs: every array
+//! subscript is an affine function of the enclosing loop induction
+//! variables. [`AffineExpr`] models those subscripts exactly, which lets the
+//! HLS substrate reason statically about memory banks (array partitioning)
+//! and lets the activity tracer evaluate addresses quickly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine expression `sum(coeff_k * var_k) + offset` over loop induction
+/// variables.
+///
+/// # Examples
+///
+/// ```
+/// use pg_ir::expr::AffineExpr;
+/// let e = AffineExpr::var("i").scaled(4).plus(3); // 4*i + 3
+/// let mut env = std::collections::BTreeMap::new();
+/// env.insert("i".to_string(), 2i64);
+/// assert_eq!(e.eval(&env), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    /// `(variable, coefficient)` pairs, sorted by variable name, no zero
+    /// coefficients and no duplicate variables.
+    pub terms: Vec<(String, i64)>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr {
+            terms: Vec::new(),
+            offset: c,
+        }
+    }
+
+    /// The expression `1 * var`.
+    pub fn var(name: &str) -> Self {
+        AffineExpr {
+            terms: vec![(name.to_string(), 1)],
+            offset: 0,
+        }
+    }
+
+    /// Returns `self * k`.
+    pub fn scaled(mut self, k: i64) -> Self {
+        if k == 0 {
+            return AffineExpr::constant(0);
+        }
+        for t in &mut self.terms {
+            t.1 *= k;
+        }
+        self.offset *= k;
+        self
+    }
+
+    /// Returns `self + c`.
+    pub fn plus(mut self, c: i64) -> Self {
+        self.offset += c;
+        self
+    }
+
+    /// Returns `self + other`, merging coefficients.
+    pub fn add(&self, other: &AffineExpr) -> Self {
+        let mut coeffs: BTreeMap<String, i64> = BTreeMap::new();
+        for (v, c) in self.terms.iter().chain(other.terms.iter()) {
+            *coeffs.entry(v.clone()).or_insert(0) += c;
+        }
+        AffineExpr {
+            terms: coeffs.into_iter().filter(|(_, c)| *c != 0).collect(),
+            offset: self.offset + other.offset,
+        }
+    }
+
+    /// Substitutes `var := k * var' + delta` (used when a loop is unrolled by
+    /// factor `k`: iteration `var` becomes `k*var' + lane`).
+    pub fn substitute(&self, var: &str, k: i64, delta: i64) -> Self {
+        let mut out = AffineExpr::constant(self.offset);
+        for (v, c) in &self.terms {
+            if v == var {
+                out = out.add(&AffineExpr::var(var).scaled(c * k).plus(c * delta));
+            } else {
+                out = out.add(&AffineExpr {
+                    terms: vec![(v.clone(), *c)],
+                    offset: 0,
+                });
+            }
+        }
+        out
+    }
+
+    /// Evaluates with the given variable bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is missing from `env`.
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> i64 {
+        let mut acc = self.offset;
+        for (v, c) in &self.terms {
+            let val = *env
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound loop variable `{v}` in affine expression"));
+            acc += c * val;
+        }
+        acc
+    }
+
+    /// Maximum value over `0..trip` ranges for each variable (used by bounds
+    /// validation). Negative coefficients contribute at iteration 0.
+    pub fn max_value(&self, trips: &BTreeMap<String, usize>) -> i64 {
+        let mut acc = self.offset;
+        for (v, c) in &self.terms {
+            let trip = *trips.get(v).unwrap_or(&1) as i64;
+            if *c > 0 {
+                acc += c * (trip - 1).max(0);
+            }
+        }
+        acc
+    }
+
+    /// Minimum value over the same ranges.
+    pub fn min_value(&self, trips: &BTreeMap<String, usize>) -> i64 {
+        let mut acc = self.offset;
+        for (v, c) in &self.terms {
+            let trip = *trips.get(v).unwrap_or(&1) as i64;
+            if *c < 0 {
+                acc += c * (trip - 1).max(0);
+            }
+        }
+        acc
+    }
+
+    /// Variables referenced by this expression.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(|(v, _)| v.as_str())
+    }
+
+    /// `true` when the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            if *c == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{c}*{v}")?;
+            }
+            first = false;
+        }
+        if self.offset != 0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand for `AffineExpr::var(name)`.
+///
+/// # Examples
+///
+/// ```
+/// use pg_ir::expr::aff;
+/// assert_eq!(aff("i").to_string(), "i");
+/// ```
+pub fn aff(name: &str) -> AffineExpr {
+    AffineExpr::var(name)
+}
+
+/// A subscripted array access `array[idx0][idx1]...`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// Array name (must be declared in the kernel).
+    pub array: String,
+    /// One affine subscript per dimension.
+    pub indices: Vec<AffineExpr>,
+}
+
+impl ArrayRef {
+    /// Creates a reference from an array name and subscripts.
+    pub fn new(array: &str, indices: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array: array.to_string(),
+            indices,
+        }
+    }
+}
+
+impl From<(&str, Vec<AffineExpr>)> for ArrayRef {
+    fn from((a, idx): (&str, Vec<AffineExpr>)) -> Self {
+        ArrayRef::new(a, idx)
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        for idx in &self.indices {
+            write!(f, "[{idx}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Binary arithmetic operators available in kernel statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Floating-point addition.
+    Add,
+    /// Floating-point subtraction.
+    Sub,
+    /// Floating-point multiplication.
+    Mul,
+    /// Floating-point division.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An arithmetic expression tree over array loads, scalar kernel arguments,
+/// loop induction variables and constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Const(f64),
+    /// A load from an array element.
+    Load(ArrayRef),
+    /// A scalar kernel argument (e.g. `alpha` in gemm).
+    Scalar(String),
+    /// The current value of a loop induction variable, cast to float.
+    IVar(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for [`Expr::Load`].
+    pub fn load(array: &str, indices: Vec<AffineExpr>) -> Self {
+        Expr::Load(ArrayRef::new(array, indices))
+    }
+
+    /// Convenience constructor for [`Expr::Scalar`].
+    pub fn scalar(name: &str) -> Self {
+        Expr::Scalar(name.to_string())
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Bin(_, l, r) => 1 + l.size() + r.size(),
+            _ => 1,
+        }
+    }
+
+    /// Collects every array referenced by the expression into `out`.
+    pub fn collect_arrays<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            Expr::Load(r) => out.push(r),
+            Expr::Bin(_, l, r) => {
+                l.collect_arrays(out);
+                r.collect_arrays(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Load(r) => write!(f, "{r}"),
+            Expr::Scalar(s) => write!(f, "{s}"),
+            Expr::IVar(v) => write!(f, "(float){v}"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn affine_eval() {
+        let e = aff("i").scaled(3).add(&aff("j")).plus(2);
+        assert_eq!(e.eval(&env(&[("i", 2), ("j", 5)])), 13);
+    }
+
+    #[test]
+    fn affine_add_merges_terms() {
+        let e = aff("i").add(&aff("i").scaled(2));
+        assert_eq!(e.terms, vec![("i".to_string(), 3)]);
+    }
+
+    #[test]
+    fn affine_add_drops_zero_coeffs() {
+        let e = aff("i").add(&aff("i").scaled(-1));
+        assert!(e.is_constant());
+        assert_eq!(e.offset, 0);
+    }
+
+    #[test]
+    fn substitute_models_unrolling() {
+        // index 2*j + 1, unroll j by 4 lane 3 -> 2*(4j'+3) + 1 = 8j' + 7
+        let e = aff("j").scaled(2).plus(1);
+        let s = e.substitute("j", 4, 3);
+        assert_eq!(s.eval(&env(&[("j", 0)])), 7);
+        assert_eq!(s.eval(&env(&[("j", 1)])), 15);
+    }
+
+    #[test]
+    fn max_min_values() {
+        let trips: BTreeMap<String, usize> =
+            [("i".to_string(), 8usize)].into_iter().collect();
+        let e = aff("i").scaled(2).plus(1);
+        assert_eq!(e.max_value(&trips), 15);
+        assert_eq!(e.min_value(&trips), 1);
+        let neg = aff("i").scaled(-1).plus(7);
+        assert_eq!(neg.max_value(&trips), 7);
+        assert_eq!(neg.min_value(&trips), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn eval_unbound_panics() {
+        aff("q").eval(&env(&[]));
+    }
+
+    #[test]
+    fn expr_operators_build_trees() {
+        let e = Expr::Const(1.0) + Expr::Const(2.0) * Expr::scalar("alpha");
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.to_string(), "(1 + (2 * alpha))");
+    }
+
+    #[test]
+    fn collect_arrays_finds_loads() {
+        let e = Expr::load("a", vec![aff("i")]) + Expr::load("b", vec![aff("i")]);
+        let mut out = Vec::new();
+        e.collect_arrays(&mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn display_affine() {
+        assert_eq!(aff("i").scaled(4).plus(3).to_string(), "4*i + 3");
+        assert_eq!(AffineExpr::constant(0).to_string(), "0");
+    }
+}

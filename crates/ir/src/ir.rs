@@ -1,0 +1,440 @@
+//! SSA-form IR produced by the HLS front end.
+//!
+//! An [`IrFunction`] is organized as straight-line [`IrBlock`]s, one per
+//! (possibly unrolled) loop body plus one per standalone statement region.
+//! Each block carries its iteration space as a list of [`LoopDim`]s; an op
+//! executes once per point of that space. Unrolling has already been applied
+//! by the time an `IrFunction` exists: unrolled lanes appear as distinct
+//! static ops whose affine subscripts encode the lane offset.
+
+use crate::expr::AffineExpr;
+use crate::opcode::Opcode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of an [`IrOp`] inside its function's op arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The arena index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An operand of an IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// The result of another op in the same block.
+    Value(ValueId),
+    /// Floating-point literal.
+    ConstF(f64),
+    /// Integer literal.
+    ConstI(i64),
+    /// A loop induction variable of the enclosing block.
+    IVar(String),
+    /// A scalar kernel argument.
+    Scalar(String),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Value(v) => write!(f, "{v}"),
+            Operand::ConstF(c) => write!(f, "{c:?}"),
+            Operand::ConstI(c) => write!(f, "{c}"),
+            Operand::IVar(v) => write!(f, "%iv.{v}"),
+            Operand::Scalar(s) => write!(f, "%arg.{s}"),
+        }
+    }
+}
+
+/// A static memory reference attached to `getelementptr`/`load`/`store`/
+/// `alloca` ops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemRef {
+    /// Referenced array.
+    pub array: String,
+    /// Per-dimension affine subscripts (post-unroll).
+    pub indices: Vec<AffineExpr>,
+    /// Flattened affine address (row-major).
+    pub linear: AffineExpr,
+    /// Statically resolved partition bank, when the subscript pattern pins
+    /// the access to one bank; `None` means the access can touch any bank.
+    pub bank: Option<usize>,
+}
+
+/// One static IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrOp {
+    /// Arena id (also the SSA name).
+    pub id: ValueId,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Operands in positional order.
+    pub operands: Vec<Operand>,
+    /// Result bit width (32 for data, 1 for comparisons, 0 for stores/br).
+    pub bits: u32,
+    /// Owning block index.
+    pub block: usize,
+    /// Memory reference for memory opcodes.
+    pub mem: Option<MemRef>,
+    /// Unroll lane this op belongs to (0 when not unrolled); keeps unrolled
+    /// copies distinguishable for binding and merging.
+    pub lane: usize,
+}
+
+impl IrOp {
+    /// Iterates over operand [`ValueId`]s (SSA uses).
+    pub fn value_operands(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.operands.iter().filter_map(|o| match o {
+            Operand::Value(v) => Some(*v),
+            _ => None,
+        })
+    }
+}
+
+/// One dimension of a block's iteration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDim {
+    /// Induction-variable name (post-unroll: the *outer* counter).
+    pub var: String,
+    /// Trip count of this dimension (post-unroll: original trip / factor).
+    pub trip: usize,
+    /// Label of the source loop in the kernel (for directive lookup).
+    pub source_label: String,
+}
+
+/// A straight-line block executed over an iteration space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrBlock {
+    /// Human-readable label, e.g. `"gemm.i.j.k"`.
+    pub label: String,
+    /// Iteration space, outermost first. Empty for one-shot blocks.
+    pub dims: Vec<LoopDim>,
+    /// Ops in program order (indices into the function arena).
+    pub ops: Vec<ValueId>,
+    /// Whether the innermost loop of this block is pipelined.
+    pub pipelined: bool,
+    /// Unroll factor applied to the innermost source loop.
+    pub unroll: usize,
+}
+
+impl IrBlock {
+    /// Total dynamic iterations of the block.
+    pub fn trip_product(&self) -> usize {
+        self.dims.iter().map(|d| d.trip).product::<usize>().max(1)
+    }
+}
+
+/// An SSA function: the op arena plus its blocks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IrFunction {
+    /// Function name (kernel name + design-point id).
+    pub name: String,
+    /// All ops.
+    pub ops: Vec<IrOp>,
+    /// All blocks, in program order.
+    pub blocks: Vec<IrBlock>,
+}
+
+impl IrFunction {
+    /// Creates an empty function.
+    pub fn new(name: &str) -> Self {
+        IrFunction {
+            name: name.to_string(),
+            ops: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Borrow an op by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: ValueId) -> &IrOp {
+        &self.ops[id.idx()]
+    }
+
+    /// Appends an op to the arena and to block `block`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist yet.
+    pub fn push_op(
+        &mut self,
+        block: usize,
+        opcode: Opcode,
+        operands: Vec<Operand>,
+        bits: u32,
+        mem: Option<MemRef>,
+        lane: usize,
+    ) -> ValueId {
+        let id = ValueId(self.ops.len() as u32);
+        self.ops.push(IrOp {
+            id,
+            opcode,
+            operands,
+            bits,
+            block,
+            mem,
+            lane,
+        });
+        self.blocks[block].ops.push(id);
+        id
+    }
+
+    /// Appends an empty block, returning its index.
+    pub fn push_block(&mut self, label: &str, dims: Vec<LoopDim>, pipelined: bool, unroll: usize) -> usize {
+        self.blocks.push(IrBlock {
+            label: label.to_string(),
+            dims,
+            ops: Vec::new(),
+            pipelined,
+            unroll,
+        });
+        self.blocks.len() - 1
+    }
+
+    /// Number of static ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the function has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Histogram of opcodes.
+    pub fn opcode_counts(&self) -> BTreeMap<Opcode, usize> {
+        let mut m = BTreeMap::new();
+        for op in &self.ops {
+            *m.entry(op.opcode).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Total dynamic operation executions (static ops × their block trips).
+    pub fn dynamic_op_count(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.ops.len() as u64 * b.trip_product() as u64)
+            .sum()
+    }
+
+    /// Def-use edges `(def, use)` within blocks.
+    pub fn def_use_edges(&self) -> Vec<(ValueId, ValueId)> {
+        let mut edges = Vec::new();
+        for op in &self.ops {
+            for v in op.value_operands() {
+                edges.push((v, op.id));
+            }
+        }
+        edges
+    }
+
+    /// Checks SSA well-formedness: every operand refers to an op defined
+    /// *earlier in the same block*, memory opcodes carry a [`MemRef`] and
+    /// non-memory opcodes do not, and block membership is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &vid in &block.ops {
+                let op = self.op(vid);
+                if op.block != bi {
+                    return Err(format!("{vid} listed in block {bi} but owned by {}", op.block));
+                }
+                for u in op.value_operands() {
+                    if !seen.contains(&u) {
+                        return Err(format!("{vid} uses {u} before definition in block {bi}"));
+                    }
+                }
+                let needs_mem = matches!(
+                    op.opcode,
+                    Opcode::Alloca | Opcode::GetElementPtr | Opcode::Load | Opcode::Store
+                );
+                if needs_mem && op.mem.is_none() {
+                    return Err(format!("{vid} ({}) lacks a memory reference", op.opcode));
+                }
+                if !needs_mem && op.mem.is_some() {
+                    return Err(format!("{vid} ({}) should not carry a memory reference", op.opcode));
+                }
+                seen.insert(vid);
+            }
+        }
+        let listed: usize = self.blocks.iter().map(|b| b.ops.len()).sum();
+        if listed != self.ops.len() {
+            return Err(format!(
+                "arena has {} ops but blocks list {listed}",
+                self.ops.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IrFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "define @{} {{", self.name)?;
+        for block in &self.blocks {
+            let dims: Vec<String> = block
+                .dims
+                .iter()
+                .map(|d| format!("{}<{}", d.var, d.trip))
+                .collect();
+            writeln!(
+                f,
+                "{}: ; dims=[{}] pipelined={} unroll={}",
+                block.label,
+                dims.join(","),
+                block.pipelined,
+                block.unroll
+            )?;
+            for &vid in &block.ops {
+                let op = self.op(vid);
+                let operands: Vec<String> = op.operands.iter().map(|o| o.to_string()).collect();
+                write!(f, "  {vid} = {} {}", op.opcode, operands.join(", "))?;
+                if let Some(m) = &op.mem {
+                    write!(f, " ; {}[{}]", m.array, m.linear)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+
+    fn mk_memref(array: &str) -> MemRef {
+        MemRef {
+            array: array.to_string(),
+            indices: vec![AffineExpr::var("i")],
+            linear: AffineExpr::var("i"),
+            bank: Some(0),
+        }
+    }
+
+    fn tiny_func() -> IrFunction {
+        let mut f = IrFunction::new("t");
+        let b = f.push_block(
+            "body",
+            vec![LoopDim {
+                var: "i".into(),
+                trip: 8,
+                source_label: "i".into(),
+            }],
+            true,
+            1,
+        );
+        let gep = f.push_op(
+            b,
+            Opcode::GetElementPtr,
+            vec![Operand::IVar("i".into())],
+            32,
+            Some(mk_memref("a")),
+            0,
+        );
+        let ld = f.push_op(b, Opcode::Load, vec![Operand::Value(gep)], 32, Some(mk_memref("a")), 0);
+        let m = f.push_op(
+            b,
+            Opcode::FMul,
+            vec![Operand::Value(ld), Operand::ConstF(2.0)],
+            32,
+            None,
+            0,
+        );
+        let gep2 = f.push_op(
+            b,
+            Opcode::GetElementPtr,
+            vec![Operand::IVar("i".into())],
+            32,
+            Some(mk_memref("y")),
+            0,
+        );
+        f.push_op(
+            b,
+            Opcode::Store,
+            vec![Operand::Value(m), Operand::Value(gep2)],
+            0,
+            Some(mk_memref("y")),
+            0,
+        );
+        f
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let f = tiny_func();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.op(ValueId(2)).opcode, Opcode::FMul);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn def_use_edges_counted() {
+        let f = tiny_func();
+        // load<-gep, fmul<-load, store<-fmul, store<-gep2
+        assert_eq!(f.def_use_edges().len(), 4);
+    }
+
+    #[test]
+    fn dynamic_count_scales_with_trip() {
+        let f = tiny_func();
+        assert_eq!(f.dynamic_op_count(), 5 * 8);
+    }
+
+    #[test]
+    fn validate_rejects_use_before_def() {
+        let mut f = IrFunction::new("bad");
+        let b = f.push_block("b", vec![], false, 1);
+        f.push_op(
+            b,
+            Opcode::FAdd,
+            vec![Operand::Value(ValueId(5)), Operand::ConstF(1.0)],
+            32,
+            None,
+            0,
+        );
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_memref() {
+        let mut f = IrFunction::new("bad");
+        let b = f.push_block("b", vec![], false, 1);
+        f.push_op(b, Opcode::Load, vec![], 32, None, 0);
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn opcode_histogram() {
+        let f = tiny_func();
+        let h = f.opcode_counts();
+        assert_eq!(h[&Opcode::GetElementPtr], 2);
+        assert_eq!(h[&Opcode::FMul], 1);
+    }
+
+    #[test]
+    fn display_contains_mnemonics() {
+        let s = tiny_func().to_string();
+        assert!(s.contains("fmul"));
+        assert!(s.contains("getelementptr"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Intermediate representation for the PowerGear reproduction.
+//!
+//! This crate models the artifacts a high-level synthesis (HLS) front end
+//! consumes and produces, mirroring what the paper extracts from Vivado HLS:
+//!
+//! * a **kernel** description — structured affine loop nests over arrays
+//!   (the C++ source of Fig. 1), built with [`KernelBuilder`];
+//! * an **LLVM-like IR** ([`IrFunction`]) in SSA form with the opcode set the
+//!   paper's graph-construction flow pattern-matches on (`alloca`,
+//!   `getelementptr`, `load`/`store`, float/int arithmetic, casts, control);
+//! * the **opcode taxonomy** ([`Opcode`], [`OpClass`]) that classifies nodes
+//!   into arithmetic (A) and non-arithmetic (N) for the heterogeneous edge
+//!   relations A→A, A→N, N→A, N→N.
+//!
+//! The actual lowering from kernels to IR (with directives applied) lives in
+//! the `pg-hls` crate; graph construction lives in `pg-graphcon`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_ir::{ArrayKind, KernelBuilder};
+//! use pg_ir::expr::{aff, Expr};
+//!
+//! // y[i] = y[i] + a[i] * x[i]  for i in 0..16
+//! let kernel = KernelBuilder::new("axpy")
+//!     .array("a", &[16], ArrayKind::Input)
+//!     .array("x", &[16], ArrayKind::Input)
+//!     .array("y", &[16], ArrayKind::Output)
+//!     .loop_("i", 16, |b| {
+//!         b.assign(
+//!             ("y", vec![aff("i")]),
+//!             Expr::load("y", vec![aff("i")])
+//!                 + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]),
+//!         );
+//!     })
+//!     .build()
+//!     .expect("valid kernel");
+//! assert_eq!(kernel.name, "axpy");
+//! ```
+
+pub mod expr;
+pub mod ir;
+pub mod kernel;
+pub mod opcode;
+
+pub use expr::{AffineExpr, ArrayRef, BinOp, Expr};
+pub use ir::{IrBlock, IrFunction, IrOp, LoopDim, MemRef, Operand, ValueId};
+pub use kernel::{ArrayDecl, ArrayKind, Block, Kernel, KernelBuilder, KernelError, Loop, Stmt};
+pub use opcode::{OpClass, Opcode};

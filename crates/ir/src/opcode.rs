@@ -1,0 +1,259 @@
+//! The IR opcode taxonomy and the arithmetic/non-arithmetic classification
+//! used to type graph edges.
+//!
+//! The paper classifies DFG nodes into **arithmetic (A)** and
+//! **non-arithmetic (N)** nodes and annotates each edge with one of the four
+//! source→sink relations A→A, A→N, N→A, N→N (§III-A). [`Opcode::is_arithmetic`]
+//! implements that split; [`Opcode::index`] provides the stable position used
+//! for one-hot feature encoding.
+
+use std::fmt;
+
+/// LLVM-like IR opcodes emitted by the HLS front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// Stack/local memory allocation for an array.
+    Alloca,
+    /// Address computation into an array.
+    GetElementPtr,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Floating-point comparison.
+    FCmp,
+    /// Integer addition (index/loop arithmetic).
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication (index arithmetic).
+    Mul,
+    /// Integer comparison (loop exit tests).
+    ICmp,
+    /// Sign extension (trimmed by the graph flow).
+    SExt,
+    /// Zero extension (trimmed by the graph flow).
+    ZExt,
+    /// Bit truncation (trimmed by the graph flow).
+    Trunc,
+    /// Bit-pattern reinterpretation (trimmed by the graph flow).
+    BitCast,
+    /// SSA phi for loop induction variables.
+    Phi,
+    /// Branch terminating a loop body.
+    Br,
+    /// Two-way select.
+    Select,
+    /// Function return.
+    Ret,
+}
+
+/// Coarse structural class of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Compute units (adders, multipliers, comparators).
+    Arithmetic,
+    /// Memory interface operations.
+    Memory,
+    /// Bit-level casts producing trivial hardware.
+    Cast,
+    /// Control flow.
+    Control,
+}
+
+impl Opcode {
+    /// All opcodes in one-hot order.
+    pub const ALL: [Opcode; 21] = [
+        Opcode::Alloca,
+        Opcode::GetElementPtr,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::FCmp,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::ICmp,
+        Opcode::SExt,
+        Opcode::ZExt,
+        Opcode::Trunc,
+        Opcode::BitCast,
+        Opcode::Phi,
+        Opcode::Br,
+        Opcode::Select,
+        Opcode::Ret,
+    ];
+
+    /// Number of distinct opcodes (one-hot width).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable one-hot index of this opcode.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|o| *o == self)
+            .expect("opcode listed in ALL")
+    }
+
+    /// Structural class.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Alloca | GetElementPtr | Load | Store => OpClass::Memory,
+            FAdd | FSub | FMul | FDiv | FCmp | Add | Sub | Mul | ICmp => OpClass::Arithmetic,
+            SExt | ZExt | Trunc | BitCast => OpClass::Cast,
+            Phi | Br | Select | Ret => OpClass::Control,
+        }
+    }
+
+    /// `true` for arithmetic (A) nodes in the paper's A/N edge typing.
+    pub fn is_arithmetic(self) -> bool {
+        self.class() == OpClass::Arithmetic
+    }
+
+    /// `true` for opcodes bypassed by graph trimming ("bit truncation and
+    /// signed extension ... produce trivial hardware entities", §III-A),
+    /// plus pure control flow that carries no datapath.
+    pub fn is_trimmable(self) -> bool {
+        matches!(
+            self,
+            Opcode::SExt | Opcode::ZExt | Opcode::Trunc | Opcode::BitCast | Opcode::Br | Opcode::Ret
+        )
+    }
+
+    /// `true` for floating-point data operations.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FCmp
+        )
+    }
+
+    /// Mnemonic as it would appear in LLVM-style IR text.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Alloca => "alloca",
+            GetElementPtr => "getelementptr",
+            Load => "load",
+            Store => "store",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FCmp => "fcmp",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            ICmp => "icmp",
+            SExt => "sext",
+            ZExt => "zext",
+            Trunc => "trunc",
+            BitCast => "bitcast",
+            Phi => "phi",
+            Br => "br",
+            Select => "select",
+            Ret => "ret",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl OpClass {
+    /// All classes in one-hot order.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Arithmetic,
+        OpClass::Memory,
+        OpClass::Cast,
+        OpClass::Control,
+    ];
+
+    /// Number of classes (one-hot width, excluding the buffer class added by
+    /// graph construction).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class listed in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = vec![false; Opcode::COUNT];
+        for op in Opcode::ALL {
+            let i = op.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn arithmetic_split_matches_paper() {
+        assert!(Opcode::FAdd.is_arithmetic());
+        assert!(Opcode::FMul.is_arithmetic());
+        assert!(Opcode::Add.is_arithmetic());
+        assert!(Opcode::ICmp.is_arithmetic());
+        assert!(!Opcode::Load.is_arithmetic());
+        assert!(!Opcode::Store.is_arithmetic());
+        assert!(!Opcode::SExt.is_arithmetic());
+        assert!(!Opcode::Phi.is_arithmetic());
+    }
+
+    #[test]
+    fn trimmables_are_casts_and_control() {
+        assert!(Opcode::SExt.is_trimmable());
+        assert!(Opcode::Trunc.is_trimmable());
+        assert!(Opcode::Br.is_trimmable());
+        assert!(!Opcode::FAdd.is_trimmable());
+        assert!(!Opcode::Load.is_trimmable());
+        // Phi is retained: the paper keeps recurrence structure visible.
+        assert!(!Opcode::Phi.is_trimmable());
+    }
+
+    #[test]
+    fn float_ops() {
+        assert!(Opcode::FDiv.is_float());
+        assert!(!Opcode::Mul.is_float());
+    }
+
+    #[test]
+    fn class_indices_unique() {
+        let idx: Vec<usize> = OpClass::ALL.iter().map(|c| c.index()).collect();
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), OpClass::COUNT);
+    }
+
+    #[test]
+    fn mnemonics_lowercase() {
+        for op in Opcode::ALL {
+            assert_eq!(op.mnemonic(), op.mnemonic().to_lowercase());
+        }
+    }
+}

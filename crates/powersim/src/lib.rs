@@ -1,0 +1,55 @@
+//! Power substrate: RTL-implementation surrogate, board-measurement oracle
+//! and Vivado-estimator surrogate.
+//!
+//! The paper's ground truth requires a ZCU102 board and the full RTL
+//! implementation flow; its strongest commercial baseline is the Vivado
+//! power estimator. Neither is available here, so this crate simulates both
+//! ends (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`netlist`] — maps the bound HLS design to a component/net netlist
+//!   (shared FUs, BRAM banks, FSM, clock tree) with traced per-net
+//!   switching activities;
+//! * [`place`] — a placement/routing surrogate assigning per-net
+//!   capacitances (`C_i` of Eq. 1);
+//! * [`BoardOracle`] — evaluates `P_dyn = Σ α_i·C_i·V²·f` plus gated
+//!   static power and deterministic measurement jitter: the "measured
+//!   power" of Fig. 1;
+//! * [`VivadoEstimator`] — a vector-less estimator that ignores power
+//!   gating (the miscalibration the paper reports) and is linear-regression
+//!   calibrated exactly as the paper does; its deliberately heavy
+//!   propagation engine is the runtime baseline for Table I's speedup
+//!   column.
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_activity::{execute, Stimuli};
+//! use pg_hls::{Directives, HlsFlow};
+//! use pg_ir::{ArrayKind, KernelBuilder};
+//! use pg_ir::expr::{aff, Expr};
+//! use pg_powersim::BoardOracle;
+//!
+//! let k = KernelBuilder::new("scale")
+//!     .array("x", &[8], ArrayKind::Input)
+//!     .array("y", &[8], ArrayKind::Output)
+//!     .loop_("i", 8, |b| {
+//!         b.assign(("y", vec![aff("i")]),
+//!                  Expr::load("x", vec![aff("i")]) * Expr::Const(2.0));
+//!     })
+//!     .build()?;
+//! let design = HlsFlow::new().run(&k, &Directives::new())?;
+//! let trace = execute(&design, &Stimuli::for_kernel(&k, 0));
+//! let power = BoardOracle::default().measure(&design, &trace);
+//! assert!(power.total > power.dynamic);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod netlist;
+pub mod place;
+pub mod power;
+pub mod vivado;
+
+pub use netlist::{build_netlist, CompKind, Component, Net, NetClass, Netlist};
+pub use place::{place, Placement};
+pub use power::{BoardOracle, PowerBreakdown};
+pub use vivado::VivadoEstimator;

@@ -1,0 +1,207 @@
+//! Placement surrogate.
+//!
+//! Per-net capacitance in Eq. 1 "is decided by the FPGA placement and
+//! routing algorithms". This module stands in for them: components are
+//! placed on a square grid in connectivity BFS order (neighbors in the
+//! netlist land near each other, as a real placer achieves), wirelength is
+//! the Manhattan distance, and capacitance follows a
+//! `C0 + c_len·dist·width + c_fan·(fanout−1)` model with deterministic
+//! per-design routing jitter.
+
+use crate::netlist::{Net, NetClass, Netlist};
+use pg_util::rng::hash64;
+use pg_util::Rng64;
+
+/// A placed netlist: coordinates per component and capacitance per net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `(x, y)` per component.
+    pub coords: Vec<(f64, f64)>,
+    /// Capacitance (farads) per net, aligned with `Netlist::nets`.
+    pub cap: Vec<f64>,
+    /// Grid side length used.
+    pub grid: usize,
+}
+
+/// Base capacitance per net class (farads). Values are effective lumped
+/// capacitances of a 32-bit bundle plus its sinks, sized so that typical
+/// kernels land in the paper's 0.05–0.3 W dynamic range (Fig. 4).
+fn base_cap(class: NetClass) -> f64 {
+    match class {
+        NetClass::Data => 2.0e-12,
+        NetClass::Control => 0.8e-12,
+        NetClass::Clock => 1.5e-12,
+    }
+}
+
+const CAP_PER_UNIT_LEN: f64 = 0.45e-12;
+const CAP_PER_FANOUT: f64 = 0.9e-12;
+
+/// Places `netlist` and extracts per-net capacitances. `design_id` seeds the
+/// deterministic routing jitter so every design gets a stable, unique
+/// layout.
+pub fn place(netlist: &Netlist, design_id: &str) -> Placement {
+    let n = netlist.components.len();
+    let grid = (n as f64).sqrt().ceil() as usize + 1;
+
+    // Connectivity BFS from the highest-degree component.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for net in &netlist.nets {
+        adj[net.src].push(net.dst);
+        adj[net.dst].push(net.src);
+    }
+    let start = (0..n).max_by_key(|&i| adj[i].len()).unwrap_or(0);
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    seen[start] = true;
+    while let Some(c) = queue.pop_front() {
+        order.push(c);
+        for &m in &adj[c] {
+            if !seen[m] {
+                seen[m] = true;
+                queue.push_back(m);
+            }
+        }
+        if queue.is_empty() {
+            if let Some(next) = (0..n).find(|&i| !seen[i]) {
+                seen[next] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+
+    // Snake-fill the grid in BFS order with deterministic jitter.
+    let mut rng = Rng64::new(hash64(design_id.as_bytes()));
+    let mut coords = vec![(0.0, 0.0); n];
+    for (slot, &comp) in order.iter().enumerate() {
+        let row = slot / grid;
+        let col_raw = slot % grid;
+        let col = if row % 2 == 0 { col_raw } else { grid - 1 - col_raw };
+        let jx = rng.uniform(-0.3, 0.3);
+        let jy = rng.uniform(-0.3, 0.3);
+        coords[comp] = (col as f64 + jx, row as f64 + jy);
+    }
+
+    // Fanout per driver.
+    let mut fanout = vec![0usize; n];
+    for net in &netlist.nets {
+        fanout[net.src] += 1;
+    }
+
+    let cap = netlist
+        .nets
+        .iter()
+        .map(|net| net_cap(net, &coords, &fanout, &mut rng))
+        .collect();
+
+    Placement { coords, cap, grid }
+}
+
+fn net_cap(net: &Net, coords: &[(f64, f64)], fanout: &[usize], rng: &mut Rng64) -> f64 {
+    let (x1, y1) = coords[net.src];
+    let (x2, y2) = coords[net.dst];
+    let dist = (x1 - x2).abs() + (y1 - y2).abs();
+    let width_scale = (net.bits as f64 / 32.0).max(0.05);
+    let routing_jitter = 1.0 + 0.1 * rng.normal().clamp(-2.5, 2.5);
+    (base_cap(net.class)
+        + CAP_PER_UNIT_LEN * dist * width_scale
+        + CAP_PER_FANOUT * (fanout[net.src].saturating_sub(1)) as f64 / 8.0)
+        * routing_jitter.max(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{CompKind, Component};
+    use pg_hls::FuKind;
+
+    fn chain_netlist(n: usize) -> Netlist {
+        let components: Vec<Component> = (0..n)
+            .map(|_| Component {
+                kind: CompKind::Fu(FuKind::FAddSub),
+                lut: 100,
+                ff: 100,
+                dsp: 0,
+                bram: 0,
+                internal_sa: 0.1,
+                ar: 0.1,
+            })
+            .collect();
+        let nets: Vec<Net> = (1..n)
+            .map(|d| Net {
+                src: d - 1,
+                dst: d,
+                bits: 32,
+                sa: 0.5,
+                ar: 0.2,
+                class: NetClass::Data,
+            })
+            .collect();
+        Netlist {
+            components,
+            nets,
+            latency: 100,
+        }
+    }
+
+    #[test]
+    fn places_all_components_uniquely_enough() {
+        let nl = chain_netlist(20);
+        let p = place(&nl, "d1");
+        assert_eq!(p.coords.len(), 20);
+        assert_eq!(p.cap.len(), 19);
+        // all caps positive and finite
+        assert!(p.cap.iter().all(|&c| c > 0.0 && c.is_finite()));
+    }
+
+    #[test]
+    fn connected_components_are_nearby() {
+        let nl = chain_netlist(40);
+        let p = place(&nl, "d2");
+        // mean distance along chain nets must be far below random (grid/2)
+        let mean_dist: f64 = nl
+            .nets
+            .iter()
+            .map(|n| {
+                let (x1, y1) = p.coords[n.src];
+                let (x2, y2) = p.coords[n.dst];
+                (x1 - x2).abs() + (y1 - y2).abs()
+            })
+            .sum::<f64>()
+            / nl.nets.len() as f64;
+        assert!(
+            mean_dist < p.grid as f64 / 2.0,
+            "BFS placement should keep neighbors close (mean {mean_dist}, grid {})",
+            p.grid
+        );
+    }
+
+    #[test]
+    fn deterministic_per_design_id() {
+        let nl = chain_netlist(10);
+        assert_eq!(place(&nl, "x"), place(&nl, "x"));
+        assert_ne!(place(&nl, "x").cap, place(&nl, "y").cap);
+    }
+
+    #[test]
+    fn longer_wires_cost_more() {
+        let mut nl = chain_netlist(2);
+        nl.nets[0].bits = 32;
+        let p = place(&nl, "z");
+        let short = p.cap[0];
+        // same net but endpoints artificially far: recompute via helper
+        let coords = vec![(0.0, 0.0), (10.0, 10.0)];
+        let fanout = vec![1usize, 0];
+        let mut rng = Rng64::new(1);
+        let far = net_cap(&nl.nets[0], &coords, &fanout, &mut rng);
+        assert!(far > short);
+    }
+
+    #[test]
+    fn clock_nets_cheaper_than_wide_data() {
+        assert!(base_cap(NetClass::Clock) < base_cap(NetClass::Data));
+        assert!(base_cap(NetClass::Control) < base_cap(NetClass::Data));
+    }
+}

@@ -1,0 +1,279 @@
+//! The board-measurement oracle.
+//!
+//! Ground truth in the paper comes from on-board measurement (ZCU102 +
+//! Power Advantage Tool). This oracle evaluates the same physics the paper
+//! cites: **Eq. 1**, `P_dyn = Σ_i α_i·C_i·V²·f` over every net of the
+//! placed netlist surrogate, plus functional-unit internal switching, BRAM
+//! access energy and the clock tree — and a static component with
+//! UltraScale-style power gating (only used resources leak), which is
+//! exactly the effect the paper observes the Vivado estimator to ignore.
+//! A small deterministic per-design jitter stands in for measurement noise.
+//!
+//! Absolute watts are surrogate values tuned to the paper's reported ranges
+//! (dynamic ≈ 0.05–0.3 W in Fig. 4); every comparative claim downstream
+//! depends only on consistent relative behaviour.
+
+use crate::netlist::{build_netlist, CompKind, Netlist};
+use crate::place::{place, Placement};
+use pg_activity::ExecutionTrace;
+use pg_hls::{FuKind, HlsDesign};
+use pg_util::rng::hash64;
+
+/// Power report in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Total power.
+    pub total: f64,
+    /// Dynamic power (activity-driven).
+    pub dynamic: f64,
+    /// Static (leakage) power.
+    pub static_: f64,
+    /// Dynamic sub-part: interconnect nets.
+    pub nets: f64,
+    /// Dynamic sub-part: FU internal switching.
+    pub internal: f64,
+    /// Dynamic sub-part: clock network.
+    pub clock: f64,
+}
+
+/// The simulated measurement setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardOracle {
+    /// Core supply voltage (V).
+    pub vdd: f64,
+    /// Programmable-logic clock (Hz); the paper runs at 100 MHz.
+    pub freq_hz: f64,
+    /// Relative measurement noise (1σ).
+    pub jitter: f64,
+    /// Gate-level bundle factor: each hardware-graph net stands for the
+    /// fan-out tree / internal wiring that implements it after technology
+    /// mapping.
+    pub bundle: f64,
+}
+
+impl Default for BoardOracle {
+    fn default() -> Self {
+        BoardOracle {
+            vdd: 0.85,
+            freq_hz: 100.0e6,
+            jitter: 0.015,
+            bundle: 18.0,
+        }
+    }
+}
+
+/// Effective internal switching capacitance per FU kind (farads/activation).
+fn internal_cap(kind: FuKind) -> f64 {
+    match kind {
+        FuKind::FAddSub => 40.0e-12,
+        FuKind::FMul => 55.0e-12,
+        FuKind::FDiv => 120.0e-12,
+        FuKind::FCmp => 8.0e-12,
+        FuKind::IntAlu => 6.0e-12,
+        FuKind::IntMul => 25.0e-12,
+        FuKind::MemPort => 5.0e-12,
+        FuKind::Wire => 0.5e-12,
+        FuKind::Control => 2.0e-12,
+    }
+}
+
+const BRAM_ACCESS_CAP: f64 = 35.0e-12;
+const FF_CLOCK_CAP: f64 = 0.012e-12;
+const CLOCK_BRANCH_CAP: f64 = 0.8e-12;
+
+/// Leakage per used resource (W).
+const LEAK_BASE: f64 = 0.248;
+const LEAK_LUT: f64 = 2.1e-6;
+const LEAK_FF: f64 = 0.8e-6;
+const LEAK_DSP: f64 = 9.0e-5;
+const LEAK_BRAM: f64 = 3.3e-4;
+
+impl BoardOracle {
+    /// Measures a design end-to-end: netlist synthesis, placement, Eq. 1.
+    pub fn measure(&self, design: &HlsDesign, trace: &ExecutionTrace) -> PowerBreakdown {
+        let netlist = build_netlist(design, trace);
+        let placement = place(&netlist, &design.design_id());
+        self.measure_netlist(&netlist, &placement, &design.design_id())
+    }
+
+    /// Evaluates power over an already-placed netlist.
+    pub fn measure_netlist(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        design_id: &str,
+    ) -> PowerBreakdown {
+        let v2f = self.vdd * self.vdd * self.freq_hz;
+
+        // Eq. 1 over interconnect: α is the per-bit toggle fraction.
+        let mut nets_w = 0.0;
+        for (net, &cap) in netlist.nets.iter().zip(&placement.cap) {
+            let alpha = (net.sa / net.bits.max(1) as f64).min(2.0);
+            nets_w += alpha * cap * v2f;
+        }
+
+        // FU-internal switching and BRAM access energy.
+        let mut internal_w = 0.0;
+        let mut ff_total = 0u64;
+        let mut clocked = 0usize;
+        for comp in &netlist.components {
+            ff_total += comp.ff as u64;
+            if comp.ff > 0 || comp.bram > 0 {
+                clocked += 1;
+            }
+            match &comp.kind {
+                CompKind::Fu(kind) => {
+                    let alpha = (comp.internal_sa / 64.0).min(1.5);
+                    internal_w += alpha * internal_cap(*kind) * v2f;
+                }
+                CompKind::Bram { .. } => {
+                    internal_w += comp.ar.min(1.5) * BRAM_ACCESS_CAP * v2f
+                        * comp.bram.max(1) as f64;
+                }
+                CompKind::Fsm => {
+                    internal_w += 0.4 * internal_cap(FuKind::Control) * v2f;
+                }
+                CompKind::Clock => {}
+            }
+        }
+
+        // Clock network: toggles every cycle.
+        let clock_w =
+            (ff_total as f64 * FF_CLOCK_CAP + clocked as f64 * CLOCK_BRANCH_CAP) * v2f;
+
+        let dynamic_raw = (nets_w + internal_w + clock_w) * self.bundle;
+
+        // Gated static power: only instantiated resources leak.
+        let (mut lut, mut ff, mut dsp, mut bram) = (0u64, 0u64, 0u64, 0u64);
+        for c in &netlist.components {
+            lut += c.lut as u64;
+            ff += c.ff as u64;
+            dsp += c.dsp as u64;
+            bram += c.bram as u64;
+        }
+        let static_w = LEAK_BASE
+            + lut as f64 * LEAK_LUT
+            + ff as f64 * LEAK_FF
+            + dsp as f64 * LEAK_DSP
+            + bram as f64 * LEAK_BRAM;
+
+        // Deterministic measurement jitter.
+        let noise = |tag: &str| {
+            let h = hash64(format!("{design_id}/{tag}").as_bytes());
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            1.0 + self.jitter * (2.0 * u - 1.0) * 1.7
+        };
+        let dynamic = dynamic_raw * noise("dyn");
+        let static_m = static_w * noise("sta");
+
+        PowerBreakdown {
+            total: dynamic + static_m,
+            dynamic,
+            static_: static_m,
+            nets: nets_w * self.bundle,
+            internal: internal_w * self.bundle,
+            clock: clock_w * self.bundle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_activity::{execute, Stimuli};
+    use pg_hls::{Directives, HlsFlow};
+    use pg_ir::expr::aff;
+    use pg_ir::{ArrayKind, Expr, Kernel, KernelBuilder};
+
+    fn axpy(n: usize) -> Kernel {
+        KernelBuilder::new("axpy")
+            .array("a", &[n], ArrayKind::Input)
+            .array("x", &[n], ArrayKind::Input)
+            .array("y", &[n], ArrayKind::Output)
+            .loop_("i", n, |b| {
+                b.assign(
+                    ("y", vec![aff("i")]),
+                    Expr::load("y", vec![aff("i")])
+                        + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]),
+                );
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn measure(kernel: &Kernel, d: &Directives) -> PowerBreakdown {
+        let design = HlsFlow::new().run(kernel, d).unwrap();
+        let trace = execute(&design, &Stimuli::for_kernel(kernel, 0));
+        BoardOracle::default().measure(&design, &trace)
+    }
+
+    #[test]
+    fn power_in_papers_range() {
+        let p = measure(&axpy(32), &Directives::new());
+        assert!(
+            p.dynamic > 0.003 && p.dynamic < 1.5,
+            "dynamic {} W out of range",
+            p.dynamic
+        );
+        assert!(
+            p.static_ > 0.2 && p.static_ < 1.0,
+            "static {} W out of range",
+            p.static_
+        );
+        assert!((p.total - p.dynamic - p.static_).abs() < 1e-9);
+        assert!(p.nets > 0.0 && p.internal > 0.0 && p.clock > 0.0);
+    }
+
+    #[test]
+    fn parallel_hardware_burns_more_power() {
+        let k = axpy(32);
+        let base = measure(&k, &Directives::new());
+        let mut d = Directives::new();
+        d.pipeline("i")
+            .unroll("i", 4)
+            .partition("a", 4)
+            .partition("x", 4)
+            .partition("y", 4);
+        let fast = measure(&k, &d);
+        assert!(
+            fast.dynamic > base.dynamic,
+            "pipelined+unrolled {} W should exceed baseline {} W",
+            fast.dynamic,
+            base.dynamic
+        );
+        // and static grows with instantiated resources
+        assert!(fast.static_ > base.static_);
+    }
+
+    #[test]
+    fn deterministic_measurement() {
+        let k = axpy(16);
+        let a = measure(&k, &Directives::new());
+        let b = measure(&k, &Directives::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_designs_different_jitter() {
+        let k = axpy(16);
+        let a = measure(&k, &Directives::new());
+        let mut d = Directives::new();
+        d.partition("a", 2);
+        let b = measure(&k, &d);
+        assert_ne!(a.total, b.total);
+    }
+
+    #[test]
+    fn static_depends_on_design_scale() {
+        let small = measure(&axpy(8), &Directives::new());
+        let k = axpy(64);
+        let mut d = Directives::new();
+        d.pipeline("i")
+            .unroll("i", 8)
+            .partition("a", 8)
+            .partition("x", 8)
+            .partition("y", 8);
+        let big = measure(&k, &d);
+        assert!(big.static_ > small.static_ + 1e-4);
+    }
+}

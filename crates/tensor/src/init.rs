@@ -1,0 +1,66 @@
+//! Weight initialization.
+
+use crate::matrix::Matrix;
+use pg_util::Rng64;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Examples
+///
+/// ```
+/// use pg_tensor::init::glorot;
+/// use pg_util::Rng64;
+/// let w = glorot(4, 8, &mut Rng64::new(0));
+/// assert_eq!((w.rows, w.cols), (4, 8));
+/// ```
+pub fn glorot(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.uniform(-a, a) as f32)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Zero-initialized matrix (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+/// Constant-filled matrix.
+pub fn constant(rows: usize, cols: usize, v: f32) -> Matrix {
+    Matrix::from_vec(rows, cols, vec![v; rows * cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_bounds_and_determinism() {
+        let mut rng = Rng64::new(5);
+        let w = glorot(10, 20, &mut rng);
+        let a = (6.0f64 / 30.0).sqrt() as f32;
+        assert!(w.data.iter().all(|v| v.abs() <= a));
+        let w2 = glorot(10, 20, &mut Rng64::new(5));
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn glorot_nonzero_spread() {
+        let w = glorot(16, 16, &mut Rng64::new(1));
+        let distinct = w
+            .data
+            .iter()
+            .filter(|v| v.abs() > 1e-6)
+            .count();
+        assert!(distinct > 200);
+    }
+
+    #[test]
+    fn constant_fill() {
+        let c = constant(2, 2, 0.5);
+        assert!(c.data.iter().all(|&v| v == 0.5));
+        assert!(zeros(2, 2).data.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,275 @@
+//! Adam optimizer and parameter storage.
+//!
+//! The paper trains with a learning rate of 5e-4 (§IV); [`Adam`] implements
+//! the standard bias-corrected update. [`ParamStore`] owns named parameter
+//! matrices and hands them to tapes by index.
+
+use crate::matrix::Matrix;
+
+/// A named collection of parameter matrices.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter, returning its slot index.
+    pub fn register(&mut self, name: &str, m: Matrix) -> usize {
+        self.params.push(m);
+        self.names.push(name.to_string());
+        self.params.len() - 1
+    }
+
+    /// Parameter at `slot`.
+    pub fn get(&self, slot: usize) -> &Matrix {
+        &self.params[slot]
+    }
+
+    /// Mutable parameter at `slot`.
+    pub fn get_mut(&mut self, slot: usize) -> &mut Matrix {
+        &mut self.params[slot]
+    }
+
+    /// Name of `slot`.
+    pub fn name(&self, slot: usize) -> &str {
+        &self.names[slot]
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|m| m.len()).sum()
+    }
+
+    /// Immutable view of all parameters.
+    pub fn all(&self) -> &[Matrix] {
+        &self.params
+    }
+}
+
+/// Gradient accumulator matching a [`ParamStore`] layout.
+#[derive(Debug, Clone, Default)]
+pub struct GradAccum {
+    grads: Vec<Option<Matrix>>,
+    count: usize,
+}
+
+impl GradAccum {
+    /// Accumulator for `n` parameter slots.
+    pub fn new(n: usize) -> Self {
+        GradAccum {
+            grads: vec![None; n],
+            count: 0,
+        }
+    }
+
+    /// Adds one sample's gradients (from [`crate::Tape::backward`]).
+    pub fn add(&mut self, sample: Vec<Option<Matrix>>) {
+        if self.grads.len() < sample.len() {
+            self.grads.resize(sample.len(), None);
+        }
+        for (slot, g) in sample.into_iter().enumerate() {
+            if let Some(g) = g {
+                match &mut self.grads[slot] {
+                    Some(acc) => acc.add_assign(&g),
+                    s => *s = Some(g),
+                }
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Merges another accumulator (for data-parallel workers).
+    pub fn merge(&mut self, other: GradAccum) {
+        if self.grads.len() < other.grads.len() {
+            self.grads.resize(other.grads.len(), None);
+        }
+        for (slot, g) in other.grads.into_iter().enumerate() {
+            if let Some(g) = g {
+                match &mut self.grads[slot] {
+                    Some(acc) => acc.add_assign(&g),
+                    s => *s = Some(g),
+                }
+            }
+        }
+        self.count += other.count;
+    }
+
+    /// Mean gradients (scaled by `1/count`); `None` slots stay `None`.
+    pub fn mean(mut self) -> Vec<Option<Matrix>> {
+        let k = 1.0 / self.count.max(1) as f32;
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_assign(k);
+        }
+        self.grads
+    }
+
+    /// Number of samples accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Adam optimizer state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with the paper's learning rate (5e-4) unless overridden.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Applies one update step with mean gradients `grads` (slots align with
+    /// `store`). `None` slots are skipped.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Option<Matrix>]) {
+        if self.m.len() < store.len() {
+            for i in self.m.len()..store.len() {
+                let shape = store.get(i);
+                self.m.push(Matrix::zeros(shape.rows, shape.cols));
+                self.v.push(Matrix::zeros(shape.rows, shape.cols));
+            }
+        }
+        self.t += 1;
+        let b1c = 1.0 - self.beta1.powi(self.t);
+        let b2c = 1.0 - self.beta2.powi(self.t);
+        for (slot, g) in grads.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let p = store.get_mut(slot);
+            let m = &mut self.m[slot];
+            let v = &mut self.v[slot];
+            for k in 0..p.len() {
+                let gk = g.data[k];
+                m.data[k] = self.beta1 * m.data[k] + (1.0 - self.beta1) * gk;
+                v.data[k] = self.beta2 * v.data[k] + (1.0 - self.beta2) * gk * gk;
+                let mhat = m.data[k] / b1c;
+                let vhat = v.data[k] / b2c;
+                p.data[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = ParamStore::new();
+        let a = s.register("w", Matrix::scalar(1.0));
+        let b = s.register("b", Matrix::zeros(1, 4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.get(b).cols, 4);
+        assert_eq!(s.num_scalars(), 5);
+    }
+
+    #[test]
+    fn accum_means_gradients() {
+        let mut acc = GradAccum::new(1);
+        acc.add(vec![Some(Matrix::scalar(2.0))]);
+        acc.add(vec![Some(Matrix::scalar(4.0))]);
+        assert_eq!(acc.count(), 2);
+        let mean = acc.mean();
+        assert!((mean[0].as_ref().unwrap().data[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accum_merge_combines_counts() {
+        let mut a = GradAccum::new(1);
+        a.add(vec![Some(Matrix::scalar(1.0))]);
+        let mut b = GradAccum::new(1);
+        b.add(vec![Some(Matrix::scalar(3.0))]);
+        a.merge(b);
+        assert_eq!(a.count(), 2);
+        let mean = a.mean();
+        assert!((mean[0].as_ref().unwrap().data[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize (w - 3)^2 with Adam
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let mut tape = Tape::new();
+            let p = tape.param(w, store.get(w).clone());
+            let loss = tape.mse_loss(p, &[3.0]);
+            let grads = tape.backward(loss);
+            opt.step(&mut store, &grads);
+        }
+        let val = store.get(w).data[0];
+        assert!((val - 3.0).abs() < 0.05, "converged to {val}");
+    }
+
+    #[test]
+    fn adam_skips_none_slots() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::scalar(5.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &[None]);
+        assert_eq!(store.get(w).data[0], 5.0);
+    }
+
+    #[test]
+    fn linear_regression_converges() {
+        // y = 2x + 1 learned from 8 points
+        let xs: Vec<f32> = (0..8).map(|i| i as f32 / 4.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::scalar(0.0));
+        let b = store.register("b", Matrix::scalar(0.0));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Matrix::from_vec(8, 1, xs.clone()));
+            let wv = tape.param(w, store.get(w).clone());
+            let bv = tape.param(b, store.get(b).clone());
+            let xw = tape.matmul(x, wv);
+            let pred = tape.add_row(xw, bv);
+            let loss = tape.mse_loss(pred, &ys);
+            let grads = tape.backward(loss);
+            opt.step(&mut store, &grads);
+        }
+        assert!((store.get(w).data[0] - 2.0).abs() < 0.1);
+        assert!((store.get(b).data[0] - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,610 @@
+//! Reverse-mode automatic differentiation on matrices.
+//!
+//! A [`Tape`] records a computation graph of matrix ops; [`Tape::backward`]
+//! walks it in reverse, producing gradients for every parameter leaf. The op
+//! set is exactly what the GNN models need: matmul, broadcast bias, ReLU,
+//! dropout, column concatenation, row summation, row gather/scatter (the
+//! message-passing primitives) and per-row scaling (normalized adjacency).
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_tensor::{Matrix, Tape};
+//! let mut t = Tape::new();
+//! let x = t.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+//! let w = t.param(0, Matrix::from_vec(2, 1, vec![0.5, -0.25]));
+//! let y = t.matmul(x, w);
+//! let loss = t.mse_loss(y, &[1.0]);
+//! let grads = t.backward(loss);
+//! assert!(grads[0].is_some());
+//! ```
+
+use crate::matrix::Matrix;
+use pg_util::Rng64;
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf { param: Option<usize> },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    AddN(Vec<Var>),
+    Relu(Var),
+    Dropout(Var, Vec<f32>),
+    ConcatCols(Var, Var),
+    SumRows(Var),
+    Gather(Var, Vec<u32>),
+    ScatterAdd(Var, Vec<u32>, usize),
+    ScaleRows(Var, Vec<f32>),
+    Scale(Var, f32),
+    MapeLoss(Var, Vec<f32>),
+    MseLoss(Var, Vec<f32>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Debug, Clone, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    num_params: usize,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Constant leaf (no gradient).
+    pub fn leaf(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf { param: None })
+    }
+
+    /// Parameter leaf; `slot` indexes the gradient vector returned by
+    /// [`Tape::backward`].
+    pub fn param(&mut self, slot: usize, m: Matrix) -> Var {
+        self.num_params = self.num_params.max(slot + 1);
+        self.push(m, Op::Leaf { param: Some(slot) })
+    }
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut v = self.nodes[a.0].value.clone();
+        v.add_assign(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Broadcast add of a `1 × d` row vector to every row of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × a.cols`.
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let b = &self.nodes[bias.0].value;
+        let av = &self.nodes[a.0].value;
+        assert_eq!(b.rows, 1, "bias must be a row vector");
+        assert_eq!(b.cols, av.cols, "bias width mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows {
+            for c in 0..v.cols {
+                v.data[r * v.cols + c] += b.data[c];
+            }
+        }
+        self.push(v, Op::AddRow(a, bias))
+    }
+
+    /// Sum of several same-shape nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or shapes differ.
+    pub fn add_n(&mut self, vars: Vec<Var>) -> Var {
+        assert!(!vars.is_empty(), "add_n needs at least one input");
+        let mut v = self.nodes[vars[0].0].value.clone();
+        for x in &vars[1..] {
+            v.add_assign(&self.nodes[x.0].value);
+        }
+        self.push(v, Op::AddN(vars))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let mut v = self.nodes[a.0].value.clone();
+        for x in &mut v.data {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`; pass `train = false`
+    /// for identity.
+    pub fn dropout(&mut self, a: Var, p: f32, train: bool, rng: &mut Rng64) -> Var {
+        if !train || p <= 0.0 {
+            let v = self.nodes[a.0].value.clone();
+            let n = v.len();
+            return self.push(v, Op::Dropout(a, vec![1.0; n]));
+        }
+        let keep = 1.0 - p;
+        let src = self.nodes[a.0].value.clone();
+        let mask: Vec<f32> = (0..src.len())
+            .map(|_| if rng.f32() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mut v = src;
+        for (x, m) in v.data.iter_mut().zip(&mask) {
+            *x *= m;
+        }
+        self.push(v, Op::Dropout(a, mask))
+    }
+
+    /// Concatenates columns: `[a | b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ma.rows, mb.rows, "concat_cols row mismatch");
+        let mut v = Matrix::zeros(ma.rows, ma.cols + mb.cols);
+        for r in 0..ma.rows {
+            v.row_mut(r)[..ma.cols].copy_from_slice(ma.row(r));
+            v.row_mut(r)[ma.cols..].copy_from_slice(mb.row(r));
+        }
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Column-wise sum over rows: `[n, d] → [1, d]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut v = Matrix::zeros(1, m.cols);
+        for r in 0..m.rows {
+            for (o, &x) in v.data.iter_mut().zip(m.row(r)) {
+                *o += x;
+            }
+        }
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Gathers rows: `out[i] = a[idx[i]]`.
+    pub fn gather(&mut self, a: Var, idx: &[u32]) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut v = Matrix::zeros(idx.len(), m.cols);
+        for (i, &j) in idx.iter().enumerate() {
+            v.row_mut(i).copy_from_slice(m.row(j as usize));
+        }
+        self.push(v, Op::Gather(a, idx.to_vec()))
+    }
+
+    /// Scatter-add rows: `out[idx[i]] += a[i]`, `out` has `rows` rows.
+    pub fn scatter_add(&mut self, a: Var, idx: &[u32], rows: usize) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut v = Matrix::zeros(rows, m.cols);
+        for (i, &j) in idx.iter().enumerate() {
+            let dst = v.row_mut(j as usize);
+            for (o, &x) in dst.iter_mut().zip(m.row(i)) {
+                *o += x;
+            }
+        }
+        self.push(v, Op::ScatterAdd(a, idx.to_vec(), rows))
+    }
+
+    /// Multiplies row `i` by `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != a.rows`.
+    pub fn scale_rows(&mut self, a: Var, weights: &[f32]) -> Var {
+        let m = &self.nodes[a.0].value;
+        assert_eq!(weights.len(), m.rows, "scale_rows weight count mismatch");
+        let mut v = m.clone();
+        for (r, &w) in weights.iter().enumerate() {
+            for x in v.row_mut(r) {
+                *x *= w;
+            }
+        }
+        self.push(v, Op::ScaleRows(a, weights.to_vec()))
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let mut v = self.nodes[a.0].value.clone();
+        v.scale_assign(k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    /// Mean absolute percentage error between the single-column prediction
+    /// and `targets`; returns a `1 × 1` loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn mape_loss(&mut self, pred: Var, targets: &[f32]) -> Var {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.cols, 1, "predictions must be a column");
+        assert_eq!(p.rows, targets.len(), "target count mismatch");
+        let mut acc = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            if t.abs() > 1e-12 {
+                acc += ((p.data[i] - t) / t).abs();
+            }
+        }
+        let v = Matrix::scalar(acc / targets.len().max(1) as f32);
+        self.push(v, Op::MapeLoss(pred, targets.to_vec()))
+    }
+
+    /// Mean squared error; returns a `1 × 1` loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn mse_loss(&mut self, pred: Var, targets: &[f32]) -> Var {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.cols, 1, "predictions must be a column");
+        assert_eq!(p.rows, targets.len(), "target count mismatch");
+        let mut acc = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            let d = p.data[i] - t;
+            acc += d * d;
+        }
+        let v = Matrix::scalar(acc / targets.len().max(1) as f32);
+        self.push(v, Op::MseLoss(pred, targets.to_vec()))
+    }
+
+    /// Runs backpropagation from `loss` (must be `1 × 1`), returning one
+    /// gradient slot per parameter index used (missing slots are `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar.
+    pub fn backward(&self, loss: Var) -> Vec<Option<Matrix>> {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::scalar(1.0));
+        let mut out: Vec<Option<Matrix>> = vec![None; self.num_params];
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Leaf { param } => {
+                    if let Some(slot) = param {
+                        match &mut out[*slot] {
+                            Some(acc) => acc.add_assign(&g),
+                            slot_ref => *slot_ref = Some(g),
+                        }
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    accumulate(&mut grads, *a, g.matmul_nt(mb));
+                    accumulate(&mut grads, *b, ma.matmul_tn(&g));
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddRow(a, bias) => {
+                    let mut gb = Matrix::zeros(1, g.cols);
+                    for r in 0..g.rows {
+                        for (o, &x) in gb.data.iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *bias, gb);
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::AddN(vars) => {
+                    for v in vars {
+                        accumulate(&mut grads, *v, g.clone());
+                    }
+                }
+                Op::Relu(a) => {
+                    let mut ga = g;
+                    for (x, &v) in ga.data.iter_mut().zip(&self.nodes[i].value.data) {
+                        if v <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Dropout(a, mask) => {
+                    let mut ga = g;
+                    for (x, &m) in ga.data.iter_mut().zip(mask) {
+                        *x *= m;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (ca, cb) = (
+                        self.nodes[a.0].value.cols,
+                        self.nodes[b.0].value.cols,
+                    );
+                    let mut ga = Matrix::zeros(g.rows, ca);
+                    let mut gb = Matrix::zeros(g.rows, cb);
+                    for r in 0..g.rows {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::SumRows(a) => {
+                    let rows = self.nodes[a.0].value.rows;
+                    let mut ga = Matrix::zeros(rows, g.cols);
+                    for r in 0..rows {
+                        ga.row_mut(r).copy_from_slice(g.row(0));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Gather(a, idx) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows, src.cols);
+                    for (r, &j) in idx.iter().enumerate() {
+                        let dst = ga.row_mut(j as usize);
+                        for (o, &x) in dst.iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ScatterAdd(a, idx, _rows) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows, src.cols);
+                    for (r, &j) in idx.iter().enumerate() {
+                        ga.row_mut(r).copy_from_slice(g.row(j as usize));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ScaleRows(a, w) => {
+                    let mut ga = g;
+                    for (r, &k) in w.iter().enumerate() {
+                        for x in ga.row_mut(r) {
+                            *x *= k;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Scale(a, k) => {
+                    let mut ga = g;
+                    ga.scale_assign(*k);
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::MapeLoss(pred, targets) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = targets.len().max(1) as f32;
+                    let scale = g.data[0] / n;
+                    let mut gp = Matrix::zeros(p.rows, 1);
+                    for (r, &t) in targets.iter().enumerate() {
+                        if t.abs() > 1e-12 {
+                            let sign = if p.data[r] >= t { 1.0 } else { -1.0 };
+                            gp.data[r] = scale * sign / t.abs();
+                        }
+                    }
+                    accumulate(&mut grads, *pred, gp);
+                }
+                Op::MseLoss(pred, targets) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = targets.len().max(1) as f32;
+                    let scale = 2.0 * g.data[0] / n;
+                    let mut gp = Matrix::zeros(p.rows, 1);
+                    for (r, &t) in targets.iter().enumerate() {
+                        gp.data[r] = scale * (p.data[r] - t);
+                    }
+                    accumulate(&mut grads, *pred, gp);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of nodes recorded (for memory diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut grads[v.0] {
+        Some(acc) => acc.add_assign(&g),
+        slot => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check for a scalar function of params.
+    fn grad_check<F>(param: Matrix, f: F)
+    where
+        F: Fn(&mut Tape, Var) -> Var,
+    {
+        let mut tape = Tape::new();
+        let p = tape.param(0, param.clone());
+        let loss = f(&mut tape, p);
+        let grads = tape.backward(loss);
+        let analytic = grads[0].as_ref().expect("param grad");
+
+        let eps = 1e-3f32;
+        for k in 0..param.len() {
+            let mut plus = param.clone();
+            plus.data[k] += eps;
+            let mut tp = Tape::new();
+            let vp = tp.param(0, plus);
+            let lp = f(&mut tp, vp);
+            let fp = tp.value(lp).data[0];
+
+            let mut minus = param.clone();
+            minus.data[k] -= eps;
+            let mut tm = Tape::new();
+            let vm = tm.param(0, minus);
+            let lm = f(&mut tm, vm);
+            let fm = tm.value(lm).data[0];
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.data[k];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad[{k}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul_mse() {
+        let w = Matrix::from_vec(2, 2, vec![0.3, -0.2, 0.5, 0.7]);
+        grad_check(w, |t, p| {
+            let x = t.leaf(Matrix::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 0.3, -0.7]));
+            let h = t.matmul(x, p);
+            let w2 = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+            let y = t.matmul(h, w2);
+            t.mse_loss(y, &[0.5, -0.2, 0.1])
+        });
+    }
+
+    #[test]
+    fn grad_relu_chain() {
+        let w = Matrix::from_vec(2, 1, vec![0.8, -0.6]);
+        grad_check(w, |t, p| {
+            let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.5, 1.5]));
+            let h = t.matmul(x, p);
+            let r = t.relu(h);
+            t.mse_loss(r, &[1.0, 0.0])
+        });
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        let w = Matrix::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        grad_check(w, |t, p| {
+            let g = t.gather(p, &[0, 2, 2, 1]);
+            let s = t.scatter_add(g, &[1, 0, 1, 1], 2);
+            let v = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+            let y = t.matmul(s, v);
+            t.mse_loss(y, &[0.2, -0.1])
+        });
+    }
+
+    #[test]
+    fn grad_sum_rows_concat() {
+        let w = Matrix::from_vec(2, 2, vec![0.4, -0.1, 0.2, 0.9]);
+        grad_check(w, |t, p| {
+            let s = t.sum_rows(p); // [1,2]
+            let c = t.concat_cols(s, s); // [1,4]
+            let v = t.leaf(Matrix::from_vec(4, 1, vec![1.0, 0.5, -0.5, 2.0]));
+            let y = t.matmul(c, v);
+            t.mse_loss(y, &[0.3])
+        });
+    }
+
+    #[test]
+    fn grad_scale_rows_bias() {
+        let w = Matrix::from_vec(1, 3, vec![0.1, -0.2, 0.3]);
+        grad_check(w, |t, p| {
+            let x = t.leaf(Matrix::from_vec(2, 3, vec![1.0; 6]));
+            let h = t.add_row(x, p);
+            let sc = t.scale_rows(h, &[0.5, 2.0]);
+            let s = t.sum_rows(sc);
+            let v = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]));
+            let y = t.matmul(s, v);
+            t.mse_loss(y, &[1.0])
+        });
+    }
+
+    #[test]
+    fn grad_mape() {
+        let w = Matrix::from_vec(1, 1, vec![0.9]);
+        grad_check(w, |t, p| {
+            let x = t.leaf(Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+            let y = t.matmul(x, p);
+            t.mape_loss(y, &[1.2, 1.5])
+        });
+    }
+
+    #[test]
+    fn grad_add_n_and_scale() {
+        let w = Matrix::from_vec(2, 2, vec![0.2, 0.3, -0.4, 0.6]);
+        grad_check(w, |t, p| {
+            let a = t.scale(p, 0.5);
+            let b = t.relu(p);
+            let s = t.add_n(vec![a, b, p]);
+            let sr = t.sum_rows(s);
+            let v = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -2.0]));
+            let y = t.matmul(sr, v);
+            t.mse_loss(y, &[0.1])
+        });
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = Rng64::new(0);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let d = t.dropout(x, 0.5, false, &mut rng);
+        assert_eq!(t.value(d).data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dropout_train_masks_and_scales() {
+        let mut rng = Rng64::new(7);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 1000, vec![1.0; 1000]));
+        let d = t.dropout(x, 0.4, true, &mut rng);
+        let kept = t.value(d).data.iter().filter(|&&v| v > 0.0).count();
+        assert!((450..750).contains(&kept), "kept {kept}");
+        for &v in &t.value(d).data {
+            assert!(v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unused_params_get_none() {
+        let mut t = Tape::new();
+        let p0 = t.param(0, Matrix::scalar(1.0));
+        let _p1 = t.param(1, Matrix::scalar(2.0));
+        let loss = t.mse_loss(p0, &[0.0]);
+        let grads = t.backward(loss);
+        assert!(grads[0].is_some());
+        assert!(grads[1].is_none());
+    }
+
+    #[test]
+    fn shared_param_accumulates() {
+        let mut t = Tape::new();
+        let p = t.param(0, Matrix::scalar(3.0));
+        let s = t.add(p, p); // y = 2p, dy/dp = 2
+        let loss = t.mse_loss(s, &[0.0]); // L = (2p)^2, dL/dp = 8p = 24
+        let g = t.backward(loss);
+        assert!((g[0].as_ref().unwrap().data[0] - 24.0).abs() < 1e-4);
+    }
+}

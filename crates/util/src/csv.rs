@@ -1,0 +1,132 @@
+//! Minimal CSV writer used by the benchmark binaries to dump figure data
+//! (e.g. the Pareto-frontier series of the paper's Fig. 4) without pulling
+//! in a serialization dependency.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV document with a fixed header row.
+///
+/// # Examples
+///
+/// ```
+/// use pg_util::CsvWriter;
+/// let mut csv = CsvWriter::new(&["latency", "power"]);
+/// csv.row(&[1.0, 0.25]);
+/// assert!(csv.to_string().starts_with("latency,power\n"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvWriter {
+    /// Creates a writer with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        CsvWriter {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a numeric row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.header.len(),
+            "csv row width mismatch: got {}, header has {}",
+            values.len(),
+            self.header.len()
+        );
+        self.rows
+            .push(values.iter().map(|v| format!("{v}")).collect());
+    }
+
+    /// Appends a row of raw strings (escaped if they contain commas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row_strs(&mut self, values: &[&str]) {
+        assert_eq!(values.len(), self.header.len(), "csv row width mismatch");
+        self.rows
+            .push(values.iter().map(|s| escape(s)).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the filesystem.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_string())
+    }
+}
+
+impl std::fmt::Display for CsvWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        writeln!(out, "{}", self.header.join(",")).ok();
+        for row in &self.rows {
+            writeln!(out, "{}", row.join(",")).ok();
+        }
+        f.write_str(&out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut csv = CsvWriter::new(&["a", "b"]);
+        csv.row(&[1.0, 2.5]);
+        csv.row(&[3.0, 4.0]);
+        let text = csv.to_string();
+        assert_eq!(text, "a,b\n1,2.5\n3,4\n");
+        assert_eq!(csv.len(), 2);
+        assert!(!csv.is_empty());
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut csv = CsvWriter::new(&["name"]);
+        csv.row_strs(&["a,b"]);
+        csv.row_strs(&["say \"hi\""]);
+        let text = csv.to_string();
+        assert!(text.contains("\"a,b\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        CsvWriter::new(&["a"]).row(&[1.0, 2.0]);
+    }
+}

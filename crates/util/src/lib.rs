@@ -1,0 +1,25 @@
+//! Shared utilities for the PowerGear reproduction workspace.
+//!
+//! Provides a deterministic pseudo-random number generator ([`Rng64`]),
+//! summary statistics used throughout the evaluation harness, and plain-text
+//! table/CSV writers used by the benchmark binaries to regenerate the
+//! paper's tables and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_util::{mean, Rng64};
+//! let mut rng = Rng64::new(1);
+//! let xs: Vec<f64> = (0..8).map(|_| rng.f64()).collect();
+//! assert!(mean(&xs) > 0.0);
+//! ```
+
+pub mod csv;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use csv::CsvWriter;
+pub use rng::Rng64;
+pub use stats::{mape, mean, median, percentile, stddev};
+pub use table::Table;

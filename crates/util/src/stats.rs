@@ -1,0 +1,149 @@
+//! Summary statistics shared by the evaluation harness.
+//!
+//! The paper reports estimation quality as mean absolute percentage error
+//! (MAPE) against on-board measurement; [`mape`] implements exactly that
+//! metric and the rest are helpers for dataset/table summaries.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pg_util::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for slices shorter than two.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (average of the middle two for even lengths); `0.0` when empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`; `0.0` when empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if v.len() == 1 {
+        return v[0];
+    }
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+/// Mean absolute percentage error (%), the paper's accuracy metric.
+///
+/// Targets with absolute value below `1e-12` are skipped to avoid division
+/// by zero (they do not occur in practice: power is strictly positive).
+///
+/// # Examples
+///
+/// ```
+/// let err = pg_util::mape(&[110.0, 90.0], &[100.0, 100.0]);
+/// assert!((err - 10.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn mape(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mape requires equal lengths");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pred.iter().zip(target) {
+        if t.abs() > 1e-12 {
+            total += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_matches_hand_computation() {
+        // |(1.1-1)/1| = 0.1, |(0.8-1)/1| = 0.2 -> 15 %
+        let e = mape(&[1.1, 0.8], &[1.0, 1.0]);
+        assert!((e - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let e = mape(&[1.0, 5.0], &[0.0, 4.0]);
+        assert!((e - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mape_length_mismatch_panics() {
+        mape(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dataset diagnostics: feature magnitudes, graph sizes and label ranges
+//! for one kernel's design space — useful when tuning training
+//! hyperparameters or validating a new oracle calibration.
+//!
+//! ```text
+//! cargo run --release --example feature_stats [kernel] [size] [samples]
+//! ```
+
+use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = args.first().map(|s| s.as_str()).unwrap_or("atax");
+    let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
+
+    let kernel = polybench::by_name(kernel_name, size)
+        .unwrap_or_else(|| panic!("unknown kernel `{kernel_name}`"));
+    let cfg = DatasetConfig {
+        size,
+        max_samples: samples,
+        seed: 1,
+        threads: 2,
+    };
+    let ds = build_kernel_dataset(&kernel, &cfg);
+
+    let mut max_edge = [0f32; 4];
+    let mut max_node_sa = 0f32;
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    for s in &ds.samples {
+        nodes.push(s.graph.num_nodes as f64);
+        edges.push(s.graph.num_edges() as f64);
+        for ef in &s.graph.edge_feats {
+            for k in 0..4 {
+                max_edge[k] = max_edge[k].max(ef[k]);
+            }
+        }
+        for n in 0..s.graph.num_nodes {
+            let f = s.graph.node(n);
+            max_node_sa = max_node_sa.max(f[28 + 3]);
+        }
+    }
+    let span = |v: &[f64]| {
+        (
+            v.iter().cloned().fold(f64::MAX, f64::min),
+            v.iter().cloned().fold(0.0f64, f64::max),
+            v.iter().sum::<f64>() / v.len().max(1) as f64,
+        )
+    };
+    let (nmin, nmax, nmean) = span(&nodes);
+    let (emin, emax, emean) = span(&edges);
+    println!("kernel {kernel_name} (size {size}), {} design points", ds.samples.len());
+    println!("graph nodes : min {nmin:.0}  max {nmax:.0}  mean {nmean:.1}");
+    println!("graph edges : min {emin:.0}  max {emax:.0}  mean {emean:.1}");
+    println!("max edge features [SA_src, SA_snk, AR_src, AR_snk]: {max_edge:?}");
+    println!("max node sa_overall: {max_node_sa:.3}");
+
+    let dyn_: Vec<f64> = ds
+        .labeled(PowerTarget::Dynamic)
+        .iter()
+        .map(|x| x.1)
+        .collect();
+    let tot: Vec<f64> = ds.labeled(PowerTarget::Total).iter().map(|x| x.1).collect();
+    let lat: Vec<f64> = ds.samples.iter().map(|s| s.latency as f64).collect();
+    let (dmin, dmax, dmean) = span(&dyn_);
+    let (tmin, tmax, tmean) = span(&tot);
+    let (lmin, lmax, _) = span(&lat);
+    println!("dynamic power: min {dmin:.3} W  max {dmax:.3} W  mean {dmean:.3} W");
+    println!("total power  : min {tmin:.3} W  max {tmax:.3} W  mean {tmean:.3} W");
+    println!("latency      : min {lmin:.0}  max {lmax:.0} cycles");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: train PowerGear on a few kernels and estimate power for a
+//! new design point.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks the full Fig. 1 flow at a small scale: dataset construction
+//! (HLS → activity trace → graph → oracle labels), HEC-GNN ensemble
+//! training, and inference on an unseen directive configuration.
+
+use powergear::{PowerGear, PowerGearConfig};
+use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
+use pg_hls::Directives;
+
+fn main() {
+    // 1. Build labeled datasets for three kernels (small problem size so
+    //    this example runs in tens of seconds).
+    let cfg = DatasetConfig {
+        size: 8,
+        max_samples: 32,
+        seed: 1,
+        threads: 2,
+    };
+    println!("building datasets (HLS -> trace -> graph -> oracle)...");
+    let datasets: Vec<_> = [polybench::mvt(8), polybench::bicg(8), polybench::atax(8)]
+        .iter()
+        .map(|k| {
+            let ds = build_kernel_dataset(k, &cfg);
+            println!(
+                "  {:8} {:3} samples, avg {:5.1} graph nodes",
+                ds.kernel,
+                ds.samples.len(),
+                ds.avg_nodes()
+            );
+            ds
+        })
+        .collect();
+
+    // 2. Train the PowerGear estimator (scaled-down hyperparameters).
+    let mut pg_cfg = PowerGearConfig::quick();
+    pg_cfg.hidden = 16;
+    pg_cfg.epochs = 15;
+    pg_cfg.folds = 2;
+    println!("training HEC-GNN ensembles (total + dynamic)...");
+    let model = PowerGear::fit(&datasets, &pg_cfg);
+
+    // 3. Estimate power for a *new* design point of mvt.
+    let kernel = polybench::mvt(8);
+    let mut directives = Directives::new();
+    directives
+        .pipeline("j")
+        .unroll("j", 4)
+        .partition("A", 4)
+        .partition("y1", 4);
+    let est = model
+        .estimate(&kernel, &directives)
+        .expect("directives are valid for mvt");
+    println!("\nnew design point: mvt with {directives}");
+    println!("  estimated total power   : {:.3} W", est.total_w);
+    println!("  estimated dynamic power : {:.3} W", est.dynamic_w);
+    println!("  HLS latency             : {} cycles", est.latency_cycles);
+    println!("  graph size              : {} nodes", est.graph_nodes);
+
+    // 4. Compare against the simulated board measurement (the oracle that
+    //    produced the training labels).
+    let sample = pg_datasets::build_sample(
+        &kernel,
+        &directives,
+        &pg_activity::Stimuli::for_kernel(&kernel, 1),
+        &datasets[0].baseline,
+    );
+    println!("\nsimulated measurement (ground-truth oracle):");
+    println!("  total   {:.3} W", sample.power.total);
+    println!("  dynamic {:.3} W", sample.power.dynamic);
+    let within = datasets[0].labeled(PowerTarget::Total);
+    println!(
+        "\n(model was fit on {} labeled designs across 3 kernels)",
+        within.len() * 3
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the PowerGear reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so that the
+//! root-level `examples/` and `tests/` can exercise the whole system.
+pub use pg_activity as activity;
+pub use pg_datasets as datasets;
+pub use pg_dse as dse;
+pub use pg_gnn as gnn;
+pub use pg_graphcon as graphcon;
+pub use pg_hlpow as hlpow;
+pub use pg_hls as hls;
+pub use pg_ir as ir;
+pub use pg_powersim as powersim;
+pub use pg_tensor as tensor;
+pub use pg_util as util;
+pub use powergear;

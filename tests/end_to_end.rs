@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full PowerGear pipeline from kernel
+//! source to power prediction.
+
+use powergear_repro::activity::{execute, Stimuli};
+use powergear_repro::datasets::{
+    build_kernel_dataset, leave_one_out, polybench, DatasetConfig, PowerTarget,
+};
+use powergear_repro::graphcon::GraphFlow;
+use powergear_repro::hls::{Directives, HlsFlow};
+use powergear_repro::powergear::{PowerGear, PowerGearConfig};
+use powergear_repro::powersim::{BoardOracle, VivadoEstimator};
+
+fn tiny_cfg() -> DatasetConfig {
+    DatasetConfig {
+        size: 6,
+        max_samples: 12,
+        seed: 1,
+        threads: 1,
+    }
+}
+
+#[test]
+fn kernel_to_graph_to_label() {
+    let kernel = polybench::gesummv(6);
+    let mut d = Directives::new();
+    d.pipeline("j").unroll("j", 2).partition("A", 2);
+    let design = HlsFlow::new().run(&kernel, &d).expect("synthesis");
+    let trace = execute(&design, &Stimuli::for_kernel(&kernel, 0));
+    let graph = GraphFlow::new().build(&design, &trace);
+    assert!(graph.validate().is_ok());
+    assert!(graph.num_nodes > 10);
+    assert!(graph.num_edges() > graph.num_nodes / 2);
+    let power = BoardOracle::default().measure(&design, &trace);
+    assert!(power.dynamic > 0.0 && power.dynamic < 2.0);
+    assert!(power.static_ > 0.2 && power.static_ < 1.0);
+}
+
+#[test]
+fn all_nine_kernels_flow_end_to_end() {
+    for kernel in polybench::polybench(6) {
+        let design = HlsFlow::new()
+            .run(&kernel, &Directives::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        let trace = execute(&design, &Stimuli::for_kernel(&kernel, 0));
+        let graph = GraphFlow::new().build(&design, &trace);
+        assert!(graph.validate().is_ok(), "{} graph invalid", kernel.name);
+        let power = BoardOracle::default().measure(&design, &trace);
+        assert!(power.total > power.dynamic, "{}", kernel.name);
+    }
+}
+
+#[test]
+fn fit_predict_and_transfer() {
+    let datasets = vec![
+        build_kernel_dataset(&polybench::mvt(6), &tiny_cfg()),
+        build_kernel_dataset(&polybench::bicg(6), &tiny_cfg()),
+        build_kernel_dataset(&polybench::atax(6), &tiny_cfg()),
+    ];
+    let cfg = PowerGearConfig {
+        hidden: 12,
+        epochs: 10,
+        folds: 2,
+        seeds: vec![3],
+        batch_size: 16,
+        lr: 3e-3,
+        threads: 1,
+    };
+    let model = PowerGear::fit(&datasets, &cfg);
+    // transfer to a kernel family member with unseen directives
+    let kernel = polybench::mvt(6);
+    let mut d = Directives::new();
+    d.pipeline("j2").unroll("j2", 3);
+    let est = model.estimate(&kernel, &d).expect("estimate");
+    assert!(est.total_w.is_finite() && est.total_w > 0.0);
+    assert!(est.dynamic_w.is_finite() && est.dynamic_w > 0.0);
+}
+
+#[test]
+fn leave_one_out_protocol() {
+    let datasets = vec![
+        build_kernel_dataset(&polybench::mvt(6), &tiny_cfg()),
+        build_kernel_dataset(&polybench::bicg(6), &tiny_cfg()),
+    ];
+    let split = leave_one_out(&datasets, "bicg");
+    assert!(split.train.iter().all(|s| s.kernel == "mvt"));
+    assert!(split.test.iter().all(|s| s.kernel == "bicg"));
+    let train = split.train_labeled(PowerTarget::Dynamic);
+    let test = split.test_labeled(PowerTarget::Dynamic);
+    assert!(!train.is_empty() && !test.is_empty());
+}
+
+#[test]
+fn deterministic_pipeline() {
+    let kernel = polybench::syrk(6);
+    let run = || {
+        let mut d = Directives::new();
+        d.pipeline("k").partition("A", 2);
+        let design = HlsFlow::new().run(&kernel, &d).unwrap();
+        let trace = execute(&design, &Stimuli::for_kernel(&kernel, 0));
+        let graph = GraphFlow::new().build(&design, &trace);
+        let power = BoardOracle::default().measure(&design, &trace);
+        (graph, power)
+    };
+    let (g1, p1) = run();
+    let (g2, p2) = run();
+    assert_eq!(g1, g2);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn vivado_surrogate_miscalibration_story() {
+    // the paper's observation: the estimator ignores power gating, so its
+    // raw static estimate is far above the measured one
+    let kernel = polybench::atax(6);
+    let design = HlsFlow::new().run(&kernel, &Directives::new()).unwrap();
+    let trace = execute(&design, &Stimuli::for_kernel(&kernel, 0));
+    let truth = BoardOracle::default().measure(&design, &trace);
+    let est = VivadoEstimator::new().estimate_raw(&design);
+    assert!(est.static_ > 1.5 * truth.static_);
+}
+
+#[test]
+fn labels_span_a_design_space() {
+    let ds = build_kernel_dataset(&polybench::gemm(6), &tiny_cfg());
+    let dyns: Vec<f64> = ds
+        .samples
+        .iter()
+        .map(|s| s.power.dynamic)
+        .collect();
+    let lo = dyns.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = dyns.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        hi / lo > 1.2,
+        "design space should spread dynamic power ({lo} .. {hi})"
+    );
+    // latency/power tradeoff direction: min-latency design uses more power
+    // than the min-power design
+    let fastest = ds
+        .samples
+        .iter()
+        .min_by_key(|s| s.latency)
+        .expect("non-empty");
+    let frugal = ds
+        .samples
+        .iter()
+        .min_by(|a, b| a.power.dynamic.partial_cmp(&b.power.dynamic).unwrap())
+        .expect("non-empty");
+    assert!(fastest.power.dynamic >= frugal.power.dynamic);
+    assert!(fastest.latency <= frugal.latency);
+}

@@ -1,0 +1,213 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use powergear_repro::activity::{activation_rate, execute, switching_activity, Stimuli};
+use powergear_repro::dse::{adrs, dominates, pareto_frontier, run_dse, DseConfig, Point};
+use powergear_repro::graphcon::GraphFlow;
+use powergear_repro::hls::{Directives, FuLibrary, HlsFlow};
+use powergear_repro::ir::expr::{aff, Expr};
+use powergear_repro::ir::{ArrayKind, Kernel, KernelBuilder, Opcode};
+use powergear_repro::tensor::{Matrix, Tape};
+
+/// A small random-but-valid kernel family: `y[i] = y[i] + a[i]*x[i] ...`
+/// with parameterized trip count and extra terms.
+fn kernel_with(trip: usize, terms: usize) -> Kernel {
+    KernelBuilder::new("prop")
+        .array("a", &[trip], ArrayKind::Input)
+        .array("x", &[trip], ArrayKind::Input)
+        .array("y", &[trip], ArrayKind::Output)
+        .loop_("i", trip, |b| {
+            let mut e = Expr::load("y", vec![aff("i")]);
+            for _ in 0..terms {
+                e = e + Expr::load("a", vec![aff("i")]) * Expr::load("x", vec![aff("i")]);
+            }
+            b.assign(("y", vec![aff("i")]), e);
+        })
+        .build()
+        .expect("well-formed")
+}
+
+fn arb_directives(trip: usize) -> impl Strategy<Value = Directives> {
+    (any::<bool>(), 0usize..4, 0usize..4).prop_map(move |(pipe, unroll_pow, part_pow)| {
+        let mut d = Directives::new();
+        if pipe {
+            d.pipeline("i");
+        }
+        let u = 1 << unroll_pow;
+        if u > 1 && u <= trip {
+            d.unroll("i", u);
+        }
+        let p = 1 << part_pow;
+        if p > 1 {
+            d.partition("a", p).partition("x", p).partition("y", p);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scheduling respects dataflow dependencies and never oversubscribes
+    /// memory ports, for any directive combination.
+    #[test]
+    fn schedule_invariants(trip in prop::sample::select(vec![4usize, 8, 16]),
+                           terms in 1usize..3,
+                           d in arb_directives(16)) {
+        let kernel = kernel_with(trip, terms);
+        let d = {
+            // clamp unroll to the actual trip
+            let mut dd = Directives::new();
+            if d.is_pipelined("i") { dd.pipeline("i"); }
+            let u = d.unroll_factor("i").min(trip);
+            if u > 1 { dd.unroll("i", u); }
+            let p = d.partition_factor("a");
+            if p > 1 { dd.partition("a", p).partition("x", p).partition("y", p); }
+            dd
+        };
+        let lib = FuLibrary::default();
+        let design = HlsFlow::new().run(&kernel, &d).unwrap();
+        // dependencies
+        for op in &design.ir.ops {
+            let start = design.schedule.op_start(&design.ir, op.id);
+            for u in op.value_operands() {
+                let def = design.ir.op(u);
+                if def.block == op.block {
+                    let def_done = design.schedule.op_start(&design.ir, u) + lib.latency(def.opcode);
+                    prop_assert!(start >= def_done);
+                }
+            }
+        }
+        // latency is positive and grows with trip count
+        prop_assert!(design.report.latency_cycles as usize >= trip);
+    }
+
+    /// The interpreter computes the same final arrays no matter which
+    /// directives are applied (hardware transformations preserve function).
+    #[test]
+    fn directives_preserve_semantics(d in arb_directives(8)) {
+        let kernel = kernel_with(8, 1);
+        let stim = Stimuli::for_kernel(&kernel, 3);
+        let base = HlsFlow::new().run(&kernel, &Directives::new()).unwrap();
+        let opt = HlsFlow::new().run(&kernel, &d).unwrap();
+        let r0 = execute(&base, &stim);
+        let r1 = execute(&opt, &stim);
+        prop_assert_eq!(&r0.final_arrays["y"], &r1.final_arrays["y"]);
+    }
+
+    /// SA/AR relationships from Eq. 2/3: AR <= SA <= 32*AR for 32-bit
+    /// sequences, both zero for constant sequences.
+    #[test]
+    fn sa_ar_bounds(values in prop::collection::vec(any::<u32>(), 2..40),
+                    latency in 40u64..200) {
+        let events: Vec<(u64, u32)> = values.iter().enumerate()
+            .map(|(i, &v)| (i as u64, v)).collect();
+        let sa = switching_activity(&events, latency);
+        let ar = activation_rate(&events, latency);
+        prop_assert!(sa >= ar - 1e-12, "SA {sa} < AR {ar}");
+        prop_assert!(sa <= 32.0 * ar + 1e-12);
+        prop_assert!(ar <= 1.0 + (values.len() as f64 / latency as f64));
+    }
+
+    /// The constructed graph is structurally valid for random directive
+    /// settings, and trimmable opcodes never survive.
+    #[test]
+    fn graph_flow_invariants(d in arb_directives(8)) {
+        let kernel = kernel_with(8, 2);
+        let design = HlsFlow::new().run(&kernel, &d).unwrap();
+        let trace = execute(&design, &Stimuli::for_kernel(&kernel, 0));
+        let g = GraphFlow::new().build(&design, &trace);
+        prop_assert!(g.validate().is_ok());
+        // no trimmable opcode slot is hot in any node's one-hot block
+        for n in 0..g.num_nodes {
+            let f = g.node(n);
+            for op in [Opcode::SExt, Opcode::ZExt, Opcode::Trunc, Opcode::Br] {
+                prop_assert_eq!(f[5 + op.index()], 0.0);
+            }
+        }
+    }
+
+    /// Pareto frontier members are mutually non-dominating and cover all
+    /// other points; ADRS(Γ, Γ) = 0.
+    #[test]
+    fn pareto_adrs_properties(raw in prop::collection::vec((1u32..1000, 1u32..1000), 3..60)) {
+        let pts: Vec<Point> = raw.iter().enumerate()
+            .map(|(i, &(l, p))| Point { id: i, latency: l as f64, power: p as f64 })
+            .collect();
+        let front = pareto_frontier(&pts);
+        prop_assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                if a.id != b.id {
+                    prop_assert!(!dominates(a, b));
+                }
+            }
+        }
+        for p in &pts {
+            let covered = front.iter().any(|f|
+                dominates(f, p) || (f.latency == p.latency && f.power == p.power));
+            prop_assert!(covered || front.iter().any(|f| f.id == p.id));
+        }
+        prop_assert!(adrs(&front, &front) < 1e-12);
+    }
+
+    /// DSE with the exact oracle as predictor and full budget always
+    /// reaches ADRS 0; a partial budget never yields negative ADRS.
+    #[test]
+    fn dse_budget_properties(raw in prop::collection::vec((1u32..500, 1u32..500), 8..40),
+                             seed in 0u64..50) {
+        let lat: Vec<f64> = raw.iter().map(|&(l, _)| l as f64).collect();
+        let pow: Vec<f64> = raw.iter().map(|&(_, p)| p as f64).collect();
+        let full = run_dse(&lat, &pow, &pow, &DseConfig::with_budget(1.0, seed));
+        prop_assert!(full.adrs < 1e-12);
+        let part = run_dse(&lat, &pow, &pow, &DseConfig::with_budget(0.3, seed));
+        prop_assert!(part.adrs >= 0.0);
+        prop_assert!(part.sampled.len() <= full.sampled.len());
+    }
+
+    /// Autograd matches finite differences for a random two-layer network.
+    #[test]
+    fn autograd_matches_finite_difference(
+        w_vals in prop::collection::vec(-0.9f32..0.9, 6),
+        x_vals in prop::collection::vec(-1.0f32..1.0, 6)
+    ) {
+        let w = Matrix::from_vec(3, 2, w_vals.clone());
+        let x = Matrix::from_vec(2, 3, x_vals.clone());
+        let f = |wm: Matrix| -> f32 {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let wv = t.param(0, wm);
+            let h = t.matmul(xv, wv);
+            let r = t.relu(h);
+            let s = t.sum_rows(r);
+            let ones = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+            let y = t.matmul(s, ones);
+            let loss = t.mse_loss(y, &[0.3]);
+            t.value(loss).data[0]
+        };
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let wv = t.param(0, w.clone());
+        let h = t.matmul(xv, wv);
+        let r = t.relu(h);
+        let s = t.sum_rows(r);
+        let ones = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+        let y = t.matmul(s, ones);
+        let loss = t.mse_loss(y, &[0.3]);
+        let grads = t.backward(loss);
+        let g = grads[0].as_ref().unwrap();
+        let eps = 1e-2f32;
+        for k in 0..w.len() {
+            let mut plus = w.clone();
+            plus.data[k] += eps;
+            let mut minus = w.clone();
+            minus.data[k] -= eps;
+            let numeric = (f(plus) - f(minus)) / (2.0 * eps);
+            prop_assert!(
+                (g.data[k] - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "grad[{}]: {} vs {}", k, g.data[k], numeric
+            );
+        }
+    }
+}

@@ -163,7 +163,14 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
                     per_op[vid.idx()].inputs[k].push((t, v.bits()));
                     vals.push(v);
                 }
-                let result = step(op.opcode, &vals, op, &env, mem_slot[vid.idx()], &mut array_data);
+                let result = step(
+                    op.opcode,
+                    &vals,
+                    op,
+                    &env,
+                    mem_slot[vid.idx()],
+                    &mut array_data,
+                );
                 regs[vid.idx()] = result;
                 per_op[vid.idx()].outputs.push((t, result.bits()));
             }
@@ -171,10 +178,7 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
         block_base += total as u64 * iter_stride + bs.depth as u64 + 1;
     }
 
-    let final_arrays: HashMap<String, Vec<f32>> = array_names
-        .into_iter()
-        .zip(array_data)
-        .collect();
+    let final_arrays: HashMap<String, Vec<f32>> = array_names.into_iter().zip(array_data).collect();
     ExecutionTrace {
         per_op,
         latency: design.report.latency_cycles,
@@ -284,9 +288,9 @@ mod tests {
         let k = axpy();
         let (_d, stim, trace) = run(&k, &Directives::new());
         let y = &trace.final_arrays["y"];
-        for i in 0..16 {
+        for (i, &yi) in y.iter().enumerate().take(16) {
             let expect = stim.arrays["y"][i] + stim.arrays["a"][i] * stim.arrays["x"][i];
-            assert!((y[i] - expect).abs() < 1e-6, "y[{i}] = {} != {expect}", y[i]);
+            assert!((yi - expect).abs() < 1e-6, "y[{i}] = {yi} != {expect}");
         }
     }
 
@@ -295,7 +299,10 @@ mod tests {
         let k = axpy();
         let (_d0, _s0, t0) = run(&k, &Directives::new());
         let mut d = Directives::new();
-        d.pipeline("i").unroll("i", 4).partition("a", 4).partition("y", 2);
+        d.pipeline("i")
+            .unroll("i", 4)
+            .partition("a", 4)
+            .partition("y", 2);
         let (_d1, _s1, t1) = run(&k, &d);
         assert_eq!(t0.final_arrays["y"], t1.final_arrays["y"]);
     }

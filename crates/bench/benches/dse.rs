@@ -72,9 +72,7 @@ fn bench_dse_loop(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("budget{}", (budget * 100.0) as u32)),
             &budget,
-            |b, &budget| {
-                b.iter(|| run_dse(&lat, &pow, &noisy, &DseConfig::with_budget(budget, 7)))
-            },
+            |b, &budget| b.iter(|| run_dse(&lat, &pow, &noisy, &DseConfig::with_budget(budget, 7))),
         );
     }
     g.finish();

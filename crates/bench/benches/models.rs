@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
-use pg_gnn::{GraphBatch, ModelConfig, PowerModel, Arch};
+use pg_gnn::{Arch, GraphBatch, ModelConfig, PowerModel};
 use pg_graphcon::PowerGraph;
 use pg_hlpow::HlPowModel;
 use pg_tensor::Tape;

@@ -27,7 +27,9 @@ fn bench_stage_pipeline(c: &mut Criterion) {
         b.iter(|| flow.run(&kernel, &d).expect("synthesis"))
     });
     g.bench_function("activity_trace", |b| b.iter(|| execute(&design, &stim)));
-    g.bench_function("graph_construction", |b| b.iter(|| gf.build(&design, &trace)));
+    g.bench_function("graph_construction", |b| {
+        b.iter(|| gf.build(&design, &trace))
+    });
     g.bench_function("oracle_measure", |b| {
         b.iter(|| BoardOracle::default().measure(&design, &trace))
     });
@@ -74,7 +76,9 @@ fn bench_speedup_pair(c: &mut Criterion) {
             ensemble.predict(&[&graph])
         })
     });
-    g.bench_function("vivado_estimation_flow", |b| b.iter(|| est.estimate_raw(&design)));
+    g.bench_function("vivado_estimation_flow", |b| {
+        b.iter(|| est.estimate_raw(&design))
+    });
     g.finish();
 }
 
@@ -88,7 +92,7 @@ fn bench_graph_scale(c: &mut Criterion) {
     for unroll in [1usize, 2, 4] {
         let mut d = Directives::new();
         if unroll > 1 {
-            d.pipeline("k").unroll("k", unroll).partition("A", unroll as usize);
+            d.pipeline("k").unroll("k", unroll).partition("A", unroll);
         }
         let design = flow.run(&kernel, &d).expect("synthesis");
         let trace: ExecutionTrace = execute(&design, &stim);

@@ -8,9 +8,9 @@
 //! cargo run -p powergear-bench --release --bin fig4 [-- --full]
 //! ```
 
-use powergear_bench::drivers::{evaluate_all, results_dir, EvalConfig};
 use pg_dse::{run_dse, DseConfig, Point};
 use pg_util::CsvWriter;
+use powergear_bench::drivers::{evaluate_all, results_dir, EvalConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,9 +49,16 @@ fn main() {
         }
         let path = results_dir().join(format!("fig4_{kernel}.csv"));
         csv.save(&path).expect("write csv");
-        eprintln!("[fig4] {kernel}: ADRS {:.4} -> {}", out.adrs, path.display());
+        eprintln!(
+            "[fig4] {kernel}: ADRS {:.4} -> {}",
+            out.adrs,
+            path.display()
+        );
 
-        println!("\nFig. 4 ({kernel}): latency vs dynamic power (ADRS {:.4})", out.adrs);
+        println!(
+            "\nFig. 4 ({kernel}): latency vs dynamic power (ADRS {:.4})",
+            out.adrs
+        );
         println!("{}", ascii_plot(&latency, &truth, &exact, &approx));
     }
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use pg_activity::{execute, Stimuli};
-use pg_datasets::{polybench, sample_space, DatasetConfig, PowerTarget};
+use pg_datasets::{polybench, sample_space, DatasetConfig};
 use pg_gnn::{evaluate_model, train_single, ModelConfig, TrainConfig};
 use pg_graphcon::{GraphConfig, GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsFlow};
@@ -78,7 +78,10 @@ fn build_with_flow(
     let gf = GraphFlow::with_config(flow_cfg);
     let oracle = BoardOracle::default();
     let stim = Stimuli::for_kernel(&kernel, ds_cfg.seed);
-    let baseline = hls.run(&kernel, &Directives::new()).expect("baseline").report;
+    let baseline = hls
+        .run(&kernel, &Directives::new())
+        .expect("baseline")
+        .report;
     sample_space(&kernel, ds_cfg.max_samples, ds_cfg.seed)
         .iter()
         .map(|d| {

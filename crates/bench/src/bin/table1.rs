@@ -6,8 +6,8 @@
 //! cargo run -p powergear-bench --release --bin table1 [-- --full] [--kernels atax,mvt]
 //! ```
 
-use powergear_bench::drivers::{evaluate_all, results_dir, EvalConfig};
 use pg_util::{mean, Table};
+use powergear_bench::drivers::{evaluate_all, results_dir, EvalConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,10 +44,13 @@ fn main() {
         let hlp_d = ctx.kernel_mape(k, |r| r.hlpow_dyn, |r| r.truth_dyn);
         let pg_d = ctx.kernel_mape(k, |r| r.pg_dyn, |r| r.truth_dyn);
         let speedup = info.viv_ms / info.pg_ms.max(1e-9);
-        let vals = [viv_t, hlp_t, pg_t, gcn, sage, gconv, gine, hlp_d, pg_d, speedup];
-        for (c, v) in cols.iter_mut().zip(
-            std::iter::once(info.avg_nodes).chain(vals.iter().copied()),
-        ) {
+        let vals = [
+            viv_t, hlp_t, pg_t, gcn, sage, gconv, gine, hlp_d, pg_d, speedup,
+        ];
+        for (c, v) in cols
+            .iter_mut()
+            .zip(std::iter::once(info.avg_nodes).chain(vals.iter().copied()))
+        {
             c.push(v);
         }
         table.row(vec![
@@ -66,7 +69,12 @@ fn main() {
             format!("{:.2}x", speedup),
         ]);
     }
-    let n_avg = mean(&ctx.info.iter().map(|i| i.n_samples as f64).collect::<Vec<_>>());
+    let n_avg = mean(
+        &ctx.info
+            .iter()
+            .map(|i| i.n_samples as f64)
+            .collect::<Vec<_>>(),
+    );
     table.row(vec![
         "Average".into(),
         format!("{n_avg:.0}"),

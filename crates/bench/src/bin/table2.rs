@@ -6,11 +6,17 @@
 //! cargo run -p powergear-bench --release --bin table2 [-- --full] [--kernels atax,mvt]
 //! ```
 
-use powergear_bench::drivers::{ablation_all, results_dir, EvalConfig};
 use pg_util::{mean, Table};
+use powergear_bench::drivers::{ablation_all, results_dir, EvalConfig};
 
 const VARIANTS: [&str; 7] = [
-    "w/o opt.", "w/o e.f.", "w/o dir.", "w/o hetr.", "w/o md.", "sgl.", "prop.",
+    "w/o opt.",
+    "w/o e.f.",
+    "w/o dir.",
+    "w/o hetr.",
+    "w/o md.",
+    "sgl.",
+    "prop.",
 ];
 
 fn main() {

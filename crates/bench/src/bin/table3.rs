@@ -7,9 +7,9 @@
 //! cargo run -p powergear-bench --release --bin table3 [-- --full]
 //! ```
 
-use powergear_bench::drivers::{evaluate_all, results_dir, EvalConfig};
 use pg_dse::{run_dse, DseConfig};
 use pg_util::{mean, Table};
+use powergear_bench::drivers::{evaluate_all, results_dir, EvalConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +19,12 @@ fn main() {
 
     let budgets = [0.2, 0.3, 0.4];
     let mut table = Table::new(&[
-        "Budget", "Vivado", "HL-Pow", "PowerGear", "vs Vivado", "vs HL-Pow",
+        "Budget",
+        "Vivado",
+        "HL-Pow",
+        "PowerGear",
+        "vs Vivado",
+        "vs HL-Pow",
     ]);
 
     for &budget in &budgets {

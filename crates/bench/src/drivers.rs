@@ -147,7 +147,10 @@ impl EvalConfig {
     pub fn kernel_names(&self) -> Vec<String> {
         match &self.kernels {
             Some(list) => list.clone(),
-            None => polybench::KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
+            None => polybench::KERNEL_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         }
     }
 }
@@ -247,7 +250,7 @@ pub fn build_datasets(cfg: &EvalConfig) -> Vec<KernelDataset> {
     let names = cfg.kernel_names();
     polybench::polybench(cfg.dataset.size)
         .iter()
-        .filter(|k| names.iter().any(|n| *n == k.name))
+        .filter(|k| names.contains(&k.name))
         .map(|k| {
             eprintln!("[dataset] building {} ...", k.name);
             build_kernel_dataset(k, &cfg.dataset)
@@ -302,8 +305,10 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
         for arch in [Arch::Gcn, Arch::Sage, Arch::GraphConv, Arch::Gine] {
             eprintln!("[eval]   training baseline {arch:?}...");
             let (tr, va) = holdout_split(&train_dyn, 0.2, 23);
-            let mut bc =
-                cfg.train_config(PowerTarget::Dynamic, ModelConfig::baseline(arch, cfg.hidden));
+            let mut bc = cfg.train_config(
+                PowerTarget::Dynamic,
+                ModelConfig::baseline(arch, cfg.hidden),
+            );
             bc.epochs = bc.epochs.min(56);
             bc.folds = 1; // single model
             let model = train_single(&tr, &va, &bc, 29);
@@ -335,12 +340,8 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
             .iter()
             .find(|d| d.kernel == held_out)
             .expect("dataset present");
-        let (pg_ms, viv_ms) = measure_runtimes(
-            ds,
-            &pg_dyn_model,
-            cfg.runtime_probes,
-            cfg.dataset.size,
-        );
+        let (pg_ms, viv_ms) =
+            measure_runtimes(ds, &pg_dyn_model, cfg.runtime_probes, cfg.dataset.size);
         ctx.info.push(KernelInfo {
             kernel: held_out.clone(),
             n_samples: ds.samples.len(),
@@ -506,12 +507,9 @@ fn load_cache(path: &Path) -> Option<EvalContext> {
             let f: Vec<&str> = rest.split(',').collect();
             // silently skip the section header and malformed lines
             if f.len() == 5 {
-                if let (Ok(n), Ok(a), Ok(p), Ok(v)) = (
-                    f[1].parse(),
-                    f[2].parse(),
-                    f[3].parse(),
-                    f[4].parse(),
-                ) {
+                if let (Ok(n), Ok(a), Ok(p), Ok(v)) =
+                    (f[1].parse(), f[2].parse(), f[3].parse(), f[4].parse())
+                {
                     ctx.info.push(KernelInfo {
                         kernel: f[0].to_string(),
                         n_samples: n,
@@ -575,7 +573,10 @@ mod tests {
             "--kernels".to_string(),
             "atax,mvt".to_string(),
         ]);
-        assert_eq!(cfg.dataset.max_samples, EvalConfig::full().dataset.max_samples);
+        assert_eq!(
+            cfg.dataset.max_samples,
+            EvalConfig::full().dataset.max_samples
+        );
         assert_eq!(cfg.kernel_names(), vec!["atax", "mvt"]);
     }
 

@@ -49,12 +49,13 @@ fn main() -> ExitCode {
             let Some(kernel) = load_kernel(&args) else {
                 return ExitCode::FAILURE;
             };
-            let n: usize = args
-                .get(2)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(20);
+            let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
             let configs = pg_datasets::sample_space(&kernel, n, 1);
-            println!("{} of the design space of `{}`:", configs.len(), kernel.name);
+            println!(
+                "{} of the design space of `{}`:",
+                configs.len(),
+                kernel.name
+            );
             for d in configs {
                 println!("  {d}");
             }
@@ -110,8 +111,10 @@ fn main() -> ExitCode {
                     println!("  total   : {:.4} W", p.total);
                     println!("  dynamic : {:.4} W", p.dynamic);
                     println!("  static  : {:.4} W", p.static_);
-                    println!("    nets (Eq.1) {:.4} W | FU internal {:.4} W | clock {:.4} W",
-                        p.nets, p.internal, p.clock);
+                    println!(
+                        "    nets (Eq.1) {:.4} W | FU internal {:.4} W | clock {:.4} W",
+                        p.nets, p.internal, p.clock
+                    );
                 }
             }
             ExitCode::SUCCESS

@@ -170,13 +170,13 @@ pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDatas
     } else {
         let chunk = configs.len().div_ceil(cfg.threads);
         let mut out: Vec<Vec<Sample>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = configs
                 .chunks(chunk)
                 .map(|part| {
                     let stimuli = &stimuli;
                     let baseline = &baseline;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         part.iter()
                             .map(|d| build_sample(kernel, d, stimuli, baseline))
                             .collect::<Vec<Sample>>()
@@ -186,8 +186,7 @@ pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDatas
             for h in handles {
                 out.push(h.join().expect("dataset worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         out.into_iter().flatten().collect()
     };
 
@@ -233,7 +232,9 @@ mod tests {
         let ds = build_kernel_dataset(&k, &DatasetConfig::tiny());
         let first = ds.samples[0].power.dynamic;
         assert!(
-            ds.samples.iter().any(|s| (s.power.dynamic - first).abs() > 1e-6),
+            ds.samples
+                .iter()
+                .any(|s| (s.power.dynamic - first).abs() > 1e-6),
             "dynamic power must vary across the space"
         );
         let labeled = ds.labeled(PowerTarget::Dynamic);
@@ -261,7 +262,10 @@ mod tests {
         let ds = build_kernel_dataset(&k, &DatasetConfig::tiny());
         let meta = &ds.samples[0].graph.meta;
         for v in &meta[5..10] {
-            assert!((*v - 1.0).abs() < 1e-5, "baseline ratios must be 1, got {v}");
+            assert!(
+                (*v - 1.0).abs() < 1e-5,
+                "baseline ratios must be 1, got {v}"
+            );
         }
     }
 }

@@ -436,7 +436,7 @@ mod tests {
         let trace = execute(&design, &stim);
         let (a, x) = (&stim.arrays["A"], &stim.arrays["x"]);
         let y = &trace.final_arrays["y"];
-        let mut tmp = vec![0.0f32; 5];
+        let mut tmp = [0.0f32; 5];
         for i in 0..5 {
             for j in 0..5 {
                 tmp[i] += a[i * 5 + j] * x[j];
@@ -476,13 +476,7 @@ mod tests {
         let size = |name: &str| {
             ks.iter()
                 .find(|k| k.name == name)
-                .map(|k| {
-                    HlsFlow::new()
-                        .run(k, &Directives::new())
-                        .unwrap()
-                        .ir
-                        .len()
-                })
+                .map(|k| HlsFlow::new().run(k, &Directives::new()).unwrap().ir.len())
                 .unwrap()
         };
         assert!(size("3mm") > size("gemm"));

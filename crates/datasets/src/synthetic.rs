@@ -12,9 +12,7 @@ use pg_util::Rng64;
 
 /// Generates `count` random kernels of problem size `n`.
 pub fn synthetic_kernels(count: usize, n: usize, seed: u64) -> Vec<Kernel> {
-    (0..count)
-        .map(|i| synthetic_kernel(i, n, seed))
-        .collect()
+    (0..count).map(|i| synthetic_kernel(i, n, seed)).collect()
 }
 
 /// Generates the `index`-th synthetic kernel.
@@ -69,7 +67,11 @@ pub fn synthetic_kernel(index: usize, n: usize, seed: u64) -> Kernel {
 
     let (i, j) = (vars[0].clone(), vars[1].clone());
     let reduction = depth == 3;
-    let kvar = if reduction { Some(vars[2].clone()) } else { None };
+    let kvar = if reduction {
+        Some(vars[2].clone())
+    } else {
+        None
+    };
     let mut rhs = Expr::load("out", vec![aff(&i), aff(&j)]);
     let terms = 1 + rng.below(2);
     for _ in 0..terms {
@@ -80,7 +82,11 @@ pub fn synthetic_kernel(index: usize, n: usize, seed: u64) -> Kernel {
         let t1 = mk_term(&mut rng, &iv, &jv);
         let t2 = mk_term(&mut rng, &jv, &iv);
         let product = t1 * t2;
-        rhs = if rng.bool(0.8) { rhs + product } else { rhs - product };
+        rhs = if rng.bool(0.8) {
+            rhs + product
+        } else {
+            rhs - product
+        };
     }
 
     let target: (&str, Vec<AffineExpr>) = ("out", vec![aff(&i), aff(&j)]);
@@ -133,18 +139,15 @@ mod tests {
         let b = synthetic_kernels(8, 6, 3);
         assert_eq!(a, b);
         // at least two distinct loop depths across the batch
-        let depths: std::collections::HashSet<usize> = a
-            .iter()
-            .map(|k| k.loop_labels().len())
-            .collect();
+        let depths: std::collections::HashSet<usize> =
+            a.iter().map(|k| k.loop_labels().len()).collect();
         assert!(depths.len() >= 2, "expected diverse loop patterns");
     }
 
     #[test]
     fn names_are_unique() {
         let ks = synthetic_kernels(10, 6, 1);
-        let names: std::collections::HashSet<String> =
-            ks.iter().map(|k| k.name.clone()).collect();
+        let names: std::collections::HashSet<String> = ks.iter().map(|k| k.name.clone()).collect();
         assert_eq!(names.len(), 10);
     }
 }

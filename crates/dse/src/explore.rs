@@ -127,7 +127,10 @@ pub fn run_dse(
         if candidates.is_empty() {
             break; // everything sampled
         }
-        for i in candidates.into_iter().take(batch.min(budget - sampled.len())) {
+        for i in candidates
+            .into_iter()
+            .take(batch.min(budget - sampled.len()))
+        {
             sampled_mask[i] = true;
             sampled.push(i);
         }
@@ -199,7 +202,9 @@ mod tests {
         let (lat, pow) = space(300, 2);
         let noisy: Vec<f64> = {
             let mut rng = Rng64::new(9);
-            pow.iter().map(|p| p * (1.0 + 0.15 * rng.normal())).collect()
+            pow.iter()
+                .map(|p| p * (1.0 + 0.15 * rng.normal()))
+                .collect()
         };
         let lo = run_dse(&lat, &pow, &noisy, &DseConfig::with_budget(0.1, 3));
         let hi = run_dse(&lat, &pow, &noisy, &DseConfig::with_budget(0.5, 3));
@@ -216,8 +221,7 @@ mod tests {
         let (lat, pow) = space(100, 3);
         let out = run_dse(&lat, &pow, &pow, &DseConfig::with_budget(0.3, 1));
         assert_eq!(out.sampled.len(), 30);
-        let distinct: std::collections::HashSet<usize> =
-            out.sampled.iter().copied().collect();
+        let distinct: std::collections::HashSet<usize> = out.sampled.iter().copied().collect();
         assert_eq!(distinct.len(), 30, "sampled points must be distinct");
     }
 

@@ -17,8 +17,7 @@ pub struct Point {
 
 /// `true` if `a` dominates `b` (no worse in both, strictly better in one).
 pub fn dominates(a: &Point, b: &Point) -> bool {
-    (a.latency <= b.latency && a.power <= b.power)
-        && (a.latency < b.latency || a.power < b.power)
+    (a.latency <= b.latency && a.power <= b.power) && (a.latency < b.latency || a.power < b.power)
 }
 
 /// Returns the Pareto-optimal subset, sorted by latency ascending.
@@ -108,7 +107,8 @@ mod tests {
         for p in &pts {
             if !f.iter().any(|q| q.id == p.id) {
                 assert!(
-                    f.iter().any(|q| dominates(q, p) || (q.latency == p.latency && q.power == p.power)),
+                    f.iter()
+                        .any(|q| dominates(q, p) || (q.latency == p.latency && q.power == p.power)),
                     "{p:?} not covered"
                 );
             }

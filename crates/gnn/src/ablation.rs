@@ -96,7 +96,13 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "w/o opt.", "w/o e.f.", "w/o dir.", "w/o hetr.", "w/o md.", "sgl.", "prop."
+                "w/o opt.",
+                "w/o e.f.",
+                "w/o dir.",
+                "w/o hetr.",
+                "w/o md.",
+                "sgl.",
+                "prop."
             ]
         );
     }

@@ -88,7 +88,9 @@ impl GraphBatch {
         for (gi, g) in graphs.iter().enumerate() {
             assert!(g.num_nodes > 0, "graph {gi} has no nodes");
             for n in 0..g.num_nodes {
-                node_feats.row_mut(offset as usize + n).copy_from_slice(g.node(n));
+                node_feats
+                    .row_mut(offset as usize + n)
+                    .copy_from_slice(g.node(n));
                 graph_of.push(gi as u32);
             }
             for (ei, &(s, d)) in g.edges.iter().enumerate() {

@@ -156,9 +156,8 @@ impl PowerModel {
             if config.arch == Arch::Hec && config.heterogeneous {
                 let mut per_rel = Vec::new();
                 for r in 0..Relation::COUNT {
-                    per_rel.push(
-                        store.register(&format!("wr{l}_{r}"), init::glorot(h, h, &mut rng)),
-                    );
+                    per_rel
+                        .push(store.register(&format!("wr{l}_{r}"), init::glorot(h, h, &mut rng)));
                 }
                 slots.wr.push(per_rel);
             } else {
@@ -203,7 +202,13 @@ impl PowerModel {
 
     /// Forward pass over a batch; returns the `G × 1` normalized-power
     /// prediction node.
-    pub fn forward(&self, tape: &mut Tape, batch: &GraphBatch, train: bool, rng: &mut Rng64) -> Var {
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        batch: &GraphBatch,
+        train: bool,
+        rng: &mut Rng64,
+    ) -> Var {
         let n = batch.num_nodes;
         let mut x = tape.leaf(batch.node_feats.clone());
         let mut layer_outputs = Vec::with_capacity(self.config.layers);
@@ -514,9 +519,7 @@ mod tests {
         no_md.use_metadata = false;
         let nm = PowerModel::new(no_md, 1);
         // metadata params still registered but head shrinks
-        assert!(
-            nm.store.get(nm.slots.head_w1).rows < full.store.get(full.slots.head_w1).rows
-        );
+        assert!(nm.store.get(nm.slots.head_w1).rows < full.store.get(full.slots.head_w1).rows);
     }
 
     #[test]

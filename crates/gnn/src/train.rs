@@ -113,8 +113,7 @@ pub fn train_single(
 ) -> PowerModel {
     assert!(!train.is_empty(), "empty training set");
     let mut model = PowerModel::new(cfg.model.clone(), seed);
-    let mean_target: f64 =
-        train.iter().map(|(_, t)| *t).sum::<f64>() / train.len() as f64;
+    let mean_target: f64 = train.iter().map(|(_, t)| *t).sum::<f64>() / train.len() as f64;
     model.target_scale = mean_target.max(1e-6) as f32;
 
     let mut opt = Adam::new(cfg.lr);
@@ -126,7 +125,14 @@ pub fn train_single(
     for epoch in 0..cfg.epochs {
         // step learning-rate decay: x0.5 at 60 % and 85 % of the budget
         let frac = epoch as f32 / cfg.epochs.max(1) as f32;
-        opt.lr = cfg.lr * if frac >= 0.85 { 0.25 } else if frac >= 0.6 { 0.5 } else { 1.0 };
+        opt.lr = cfg.lr
+            * if frac >= 0.85 {
+                0.25
+            } else if frac >= 0.6 {
+                0.5
+            } else {
+                1.0
+            };
         rng.shuffle(&mut order);
         for chunk in order.chunks(cfg.batch_size) {
             let shards: Vec<&[usize]> = chunk
@@ -143,13 +149,13 @@ pub fn train_single(
                 let (_, grads) = model.loss_and_grads(&batch, &mut Rng64::new(worker_seeds[0]));
                 accum.add(grads);
             } else {
-                let results = crossbeam::thread::scope(|scope| {
+                let results = std::thread::scope(|scope| {
                     let model_ref = &model;
                     let handles: Vec<_> = shards
                         .iter()
                         .zip(&worker_seeds)
                         .map(|(shard, &ws)| {
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 let (g, t) = shard_batch(train, shard);
                                 let batch = GraphBatch::new(&g, &t);
                                 let mut wrng = Rng64::new(ws);
@@ -164,8 +170,7 @@ pub fn train_single(
                         .into_iter()
                         .map(|h| h.join().expect("worker panicked"))
                         .collect::<Vec<_>>()
-                })
-                .expect("crossbeam scope");
+                });
                 for r in results {
                     accum.merge(r);
                 }
@@ -194,10 +199,7 @@ pub fn train_single(
     model
 }
 
-fn shard_batch<'a>(
-    data: &[Labeled<'a>],
-    idx: &[usize],
-) -> (Vec<&'a PowerGraph>, Vec<f64>) {
+fn shard_batch<'a>(data: &[Labeled<'a>], idx: &[usize]) -> (Vec<&'a PowerGraph>, Vec<f64>) {
     let graphs: Vec<&PowerGraph> = idx.iter().map(|&i| data[i].0).collect();
     let targets: Vec<f64> = idx.iter().map(|&i| data[i].1).collect();
     (graphs, targets)
@@ -323,7 +325,10 @@ mod tests {
             .iter()
             .map(|m| evaluate_model(m, test))
             .fold(f64::MIN, f64::max);
-        assert!(ens_err <= worst + 1.0, "ensemble {ens_err} vs worst {worst}");
+        assert!(
+            ens_err <= worst + 1.0,
+            "ensemble {ens_err} vs worst {worst}"
+        );
     }
 
     #[test]

@@ -140,7 +140,7 @@ mod tests {
     fn one_hot_and_numeric_features() {
         let pg = finalize(&tiny(), "k", "d");
         let f = pg.node(0); // load node
-        // class one-hot: Memory = index 1
+                            // class one-hot: Memory = index 1
         assert_eq!(f[1], 1.0);
         assert_eq!(f.iter().take(5).sum::<f32>(), 1.0);
         // opcode one-hot: exactly one set

@@ -230,20 +230,14 @@ mod tests {
     }
 
     fn count_kind(g: &WorkGraph, pred: impl Fn(&NodeKind) -> bool) -> usize {
-        g.nodes
-            .iter()
-            .filter(|n| n.alive && pred(&n.kind))
-            .count()
+        g.nodes.iter().filter(|n| n.alive && pred(&n.kind)).count()
     }
 
     #[test]
     fn buffers_created_per_bank() {
         let (_d, g) = with_buffers(&Directives::new());
         assert_eq!(count_kind(&g, |k| matches!(k, NodeKind::BufferIo)), 2);
-        assert_eq!(
-            count_kind(&g, |k| matches!(k, NodeKind::BufferInternal)),
-            1
-        );
+        assert_eq!(count_kind(&g, |k| matches!(k, NodeKind::BufferInternal)), 1);
         let mut d = Directives::new();
         d.partition("t", 4);
         let (_d2, g2) = with_buffers(&d);
@@ -302,7 +296,11 @@ mod tests {
         let total: f64 = g
             .nodes
             .iter()
-            .filter(|n| n.alive && n.array.is_some() && matches!(n.kind, NodeKind::BufferIo | NodeKind::BufferInternal))
+            .filter(|n| {
+                n.alive
+                    && n.array.is_some()
+                    && matches!(n.kind, NodeKind::BufferIo | NodeKind::BufferInternal)
+            })
             .map(|n| n.bram)
             .sum();
         assert!((total - design.report.bram as f64).abs() < 1e-9);
@@ -315,9 +313,7 @@ mod tests {
             .nodes
             .iter()
             .position(|n| {
-                n.alive
-                    && matches!(n.kind, NodeKind::BufferIo)
-                    && n.array.as_deref() == Some("a")
+                n.alive && matches!(n.kind, NodeKind::BufferIo) && n.array.as_deref() == Some("a")
             })
             .unwrap();
         let preds = g.preds(buf);

@@ -151,9 +151,7 @@ mod tests {
             .ir
             .ops
             .iter()
-            .find(|o| {
-                o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "y"
-            })
+            .find(|o| o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "y")
             .unwrap();
         assert!(
             g.succs(store.id.idx()).contains(&y_load.id.idx()),
@@ -193,9 +191,7 @@ mod tests {
             .ir
             .ops
             .iter()
-            .find(|o| {
-                o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "a"
-            })
+            .find(|o| o.opcode == Opcode::Load && o.mem.as_ref().unwrap().array == "a")
             .unwrap();
         assert!(!g.succs(store.id.idx()).contains(&a_load.id.idx()));
     }

@@ -13,10 +13,10 @@ use crate::dfg::{NodeKind, WorkEdge, WorkGraph};
 pub fn trim(g: &mut WorkGraph) {
     // Iterate until no trimmable node remains (handles cast chains).
     loop {
-        let victim = g.nodes.iter().position(|n| {
-            n.alive
-                && matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable())
-        });
+        let victim = g
+            .nodes
+            .iter()
+            .position(|n| n.alive && matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable()));
         let Some(ni) = victim else { break };
         bypass(g, ni);
     }
@@ -89,8 +89,7 @@ mod tests {
                 bb.loop_("j", 8, |bb| {
                     bb.assign(
                         ("y", vec![aff("i")]),
-                        Expr::load("y", vec![aff("i")])
-                            + Expr::load("a", vec![aff("i"), aff("j")]),
+                        Expr::load("y", vec![aff("i")]) + Expr::load("a", vec![aff("i"), aff("j")]),
                     );
                 });
             })
@@ -115,9 +114,7 @@ mod tests {
     fn count_trimmable(g: &WorkGraph) -> usize {
         g.nodes
             .iter()
-            .filter(|n| {
-                n.alive && matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable())
-            })
+            .filter(|n| n.alive && matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable()))
             .count()
     }
 
@@ -152,9 +149,7 @@ mod tests {
         let bridged: Vec<&crate::dfg::WorkEdge> = g
             .edges
             .iter()
-            .filter(|e| {
-                e.alive && matches!(g.nodes[e.src].kind, NodeKind::Op(Opcode::Phi))
-            })
+            .filter(|e| e.alive && matches!(g.nodes[e.src].kind, NodeKind::Op(Opcode::Phi)))
             .collect();
         assert!(!bridged.is_empty());
         assert!(bridged.iter().any(|e| !e.src_ev.is_empty()));

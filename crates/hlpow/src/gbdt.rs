@@ -68,7 +68,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -235,8 +239,7 @@ fn build_node(
                 continue;
             }
             let right_sum = total_sum - left_sum;
-            let gain = left_sum * left_sum / left_n as f64
-                + right_sum * right_sum / right_n as f64
+            let gain = left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64
                 - total_sum * total_sum / n;
             if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
                 best = Some((gain, f, th));

@@ -66,8 +66,7 @@ pub fn bind(func: &IrFunction, sched: &Schedule, lib: &FuLibrary) -> Binding {
         let bs = &sched.blocks[bi];
         let pipelined = block.pipelined;
         // (kind, memkey, slot) -> rank counter within this block
-        let mut slot_rank: HashMap<(FuKind, Option<(String, usize)>, u32), usize> =
-            HashMap::new();
+        let mut slot_rank: HashMap<(FuKind, Option<(String, usize)>, u32), usize> = HashMap::new();
         // deterministic order: by start cycle, then program order
         let mut order: Vec<usize> = (0..block.ops.len()).collect();
         order.sort_by_key(|&i| (bs.start[i], i));
@@ -191,11 +190,7 @@ mod tests {
         for op in &f.ops {
             let kind = lib.kind_of(op.opcode);
             if kind.is_shareable() {
-                assert!(
-                    b.op_to_instance.contains_key(&op.id),
-                    "{} unbound",
-                    op.id
-                );
+                assert!(b.op_to_instance.contains_key(&op.id), "{} unbound", op.id);
             } else {
                 assert!(!b.op_to_instance.contains_key(&op.id));
             }
@@ -218,8 +213,7 @@ mod tests {
         let starts: Vec<u32> = fadds.iter().map(|&v| s.op_start(&f, v)).collect();
         if starts[0] != starts[1] {
             assert_eq!(
-                b.op_to_instance[&fadds[0]],
-                b.op_to_instance[&fadds[1]],
+                b.op_to_instance[&fadds[0]], b.op_to_instance[&fadds[1]],
                 "fadds at different cycles should share"
             );
             assert_eq!(b.count_of(FuKind::FAddSub), 1);
@@ -230,8 +224,12 @@ mod tests {
     fn conflicting_ops_get_distinct_instances() {
         let (f, s, b) = {
             let mut d = Directives::new();
-            d.pipeline("i").unroll("i", 2).partition("a", 2).partition("b", 2)
-                .partition("y", 2).partition("z", 2);
+            d.pipeline("i")
+                .unroll("i", 2)
+                .partition("a", 2)
+                .partition("b", 2)
+                .partition("y", 2)
+                .partition("z", 2);
             run(&two_adds(), &d)
         };
         // with II=1 all 4 fadds initiate every cycle: 4 instances

@@ -130,7 +130,13 @@ impl fmt::Display for Directives {
             .partitioned_arrays()
             .map(|(a, k)| format!("{a}={k}"))
             .collect();
-        write!(f, "p[{}]u[{}]pa[{}]", p.join(","), u.join(","), pa.join(","))
+        write!(
+            f,
+            "p[{}]u[{}]pa[{}]",
+            p.join(","),
+            u.join(","),
+            pa.join(",")
+        )
     }
 }
 

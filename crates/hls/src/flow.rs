@@ -36,7 +36,10 @@ impl fmt::Display for HlsError {
             HlsError::UnknownLoop(l) => write!(f, "directive targets unknown loop `{l}`"),
             HlsError::UnknownArray(a) => write!(f, "directive targets unknown array `{a}`"),
             HlsError::NotInnermost(l) => {
-                write!(f, "pipeline/unroll only supported on innermost loops (got `{l}`)")
+                write!(
+                    f,
+                    "pipeline/unroll only supported on innermost loops (got `{l}`)"
+                )
             }
             HlsError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
         }

@@ -66,7 +66,7 @@ fn validate_directives(kernel: &Kernel, d: &Directives) -> Result<(), HlsError> 
 /// iterations; we clamp to an exact divisor instead and document it).
 pub fn clamp_unroll(trip: usize, factor: usize) -> usize {
     let f = factor.min(trip).max(1);
-    (1..=f).rev().find(|k| trip % k == 0).unwrap_or(1)
+    (1..=f).rev().find(|&k| trip.is_multiple_of(k)).unwrap_or(1)
 }
 
 struct Lowerer<'a> {
@@ -127,11 +127,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_blocks(
-        &mut self,
-        blocks: &[Block],
-        ctx: &mut Vec<LoopDim>,
-    ) -> Result<(), HlsError> {
+    fn lower_blocks(&mut self, blocks: &[Block], ctx: &mut Vec<LoopDim>) -> Result<(), HlsError> {
         // Group consecutive statements into straight-line regions.
         let mut stmt_run: Vec<&pg_ir::Stmt> = Vec::new();
         for b in blocks {
@@ -205,7 +201,9 @@ impl<'a> Lowerer<'a> {
                 .collect::<Vec<_>>()
                 .join(".")
         );
-        let block = self.func.push_block(&label, dims.clone(), pipelined, unroll);
+        let block = self
+            .func
+            .push_block(&label, dims.clone(), pipelined, unroll);
         let mut bc = BlockCtx {
             block,
             ..BlockCtx::default()
@@ -256,7 +254,8 @@ impl<'a> Lowerer<'a> {
             Some(c) => vec![Operand::Value(c)],
             None => vec![],
         };
-        self.func.push_op(block, Opcode::Br, br_operands, 0, None, 0);
+        self.func
+            .push_op(block, Opcode::Br, br_operands, 0, None, 0);
         Ok(())
     }
 
@@ -387,14 +386,9 @@ impl<'a> Lowerer<'a> {
                     if let Some(op) = bc.index_cache.get(&key) {
                         op.clone()
                     } else {
-                        let s = self.func.push_op(
-                            bc.block,
-                            Opcode::SExt,
-                            vec![other],
-                            64,
-                            None,
-                            0,
-                        );
+                        let s = self
+                            .func
+                            .push_op(bc.block, Opcode::SExt, vec![other], 64, None, 0);
                         bc.index_cache.insert(key, Operand::Value(s));
                         Operand::Value(s)
                     }
@@ -451,14 +445,9 @@ impl<'a> Lowerer<'a> {
                 acc = Some(match acc {
                     None => term,
                     Some(prev) => {
-                        let a = self.func.push_op(
-                            bc.block,
-                            Opcode::Add,
-                            vec![prev, term],
-                            32,
-                            None,
-                            0,
-                        );
+                        let a =
+                            self.func
+                                .push_op(bc.block, Opcode::Add, vec![prev, term], 32, None, 0);
                         Operand::Value(a)
                     }
                 });
@@ -604,7 +593,9 @@ mod tests {
         let linear = &gep.mem.as_ref().unwrap().linear;
         // a[i][k] row-major with dim 8 -> 8*i + k
         let env: std::collections::BTreeMap<String, i64> =
-            [("i".to_string(), 2), ("k".to_string(), 3)].into_iter().collect();
+            [("i".to_string(), 2), ("k".to_string(), 3)]
+                .into_iter()
+                .collect();
         assert_eq!(linear.eval(&env), 19);
     }
 
@@ -662,10 +653,7 @@ mod tests {
     fn rejects_unknown_loop_directive() {
         let mut d = Directives::new();
         d.pipeline("zz");
-        assert!(matches!(
-            lower(&axpy(), &d),
-            Err(HlsError::UnknownLoop(_))
-        ));
+        assert!(matches!(lower(&axpy(), &d), Err(HlsError::UnknownLoop(_))));
     }
 
     #[test]
@@ -679,10 +667,7 @@ mod tests {
     fn rejects_unknown_array_partition() {
         let mut d = Directives::new();
         d.partition("zz", 2);
-        assert!(matches!(
-            lower(&axpy(), &d),
-            Err(HlsError::UnknownArray(_))
-        ));
+        assert!(matches!(lower(&axpy(), &d), Err(HlsError::UnknownArray(_))));
     }
 
     #[test]

@@ -92,12 +92,7 @@ pub fn may_alias(a: &MemRef, b: &MemRef) -> bool {
 /// Builds intra-block dependence edges: SSA def-use plus memory ordering
 /// (program order between aliasing accesses where at least one is a store).
 fn block_deps(func: &IrFunction, block: &IrBlock) -> Vec<Vec<usize>> {
-    let pos: HashMap<ValueId, usize> = block
-        .ops
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let pos: HashMap<ValueId, usize> = block.ops.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); block.ops.len()];
     for (i, &vid) in block.ops.iter().enumerate() {
         let op = func.op(vid);
@@ -112,17 +107,14 @@ fn block_deps(func: &IrFunction, block: &IrBlock) -> Vec<Vec<usize>> {
         .ops
         .iter()
         .enumerate()
-        .filter(|(_, &v)| {
-            matches!(func.op(v).opcode, Opcode::Load | Opcode::Store)
-        })
+        .filter(|(_, &v)| matches!(func.op(v).opcode, Opcode::Load | Opcode::Store))
         .map(|(i, _)| i)
         .collect();
     for (ai, &i) in mem_ops.iter().enumerate() {
         let oi = func.op(block.ops[i]);
         for &j in mem_ops.iter().skip(ai + 1) {
             let oj = func.op(block.ops[j]);
-            let either_store =
-                oi.opcode == Opcode::Store || oj.opcode == Opcode::Store;
+            let either_store = oi.opcode == Opcode::Store || oj.opcode == Opcode::Store;
             if !either_store {
                 continue;
             }
@@ -152,12 +144,7 @@ fn port_keys(m: &MemRef, partitions: usize) -> Vec<PortKey> {
 }
 
 /// Lower bound on II from memory-port pressure.
-fn ii_mem_bound(
-    func: &IrFunction,
-    block: &IrBlock,
-    directives: &Directives,
-    ports: u32,
-) -> u32 {
+fn ii_mem_bound(func: &IrFunction, block: &IrBlock, directives: &Directives, ports: u32) -> u32 {
     let mut demand: HashMap<PortKey, u32> = HashMap::new();
     for &v in &block.ops {
         let op = func.op(v);
@@ -182,12 +169,11 @@ fn asap(func: &IrFunction, block: &IrBlock, lib: &FuLibrary, preds: &[Vec<usize>
     let mut start = vec![0u32; block.ops.len()];
     for i in 0..block.ops.len() {
         for &p in &preds[i] {
+            // chained combinational ops advance by 0; memory and float ops
+            // advance by their latency
             let lat = lib.latency(func.op(block.ops[p]).opcode);
-            start[i] = start[i].max(start[p] + lat.max(if p < i { 0 } else { 0 }));
+            start[i] = start[i].max(start[p] + lat);
         }
-        // chained combinational ops still advance by at least 0; memory and
-        // float ops advance by their latency via the max above
-        let _ = i;
     }
     start
 }
@@ -247,8 +233,12 @@ fn schedule_block(
 
     let pipelined = block.pipelined;
     let mut ii = if pipelined {
-        ii_mem_bound(func, block, directives, ports)
-            .max(ii_recurrence_bound(func, block, lib, &asap_start))
+        ii_mem_bound(func, block, directives, ports).max(ii_recurrence_bound(
+            func,
+            block,
+            lib,
+            &asap_start,
+        ))
     } else {
         u32::MAX // per-cycle limits only
     };
@@ -319,7 +309,8 @@ fn try_list_schedule(
 ) -> Option<Vec<u32>> {
     let n = block.ops.len();
     let modulo = ii != u32::MAX;
-    let horizon: u32 = asap_start.iter().max().copied().unwrap_or(0) + 64 + if modulo { ii * 4 } else { 0 };
+    let horizon: u32 =
+        asap_start.iter().max().copied().unwrap_or(0) + 64 + if modulo { ii * 4 } else { 0 };
     // Reservation table: (key, cycle-or-slot) -> used count.
     let mut reserved: HashMap<(PortKey, u32), u32> = HashMap::new();
     let mut start = vec![0u32; n];
@@ -522,20 +513,14 @@ mod tests {
         // identical address
         assert!(may_alias(&m(aff("i"), None), &m(aff("i"), None)));
         // provably different offsets
-        assert!(!may_alias(
-            &m(aff("i"), None),
-            &m(aff("i").plus(1), None)
-        ));
+        assert!(!may_alias(&m(aff("i"), None), &m(aff("i").plus(1), None)));
         // different resolved banks
         assert!(!may_alias(
             &m(aff("i").scaled(2), Some(0)),
             &m(aff("i").scaled(2).plus(1), Some(1))
         ));
         // unknown relation -> conservative
-        assert!(may_alias(
-            &m(aff("i"), None),
-            &m(aff("j"), None)
-        ));
+        assert!(may_alias(&m(aff("i"), None), &m(aff("j"), None)));
     }
 
     #[test]
@@ -553,7 +538,11 @@ mod tests {
                 let op = f.op(v);
                 if matches!(op.opcode, Opcode::Load | Opcode::Store) {
                     let m = op.mem.as_ref().unwrap();
-                    let slot = if block.pipelined { bs.start[i] % ii } else { bs.start[i] };
+                    let slot = if block.pipelined {
+                        bs.start[i] % ii
+                    } else {
+                        bs.start[i]
+                    };
                     for k in port_keys(m, d.partition_factor(&m.array)) {
                         *usage.entry((k, slot)).or_insert(0) += 1;
                     }

@@ -368,8 +368,7 @@ mod tests {
 
     #[test]
     fn max_min_values() {
-        let trips: BTreeMap<String, usize> =
-            [("i".to_string(), 8usize)].into_iter().collect();
+        let trips: BTreeMap<String, usize> = [("i".to_string(), 8usize)].into_iter().collect();
         let e = aff("i").scaled(2).plus(1);
         assert_eq!(e.max_value(&trips), 15);
         assert_eq!(e.min_value(&trips), 1);

@@ -193,7 +193,13 @@ impl IrFunction {
     }
 
     /// Appends an empty block, returning its index.
-    pub fn push_block(&mut self, label: &str, dims: Vec<LoopDim>, pipelined: bool, unroll: usize) -> usize {
+    pub fn push_block(
+        &mut self,
+        label: &str,
+        dims: Vec<LoopDim>,
+        pipelined: bool,
+        unroll: usize,
+    ) -> usize {
         self.blocks.push(IrBlock {
             label: label.to_string(),
             dims,
@@ -255,7 +261,10 @@ impl IrFunction {
             for &vid in &block.ops {
                 let op = self.op(vid);
                 if op.block != bi {
-                    return Err(format!("{vid} listed in block {bi} but owned by {}", op.block));
+                    return Err(format!(
+                        "{vid} listed in block {bi} but owned by {}",
+                        op.block
+                    ));
                 }
                 for u in op.value_operands() {
                     if !seen.contains(&u) {
@@ -270,7 +279,10 @@ impl IrFunction {
                     return Err(format!("{vid} ({}) lacks a memory reference", op.opcode));
                 }
                 if !needs_mem && op.mem.is_some() {
-                    return Err(format!("{vid} ({}) should not carry a memory reference", op.opcode));
+                    return Err(format!(
+                        "{vid} ({}) should not carry a memory reference",
+                        op.opcode
+                    ));
                 }
                 seen.insert(vid);
             }
@@ -351,7 +363,14 @@ mod tests {
             Some(mk_memref("a")),
             0,
         );
-        let ld = f.push_op(b, Opcode::Load, vec![Operand::Value(gep)], 32, Some(mk_memref("a")), 0);
+        let ld = f.push_op(
+            b,
+            Opcode::Load,
+            vec![Operand::Value(gep)],
+            32,
+            Some(mk_memref("a")),
+            0,
+        );
         let m = f.push_op(
             b,
             Opcode::FMul,

@@ -182,7 +182,7 @@ impl Kernel {
             if !names.insert(a.name.clone()) {
                 return Err(KernelError::DuplicateArray(a.name.clone()));
             }
-            if a.dims.is_empty() || a.len() == 0 {
+            if a.dims.is_empty() || a.is_empty() {
                 return Err(KernelError::EmptyArray(a.name.clone()));
             }
         }

@@ -128,7 +128,12 @@ impl Opcode {
     pub fn is_trimmable(self) -> bool {
         matches!(
             self,
-            Opcode::SExt | Opcode::ZExt | Opcode::Trunc | Opcode::BitCast | Opcode::Br | Opcode::Ret
+            Opcode::SExt
+                | Opcode::ZExt
+                | Opcode::Trunc
+                | Opcode::BitCast
+                | Opcode::Br
+                | Opcode::Ret
         )
     }
 

@@ -78,7 +78,11 @@ pub fn place(netlist: &Netlist, design_id: &str) -> Placement {
     for (slot, &comp) in order.iter().enumerate() {
         let row = slot / grid;
         let col_raw = slot % grid;
-        let col = if row % 2 == 0 { col_raw } else { grid - 1 - col_raw };
+        let col = if row.is_multiple_of(2) {
+            col_raw
+        } else {
+            grid - 1 - col_raw
+        };
         let jx = rng.uniform(-0.3, 0.3);
         let jy = rng.uniform(-0.3, 0.3);
         coords[comp] = (col as f64 + jx, row as f64 + jy);

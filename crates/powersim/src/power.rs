@@ -127,8 +127,8 @@ impl BoardOracle {
                     internal_w += alpha * internal_cap(*kind) * v2f;
                 }
                 CompKind::Bram { .. } => {
-                    internal_w += comp.ar.min(1.5) * BRAM_ACCESS_CAP * v2f
-                        * comp.bram.max(1) as f64;
+                    internal_w +=
+                        comp.ar.min(1.5) * BRAM_ACCESS_CAP * v2f * comp.bram.max(1) as f64;
                 }
                 CompKind::Fsm => {
                     internal_w += 0.4 * internal_cap(FuKind::Control) * v2f;
@@ -138,8 +138,7 @@ impl BoardOracle {
         }
 
         // Clock network: toggles every cycle.
-        let clock_w =
-            (ff_total as f64 * FF_CLOCK_CAP + clocked as f64 * CLOCK_BRANCH_CAP) * v2f;
+        let clock_w = (ff_total as f64 * FF_CLOCK_CAP + clocked as f64 * CLOCK_BRANCH_CAP) * v2f;
 
         let dynamic_raw = (nets_w + internal_w + clock_w) * self.bundle;
 

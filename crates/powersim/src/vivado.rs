@@ -73,8 +73,7 @@ impl VivadoEstimator {
         for (i, a) in activities.iter_mut().enumerate() {
             *a *= 1.0 + 0.05 * saif_bias[i % saif_bias.len()];
         }
-        let mean_activity =
-            activities.iter().sum::<f64>() / activities.len().max(1) as f64;
+        let mean_activity = activities.iter().sum::<f64>() / activities.len().max(1) as f64;
 
         let vdd = 0.85;
         let v2f = vdd * vdd * 100.0e6;
@@ -182,11 +181,11 @@ fn refine_placement(netlist: &Netlist, placement: &mut crate::place::Placement) 
         if a == b {
             continue;
         }
-        let before = hpwl(&placement.coords, &netlist.nets, a)
-            + hpwl(&placement.coords, &netlist.nets, b);
+        let before =
+            hpwl(&placement.coords, &netlist.nets, a) + hpwl(&placement.coords, &netlist.nets, b);
         placement.coords.swap(a, b);
-        let after = hpwl(&placement.coords, &netlist.nets, a)
-            + hpwl(&placement.coords, &netlist.nets, b);
+        let after =
+            hpwl(&placement.coords, &netlist.nets, a) + hpwl(&placement.coords, &netlist.nets, b);
         if after > before {
             placement.coords.swap(a, b); // reject uphill move
         }
@@ -277,7 +276,11 @@ mod tests {
         d1.pipeline("i");
         out.push(d1);
         let mut d2 = Directives::new();
-        d2.pipeline("i").unroll("i", 4).partition("a", 4).partition("x", 4).partition("y", 4);
+        d2.pipeline("i")
+            .unroll("i", 4)
+            .partition("a", 4)
+            .partition("x", 4)
+            .partition("y", 4);
         out.push(d2);
         let mut d3 = Directives::new();
         d3.unroll("i", 2).partition("a", 2);
@@ -290,8 +293,8 @@ mod tests {
         let k = axpy();
         let design = HlsFlow::new().run(&k, &Directives::new()).unwrap();
         let est = VivadoEstimator::new().estimate_raw(&design);
-        let truth = BoardOracle::default()
-            .measure(&design, &execute(&design, &Stimuli::for_kernel(&k, 0)));
+        let truth =
+            BoardOracle::default().measure(&design, &execute(&design, &Stimuli::for_kernel(&k, 0)));
         assert!(
             est.static_ > truth.static_ * 1.5,
             "ungated static {} should far exceed gated {}",
@@ -343,15 +346,18 @@ mod tests {
             .iter()
             .map(|d| {
                 let design = flow.run(&k, d).unwrap();
-                let truth =
-                    oracle.measure(&design, &execute(&design, &Stimuli::for_kernel(&k, 0)));
+                let truth = oracle.measure(&design, &execute(&design, &Stimuli::for_kernel(&k, 0)));
                 (est.estimate_raw(&design).total, truth.total)
             })
             .collect();
         est.calibrate(&pairs);
         // evaluate on a held-out configuration
         let mut d = Directives::new();
-        d.pipeline("i").unroll("i", 8).partition("a", 8).partition("x", 8).partition("y", 8);
+        d.pipeline("i")
+            .unroll("i", 8)
+            .partition("a", 8)
+            .partition("x", 8)
+            .partition("y", 8);
         let design = flow.run(&k, &d).unwrap();
         let truth = oracle.measure(&design, &execute(&design, &Stimuli::for_kernel(&k, 0)));
         let cal = est.estimate(&design);

@@ -49,11 +49,7 @@ mod tests {
     #[test]
     fn glorot_nonzero_spread() {
         let w = glorot(16, 16, &mut Rng64::new(1));
-        let distinct = w
-            .data
-            .iter()
-            .filter(|v| v.abs() > 1e-6)
-            .count();
+        let distinct = w.data.iter().filter(|v| v.abs() > 1e-6).count();
         assert!(distinct > 200);
     }
 

@@ -340,10 +340,7 @@ impl Tape {
                     accumulate(&mut grads, *a, ga);
                 }
                 Op::ConcatCols(a, b) => {
-                    let (ca, cb) = (
-                        self.nodes[a.0].value.cols,
-                        self.nodes[b.0].value.cols,
-                    );
+                    let (ca, cb) = (self.nodes[a.0].value.cols, self.nodes[b.0].value.cols);
                     let mut ga = Matrix::zeros(g.rows, ca);
                     let mut gb = Matrix::zeros(g.rows, cb);
                     for r in 0..g.rows {

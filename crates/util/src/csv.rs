@@ -56,8 +56,7 @@ impl CsvWriter {
     /// Panics if the row width does not match the header.
     pub fn row_strs(&mut self, values: &[&str]) {
         assert_eq!(values.len(), self.header.len(), "csv row width mismatch");
-        self.rows
-            .push(values.iter().map(|s| escape(s)).collect());
+        self.rows.push(values.iter().map(|s| escape(s)).collect());
     }
 
     /// Number of data rows.

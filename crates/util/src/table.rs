@@ -63,7 +63,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -93,7 +97,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.header))?;
-        writeln!(f, "{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
@@ -126,7 +134,7 @@ mod tests {
 
     #[test]
     fn fmt_f_precision() {
-        assert_eq!(Table::fmt_f(3.14159, 2), "3.14");
+        assert_eq!(Table::fmt_f(1.23456, 2), "1.23");
     }
 
     #[test]

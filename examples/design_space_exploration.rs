@@ -50,7 +50,12 @@ fn main() {
     println!("\nexploring mvt's design space ({} points):", graphs.len());
     println!("  budget   ADRS(PowerGear)   ADRS(random-order predictor)");
     for budget in [0.2, 0.3, 0.4] {
-        let out = run_dse(&latency, &truth, &predicted, &DseConfig::with_budget(budget, 7));
+        let out = run_dse(
+            &latency,
+            &truth,
+            &predicted,
+            &DseConfig::with_budget(budget, 7),
+        );
         // a useless predictor for contrast: constant power everywhere
         let flat = vec![1.0; truth.len()];
         let base = run_dse(&latency, &truth, &flat, &DseConfig::with_budget(budget, 7));
@@ -62,13 +67,30 @@ fn main() {
         );
     }
 
-    let out = run_dse(&latency, &truth, &predicted, &DseConfig::with_budget(0.4, 7));
-    println!("\nexact Pareto frontier ({} points):", out.exact_frontier.len());
+    let out = run_dse(
+        &latency,
+        &truth,
+        &predicted,
+        &DseConfig::with_budget(0.4, 7),
+    );
+    println!(
+        "\nexact Pareto frontier ({} points):",
+        out.exact_frontier.len()
+    );
     for p in &out.exact_frontier {
-        println!("  latency {:>8.0} cycles   dynamic {:.4} W", p.latency, p.power);
+        println!(
+            "  latency {:>8.0} cycles   dynamic {:.4} W",
+            p.latency, p.power
+        );
     }
-    println!("approximate frontier found with 40% sampling ({} points):", out.approx_frontier.len());
+    println!(
+        "approximate frontier found with 40% sampling ({} points):",
+        out.approx_frontier.len()
+    );
     for p in &out.approx_frontier {
-        println!("  latency {:>8.0} cycles   dynamic {:.4} W", p.latency, p.power);
+        println!(
+            "  latency {:>8.0} cycles   dynamic {:.4} W",
+            p.latency, p.power
+        );
     }
 }

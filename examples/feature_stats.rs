@@ -50,7 +50,10 @@ fn main() {
     };
     let (nmin, nmax, nmean) = span(&nodes);
     let (emin, emax, emean) = span(&edges);
-    println!("kernel {kernel_name} (size {size}), {} design points", ds.samples.len());
+    println!(
+        "kernel {kernel_name} (size {size}), {} design points",
+        ds.samples.len()
+    );
     println!("graph nodes : min {nmin:.0}  max {nmax:.0}  mean {nmean:.1}");
     println!("graph edges : min {emin:.0}  max {emax:.0}  mean {emean:.1}");
     println!("max edge features [SA_src, SA_snk, AR_src, AR_snk]: {max_edge:?}");

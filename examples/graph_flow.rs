@@ -9,9 +9,9 @@
 //! node/edge counts, relation-type histograms and a peek at edge features.
 
 use pg_activity::{execute, Stimuli};
+use pg_datasets::polybench;
 use pg_graphcon::{GraphConfig, GraphFlow, Relation};
 use pg_hls::{Directives, HlsFlow};
-use pg_datasets::polybench;
 
 fn main() {
     let kernel = polybench::gemm(8);

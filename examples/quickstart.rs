@@ -9,9 +9,9 @@
 //! (HLS → activity trace → graph → oracle labels), HEC-GNN ensemble
 //! training, and inference on an unseen directive configuration.
 
-use powergear::{PowerGear, PowerGearConfig};
 use pg_datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
 use pg_hls::Directives;
+use powergear::{PowerGear, PowerGearConfig};
 
 fn main() {
     // 1. Build labeled datasets for three kernels (small problem size so

@@ -1,0 +1,50 @@
+//! Determinism smoke test: the full pipeline (dataset build → graph
+//! construction → one training epoch) must produce bit-identical metrics
+//! across two runs with the same `Rng64` seed, including with a parallel
+//! dataset build.
+
+use powergear_repro::datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
+use powergear_repro::gnn::{train_ensemble, ModelConfig, TrainConfig};
+use powergear_repro::graphcon::PowerGraph;
+
+fn one_epoch_metrics() -> (Vec<u64>, u64) {
+    let cfg = DatasetConfig {
+        size: 6,
+        max_samples: 12,
+        seed: 7,
+        threads: 2, // parallel build must not perturb sample order or labels
+    };
+    let ds = build_kernel_dataset(&polybench::atax(6), &cfg);
+    let data = ds.labeled(PowerTarget::Dynamic);
+
+    let mut tc = TrainConfig::quick(ModelConfig::hec(8));
+    tc.epochs = 1;
+    tc.folds = 2;
+    tc.seeds = vec![5];
+    tc.threads = 1;
+    let ensemble = train_ensemble(&data, &tc);
+
+    let graphs: Vec<&PowerGraph> = data.iter().map(|(g, _)| *g).collect();
+    let preds = ensemble
+        .predict(&graphs)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    let err = ensemble.evaluate(&data).to_bits();
+    (preds, err)
+}
+
+#[test]
+fn one_training_epoch_is_bit_identical_across_runs() {
+    let (preds1, err1) = one_epoch_metrics();
+    let (preds2, err2) = one_epoch_metrics();
+    assert_eq!(
+        preds1, preds2,
+        "predictions diverged between identical runs"
+    );
+    assert_eq!(
+        err1, err2,
+        "evaluation metric diverged between identical runs"
+    );
+    assert!(!preds1.is_empty());
+}

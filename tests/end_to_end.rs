@@ -122,11 +122,7 @@ fn vivado_surrogate_miscalibration_story() {
 #[test]
 fn labels_span_a_design_space() {
     let ds = build_kernel_dataset(&polybench::gemm(6), &tiny_cfg());
-    let dyns: Vec<f64> = ds
-        .samples
-        .iter()
-        .map(|s| s.power.dynamic)
-        .collect();
+    let dyns: Vec<f64> = ds.samples.iter().map(|s| s.power.dynamic).collect();
     let lo = dyns.iter().cloned().fold(f64::MAX, f64::min);
     let hi = dyns.iter().cloned().fold(0.0f64, f64::max);
     assert!(

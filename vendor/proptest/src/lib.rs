@@ -1,0 +1,474 @@
+//! Offline shim for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates registry, so this crate vendors the *subset* of the proptest 1.x
+//! API that `tests/properties.rs` uses:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`];
+//! * [`any`] for primitive types, range strategies (`0usize..4`,
+//!   `-0.9f32..0.9`, ...), tuple strategies up to arity 6;
+//! * `prop::collection::vec` (with either an exact count or a size range)
+//!   and `prop::sample::select`;
+//! * `ProptestConfig::with_cases` and the `proptest!`, `prop_assert!`,
+//!   `prop_assert_eq!`, `prop_assert_ne!` macros.
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! splitmix64 stream (same values every run — good for reproducible CI),
+//! there is **no shrinking**, and `prop_assert*` panics like `assert*`
+//! instead of returning a `TestCaseError`.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+
+/// Deterministic splitmix64 generator driving all value generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift bounded draw; bias is negligible for test sizes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and runner
+
+/// Subset of proptest's `test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+
+    /// Minimal stand-in for proptest's `TestRunner`: hands out one
+    /// deterministic RNG per test case.
+    pub struct TestRunner {
+        config: Config,
+        name_seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new_for_test(config: Config, test_name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                name_seed: h,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        pub fn rng_for_case(&self, case: u32) -> crate::TestRng {
+            crate::TestRng::from_seed(self.name_seed.wrapping_add(case as u64))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: any::<T>() and ranges
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn sample(rng: &mut TestRng) -> Self;
+}
+
+/// Whole-domain strategy for `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`, like `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn sample(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn sample(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Combinator modules
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed list, like
+    /// `proptest::sample::select`.
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for [`vec`]: an exact count or a range.
+    pub trait IntoSizeRange {
+        /// Inclusive lower bound and exclusive upper bound.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy producing vectors whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_excl: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_excl) = size.bounds();
+        assert!(min < max_excl, "empty size range for collection::vec");
+        VecStrategy {
+            element,
+            min,
+            max_excl,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_excl - self.min) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `bool` strategies namespace (`prop::bool::ANY` in real proptest).
+pub mod bool {
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl super::Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.unit_f64() < self.p
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+
+/// Assertion that fails the current test case (panics in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(any::<u32>(), 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $cfg;
+            let __pt_runner = $crate::test_runner::TestRunner::new_for_test(
+                __pt_config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            $(let $arg = &($strat);)+
+            for __pt_case in 0..__pt_runner.cases() {
+                let mut __pt_rng = __pt_runner.rng_for_case(__pt_case);
+                $(let $arg = $crate::Strategy::generate($arg, &mut __pt_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{bool, collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(any::<u32>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn select_and_map(k in prop::sample::select(vec![2usize, 4, 8]).prop_map(|v| v * 2)) {
+            prop_assert!(k == 4 || k == 8 || k == 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r = crate::test_runner::TestRunner::new_for_test(ProptestConfig::with_cases(4), "x");
+        let a: Vec<u64> = (0..4).map(|i| r.rng_for_case(i).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|i| r.rng_for_case(i).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion bench over the serving layer: sequential `Ensemble::predict`
+//! versus the batched multi-core `InferenceEngine`, with throughput
+//! reporting (graphs/s) via the extended criterion shim.
+//!
+//! `PG_BENCH_QUICK=1` shrinks the dataset and measurement budget for the
+//! CI perf-smoke lane.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache, PowerTarget};
+use pg_gnn::{train_ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
+use pg_graphcon::PowerGraph;
+
+fn quick() -> bool {
+    std::env::var("PG_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn serving_fixture() -> (Vec<PowerGraph>, pg_gnn::Ensemble) {
+    let cfg = DatasetConfig {
+        size: 10,
+        max_samples: if quick() { 16 } else { 48 },
+        seed: 1,
+        threads: 1,
+    };
+    let cache = HlsCache::new();
+    let ds = build_kernel_dataset_cached(&polybench::bicg(10), &cfg, &cache);
+    let data = ds.labeled(PowerTarget::Dynamic);
+    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+    tc.epochs = if quick() { 2 } else { 6 };
+    tc.folds = 2;
+    tc.threads = 1;
+    let ensemble = train_ensemble(&data, &tc);
+    let graphs: Vec<PowerGraph> = ds.samples.iter().map(|s| s.graph.clone()).collect();
+    (graphs, ensemble)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (graphs, ensemble) = serving_fixture();
+    let refs: Vec<&PowerGraph> = graphs.iter().collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(if quick() { 10 } else { 20 });
+    g.throughput(Throughput::Elements(refs.len() as u64));
+
+    g.bench_function("sequential", |b| b.iter(|| ensemble.predict(&refs)));
+
+    let mut thread_counts = vec![1, 2, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    for threads in thread_counts {
+        let engine = InferenceEngine::with_config(&ensemble, ServeConfig::new(8, threads));
+        g.bench_with_input(
+            BenchmarkId::new("engine", format!("{threads}t")),
+            &engine,
+            |b, e| b.iter(|| e.predict(&refs)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_hls_cache(c: &mut Criterion) {
+    let kernel = polybench::bicg(10);
+    let cfg = DatasetConfig {
+        size: 10,
+        max_samples: if quick() { 8 } else { 16 },
+        seed: 1,
+        threads: 1,
+    };
+    let mut g = c.benchmark_group("hls_cache");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cfg.max_samples as u64));
+    g.bench_function("cold_build", |b| {
+        b.iter(|| build_kernel_dataset_cached(&kernel, &cfg, &HlsCache::new()))
+    });
+    let warm = HlsCache::new();
+    build_kernel_dataset_cached(&kernel, &cfg, &warm);
+    g.bench_function("warm_rebuild", |b| {
+        b.iter(|| build_kernel_dataset_cached(&kernel, &cfg, &warm))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_inference, bench_hls_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `perf_smoke` — the CI perf-regression gate.
+//!
+//! Runs the quick throughput suite ([`powergear_bench::perf`]) and compares
+//! every metric against a checked-in baseline:
+//!
+//! ```text
+//! perf_smoke [--quick] [--baseline BENCH_baseline.json] \
+//!            [--out perf_results.json] [--threshold 2.0] [--print-baseline]
+//! ```
+//!
+//! * `--quick`          smaller dataset/reps (CI mode; default is standard)
+//! * `--baseline <p>`   compare against this JSON (skip check when absent)
+//! * `--out <p>`        write measured metrics as JSON (CI artifact)
+//! * `--threshold <x>`  allowed slowdown factor (default 2.0 — generous,
+//!                      so runner jitter doesn't fail builds)
+//! * `--print-baseline` print measured metrics in baseline JSON form
+//!
+//! Exits non-zero when any metric fell below `baseline / threshold`.
+
+use powergear_bench::perf::{compare, parse_json, run_perf_suite, to_json, PerfConfig};
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        PerfConfig::quick()
+    } else {
+        PerfConfig::standard()
+    };
+    let threshold: f64 = arg_value(&args, "--threshold")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+
+    eprintln!(
+        "[perf] running suite ({} samples, {} reps, threshold {threshold}x)...",
+        cfg.samples, cfg.reps
+    );
+    let results = run_perf_suite(&cfg);
+    println!("{:<32} {:>14}", "metric", "value");
+    for r in &results {
+        println!("{:<32} {:>14.3}", r.name, r.value);
+    }
+
+    if let Some(out) = arg_value(&args, "--out") {
+        if let Err(e) = std::fs::write(&out, to_json(&results)) {
+            eprintln!("[perf] cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[perf] wrote {out}");
+    }
+    if args.iter().any(|a| a == "--print-baseline") {
+        print!("{}", to_json(&results));
+    }
+
+    let Some(baseline_path) = arg_value(&args, "--baseline") else {
+        eprintln!("[perf] no --baseline given; measurement only");
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_json(&text),
+        Err(e) => {
+            eprintln!("[perf] cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!("[perf] baseline {baseline_path} holds no metrics");
+        return ExitCode::FAILURE;
+    }
+
+    let regressions = compare(&results, &baseline, threshold);
+    if regressions.is_empty() {
+        eprintln!(
+            "[perf] OK — all {} metrics within {threshold}x of baseline",
+            results.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[perf] REGRESSIONS (allowed slowdown {threshold}x):");
+        for r in &regressions {
+            eprintln!(
+                "  {:<32} baseline {:>12.3} -> current {:>12.3} ({:.2}x slower)",
+                r.name,
+                r.baseline,
+                r.current,
+                r.baseline / r.current.max(1e-12)
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -10,14 +10,14 @@
 
 use crate::runtime::measure_runtimes;
 use pg_datasets::{
-    build_kernel_dataset, leave_one_out, polybench, DatasetConfig, KernelDataset, PowerTarget,
+    build_kernel_dataset_cached, leave_one_out, polybench, DatasetConfig, HlsCache, KernelDataset,
+    PowerTarget,
 };
 use pg_gnn::{
     table2_variants, train_ensemble, train_single, Arch, Ensemble, ModelConfig, TrainConfig,
 };
 use pg_graphcon::PowerGraph;
 use pg_hlpow::HlPowModel;
-use pg_hls::HlsFlow;
 use pg_powersim::VivadoEstimator;
 use pg_util::rng::hash64;
 use pg_util::{mape, Rng64};
@@ -245,15 +245,22 @@ fn cache_path(cfg: &EvalConfig) -> PathBuf {
     results_dir().join(format!("eval_{:016x}.csv", cfg.hash()))
 }
 
-/// Builds the datasets for the configured kernels.
+/// Builds the datasets for the configured kernels (fresh HLS cache).
 pub fn build_datasets(cfg: &EvalConfig) -> Vec<KernelDataset> {
+    build_datasets_cached(cfg, &HlsCache::new())
+}
+
+/// Builds the datasets for the configured kernels through a shared
+/// [`HlsCache`], so later pipeline stages (surrogate calibration, runtime
+/// probes) reuse the synthesized designs instead of re-running HLS.
+pub fn build_datasets_cached(cfg: &EvalConfig, hls: &HlsCache) -> Vec<KernelDataset> {
     let names = cfg.kernel_names();
     polybench::polybench(cfg.dataset.size)
         .iter()
         .filter(|k| names.contains(&k.name))
         .map(|k| {
             eprintln!("[dataset] building {} ...", k.name);
-            build_kernel_dataset(k, &cfg.dataset)
+            build_kernel_dataset_cached(k, &cfg.dataset, hls)
         })
         .collect()
 }
@@ -265,7 +272,8 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
         eprintln!("[eval] loaded cached results from {}", path.display());
         return ctx;
     }
-    let datasets = build_datasets(cfg);
+    let hls = HlsCache::new();
+    let datasets = build_datasets_cached(cfg, &hls);
     let mut ctx = EvalContext::default();
 
     for held_out in cfg.kernel_names() {
@@ -286,8 +294,9 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
             &train_dyn,
             &cfg.train_config(PowerTarget::Dynamic, ModelConfig::hec(cfg.hidden)),
         );
-        let pg_total = pg_total_model.predict(&test_graphs);
-        let pg_dyn = pg_dyn_model.predict(&test_graphs);
+        // batched multi-core serving; bit-identical to the sequential path
+        let pg_total = pg_total_model.engine().predict(&test_graphs);
+        let pg_dyn = pg_dyn_model.engine().predict(&test_graphs);
 
         // HL-Pow.
         eprintln!("[eval]   training HL-Pow...");
@@ -298,7 +307,7 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
 
         // Vivado surrogate: calibrate on a training subsample.
         eprintln!("[eval]   calibrating Vivado surrogate...");
-        let (viv_total, viv_dyn) = vivado_predictions(cfg, &split, &datasets);
+        let (viv_total, viv_dyn) = vivado_predictions(cfg, &split, &hls);
 
         // Baseline GNNs (dynamic power).
         let mut baseline_preds = Vec::new();
@@ -340,8 +349,13 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
             .iter()
             .find(|d| d.kernel == held_out)
             .expect("dataset present");
-        let (pg_ms, viv_ms) =
-            measure_runtimes(ds, &pg_dyn_model, cfg.runtime_probes, cfg.dataset.size);
+        let (pg_ms, viv_ms) = measure_runtimes(
+            ds,
+            &pg_dyn_model,
+            cfg.runtime_probes,
+            cfg.dataset.size,
+            &hls,
+        );
         ctx.info.push(KernelInfo {
             kernel: held_out.clone(),
             n_samples: ds.samples.len(),
@@ -356,13 +370,14 @@ pub fn evaluate_all(cfg: &EvalConfig) -> EvalContext {
     ctx
 }
 
-/// Calibrated Vivado surrogate predictions for the test samples.
+/// Calibrated Vivado surrogate predictions for the test samples. Designs
+/// are resynthesized through the shared HLS cache, which already holds
+/// every design point from the dataset build.
 fn vivado_predictions(
     cfg: &EvalConfig,
     split: &pg_datasets::LooSplit<'_>,
-    _datasets: &[KernelDataset],
+    hls: &HlsCache,
 ) -> (Vec<f64>, Vec<f64>) {
-    let flow = HlsFlow::new();
     let mut est = VivadoEstimator::new();
     // calibration pairs from a deterministic training subsample
     let mut rng = Rng64::new(101);
@@ -371,7 +386,7 @@ fn vivado_predictions(
     for &i in &idx {
         let s = split.train[i];
         let kernel = polybench::by_name(&s.kernel, cfg.dataset.size).expect("kernel exists");
-        let design = flow.run(&kernel, &s.directives).expect("resynthesis");
+        let design = hls.run(&kernel, &s.directives).expect("resynthesis");
         let raw = est.estimate_raw(&design);
         pairs.push((raw.total, s.power.total));
     }
@@ -380,7 +395,7 @@ fn vivado_predictions(
     let mut dyns = Vec::new();
     for s in &split.test {
         let kernel = polybench::by_name(&s.kernel, cfg.dataset.size).expect("kernel exists");
-        let design = flow.run(&kernel, &s.directives).expect("resynthesis");
+        let design = hls.run(&kernel, &s.directives).expect("resynthesis");
         let e = est.estimate(&design);
         totals.push(e.total);
         dyns.push(e.dynamic);

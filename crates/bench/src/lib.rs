@@ -17,6 +17,8 @@
 //! the scale toward the paper's settings.
 
 pub mod drivers;
+pub mod perf;
 pub mod runtime;
 
 pub use drivers::{EvalConfig, EvalContext};
+pub use perf::{PerfConfig, PerfResult};

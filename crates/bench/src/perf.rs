@@ -1,0 +1,332 @@
+//! Perf-smoke suite: quick throughput measurements compared against a
+//! checked-in baseline, so CI catches performance regressions.
+//!
+//! The suite builds a small dataset (through the shared [`HlsCache`]),
+//! trains a quick ensemble, and measures a handful of throughput metrics
+//! (higher is always better):
+//!
+//! * `seq_graphs_per_sec` — sequential [`Ensemble::predict`];
+//! * `engine_t1_graphs_per_sec` — [`InferenceEngine`], one worker;
+//! * `engine_mt_graphs_per_sec` — [`InferenceEngine`], one worker per core;
+//! * `hls_cache_replay_speedup` — synthesizing the whole design space
+//!   against a warm cache versus cold (pure memoization win; collapses to
+//!   ~1 if the cache ever stops hitting);
+//! * `hls_designs_per_sec` — cold HLS synthesis rate.
+//!
+//! Results serialize to a tiny hand-rolled JSON file (`{"metrics": {...}}`
+//! — the workspace has no serde); [`compare`] flags any metric that fell
+//! below `baseline / threshold`. The baseline is generous (threshold 2x by
+//! default) so only real regressions — not runner jitter — fail CI.
+
+use pg_datasets::{
+    build_kernel_dataset_cached, polybench, sample_space, DatasetConfig, HlsCache, PowerTarget,
+};
+use pg_gnn::{train_ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
+use pg_graphcon::PowerGraph;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One named throughput measurement (higher = better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfResult {
+    /// Metric name (stable across runs; keys the baseline).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Scale knobs for the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Design points in the measurement dataset.
+    pub samples: usize,
+    /// Training epochs for the throwaway ensemble.
+    pub epochs: usize,
+    /// Timed prediction repetitions (median-of).
+    pub reps: usize,
+}
+
+impl PerfConfig {
+    /// CI quick mode: a couple of seconds end to end.
+    pub fn quick() -> Self {
+        PerfConfig {
+            samples: 24,
+            epochs: 4,
+            reps: 5,
+        }
+    }
+
+    /// Local mode: more samples and repetitions for stabler numbers.
+    pub fn standard() -> Self {
+        PerfConfig {
+            samples: 48,
+            epochs: 8,
+            reps: 9,
+        }
+    }
+}
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[times.len() / 2]
+}
+
+/// Runs the suite and returns every metric.
+///
+/// # Panics
+///
+/// Panics if the batched engine output ever diverges bit-wise from the
+/// sequential path — a perf run must never trade correctness.
+pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
+    let kernel = polybench::bicg(10);
+    let ds_cfg = DatasetConfig {
+        size: 10,
+        max_samples: cfg.samples,
+        seed: 1,
+        threads: 1,
+    };
+
+    // Cold synthesis of the whole design space, then a warm replay: the
+    // replay is pure cache lookups, so its speedup collapses toward 1 if
+    // the memoization ever breaks.
+    let cache = HlsCache::new();
+    let configs = sample_space(&kernel, ds_cfg.max_samples, ds_cfg.seed);
+    let t_cold = Instant::now();
+    for d in &configs {
+        std::hint::black_box(cache.run(&kernel, d).expect("cold synthesis"));
+    }
+    let cold_s = t_cold.elapsed().as_secs_f64();
+    let designs = cache.misses().max(1);
+    let t_warm = Instant::now();
+    for d in &configs {
+        std::hint::black_box(cache.run(&kernel, d).expect("warm replay"));
+    }
+    let warm_s = t_warm.elapsed().as_secs_f64();
+
+    // Dataset built over the already-warm cache; a second build must be
+    // bit-identical (correctness gate for the perf numbers below).
+    let ds = build_kernel_dataset_cached(&kernel, &ds_cfg, &cache);
+    let ds2 = build_kernel_dataset_cached(&kernel, &ds_cfg, &cache);
+    assert_eq!(ds, ds2, "cached rebuild must be bit-identical");
+
+    let data = ds.labeled(PowerTarget::Dynamic);
+    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+    tc.epochs = cfg.epochs;
+    tc.folds = 2;
+    tc.threads = 1;
+    let ensemble = train_ensemble(&data, &tc);
+
+    let graphs: Vec<&PowerGraph> = ds.samples.iter().map(|s| &s.graph).collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let _ = ensemble.predict(&graphs); // warm-up
+    let seq_s = median_secs(cfg.reps, || {
+        std::hint::black_box(ensemble.predict(&graphs));
+    });
+
+    let t1 = InferenceEngine::with_config(&ensemble, ServeConfig::new(8, 1));
+    let t1_s = median_secs(cfg.reps, || {
+        std::hint::black_box(t1.predict(&graphs));
+    });
+
+    let mt = InferenceEngine::with_config(&ensemble, ServeConfig::new(8, cores));
+    let mt_s = median_secs(cfg.reps, || {
+        std::hint::black_box(mt.predict(&graphs));
+    });
+
+    // Parity gate: perf numbers are meaningless if the output drifted.
+    let seq_bits: Vec<u64> = ensemble
+        .predict(&graphs)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let mt_bits: Vec<u64> = mt.predict(&graphs).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(seq_bits, mt_bits, "engine output diverged from sequential");
+
+    let n = graphs.len() as f64;
+    vec![
+        PerfResult {
+            name: "seq_graphs_per_sec".into(),
+            value: n / seq_s.max(1e-9),
+        },
+        PerfResult {
+            name: "engine_t1_graphs_per_sec".into(),
+            value: n / t1_s.max(1e-9),
+        },
+        PerfResult {
+            name: "engine_mt_graphs_per_sec".into(),
+            value: n / mt_s.max(1e-9),
+        },
+        PerfResult {
+            name: "hls_cache_replay_speedup".into(),
+            value: cold_s / warm_s.max(1e-9),
+        },
+        PerfResult {
+            name: "hls_designs_per_sec".into(),
+            value: designs as f64 / cold_s.max(1e-9),
+        },
+    ]
+}
+
+/// Serializes results as `{"metrics": {"name": value, ...}}`.
+pub fn to_json(results: &[PerfResult]) -> String {
+    let mut out = String::from("{\n  \"metrics\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {:.3}{}\n", r.name, r.value, comma));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parses the `{"metrics": {...}}` JSON subset written by [`to_json`]
+/// (tolerates arbitrary whitespace; ignores unknown structure).
+pub fn parse_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for raw in text.split(',') {
+        // each fragment holds at most one "name": value pair
+        let Some(colon) = raw.rfind(':') else {
+            continue;
+        };
+        let value: f64 = match raw[colon + 1..]
+            .trim()
+            .trim_end_matches(['}', '\n', ' ', '\t'])
+            .trim()
+            .parse()
+        {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let name_part = &raw[..colon];
+        let Some(end) = name_part.rfind('"') else {
+            continue;
+        };
+        let Some(start) = name_part[..end].rfind('"') else {
+            continue;
+        };
+        let name = &name_part[start + 1..end];
+        if name != "metrics" {
+            out.insert(name.to_string(), value);
+        }
+    }
+    out
+}
+
+/// A metric that regressed beyond the allowed threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Currently measured value.
+    pub current: f64,
+}
+
+/// Compares current results to a baseline: metric `m` regresses when
+/// `current < baseline / threshold` (all metrics are higher-is-better).
+/// Metrics missing from either side are skipped — adding a new metric must
+/// not break CI until its baseline lands.
+pub fn compare(
+    results: &[PerfResult],
+    baseline: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Vec<Regression> {
+    assert!(threshold >= 1.0, "threshold must be >= 1");
+    results
+        .iter()
+        .filter_map(|r| {
+            let &base = baseline.get(&r.name)?;
+            (r.value < base / threshold).then(|| Regression {
+                name: r.name.clone(),
+                baseline: base,
+                current: r.value,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> Vec<PerfResult> {
+        vec![
+            PerfResult {
+                name: "a_metric".into(),
+                value: 120.5,
+            },
+            PerfResult {
+                name: "b_metric".into(),
+                value: 3.25,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let json = to_json(&results());
+        let parsed = parse_json(&json);
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed["a_metric"] - 120.5).abs() < 1e-6);
+        assert!((parsed["b_metric"] - 3.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a_metric".to_string(), 200.0);
+        baseline.insert("b_metric".to_string(), 3.0);
+        baseline.insert("unmeasured".to_string(), 1.0);
+        // threshold 2: a_metric needs >= 100 (ok at 120.5), b needs >= 1.5
+        let regs = compare(&results(), &baseline, 2.0);
+        assert!(regs.is_empty(), "{regs:?}");
+        // threshold 1.5: a_metric needs >= 133.3 -> regression
+        let regs = compare(&results(), &baseline, 1.5);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "a_metric");
+    }
+
+    #[test]
+    fn missing_baseline_metrics_are_skipped() {
+        let baseline = BTreeMap::new();
+        assert!(compare(&results(), &baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn quick_suite_produces_all_metrics() {
+        let results = run_perf_suite(&PerfConfig {
+            samples: 6,
+            epochs: 1,
+            reps: 1,
+        });
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(
+                r.value.is_finite() && r.value > 0.0,
+                "{}: {}",
+                r.name,
+                r.value
+            );
+        }
+        // memoized replay must be dramatically faster than cold synthesis
+        let speedup = results
+            .iter()
+            .find(|r| r.name == "hls_cache_replay_speedup")
+            .unwrap();
+        assert!(
+            speedup.value > 2.0,
+            "cache replay speedup {}",
+            speedup.value
+        );
+    }
+}

@@ -11,33 +11,37 @@
 //!   post-HLS work the real tool performs.
 
 use pg_activity::{execute, Stimuli};
-use pg_datasets::{polybench, KernelDataset};
+use pg_datasets::{polybench, HlsCache, KernelDataset};
 use pg_gnn::Ensemble;
 use pg_graphcon::GraphFlow;
-use pg_hls::HlsFlow;
 use pg_powersim::VivadoEstimator;
 use pg_util::median;
 use std::time::Instant;
 
 /// Measures median per-design runtimes (ms) for both flows over up to
 /// `probes` designs of `ds`; returns `(powergear_ms, vivado_ms)`.
+///
+/// Probed designs are resynthesized through `cache` — when the caller
+/// shares the cache that built the dataset, resynthesis is a pure lookup
+/// (HLS is common to both flows and excluded from the timings either way).
 pub fn measure_runtimes(
     ds: &KernelDataset,
     pg_model: &Ensemble,
     probes: usize,
     size: usize,
+    cache: &HlsCache,
 ) -> (f64, f64) {
     let kernel = polybench::by_name(&ds.kernel, size).expect("kernel exists");
-    let flow = HlsFlow::new();
     let stim = Stimuli::for_kernel(&kernel, 1);
     let est = VivadoEstimator::new();
     let gf = GraphFlow::new();
+    let engine = pg_model.engine();
 
     let mut pg_times = Vec::new();
     let mut viv_times = Vec::new();
     let step = (ds.samples.len() / probes.max(1)).max(1);
     for s in ds.samples.iter().step_by(step).take(probes) {
-        let design = flow.run(&kernel, &s.directives).expect("resynthesis");
+        let design = cache.run(&kernel, &s.directives).expect("resynthesis");
 
         let t0 = Instant::now();
         let trace = execute(&design, &stim);
@@ -48,7 +52,7 @@ pub fn measure_runtimes(
             .into_iter()
             .map(|v| v as f32)
             .collect();
-        let _pred = pg_model.predict(&[&graph]);
+        let _pred = engine.predict(&[&graph]);
         pg_times.push(t0.elapsed().as_secs_f64() * 1e3);
 
         let t1 = Instant::now();
@@ -74,8 +78,10 @@ mod tests {
         tc.folds = 2;
         tc.threads = 1;
         let model = train_ensemble(&data, &tc);
-        let (pg_ms, viv_ms) = measure_runtimes(&ds, &model, 3, 6);
+        let cache = HlsCache::new();
+        let (pg_ms, viv_ms) = measure_runtimes(&ds, &model, 3, 6, &cache);
         assert!(pg_ms > 0.0);
         assert!(viv_ms > 0.0);
+        assert!(!cache.is_empty(), "probes must go through the cache");
     }
 }

@@ -6,9 +6,11 @@
 //! powergear graph   <kernel> [directives...]   # graph stats + feature dump
 //! powergear measure <kernel> [directives...]   # simulated board measurement
 //! powergear space   <kernel> [N]        # enumerate the design space
+//! powergear serve   <kernel> [N]        # batched-inference throughput demo
 //!
 //! directive syntax:  pipeline=<loop>  unroll=<loop>:<k>  partition=<array>:<k>
 //! common flags:      --size <n>  (problem size, default 12)
+//! serve flags:       --threads <t>  (engine worker threads, default: cores)
 //! ```
 //!
 //! Examples:
@@ -19,16 +21,18 @@
 //! ```
 
 use pg_activity::{execute, Stimuli};
-use pg_datasets::polybench;
-use pg_graphcon::GraphFlow;
+use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache, PowerTarget};
+use pg_gnn::{train_ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
+use pg_graphcon::{GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsFlow};
 use pg_powersim::BoardOracle;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: powergear <kernels|report|graph|measure|space> ...");
+        eprintln!("usage: powergear <kernels|report|graph|measure|space|serve> ...");
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
@@ -60,6 +64,25 @@ fn main() -> ExitCode {
                 println!("  {d}");
             }
             ExitCode::SUCCESS
+        }
+        "serve" => {
+            let Some(kernel) = load_kernel(&args) else {
+                return ExitCode::FAILURE;
+            };
+            let n: usize = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(24);
+            let threads = flag_value(&args, "--threads")
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                })
+                .max(1);
+            let size = flag_value(&args, "--size").unwrap_or(12);
+            serve_demo(&kernel, n, threads, size)
         }
         "report" | "graph" | "measure" => {
             let Some(kernel) = load_kernel(&args) else {
@@ -126,14 +149,91 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_kernel(args: &[String]) -> Option<pg_ir::Kernel> {
-    let name = args.get(1)?;
-    let size = args
-        .iter()
-        .position(|a| a == "--size")
+/// Trains a small ensemble on the kernel's design space (HLS runs served
+/// through a shared cache) and contrasts sequential vs batched multi-core
+/// inference throughput.
+fn serve_demo(kernel: &pg_ir::Kernel, n: usize, threads: usize, size: usize) -> ExitCode {
+    let cache = HlsCache::new();
+    let cfg = DatasetConfig {
+        size,
+        max_samples: n.max(4),
+        seed: 1,
+        threads: threads.max(1),
+    };
+    eprintln!(
+        "[serve] building {} design points of `{}`...",
+        cfg.max_samples, kernel.name
+    );
+    let t_build = Instant::now();
+    let ds = build_kernel_dataset_cached(kernel, &cfg, &cache);
+    eprintln!(
+        "[serve]   {} samples in {:.2}s (HLS cache: {} designs, {} hits)",
+        ds.samples.len(),
+        t_build.elapsed().as_secs_f64(),
+        cache.len(),
+        cache.hits()
+    );
+
+    let data = ds.labeled(PowerTarget::Dynamic);
+    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+    tc.epochs = 10;
+    tc.folds = 2;
+    tc.threads = threads.max(1);
+    eprintln!("[serve] training a quick dynamic-power ensemble...");
+    let ensemble = train_ensemble(&data, &tc);
+
+    let graphs: Vec<&PowerGraph> = ds.samples.iter().map(|s| &s.graph).collect();
+    // warm up allocators etc. before timing either path
+    let _ = ensemble.predict(&graphs);
+    let t_seq = Instant::now();
+    let seq = ensemble.predict(&graphs);
+    let seq_s = t_seq.elapsed().as_secs_f64();
+
+    let engine =
+        InferenceEngine::with_config(&ensemble, ServeConfig::new(8.min(graphs.len()), threads));
+    let (batched, stats) = engine.predict_with_stats(&graphs);
+    assert_eq!(
+        seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "engine must be bit-identical to the sequential path"
+    );
+
+    println!(
+        "serving `{}`: {} graphs, {} ensemble members",
+        ds.kernel,
+        stats.graphs,
+        ensemble.models.len()
+    );
+    println!(
+        "  sequential : {:>10.1} graphs/s ({:.2} ms total)",
+        stats.graphs as f64 / seq_s.max(1e-12),
+        seq_s * 1e3
+    );
+    println!(
+        "  engine     : {:>10.1} graphs/s ({:.2} ms total, {} batches x {} threads)",
+        stats.graphs_per_sec(),
+        stats.seconds * 1e3,
+        stats.batches,
+        stats.threads_used
+    );
+    println!(
+        "  speedup    : {:.2}x (bit-identical output)",
+        seq_s / stats.seconds.max(1e-12)
+    );
+    ExitCode::SUCCESS
+}
+
+/// Parses the value following `<flag>` (e.g. `--size 8`), if present.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+}
+
+fn load_kernel(args: &[String]) -> Option<pg_ir::Kernel> {
+    let name = args.get(1)?;
+    let size = flag_value(args, "--size").unwrap_or(12);
     match polybench::by_name(name, size) {
         Some(k) => Some(k),
         None => {

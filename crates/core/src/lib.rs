@@ -31,10 +31,10 @@
 //! ```
 
 use pg_activity::{execute, Stimuli};
-use pg_datasets::{KernelDataset, PowerTarget};
-use pg_gnn::{train_ensemble, Ensemble, ModelConfig, TrainConfig};
+use pg_datasets::{HlsCache, KernelDataset, PowerTarget};
+use pg_gnn::{train_ensemble, Ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
 use pg_graphcon::{GraphFlow, PowerGraph};
-use pg_hls::{Directives, HlsError, HlsFlow, HlsReport};
+use pg_hls::{Directives, HlsError, HlsReport};
 use pg_ir::Kernel;
 
 /// Top-level configuration for [`PowerGear::fit`].
@@ -157,9 +157,23 @@ impl PowerGear {
         kernel: &Kernel,
         directives: &Directives,
     ) -> Result<(PowerGraph, HlsReport), HlsError> {
-        let flow = HlsFlow::new();
-        let baseline = flow.run(kernel, &Directives::new())?.report;
-        let design = flow.run(kernel, directives)?;
+        Self::build_graph_cached(kernel, directives, &HlsCache::new())
+    }
+
+    /// [`PowerGear::build_graph`] through a shared [`HlsCache`], so the
+    /// baseline and repeated design points are synthesized only once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HlsError`] from synthesis of the design or its
+    /// unoptimized baseline.
+    pub fn build_graph_cached(
+        kernel: &Kernel,
+        directives: &Directives,
+        cache: &HlsCache,
+    ) -> Result<(PowerGraph, HlsReport), HlsError> {
+        let baseline = cache.run(kernel, &Directives::new())?.report.clone();
+        let design = cache.run(kernel, directives)?;
         let stim = Stimuli::for_kernel(kernel, 1);
         let trace = execute(&design, &stim);
         let mut graph = GraphFlow::new().build(&design, &trace);
@@ -169,7 +183,7 @@ impl PowerGear {
             .into_iter()
             .map(|v| v as f32)
             .collect();
-        Ok((graph, design.report))
+        Ok((graph, design.report.clone()))
     }
 
     /// Full inference flow for a new design point.
@@ -194,9 +208,61 @@ impl PowerGear {
 
     /// Inference on an already-constructed graph.
     pub fn estimate_graph(&self, graph: &PowerGraph) -> (f64, f64) {
-        let total = self.total_model.predict(&[graph])[0];
-        let dynamic = self.dynamic_model.predict(&[graph])[0];
-        (total, dynamic)
+        self.estimate_graphs(&[graph])[0]
+    }
+
+    /// Batched inference on many graphs through the serving engine
+    /// (bit-identical to per-graph [`PowerGear::estimate_graph`]); returns
+    /// `(total, dynamic)` watts in input order.
+    pub fn estimate_graphs(&self, graphs: &[&PowerGraph]) -> Vec<(f64, f64)> {
+        self.estimate_graphs_with(graphs, &ServeConfig::default())
+    }
+
+    /// [`PowerGear::estimate_graphs`] with explicit batching/parallelism.
+    pub fn estimate_graphs_with(
+        &self,
+        graphs: &[&PowerGraph],
+        serve: &ServeConfig,
+    ) -> Vec<(f64, f64)> {
+        let total = InferenceEngine::with_config(&self.total_model, serve.clone()).predict(graphs);
+        let dynamic =
+            InferenceEngine::with_config(&self.dynamic_model, serve.clone()).predict(graphs);
+        total.into_iter().zip(dynamic).collect()
+    }
+
+    /// Estimates a whole set of design points of one kernel: each
+    /// configuration is synthesized through the shared [`HlsCache`] and all
+    /// graphs are served in one batched engine pass — the DSE calling
+    /// pattern of §IV-C.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`HlsError`] from synthesis.
+    pub fn estimate_space(
+        &self,
+        kernel: &Kernel,
+        configs: &[Directives],
+        cache: &HlsCache,
+    ) -> Result<Vec<PowerEstimate>, HlsError> {
+        let mut graphs = Vec::with_capacity(configs.len());
+        let mut reports = Vec::with_capacity(configs.len());
+        for d in configs {
+            let (graph, report) = Self::build_graph_cached(kernel, d, cache)?;
+            graphs.push(graph);
+            reports.push(report);
+        }
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let preds = self.estimate_graphs(&refs);
+        Ok(preds
+            .into_iter()
+            .zip(graphs.iter().zip(&reports))
+            .map(|((total, dynamic), (graph, report))| PowerEstimate {
+                total_w: total,
+                dynamic_w: dynamic,
+                latency_cycles: report.latency_cycles,
+                graph_nodes: graph.num_nodes,
+            })
+            .collect())
     }
 
     /// MAPE (%) of both heads on labeled samples: `(total, dynamic)`.
@@ -286,6 +352,43 @@ mod tests {
         assert_eq!(cfg.hidden, 128);
         assert_eq!(cfg.folds, 10);
         assert_eq!(cfg.seeds.len(), 3);
+    }
+
+    #[test]
+    fn estimate_space_matches_per_point_estimates() {
+        let ds = tiny_datasets();
+        let model = PowerGear::fit(&ds, &tiny_config());
+        let kernel = polybench::mvt(6);
+        let configs: Vec<Directives> = ds[0]
+            .samples
+            .iter()
+            .take(4)
+            .map(|s| s.directives.clone())
+            .collect();
+        let cache = HlsCache::new();
+        let batch = model.estimate_space(&kernel, &configs, &cache).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (d, est) in configs.iter().zip(&batch) {
+            let single = model.estimate(&kernel, d).unwrap();
+            assert_eq!(single.total_w.to_bits(), est.total_w.to_bits());
+            assert_eq!(single.dynamic_w.to_bits(), est.dynamic_w.to_bits());
+            assert_eq!(single.latency_cycles, est.latency_cycles);
+        }
+        // baseline is shared across all points; repeats are served hot
+        assert!(cache.hits() >= configs.len() - 1);
+    }
+
+    #[test]
+    fn batched_estimate_matches_single() {
+        let ds = tiny_datasets();
+        let model = PowerGear::fit(&ds, &tiny_config());
+        let graphs: Vec<&PowerGraph> = ds[1].samples.iter().map(|s| &s.graph).collect();
+        let batched = model.estimate_graphs(&graphs);
+        for (g, (t, d)) in graphs.iter().zip(&batched) {
+            let (st, sd) = model.estimate_graph(g);
+            assert_eq!(st.to_bits(), t.to_bits());
+            assert_eq!(sd.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

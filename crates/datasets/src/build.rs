@@ -6,10 +6,11 @@
 //! oracle. Samples are built in parallel across worker threads and are
 //! bit-deterministic for a given configuration.
 
+use crate::cache::HlsCache;
 use crate::space::sample_space;
 use pg_activity::{execute, Stimuli};
 use pg_graphcon::{GraphFlow, PowerGraph};
-use pg_hls::{Directives, HlsFlow, HlsReport};
+use pg_hls::{Directives, HlsDesign, HlsReport};
 use pg_ir::Kernel;
 use pg_powersim::{BoardOracle, PowerBreakdown};
 
@@ -122,30 +123,27 @@ impl KernelDataset {
     }
 }
 
-/// Builds one sample (shared by the parallel driver and the benches).
-pub fn build_sample(
+/// Labels one already-synthesized design (trace → graph → metadata →
+/// oracle power).
+pub fn sample_from_design(
     kernel: &Kernel,
-    directives: &Directives,
+    design: &HlsDesign,
     stimuli: &Stimuli,
     baseline: &HlsReport,
 ) -> Sample {
-    let flow = HlsFlow::new();
-    let design = flow
-        .run(kernel, directives)
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
-    let trace = execute(&design, stimuli);
-    let mut graph = GraphFlow::new().build(&design, &trace);
+    let trace = execute(design, stimuli);
+    let mut graph = GraphFlow::new().build(design, &trace);
     graph.meta = design
         .report
         .metadata_features(baseline)
         .into_iter()
         .map(|v| v as f32)
         .collect();
-    let power = BoardOracle::default().measure(&design, &trace);
+    let power = BoardOracle::default().measure(design, &trace);
     Sample {
         kernel: kernel.name.clone(),
         design_id: design.design_id(),
-        directives: directives.clone(),
+        directives: design.directives.clone(),
         graph,
         power,
         latency: design.report.latency_cycles,
@@ -153,19 +151,54 @@ pub fn build_sample(
     }
 }
 
-/// Builds the dataset for one kernel.
-pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDataset {
+/// Builds one sample through a shared [`HlsCache`], so identical
+/// kernel+directive pairs are synthesized only once per process.
+pub fn build_sample_cached(
+    kernel: &Kernel,
+    directives: &Directives,
+    stimuli: &Stimuli,
+    baseline: &HlsReport,
+    cache: &HlsCache,
+) -> Sample {
+    let design = cache
+        .run(kernel, directives)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+    sample_from_design(kernel, &design, stimuli, baseline)
+}
+
+/// Builds one sample with a private single-use flow. Prefer
+/// [`build_sample_cached`] when several callers share designs — the
+/// parallel dataset builder goes through that path.
+pub fn build_sample(
+    kernel: &Kernel,
+    directives: &Directives,
+    stimuli: &Stimuli,
+    baseline: &HlsReport,
+) -> Sample {
+    build_sample_cached(kernel, directives, stimuli, baseline, &HlsCache::new())
+}
+
+/// Builds the dataset for one kernel through a shared [`HlsCache`].
+///
+/// Sample order, labels and graphs are bit-identical to the uncached
+/// [`build_kernel_dataset`]; only redundant synthesis work is skipped.
+pub fn build_kernel_dataset_cached(
+    kernel: &Kernel,
+    cfg: &DatasetConfig,
+    cache: &HlsCache,
+) -> KernelDataset {
     let stimuli = Stimuli::for_kernel(kernel, cfg.seed);
-    let baseline = HlsFlow::new()
+    let baseline = cache
         .run(kernel, &Directives::new())
         .unwrap_or_else(|e| panic!("{} baseline: {e}", kernel.name))
-        .report;
+        .report
+        .clone();
     let configs = sample_space(kernel, cfg.max_samples, cfg.seed);
 
     let samples: Vec<Sample> = if cfg.threads <= 1 || configs.len() < 4 {
         configs
             .iter()
-            .map(|d| build_sample(kernel, d, &stimuli, &baseline))
+            .map(|d| build_sample_cached(kernel, d, &stimuli, &baseline, cache))
             .collect()
     } else {
         let chunk = configs.len().div_ceil(cfg.threads);
@@ -178,7 +211,7 @@ pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDatas
                     let baseline = &baseline;
                     scope.spawn(move || {
                         part.iter()
-                            .map(|d| build_sample(kernel, d, stimuli, baseline))
+                            .map(|d| build_sample_cached(kernel, d, stimuli, baseline, cache))
                             .collect::<Vec<Sample>>()
                     })
                 })
@@ -198,11 +231,18 @@ pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDatas
     }
 }
 
-/// Builds datasets for all nine Polybench kernels.
+/// Builds the dataset for one kernel (fresh cache per call).
+pub fn build_kernel_dataset(kernel: &Kernel, cfg: &DatasetConfig) -> KernelDataset {
+    build_kernel_dataset_cached(kernel, cfg, &HlsCache::new())
+}
+
+/// Builds datasets for all nine Polybench kernels, sharing one HLS cache
+/// across them.
 pub fn build_all(cfg: &DatasetConfig) -> Vec<KernelDataset> {
+    let cache = HlsCache::new();
     crate::polybench::polybench(cfg.size)
         .iter()
-        .map(|k| build_kernel_dataset(k, cfg))
+        .map(|k| build_kernel_dataset_cached(k, cfg, &cache))
         .collect()
 }
 
@@ -254,6 +294,27 @@ mod tests {
             assert_eq!(a.design_id, b.design_id);
             assert_eq!(a.power, b.power);
         }
+    }
+
+    #[test]
+    fn cached_build_matches_uncached_and_hits() {
+        let k = polybench::mvt(6);
+        let cfg = DatasetConfig::tiny();
+        let cold = build_kernel_dataset(&k, &cfg);
+        let cache = HlsCache::new();
+        let first = build_kernel_dataset_cached(&k, &cfg, &cache);
+        assert_eq!(cold, first, "cache must not change dataset contents");
+        // baseline report + baseline sample share one synthesis
+        assert!(cache.hits() >= 1, "baseline design must hit");
+        let hits_before = cache.hits();
+        let second = build_kernel_dataset_cached(&k, &cfg, &cache);
+        assert_eq!(first, second);
+        // the rebuild is served entirely from cache
+        assert_eq!(
+            cache.hits() - hits_before,
+            cfg.max_samples + 1,
+            "rebuild must be all hits"
+        );
     }
 
     #[test]

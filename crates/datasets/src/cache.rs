@@ -1,0 +1,159 @@
+//! Memoizing cache over [`HlsFlow::run`].
+//!
+//! The same (kernel, directive configuration) pair is synthesized many
+//! times across the workspace: dataset construction runs the baseline
+//! configuration twice (once for the scaling-factor reference, once as
+//! sample 0), the Vivado-surrogate calibration and the runtime probes
+//! re-synthesize designs the dataset build already produced, and every
+//! bench/example that rebuilds a dataset repeats the whole space.
+//! [`HlsCache`] memoizes completed [`HlsDesign`]s behind `Arc`s keyed by
+//! (kernel fingerprint, directive id), so each design point is synthesized
+//! exactly once per process no matter how many layers ask for it.
+//!
+//! The cache is thread-safe: the parallel dataset builder's workers share
+//! one instance. Synthesis happens *outside* the map lock, so concurrent
+//! misses never serialize on each other; if two workers race on the same
+//! key the first insertion wins and both observe the identical design
+//! (synthesis is deterministic).
+
+use pg_hls::{Directives, HlsDesign, HlsError, HlsFlow};
+use pg_ir::Kernel;
+use pg_util::rng::hash64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A stable content fingerprint of a kernel (name, arrays, loop nest),
+/// distinguishing e.g. the same Polybench kernel at different sizes.
+pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
+    hash64(format!("{kernel:?}").as_bytes())
+}
+
+/// A thread-safe memoizing wrapper around [`HlsFlow`].
+#[derive(Debug, Default)]
+pub struct HlsCache {
+    flow: HlsFlow,
+    map: Mutex<HashMap<(u64, String), Arc<HlsDesign>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl HlsCache {
+    /// An empty cache over the default UltraScale+-style FU library.
+    pub fn new() -> Self {
+        HlsCache::default()
+    }
+
+    /// Runs the HLS flow, reusing a previously synthesized design when the
+    /// (kernel, directives) pair has been seen before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HlsError`] from synthesis; failed runs are not cached.
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        directives: &Directives,
+    ) -> Result<Arc<HlsDesign>, HlsError> {
+        let key = (kernel_fingerprint(kernel), directives.id());
+        if let Some(design) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(design));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let design = Arc::new(self.flow.run(kernel, directives)?);
+        let mut map = self.map.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert(design);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. actual synthesis runs) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct designs held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// `true` when no design has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polybench;
+
+    #[test]
+    fn hit_returns_identical_design() {
+        let kernel = polybench::mvt(6);
+        let mut d = Directives::new();
+        d.pipeline("j");
+        let cold = HlsFlow::new().run(&kernel, &d).unwrap();
+        let cache = HlsCache::new();
+        let first = cache.run(&kernel, &d).unwrap();
+        let second = cache.run(&kernel, &d).unwrap();
+        assert_eq!(*first, cold, "cached design must equal a cold run");
+        assert_eq!(*second, cold);
+        assert!(Arc::ptr_eq(&first, &second), "hit must reuse the entry");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_and_kernels_get_distinct_entries() {
+        let cache = HlsCache::new();
+        let mvt6 = polybench::mvt(6);
+        let mvt8 = polybench::mvt(8);
+        let base = Directives::new();
+        let mut piped = Directives::new();
+        piped.pipeline("j");
+        cache.run(&mvt6, &base).unwrap();
+        cache.run(&mvt6, &piped).unwrap();
+        cache.run(&mvt8, &base).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits(), 0);
+        assert_ne!(kernel_fingerprint(&mvt6), kernel_fingerprint(&mvt8));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = HlsCache::new();
+        let kernel = polybench::mvt(6);
+        let mut bad = Directives::new();
+        bad.pipeline("no_such_loop");
+        assert!(cache.run(&kernel, &bad).is_err());
+        assert!(cache.is_empty());
+        // a miss was counted, but nothing poisoned the map
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.run(&kernel, &Directives::new()).is_ok());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = HlsCache::new();
+        let kernel = polybench::bicg(6);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                let kernel = &kernel;
+                scope.spawn(move || {
+                    let d = cache.run(kernel, &Directives::new()).unwrap();
+                    assert!(d.report.latency_cycles > 0);
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 4);
+    }
+}

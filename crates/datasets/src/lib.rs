@@ -9,6 +9,8 @@
 //!   loop patterns in training" (§IV);
 //! * [`build`] — kernel + directives → HLS → trace → [`pg_graphcon::PowerGraph`]
 //!   (metadata attached) → oracle power labels;
+//! * [`cache`] — a thread-safe memoizing [`HlsCache`] so identical
+//!   kernel+directive pairs are synthesized once per process;
 //! * [`splits`] — the leave-one-kernel-out evaluation protocol.
 //!
 //! # Examples
@@ -22,15 +24,17 @@
 //! ```
 
 pub mod build;
+pub mod cache;
 pub mod polybench;
 pub mod space;
 pub mod splits;
 pub mod synthetic;
 
 pub use build::{
-    build_all, build_kernel_dataset, build_sample, DatasetConfig, KernelDataset, PowerTarget,
-    Sample,
+    build_all, build_kernel_dataset, build_kernel_dataset_cached, build_sample,
+    build_sample_cached, sample_from_design, DatasetConfig, KernelDataset, PowerTarget, Sample,
 };
+pub use cache::{kernel_fingerprint, HlsCache};
 pub use polybench::{by_name, polybench, KERNEL_NAMES};
 pub use space::{enumerate_space, sample_space};
 pub use splits::{all_splits, leave_one_out, LooSplit};

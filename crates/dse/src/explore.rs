@@ -17,6 +17,8 @@
 
 use crate::adrs::{adrs, point_distance};
 use crate::pareto::{pareto_frontier, Point};
+use pg_gnn::InferenceEngine;
+use pg_graphcon::PowerGraph;
 use pg_util::Rng64;
 
 /// DSE configuration.
@@ -164,9 +166,34 @@ pub fn run_dse(
     }
 }
 
+/// Runs the iterative DSE loop with predictions produced by one batched
+/// pass of the serving engine over the candidate graphs — the paper's
+/// actual calling pattern ("utilize PowerGear to estimate dynamic power"
+/// once per candidate design point).
+///
+/// `graphs[i]` must be the constructed power graph of design point `i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty, or if the engine's
+/// ensemble is empty.
+pub fn run_dse_with_engine(
+    latency: &[f64],
+    true_power: &[f64],
+    graphs: &[&PowerGraph],
+    engine: &InferenceEngine<'_>,
+    cfg: &DseConfig,
+) -> DseOutcome {
+    assert_eq!(latency.len(), graphs.len(), "graph count mismatch");
+    let predicted = engine.predict(graphs);
+    run_dse(latency, true_power, &predicted, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pg_gnn::{Ensemble, ModelConfig, PowerModel, ServeConfig};
+    use pg_graphcon::Relation;
 
     /// A synthetic space with a clean latency/power tradeoff plus noise.
     fn space(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
@@ -248,5 +275,52 @@ mod tests {
         let a = run_dse(&lat, &pow, &pow, &DseConfig::with_budget(0.2, 11));
         let b = run_dse(&lat, &pow, &pow, &DseConfig::with_budget(0.2, 11));
         assert_eq!(a, b);
+    }
+
+    fn tiny_graph(seed: u64) -> PowerGraph {
+        let mut rng = Rng64::new(seed);
+        let nodes = 4 + rng.below(4);
+        let f = PowerGraph::NODE_FEATS;
+        let mut node_feats = vec![0.0f32; nodes * f];
+        for n in 0..nodes {
+            node_feats[n * f + rng.below(5)] = 1.0;
+        }
+        let edges: Vec<(u32, u32)> = (1..nodes as u32).map(|d| (d - 1, d)).collect();
+        let ne = edges.len();
+        PowerGraph {
+            kernel: "dse".into(),
+            design_id: format!("d{seed}"),
+            num_nodes: nodes,
+            node_feats,
+            edges,
+            edge_feats: (0..ne).map(|_| [rng.f32(), rng.f32(), 0.1, 0.1]).collect(),
+            edge_rel: (0..ne)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Relation::AA
+                    } else {
+                        Relation::NN
+                    }
+                })
+                .collect(),
+            meta: (0..10).map(|_| rng.f32()).collect(),
+        }
+    }
+
+    #[test]
+    fn engine_driven_dse_matches_precomputed_predictions() {
+        let graphs: Vec<PowerGraph> = (0..30).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let ensemble = Ensemble {
+            models: vec![PowerModel::new(ModelConfig::hec(8), 3)],
+        };
+        let (lat, pow) = space(30, 8);
+        let cfg = DseConfig::with_budget(0.4, 5);
+        // precompute with the sequential path, then drive DSE via the engine
+        let predicted = ensemble.predict(&refs);
+        let expect = run_dse(&lat, &pow, &predicted, &cfg);
+        let engine = InferenceEngine::with_config(&ensemble, ServeConfig::new(7, 2));
+        let got = run_dse_with_engine(&lat, &pow, &refs, &engine, &cfg);
+        assert_eq!(expect, got);
     }
 }

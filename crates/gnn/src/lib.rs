@@ -11,7 +11,9 @@
 //! * MAPE training loss, Adam, mini-batches, and the 10-fold × 3-seed
 //!   prediction-averaging ensemble;
 //! * baselines GCN, GraphSAGE, GraphConv and GINE on the same outer
-//!   architecture (Table I), and the ablation variants of Table II.
+//!   architecture (Table I), and the ablation variants of Table II;
+//! * a batched, multi-core serving layer ([`InferenceEngine`]) whose output
+//!   is bit-identical to the sequential prediction path.
 //!
 //! # Examples
 //!
@@ -29,9 +31,11 @@
 pub mod ablation;
 pub mod batch;
 pub mod model;
+pub mod serve;
 pub mod train;
 
 pub use ablation::{table2_variants, Variant};
 pub use batch::{GraphBatch, RelEdges};
 pub use model::{Arch, ModelConfig, PowerModel};
+pub use serve::{InferenceEngine, ServeConfig, ServeStats};
 pub use train::{evaluate_model, train_ensemble, train_single, Ensemble, TrainConfig};

@@ -1,0 +1,320 @@
+//! Batched, multi-core inference serving for trained ensembles.
+//!
+//! PowerGear's DSE loop (§IV-C) calls the power model once per candidate
+//! design point; [`Ensemble::predict`] assembles one batch and walks every
+//! member sequentially. [`InferenceEngine`] is the throughput layer on top:
+//! it groups the input graphs into [`crate::GraphBatch`]es of a
+//! configurable size,
+//! shards the batches across worker threads with `std::thread::scope`
+//! (mirroring the data-parallel training loop in `train`), and returns the
+//! predictions in input order.
+//!
+//! Every per-graph computation in the forward pass — row-wise matmuls,
+//! per-destination scatter adds over a graph's own contiguous nodes and
+//! edges, element-wise activations — is independent of which other graphs
+//! share the batch, so the engine's output is **bit-identical** to the
+//! sequential path for any batch size and thread count (enforced by the
+//! workspace's parity property test).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pg_gnn::{InferenceEngine, ServeConfig};
+//! # let ensemble = pg_gnn::Ensemble::default();
+//! # let graphs: Vec<&pg_graphcon::PowerGraph> = vec![];
+//! let engine = InferenceEngine::with_config(&ensemble, ServeConfig::new(16, 4));
+//! let watts = engine.predict(&graphs);
+//! ```
+
+use crate::train::Ensemble;
+use pg_graphcon::PowerGraph;
+use std::time::Instant;
+
+/// Batching/parallelism knobs for [`InferenceEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Graphs grouped into one [`crate::GraphBatch`] (tensor-op
+    /// granularity).
+    pub batch_size: usize,
+    /// Worker threads batches are sharded across (1 = sequential).
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// A configuration with explicit batch size and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either knob is zero.
+    pub fn new(batch_size: usize, threads: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(threads > 0, "thread count must be positive");
+        ServeConfig {
+            batch_size,
+            threads,
+        }
+    }
+
+    /// Single-threaded serving at the given batch size (the reference
+    /// configuration the parity tests compare against).
+    pub fn sequential(batch_size: usize) -> Self {
+        ServeConfig::new(batch_size, 1)
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_size: 32,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Counters from one [`InferenceEngine::predict_with_stats`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Graphs served.
+    pub graphs: usize,
+    /// Batches formed.
+    pub batches: usize,
+    /// Worker threads actually spawned (capped by the batch count).
+    pub threads_used: usize,
+    /// Wall-clock seconds spent serving.
+    pub seconds: f64,
+}
+
+impl ServeStats {
+    /// Serving throughput in graphs per second.
+    pub fn graphs_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.graphs as f64 / self.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A batched, multi-core serving frontend over a trained [`Ensemble`].
+#[derive(Debug, Clone)]
+pub struct InferenceEngine<'a> {
+    ensemble: &'a Ensemble,
+    /// Batching/parallelism configuration.
+    pub config: ServeConfig,
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Wraps `ensemble` with the default configuration (batch 32, one
+    /// thread per available core).
+    pub fn new(ensemble: &'a Ensemble) -> Self {
+        InferenceEngine {
+            ensemble,
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Wraps `ensemble` with an explicit configuration.
+    pub fn with_config(ensemble: &'a Ensemble, config: ServeConfig) -> Self {
+        InferenceEngine { ensemble, config }
+    }
+
+    /// The served ensemble.
+    pub fn ensemble(&self) -> &Ensemble {
+        self.ensemble
+    }
+
+    /// Mean ensemble prediction for every graph, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty (matching [`Ensemble::predict`]).
+    pub fn predict(&self, graphs: &[&PowerGraph]) -> Vec<f64> {
+        self.predict_with_stats(graphs).0
+    }
+
+    /// [`InferenceEngine::predict`] plus serving counters.
+    pub fn predict_with_stats(&self, graphs: &[&PowerGraph]) -> (Vec<f64>, ServeStats) {
+        let t0 = Instant::now();
+        if graphs.is_empty() {
+            return (
+                Vec::new(),
+                ServeStats {
+                    graphs: 0,
+                    batches: 0,
+                    threads_used: 0,
+                    seconds: t0.elapsed().as_secs_f64(),
+                },
+            );
+        }
+        assert!(!self.ensemble.models.is_empty(), "empty ensemble");
+        let batches: Vec<&[&PowerGraph]> = graphs.chunks(self.config.batch_size.max(1)).collect();
+        let threads = self.config.threads.max(1).min(batches.len());
+        // Contiguous shards of the batch list preserve input order when
+        // worker outputs are concatenated back in spawn order; the actual
+        // worker count is ceil(batches / shard), which can be below
+        // `threads` when the shards don't divide evenly.
+        let shard = batches.len().div_ceil(threads);
+        let workers = batches.len().div_ceil(shard);
+
+        let per_batch: Vec<Vec<f64>> = if workers == 1 {
+            batches.iter().map(|b| self.predict_batch(b)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batches
+                    .chunks(shard)
+                    .map(|group| scope.spawn(move || self.predict_shard(group)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("inference worker panicked"))
+                    .collect()
+            })
+        };
+
+        let stats = ServeStats {
+            graphs: graphs.len(),
+            batches: batches.len(),
+            threads_used: workers,
+            seconds: t0.elapsed().as_secs_f64(),
+        };
+        (per_batch.into_iter().flatten().collect(), stats)
+    }
+
+    fn predict_shard(&self, group: &[&[&PowerGraph]]) -> Vec<Vec<f64>> {
+        group.iter().map(|b| self.predict_batch(b)).collect()
+    }
+
+    /// One batch through the sequential path — delegating to
+    /// [`Ensemble::predict`] makes the bit-identity contract hold by
+    /// construction (the engine only changes batch composition and
+    /// scheduling, never the arithmetic).
+    fn predict_batch(&self, graphs: &[&PowerGraph]) -> Vec<f64> {
+        self.ensemble.predict(graphs)
+    }
+}
+
+impl Ensemble {
+    /// A serving engine over this ensemble with the default configuration.
+    pub fn engine(&self) -> InferenceEngine<'_> {
+        InferenceEngine::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelConfig, PowerModel};
+    use pg_graphcon::Relation;
+    use pg_util::Rng64;
+
+    fn graph(seed: u64) -> PowerGraph {
+        let mut rng = Rng64::new(seed);
+        let nodes = 4 + rng.below(5);
+        let f = PowerGraph::NODE_FEATS;
+        let mut node_feats = vec![0.0f32; nodes * f];
+        for n in 0..nodes {
+            node_feats[n * f + rng.below(5)] = 1.0;
+            node_feats[n * f + 30 + rng.below(4)] = rng.f32();
+        }
+        let edges: Vec<(u32, u32)> = (1..nodes as u32).map(|d| (d - 1, d)).collect();
+        let ne = edges.len();
+        PowerGraph {
+            kernel: "serve".into(),
+            design_id: format!("s{seed}"),
+            num_nodes: nodes,
+            node_feats,
+            edges,
+            edge_feats: (0..ne)
+                .map(|_| [rng.f32(), rng.f32(), rng.f32() * 0.4, rng.f32() * 0.4])
+                .collect(),
+            edge_rel: (0..ne)
+                .map(|i| match i % 4 {
+                    0 => Relation::AA,
+                    1 => Relation::AN,
+                    2 => Relation::NA,
+                    _ => Relation::NN,
+                })
+                .collect(),
+            meta: (0..10).map(|k| 0.05 * k as f32).collect(),
+        }
+    }
+
+    fn ensemble(members: usize) -> Ensemble {
+        Ensemble {
+            models: (0..members)
+                .map(|i| {
+                    let mut m = PowerModel::new(ModelConfig::hec(12), 40 + i as u64);
+                    m.target_scale = 0.4 + 0.1 * i as f32;
+                    m
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn matches_sequential_bitwise() {
+        let graphs: Vec<PowerGraph> = (0..13).map(graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let ens = ensemble(3);
+        let seq = ens.predict(&refs);
+        for (bs, threads) in [(1, 1), (3, 1), (4, 2), (13, 2), (2, 4), (64, 3)] {
+            let engine = InferenceEngine::with_config(&ens, ServeConfig::new(bs, threads));
+            let got = engine.predict(&refs);
+            let a: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "diverged at batch_size={bs} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let graphs: Vec<PowerGraph> = (0..9).map(graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let ens = ensemble(1);
+        let engine = InferenceEngine::with_config(&ens, ServeConfig::new(2, 3));
+        let batched = engine.predict(&refs);
+        for (i, r) in refs.iter().enumerate() {
+            let single = ens.predict(&[*r]);
+            assert_eq!(single[0].to_bits(), batched[i].to_bits(), "graph {i}");
+        }
+    }
+
+    #[test]
+    fn empty_input_serves_nothing() {
+        let ens = ensemble(1);
+        let (preds, stats) = ens.engine().predict_with_stats(&[]);
+        assert!(preds.is_empty());
+        assert_eq!(stats.graphs, 0);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn stats_count_batches_and_threads() {
+        let graphs: Vec<PowerGraph> = (0..10).map(graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let ens = ensemble(2);
+        let engine = InferenceEngine::with_config(&ens, ServeConfig::new(3, 8));
+        let (preds, stats) = engine.predict_with_stats(&refs);
+        assert_eq!(preds.len(), 10);
+        assert_eq!(stats.graphs, 10);
+        assert_eq!(stats.batches, 4); // ceil(10 / 3)
+        assert_eq!(stats.threads_used, 4); // capped by the batch count
+        assert!(stats.seconds >= 0.0);
+        assert!(stats.graphs_per_sec() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ensemble")]
+    fn empty_ensemble_panics() {
+        let g = graph(1);
+        Ensemble::default().engine().predict(&[&g]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        ServeConfig::new(0, 1);
+    }
+}

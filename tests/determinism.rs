@@ -1,11 +1,15 @@
 //! Determinism smoke test: the full pipeline (dataset build → graph
 //! construction → one training epoch) must produce bit-identical metrics
 //! across two runs with the same `Rng64` seed, including with a parallel
-//! dataset build.
+//! dataset build and with a shared memoizing HLS cache.
 
-use powergear_repro::datasets::{build_kernel_dataset, polybench, DatasetConfig, PowerTarget};
+use powergear_repro::datasets::{
+    build_kernel_dataset, build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache,
+    PowerTarget,
+};
 use powergear_repro::gnn::{train_ensemble, ModelConfig, TrainConfig};
 use powergear_repro::graphcon::PowerGraph;
+use powergear_repro::hls::{Directives, HlsFlow};
 
 fn one_epoch_metrics() -> (Vec<u64>, u64) {
     let cfg = DatasetConfig {
@@ -32,6 +36,46 @@ fn one_epoch_metrics() -> (Vec<u64>, u64) {
         .collect();
     let err = ensemble.evaluate(&data).to_bits();
     (preds, err)
+}
+
+#[test]
+fn hls_cache_hit_is_identical_to_cold_run() {
+    let kernel = polybench::atax(6);
+    let mut d = Directives::new();
+    d.pipeline("j");
+    let cold = HlsFlow::new().run(&kernel, &d).expect("cold synthesis");
+    let cache = HlsCache::new();
+    let miss = cache.run(&kernel, &d).expect("first cached run");
+    let hit = cache.run(&kernel, &d).expect("second cached run");
+    assert_eq!(*miss, cold, "cache miss must reproduce the cold design");
+    assert_eq!(*hit, cold, "cache hit must return the identical design");
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(cache.misses(), 1);
+}
+
+#[test]
+fn dataset_build_with_shared_cache_is_deterministic() {
+    let cfg = DatasetConfig {
+        size: 6,
+        max_samples: 10,
+        seed: 7,
+        threads: 2, // parallel workers share one cache
+    };
+    let kernel = polybench::atax(6);
+    let uncached = build_kernel_dataset(&kernel, &cfg);
+    let cache = HlsCache::new();
+    let first = build_kernel_dataset_cached(&kernel, &cfg, &cache);
+    let second = build_kernel_dataset_cached(&kernel, &cfg, &cache);
+    assert_eq!(
+        uncached, first,
+        "shared cache must not change dataset contents"
+    );
+    assert_eq!(first, second, "warm rebuild must be bit-identical");
+    assert!(
+        cache.hits() > cfg.max_samples,
+        "warm rebuild must be served from cache (hits: {})",
+        cache.hits()
+    );
 }
 
 #[test]

@@ -3,10 +3,10 @@
 //!
 //! The build environment for this workspace has no network access to a
 //! crates registry, so this crate vendors the *subset* of the criterion 0.5
-//! API that the workspace benches use: `Criterion`, `BenchmarkGroup`,
-//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
-//! `criterion_group!`/`criterion_main!` macros (both the plain and the
-//! `name/config/targets` forms).
+//! API that the workspace benches use: `Criterion`, `BenchmarkGroup`
+//! (including `Throughput` reporting), `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros (both
+//! the plain and the `name/config/targets` forms).
 //!
 //! Timing is real (median over the configured sample count, after a short
 //! warm-up) and printed in a criterion-like one-line-per-bench format, but
@@ -57,6 +57,7 @@ impl Criterion {
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
             sample_size: self.sample_size,
+            throughput: None,
             _parent: self,
         }
     }
@@ -69,6 +70,41 @@ impl Criterion {
         g.bench_function("", f);
         g.finish();
         self
+    }
+}
+
+/// Per-iteration work quantity; when set on a group, every bench line also
+/// reports throughput (elements or bytes per second) derived from the
+/// median time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as `elem/s`).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as `B/s`).
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Formats the rate implied by one iteration taking `median`.
+    fn rate(&self, median: Duration) -> String {
+        let secs = median.as_secs_f64();
+        let (count, unit) = match self {
+            Throughput::Elements(n) => (*n as f64, "elem/s"),
+            Throughput::Bytes(n) => (*n as f64, "B/s"),
+        };
+        if secs <= 0.0 {
+            return format!("inf {unit}");
+        }
+        let rate = count / secs;
+        if rate >= 1e9 {
+            format!("{:.3} G{unit}", rate / 1e9)
+        } else if rate >= 1e6 {
+            format!("{:.3} M{unit}", rate / 1e6)
+        } else if rate >= 1e3 {
+            format!("{:.3} K{unit}", rate / 1e3)
+        } else {
+            format!("{rate:.3} {unit}")
+        }
     }
 }
 
@@ -103,12 +139,20 @@ pub struct BenchmarkGroup<'a> {
     measurement_time: Duration,
     warm_up_time: Duration,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work quantity; subsequent benches in the
+    /// group report throughput alongside the median time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -138,7 +182,7 @@ impl BenchmarkGroup<'_> {
             median: Duration::ZERO,
         };
         f(&mut b);
-        report(&label, b.median);
+        report(&label, b.median, self.throughput);
         self
     }
 
@@ -155,15 +199,21 @@ impl BenchmarkGroup<'_> {
             median: Duration::ZERO,
         };
         f(&mut b, input);
-        report(&label, b.median);
+        report(&label, b.median, self.throughput);
         self
     }
 
     pub fn finish(self) {}
 }
 
-fn report(label: &str, median: Duration) {
-    println!("{label:<48} time: [{median:>12.3?} median]");
+fn report(label: &str, median: Duration, throughput: Option<Throughput>) {
+    match throughput {
+        Some(t) => println!(
+            "{label:<48} time: [{median:>12.3?} median]  thrpt: [{}]",
+            t.rate(median)
+        ),
+        None => println!("{label:<48} time: [{median:>12.3?} median]"),
+    }
 }
 
 /// Timing driver handed to each benchmark closure.

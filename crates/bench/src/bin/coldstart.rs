@@ -1,0 +1,102 @@
+//! Cold-vs-warm start driver: quantifies what `pg_store` buys a serving
+//! process.
+//!
+//! ```text
+//! cargo run --release -p powergear_bench --bin coldstart [-- --full]
+//! ```
+//!
+//! The cold path is what `powergear serve` did before persistence landed:
+//! synthesize the design space, label it, train an ensemble, then serve.
+//! The warm path is the production story: load the spilled `HlsCache`, load
+//! the `.pgm` model artifact, then serve — zero synthesis, zero training
+//! epochs. Outputs are asserted bit-identical between the two paths.
+
+use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache, PowerTarget};
+use pg_gnn::{train_ensemble, ModelConfig, TrainConfig};
+use pg_graphcon::PowerGraph;
+use pg_store::{ArtifactMeta, ModelArtifact};
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (samples, epochs) = if full { (48, 20) } else { (16, 4) };
+    let kernel = polybench::bicg(8);
+    let ds_cfg = DatasetConfig {
+        size: 8,
+        max_samples: samples,
+        seed: 1,
+        threads: 1,
+    };
+    let tmp = std::env::temp_dir();
+    let cache_path = tmp.join(format!("pg_coldstart_cache_{}.pgstore", std::process::id()));
+    let model_path = tmp.join(format!("pg_coldstart_model_{}.pgm", std::process::id()));
+
+    // --- Cold path: synthesize + label + train ---
+    let t_cold = Instant::now();
+    let cache = HlsCache::new();
+    let ds = build_kernel_dataset_cached(&kernel, &ds_cfg, &cache);
+    let t_synth = t_cold.elapsed().as_secs_f64();
+    let data = ds.labeled(PowerTarget::Dynamic);
+    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+    tc.epochs = epochs;
+    tc.folds = 2;
+    tc.threads = 1;
+    let t_train0 = Instant::now();
+    let ensemble = train_ensemble(&data, &tc);
+    let train_s = t_train0.elapsed().as_secs_f64();
+    let cold_s = t_cold.elapsed().as_secs_f64();
+
+    // Persist both layers for the warm path.
+    let spilled = cache.save_to(&cache_path).expect("cache spill");
+    ModelArtifact {
+        meta: ArtifactMeta::now(&ds.kernel, "dynamic"),
+        ensembles: vec![("dynamic".into(), ensemble.clone())],
+        probe: None,
+    }
+    .save(&model_path)
+    .expect("artifact save");
+
+    // --- Warm path: restore cache + load model ---
+    let t_warm = Instant::now();
+    let warm_cache = HlsCache::load_from(&cache_path).expect("cache restore");
+    let warm_ds = build_kernel_dataset_cached(&kernel, &ds_cfg, &warm_cache);
+    let t_replay = t_warm.elapsed().as_secs_f64();
+    let t_load0 = Instant::now();
+    let loaded = ModelArtifact::load(&model_path).expect("artifact load");
+    let warm_ensemble = loaded.ensemble("dynamic").expect("dynamic head");
+    let load_s = t_load0.elapsed().as_secs_f64();
+    let warm_s = t_warm.elapsed().as_secs_f64();
+
+    assert_eq!(ds, warm_ds, "restored cache must rebuild identical data");
+    let graphs: Vec<&PowerGraph> = ds.samples.iter().map(|s| &s.graph).collect();
+    let cold_bits: Vec<u64> = ensemble
+        .predict(&graphs)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let warm_bits: Vec<u64> = warm_ensemble
+        .predict(&graphs)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(cold_bits, warm_bits, "warm path must be bit-identical");
+
+    println!(
+        "cold-vs-warm start, `{}` x {} design points:",
+        ds.kernel, samples
+    );
+    println!(
+        "  cold: synthesize+label {t_synth:.3}s + train({} epochs) {train_s:.3}s = {cold_s:.3}s",
+        epochs
+    );
+    println!(
+        "  warm: cache restore+rebuild {t_replay:.3}s + model load {load_s:.3}s = {warm_s:.3}s"
+    );
+    println!(
+        "  speedup: {:.1}x ({} designs spilled, predictions bit-identical, 0 training epochs warm)",
+        cold_s / warm_s.max(1e-9),
+        spilled
+    );
+    std::fs::remove_file(&cache_path).ok();
+    std::fs::remove_file(&model_path).ok();
+}

@@ -11,7 +11,11 @@
 //! * `hls_cache_replay_speedup` — synthesizing the whole design space
 //!   against a warm cache versus cold (pure memoization win; collapses to
 //!   ~1 if the cache ever stops hitting);
-//! * `hls_designs_per_sec` — cold HLS synthesis rate.
+//! * `hls_designs_per_sec` — cold HLS synthesis rate;
+//! * `warm_start_speedup` — training the ensemble from scratch versus
+//!   loading the saved `pg_store` artifact from disk (the train-once /
+//!   serve-forever win; collapses toward 1 if artifact loading ever gets
+//!   as expensive as training).
 //!
 //! Results serialize to a tiny hand-rolled JSON file (`{"metrics": {...}}`
 //! — the workspace has no serde); [`compare`] flags any metric that fell
@@ -121,7 +125,24 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
     tc.epochs = cfg.epochs;
     tc.folds = 2;
     tc.threads = 1;
+    let t_train = Instant::now();
     let ensemble = train_ensemble(&data, &tc);
+    let train_s = t_train.elapsed().as_secs_f64();
+
+    // Warm-start probe: persist the trained ensemble and reload it from
+    // disk — the cross-process replacement for retraining at serve time.
+    let artifact = pg_store::ModelArtifact {
+        meta: pg_store::ArtifactMeta::now(&ds.kernel, "dynamic"),
+        ensembles: vec![("dynamic".into(), ensemble.clone())],
+        probe: None,
+    };
+    let spill = std::env::temp_dir().join(format!("pg_perf_smoke_{}.pgm", std::process::id()));
+    artifact.save(&spill).expect("artifact save");
+    let load_s = median_secs(cfg.reps, || {
+        std::hint::black_box(pg_store::ModelArtifact::load(&spill).expect("artifact load"));
+    });
+    let loaded = pg_store::ModelArtifact::load(&spill).expect("artifact load");
+    std::fs::remove_file(&spill).ok();
 
     let graphs: Vec<&PowerGraph> = ds.samples.iter().map(|s| &s.graph).collect();
     let cores = std::thread::available_parallelism()
@@ -151,6 +172,17 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         .collect();
     let mt_bits: Vec<u64> = mt.predict(&graphs).iter().map(|v| v.to_bits()).collect();
     assert_eq!(seq_bits, mt_bits, "engine output diverged from sequential");
+    let warm_bits: Vec<u64> = loaded
+        .ensemble("dynamic")
+        .expect("dynamic ensemble present")
+        .predict(&graphs)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(
+        seq_bits, warm_bits,
+        "loaded artifact diverged from the trained ensemble"
+    );
 
     let n = graphs.len() as f64;
     vec![
@@ -173,6 +205,10 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         PerfResult {
             name: "hls_designs_per_sec".into(),
             value: designs as f64 / cold_s.max(1e-9),
+        },
+        PerfResult {
+            name: "warm_start_speedup".into(),
+            value: train_s / load_s.max(1e-9),
         },
     ]
 }
@@ -309,7 +345,7 @@ mod tests {
             epochs: 1,
             reps: 1,
         });
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 6);
         for r in &results {
             assert!(
                 r.value.is_finite() && r.value > 0.0,

@@ -1,171 +1,527 @@
 //! `powergear` — command-line interface to the estimation pipeline.
 //!
 //! ```text
-//! powergear kernels                      # list built-in kernels
+//! powergear kernels                            # list built-in kernels
 //! powergear report  <kernel> [directives...]   # HLS report for one design
 //! powergear graph   <kernel> [directives...]   # graph stats + feature dump
 //! powergear measure <kernel> [directives...]   # simulated board measurement
-//! powergear space   <kernel> [N]        # enumerate the design space
-//! powergear serve   <kernel> [N]        # batched-inference throughput demo
+//! powergear space   <kernel> [N]               # enumerate the design space
+//! powergear serve   <kernel> [N]               # batched-inference throughput demo
+//!
+//! powergear train   <kernel> --save <m.pgm>    # train once, persist the model
+//! powergear predict <kernel> [directives...] --model <m.pgm>
+//! powergear serve   <kernel> [N] --model <m.pgm>   # zero training epochs
+//! powergear verify  <m.pgm>                    # bit-exactness probe check
+//! powergear models  [--registry <dir>]         # list the model registry
+//! powergear dse     <kernel> [N] --model <m.pgm>   # explore with a loaded model
 //!
 //! directive syntax:  pipeline=<loop>  unroll=<loop>:<k>  partition=<array>:<k>
 //! common flags:      --size <n>  (problem size, default 12)
 //! serve flags:       --threads <t>  (engine worker threads, default: cores)
+//! train flags:       --samples <N> --epochs <e> --registry <dir> --name <name>
+//! dse flags:         --budget <frac>  (sampling budget, default 0.2)
 //! ```
 //!
 //! Examples:
 //!
 //! ```text
 //! powergear report gemm pipeline=k unroll=k:4 partition=A:4 --size 12
-//! powergear measure atax pipeline=j
+//! powergear train bicg --samples 24 --size 8 --save bicg.pgm
+//! powergear serve bicg 24 --model bicg.pgm
 //! ```
 
 use pg_activity::{execute, Stimuli};
 use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache, PowerTarget};
-use pg_gnn::{train_ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
+use pg_gnn::{InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
 use pg_graphcon::{GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsFlow};
 use pg_powersim::BoardOracle;
+use pg_store::{ArtifactMeta, ModelArtifact, ModelRegistry};
+use powergear::{PowerGear, PowerGearConfig};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: powergear <kernels|report|graph|measure|space|serve> ...");
+        eprintln!(
+            "usage: powergear <kernels|report|graph|measure|space|serve|train|predict|verify|models|dse> ..."
+        );
         return ExitCode::FAILURE;
     };
-    match cmd.as_str() {
-        "kernels" => {
-            println!("built-in Polybench kernels (use with --size <n>):");
-            for name in polybench::KERNEL_NAMES {
-                let k = polybench::by_name(name, 8).expect("built-in");
-                println!(
-                    "  {:8} loops: {:?}  arrays: {:?}",
-                    name,
-                    k.innermost_loops(),
-                    k.arrays.iter().map(|a| a.name.clone()).collect::<Vec<_>>()
-                );
-            }
-            ExitCode::SUCCESS
-        }
-        "space" => {
-            let Some(kernel) = load_kernel(&args) else {
-                return ExitCode::FAILURE;
-            };
-            let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-            let configs = pg_datasets::sample_space(&kernel, n, 1);
-            println!(
-                "{} of the design space of `{}`:",
-                configs.len(),
-                kernel.name
-            );
-            for d in configs {
-                println!("  {d}");
-            }
-            ExitCode::SUCCESS
-        }
-        "serve" => {
-            let Some(kernel) = load_kernel(&args) else {
-                return ExitCode::FAILURE;
-            };
-            let n: usize = args
-                .get(2)
-                .filter(|a| !a.starts_with("--"))
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(24);
-            let threads = flag_value(&args, "--threads")
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|p| p.get())
-                        .unwrap_or(1)
-                })
-                .max(1);
-            let size = flag_value(&args, "--size").unwrap_or(12);
-            serve_demo(&kernel, n, threads, size)
-        }
-        "report" | "graph" | "measure" => {
-            let Some(kernel) = load_kernel(&args) else {
-                return ExitCode::FAILURE;
-            };
-            let directives = match parse_directives(&args[2..]) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("bad directive: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let design = match HlsFlow::new().run(&kernel, &directives) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("HLS failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match cmd.as_str() {
-                "report" => {
-                    let r = &design.report;
-                    println!("design   : {}", design.design_id());
-                    println!("latency  : {} cycles", r.latency_cycles);
-                    println!("clock    : {:.2} ns (target 10.00)", r.clock_ns);
-                    println!("LUT      : {}", r.lut);
-                    println!("FF       : {}", r.ff);
-                    println!("DSP      : {}", r.dsp);
-                    println!("BRAM     : {}", r.bram);
-                    println!("FSM      : {} states", design.fsmd.num_states());
-                }
-                "graph" => {
-                    let trace = execute(&design, &Stimuli::for_kernel(&kernel, 1));
-                    let g = GraphFlow::new().build(&design, &trace);
-                    let rel = g.relation_counts();
-                    println!("graph    : {} nodes, {} edges", g.num_nodes, g.num_edges());
-                    println!(
-                        "relations: A->A {}  A->N {}  N->A {}  N->N {}",
-                        rel[0], rel[1], rel[2], rel[3]
-                    );
-                    let mean_sa: f32 = g.edge_feats.iter().map(|e| e[0]).sum::<f32>()
-                        / g.num_edges().max(1) as f32;
-                    println!("mean edge SA(src): {mean_sa:.4}");
-                }
-                _ => {
-                    let trace = execute(&design, &Stimuli::for_kernel(&kernel, 1));
-                    let p = BoardOracle::default().measure(&design, &trace);
-                    println!("simulated on-board measurement for {}:", design.design_id());
-                    println!("  total   : {:.4} W", p.total);
-                    println!("  dynamic : {:.4} W", p.dynamic);
-                    println!("  static  : {:.4} W", p.static_);
-                    println!(
-                        "    nets (Eq.1) {:.4} W | FU internal {:.4} W | clock {:.4} W",
-                        p.nets, p.internal, p.clock
-                    );
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        other => {
-            eprintln!("unknown command `{other}`");
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "kernels" => cmd_kernels(),
+        "space" => cmd_space(rest),
+        "serve" => cmd_serve(rest),
+        "report" | "graph" | "measure" => cmd_design(cmd, rest),
+        "train" => cmd_train(rest),
+        "predict" => cmd_predict(rest),
+        "verify" => cmd_verify(rest),
+        "models" => cmd_models(rest),
+        "dse" => cmd_dse(rest),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Trains a small ensemble on the kernel's design space (HLS runs served
-/// through a shared cache) and contrasts sequential vs batched multi-core
-/// inference throughput.
-fn serve_demo(kernel: &pg_ir::Kernel, n: usize, threads: usize, size: usize) -> ExitCode {
+// ---------------------------------------------------------------------------
+// Argument handling
+
+/// Parses the value following `<flag>` (e.g. `--size 8`). A present flag
+/// with a missing or unparseable value is an error — `--threads abc` must
+/// fail loudly instead of silently falling back to a default.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("flag `{flag}` expects a value")),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{raw}` for `{flag}`")),
+        },
+    }
+}
+
+/// Every flag the CLI understands; all of them take a value.
+const KNOWN_FLAGS: [&str; 9] = [
+    "--size",
+    "--threads",
+    "--samples",
+    "--epochs",
+    "--save",
+    "--model",
+    "--registry",
+    "--name",
+    "--budget",
+];
+
+/// Positional (non-flag) arguments, rejecting unknown `--flags` so typos
+/// fail instead of being treated as kernel names or directives.
+fn positionals(args: &[String]) -> Result<Vec<&String>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if !KNOWN_FLAGS.contains(&a.as_str()) {
+                return Err(format!("unknown flag `{a}`"));
+            }
+            i += 2; // skip the flag's value
+        } else {
+            out.push(a);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn load_kernel(args: &[String]) -> Result<pg_ir::Kernel, String> {
+    let pos = positionals(args)?;
+    let name = pos
+        .first()
+        .ok_or_else(|| "missing kernel name".to_string())?;
+    let size = flag_value(args, "--size")?.unwrap_or(12);
+    polybench::by_name(name, size).ok_or_else(|| {
+        format!(
+            "unknown kernel `{name}`; available: {}",
+            polybench::KERNEL_NAMES.join(", ")
+        )
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn parse_directives(args: &[String]) -> Result<Directives, String> {
+    let mut d = Directives::new();
+    for a in positionals(args)?.into_iter().skip(1) {
+        if let Some(loop_) = a.strip_prefix("pipeline=") {
+            d.pipeline(loop_);
+        } else if let Some(rest) = a.strip_prefix("unroll=") {
+            let (l, k) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("`{a}` wants unroll=<loop>:<k>"))?;
+            d.unroll(l, k.parse().map_err(|_| format!("bad factor in `{a}`"))?);
+        } else if let Some(rest) = a.strip_prefix("partition=") {
+            let (arr, k) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("`{a}` wants partition=<array>:<k>"))?;
+            d.partition(arr, k.parse().map_err(|_| format!("bad factor in `{a}`"))?);
+        } else if a.parse::<usize>().is_err() {
+            return Err(format!("unrecognized argument `{a}`"));
+        }
+    }
+    Ok(d)
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline inspection commands (report/graph/measure/space/kernels)
+
+fn cmd_kernels() -> Result<(), String> {
+    println!("built-in Polybench kernels (use with --size <n>):");
+    for name in polybench::KERNEL_NAMES {
+        let k = polybench::by_name(name, 8).expect("built-in");
+        println!(
+            "  {:8} loops: {:?}  arrays: {:?}",
+            name,
+            k.innermost_loops(),
+            k.arrays.iter().map(|a| a.name.clone()).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_space(args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let n = second_positional(args)?.unwrap_or(20);
+    let configs = pg_datasets::sample_space(&kernel, n, 1);
+    println!(
+        "{} of the design space of `{}`:",
+        configs.len(),
+        kernel.name
+    );
+    for d in configs {
+        println!("  {d}");
+    }
+    Ok(())
+}
+
+fn cmd_design(cmd: &str, args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let directives = parse_directives(args)?;
+    let design = HlsFlow::new()
+        .run(&kernel, &directives)
+        .map_err(|e| format!("HLS failed: {e}"))?;
+    match cmd {
+        "report" => {
+            let r = &design.report;
+            println!("design   : {}", design.design_id());
+            println!("latency  : {} cycles", r.latency_cycles);
+            println!("clock    : {:.2} ns (target 10.00)", r.clock_ns);
+            println!("LUT      : {}", r.lut);
+            println!("FF       : {}", r.ff);
+            println!("DSP      : {}", r.dsp);
+            println!("BRAM     : {}", r.bram);
+            println!("FSM      : {} states", design.fsmd.num_states());
+        }
+        "graph" => {
+            let trace = execute(&design, &Stimuli::for_kernel(&kernel, 1));
+            let g = GraphFlow::new().build(&design, &trace);
+            let rel = g.relation_counts();
+            println!("graph    : {} nodes, {} edges", g.num_nodes, g.num_edges());
+            println!(
+                "relations: A->A {}  A->N {}  N->A {}  N->N {}",
+                rel[0], rel[1], rel[2], rel[3]
+            );
+            let mean_sa: f32 =
+                g.edge_feats.iter().map(|e| e[0]).sum::<f32>() / g.num_edges().max(1) as f32;
+            println!("mean edge SA(src): {mean_sa:.4}");
+        }
+        _ => {
+            let trace = execute(&design, &Stimuli::for_kernel(&kernel, 1));
+            let p = BoardOracle::default().measure(&design, &trace);
+            println!("simulated on-board measurement for {}:", design.design_id());
+            println!("  total   : {:.4} W", p.total);
+            println!("  dynamic : {:.4} W", p.dynamic);
+            println!("  static  : {:.4} W", p.static_);
+            println!(
+                "    nets (Eq.1) {:.4} W | FU internal {:.4} W | clock {:.4} W",
+                p.nets, p.internal, p.clock
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Second positional argument parsed as a count (e.g. `serve bicg 24`).
+fn second_positional(args: &[String]) -> Result<Option<usize>, String> {
+    match positionals(args)?.get(1) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid count `{raw}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// train / predict / verify / models / dse / serve
+
+/// Builds the labeled dataset the model-facing commands share.
+fn build_dataset(
+    kernel: &pg_ir::Kernel,
+    args: &[String],
+    cache: &HlsCache,
+) -> Result<pg_datasets::KernelDataset, String> {
+    let cfg = DatasetConfig {
+        size: flag_value(args, "--size")?.unwrap_or(12),
+        max_samples: flag_value(args, "--samples")?.unwrap_or(32).max(4),
+        seed: 1,
+        threads: flag_value(args, "--threads")?.unwrap_or_else(default_threads),
+    };
+    eprintln!(
+        "[data] building {} design points of `{}` (size {})...",
+        cfg.max_samples, kernel.name, cfg.size
+    );
+    let t = Instant::now();
+    let ds = build_kernel_dataset_cached(kernel, &cfg, cache);
+    eprintln!(
+        "[data]   {} samples in {:.2}s (HLS cache: {} designs, {} hits)",
+        ds.samples.len(),
+        t.elapsed().as_secs_f64(),
+        cache.len(),
+        cache.hits()
+    );
+    Ok(ds)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let save: Option<String> = flag_value(args, "--save")?;
+    let registry_dir: Option<String> = flag_value(args, "--registry")?;
+    let reg_name: Option<String> = flag_value(args, "--name")?;
+    if save.is_none() && registry_dir.is_none() {
+        return Err("train needs a destination: --save <path> and/or --registry <dir>".into());
+    }
+    if registry_dir.is_some() != reg_name.is_some() {
+        return Err("--registry and --name go together".into());
+    }
+
+    let cache = HlsCache::new();
+    let ds = build_dataset(&kernel, args, &cache)?;
+    let mut pg_cfg = PowerGearConfig::quick();
+    if let Some(e) = flag_value(args, "--epochs")? {
+        pg_cfg.epochs = e;
+    }
+    pg_cfg.threads = flag_value(args, "--threads")?.unwrap_or_else(default_threads);
+
+    let t = Instant::now();
+    let model = PowerGear::fit_with(std::slice::from_ref(&ds), &pg_cfg, |target, m| {
+        eprintln!(
+            "[train] {} member {}/{} (seed {}, fold {}): val MAPE {:.2}%",
+            target_label(target),
+            m.index + 1,
+            m.total,
+            m.seed,
+            m.fold,
+            m.val_mape
+        );
+    });
+    eprintln!("[train] done in {:.2}s", t.elapsed().as_secs_f64());
+
+    let heads = [
+        (
+            PowerTarget::Total,
+            model.total_model.evaluate(&ds.labeled(PowerTarget::Total)),
+        ),
+        (
+            PowerTarget::Dynamic,
+            model
+                .dynamic_model
+                .evaluate(&ds.labeled(PowerTarget::Dynamic)),
+        ),
+    ];
+    let mut meta = ArtifactMeta::now(&kernel.name, "total+dynamic");
+    meta.train_fingerprint =
+        pg_store::train_fingerprint(&pg_cfg.train_config(PowerTarget::Dynamic));
+    meta.notes = format!("samples={} size={}", ds.samples.len(), ds.size);
+    for (target, err) in &heads {
+        meta.metrics
+            .push((format!("{}_train_mape", target_label(*target)), *err));
+    }
+    let graphs: Vec<PowerGraph> = ds.samples.iter().map(|s| s.graph.clone()).collect();
+    let artifact = model.to_artifact(meta, &graphs, 8);
+
+    if let Some(path) = &save {
+        artifact.save(path).map_err(|e| e.to_string())?;
+        println!("saved model artifact to {path}");
+    }
+    if let (Some(dir), Some(name)) = (&registry_dir, &reg_name) {
+        let reg = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+        let path = reg.publish(name, &artifact).map_err(|e| e.to_string())?;
+        println!("published `{name}` to {}", path.display());
+    }
+    for (target, err) in &heads {
+        println!("  {:8} train MAPE {err:.2}%", target_label(*target));
+    }
+    Ok(())
+}
+
+fn target_label(target: PowerTarget) -> &'static str {
+    match target {
+        PowerTarget::Total => "total",
+        PowerTarget::Dynamic => "dynamic",
+    }
+}
+
+/// Loads and probe-verifies the `--model` artifact, and — when the command
+/// targets a specific kernel — rejects a model trained on a different one,
+/// so a mismatched artifact cannot silently produce garbage estimates.
+fn load_artifact(
+    args: &[String],
+    expected_kernel: Option<&str>,
+) -> Result<(String, ModelArtifact), String> {
+    let path: String =
+        flag_value(args, "--model")?.ok_or_else(|| "missing --model <path>".to_string())?;
+    let artifact = ModelArtifact::load(&path).map_err(|e| format!("loading `{path}`: {e}"))?;
+    artifact
+        .verify()
+        .map_err(|e| format!("verifying `{path}`: {e}"))?;
+    if let Some(kernel) = expected_kernel {
+        let trained_on = &artifact.meta.kernel;
+        if !trained_on.is_empty() && !trained_on.split(',').any(|k| k.trim() == kernel) {
+            return Err(format!(
+                "`{path}` was trained on kernel(s) `{trained_on}`, not `{kernel}` — \
+                 estimates would be meaningless; train a model for `{kernel}` first"
+            ));
+        }
+    }
+    Ok((path, artifact))
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let directives = parse_directives(args)?;
+    let (path, artifact) = load_artifact(args, Some(&kernel.name))?;
+    let model = PowerGear::from_artifact(&artifact).map_err(|e| e.to_string())?;
+    eprintln!(
+        "[predict] loaded `{path}` (kernel {}, {} + {} members, 0 training epochs)",
+        artifact.meta.kernel,
+        model.total_model.models.len(),
+        model.dynamic_model.models.len()
+    );
+    let est = model
+        .estimate(&kernel, &directives)
+        .map_err(|e| format!("HLS failed: {e}"))?;
+    println!("design    : {}/{}", kernel.name, directives.id());
+    println!("total     : {:.4} W", est.total_w);
+    println!("dynamic   : {:.4} W", est.dynamic_w);
+    println!("latency   : {} cycles", est.latency_cycles);
+    println!("graph     : {} nodes", est.graph_nodes);
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args)?;
+    let path = pos
+        .first()
+        .ok_or_else(|| "usage: powergear verify <artifact.pgm>".to_string())?;
+    let artifact = ModelArtifact::load(path).map_err(|e| format!("loading `{path}`: {e}"))?;
+    artifact
+        .verify()
+        .map_err(|e| format!("verification of `{path}` FAILED: {e}"))?;
+    let probe = artifact.probe.as_ref().map(|p| p.graphs.len()).unwrap_or(0);
+    println!(
+        "{path}: OK (kernel {}, target {}, {} ensembles, probe over {} graphs bit-exact)",
+        artifact.meta.kernel,
+        artifact.meta.target,
+        artifact.ensembles.len(),
+        probe
+    );
+    Ok(())
+}
+
+fn cmd_models(args: &[String]) -> Result<(), String> {
+    let dir: String = flag_value(args, "--registry")?.unwrap_or_else(|| "models".into());
+    let reg = ModelRegistry::open(&dir).map_err(|e| e.to_string())?;
+    let entries = reg.list().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("registry `{dir}` is empty (publish with `train --registry {dir} --name <n>`)");
+        return Ok(());
+    }
+    println!("registry `{dir}`: {} artifact(s)", entries.len());
+    for e in entries {
+        match e.meta {
+            Ok(m) => {
+                let metrics: Vec<String> = m
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:.2}"))
+                    .collect();
+                println!(
+                    "  {:16} kernel={} target={} fp={:016x} created={} {}",
+                    e.name,
+                    m.kernel,
+                    m.target,
+                    m.train_fingerprint,
+                    m.created_at_unix,
+                    metrics.join(" ")
+                );
+            }
+            Err(err) => println!("  {:16} UNREADABLE: {err}", e.name),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dse(args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let (path, artifact) = load_artifact(args, Some(&kernel.name))?;
+    let model = PowerGear::from_artifact(&artifact).map_err(|e| e.to_string())?;
+    let dse_cfg = match flag_value::<f64>(args, "--budget")? {
+        None => pg_dse::DseConfig::quick(7),
+        Some(budget) => {
+            if !(0.0..=1.0).contains(&budget) {
+                return Err(format!("--budget {budget} must be within 0..=1"));
+            }
+            pg_dse::DseConfig::with_budget(budget, 7)
+        }
+    };
+    let cache = HlsCache::new();
+    let ds = build_dataset(&kernel, args, &cache)?;
+    let latency: Vec<f64> = ds.samples.iter().map(|s| s.latency as f64).collect();
+    let truth: Vec<f64> = ds.samples.iter().map(|s| s.power.dynamic).collect();
+    let graphs: Vec<&PowerGraph> = ds.samples.iter().map(|s| &s.graph).collect();
+    let engine = InferenceEngine::new(&model.dynamic_model);
+    eprintln!(
+        "[dse] exploring {} points of `{}` with `{path}` at {:.0}% budget",
+        graphs.len(),
+        kernel.name,
+        dse_cfg.budget_frac * 100.0
+    );
+    let out = pg_dse::run_dse_with_engine(&latency, &truth, &graphs, &engine, &dse_cfg);
+    println!("{}", out.summary(graphs.len()));
+    for p in &out.approx_frontier {
+        println!(
+            "  frontier: {} latency {:.0} dynamic {:.4} W",
+            ds.samples[p.id].design_id, p.latency, p.power
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let n = second_positional(args)?.unwrap_or(24);
+    let threads = flag_value(args, "--threads")?
+        .unwrap_or_else(default_threads)
+        .max(1);
+    let model_path: Option<String> = flag_value(args, "--model")?;
+
     let cache = HlsCache::new();
     let cfg = DatasetConfig {
-        size,
+        size: flag_value(args, "--size")?.unwrap_or(12),
         max_samples: n.max(4),
         seed: 1,
-        threads: threads.max(1),
+        threads,
     };
     eprintln!(
         "[serve] building {} design points of `{}`...",
         cfg.max_samples, kernel.name
     );
     let t_build = Instant::now();
-    let ds = build_kernel_dataset_cached(kernel, &cfg, &cache);
+    let ds = build_kernel_dataset_cached(&kernel, &cfg, &cache);
     eprintln!(
         "[serve]   {} samples in {:.2}s (HLS cache: {} designs, {} hits)",
         ds.samples.len(),
@@ -174,13 +530,27 @@ fn serve_demo(kernel: &pg_ir::Kernel, n: usize, threads: usize, size: usize) -> 
         cache.hits()
     );
 
-    let data = ds.labeled(PowerTarget::Dynamic);
-    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
-    tc.epochs = 10;
-    tc.folds = 2;
-    tc.threads = threads.max(1);
-    eprintln!("[serve] training a quick dynamic-power ensemble...");
-    let ensemble = train_ensemble(&data, &tc);
+    let ensemble = match &model_path {
+        Some(_) => {
+            let (path, artifact) = load_artifact(args, Some(&kernel.name))?;
+            let model = PowerGear::from_artifact(&artifact).map_err(|e| e.to_string())?;
+            eprintln!(
+                "[serve] loaded pre-trained dynamic ensemble from `{path}` \
+                 ({} members, 0 training epochs at serve time)",
+                model.dynamic_model.models.len()
+            );
+            model.dynamic_model
+        }
+        None => {
+            let data = ds.labeled(PowerTarget::Dynamic);
+            let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+            tc.epochs = 10;
+            tc.folds = 2;
+            tc.threads = threads;
+            eprintln!("[serve] training a quick dynamic-power ensemble (pass --model to skip)...");
+            pg_gnn::train_ensemble(&data, &tc)
+        }
+    };
 
     let graphs: Vec<&PowerGraph> = ds.samples.iter().map(|s| &s.graph).collect();
     // warm up allocators etc. before timing either path
@@ -199,10 +569,15 @@ fn serve_demo(kernel: &pg_ir::Kernel, n: usize, threads: usize, size: usize) -> 
     );
 
     println!(
-        "serving `{}`: {} graphs, {} ensemble members",
+        "serving `{}`: {} graphs, {} ensemble members{}",
         ds.kernel,
         stats.graphs,
-        ensemble.models.len()
+        ensemble.models.len(),
+        if model_path.is_some() {
+            " (loaded from artifact, 0 training epochs)"
+        } else {
+            ""
+        }
     );
     println!(
         "  sequential : {:>10.1} graphs/s ({:.2} ms total)",
@@ -220,53 +595,5 @@ fn serve_demo(kernel: &pg_ir::Kernel, n: usize, threads: usize, size: usize) -> 
         "  speedup    : {:.2}x (bit-identical output)",
         seq_s / stats.seconds.max(1e-12)
     );
-    ExitCode::SUCCESS
-}
-
-/// Parses the value following `<flag>` (e.g. `--size 8`), if present.
-fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-}
-
-fn load_kernel(args: &[String]) -> Option<pg_ir::Kernel> {
-    let name = args.get(1)?;
-    let size = flag_value(args, "--size").unwrap_or(12);
-    match polybench::by_name(name, size) {
-        Some(k) => Some(k),
-        None => {
-            eprintln!(
-                "unknown kernel `{name}`; available: {}",
-                polybench::KERNEL_NAMES.join(", ")
-            );
-            None
-        }
-    }
-}
-
-fn parse_directives(args: &[String]) -> Result<Directives, String> {
-    let mut d = Directives::new();
-    for a in args {
-        if a.starts_with("--") {
-            continue; // flags handled elsewhere
-        }
-        if let Some(loop_) = a.strip_prefix("pipeline=") {
-            d.pipeline(loop_);
-        } else if let Some(rest) = a.strip_prefix("unroll=") {
-            let (l, k) = rest
-                .split_once(':')
-                .ok_or_else(|| format!("`{a}` wants unroll=<loop>:<k>"))?;
-            d.unroll(l, k.parse().map_err(|_| format!("bad factor in `{a}`"))?);
-        } else if let Some(rest) = a.strip_prefix("partition=") {
-            let (arr, k) = rest
-                .split_once(':')
-                .ok_or_else(|| format!("`{a}` wants partition=<array>:<k>"))?;
-            d.partition(arr, k.parse().map_err(|_| format!("bad factor in `{a}`"))?);
-        } else if a.parse::<usize>().is_err() {
-            return Err(format!("unrecognized argument `{a}`"));
-        }
-    }
-    Ok(d)
+    Ok(())
 }

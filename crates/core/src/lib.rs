@@ -32,7 +32,7 @@
 
 use pg_activity::{execute, Stimuli};
 use pg_datasets::{HlsCache, KernelDataset, PowerTarget};
-use pg_gnn::{train_ensemble, Ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
+use pg_gnn::{Ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
 use pg_graphcon::{GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsError, HlsReport};
 use pg_ir::Kernel;
@@ -92,6 +92,13 @@ impl PowerGearConfig {
             PowerTarget::Dynamic => self.epochs * 2,
             PowerTarget::Total => self.epochs,
         };
+        cfg.label_norm = match target {
+            // static power is a near-constant offset under total power;
+            // standardized labels keep short training runs from collapsing
+            // below the positive-power floor
+            PowerTarget::Total => pg_gnn::LabelNorm::Standardize,
+            PowerTarget::Dynamic => pg_gnn::LabelNorm::MeanScale,
+        };
         cfg.folds = self.folds;
         cfg.seeds = self.seeds.clone();
         cfg.batch_size = self.batch_size;
@@ -131,15 +138,38 @@ impl PowerGear {
     ///
     /// Panics if `datasets` holds too few samples for the fold count.
     pub fn fit(datasets: &[KernelDataset], config: &PowerGearConfig) -> PowerGear {
+        Self::fit_with(datasets, config, |_, _| {})
+    }
+
+    /// [`PowerGear::fit`] with a checkpoint hook invoked after every
+    /// trained ensemble member of either head (see
+    /// [`pg_gnn::train_ensemble_with`]) — the CLI uses it for progress
+    /// reporting; callers can also persist incremental checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datasets` holds too few samples for the fold count.
+    pub fn fit_with(
+        datasets: &[KernelDataset],
+        config: &PowerGearConfig,
+        mut on_member: impl FnMut(PowerTarget, &pg_gnn::MemberTrained<'_>),
+    ) -> PowerGear {
         let mut total_data = Vec::new();
         let mut dynamic_data = Vec::new();
         for ds in datasets {
             total_data.extend(ds.labeled(PowerTarget::Total));
             dynamic_data.extend(ds.labeled(PowerTarget::Dynamic));
         }
-        let total_model = train_ensemble(&total_data, &config.train_config(PowerTarget::Total));
-        let dynamic_model =
-            train_ensemble(&dynamic_data, &config.train_config(PowerTarget::Dynamic));
+        let total_model = pg_gnn::train_ensemble_with(
+            &total_data,
+            &config.train_config(PowerTarget::Total),
+            |m| on_member(PowerTarget::Total, m),
+        );
+        let dynamic_model = pg_gnn::train_ensemble_with(
+            &dynamic_data,
+            &config.train_config(PowerTarget::Dynamic),
+            |m| on_member(PowerTarget::Dynamic, m),
+        );
         PowerGear {
             total_model,
             dynamic_model,
@@ -263,6 +293,83 @@ impl PowerGear {
                 graph_nodes: graph.num_nodes,
             })
             .collect())
+    }
+
+    /// Ensemble name the total head is stored under in a `.pgm` artifact.
+    pub const TOTAL_ENSEMBLE: &'static str = "total";
+    /// Ensemble name the dynamic head is stored under in a `.pgm` artifact.
+    pub const DYNAMIC_ENSEMBLE: &'static str = "dynamic";
+
+    /// Packages both trained heads as a [`pg_store::ModelArtifact`] with
+    /// the given metadata and a bit-exactness probe over up to `probe_max`
+    /// of `probe_graphs` (pass an empty slice to skip the probe).
+    pub fn to_artifact(
+        &self,
+        meta: pg_store::ArtifactMeta,
+        probe_graphs: &[PowerGraph],
+        probe_max: usize,
+    ) -> pg_store::ModelArtifact {
+        let artifact = pg_store::ModelArtifact {
+            meta,
+            ensembles: vec![
+                (Self::TOTAL_ENSEMBLE.into(), self.total_model.clone()),
+                (Self::DYNAMIC_ENSEMBLE.into(), self.dynamic_model.clone()),
+            ],
+            probe: None,
+        };
+        if probe_graphs.is_empty() || probe_max == 0 {
+            artifact
+        } else {
+            artifact.with_probe(probe_graphs, probe_max)
+        }
+    }
+
+    /// Saves both trained heads to a `.pgm` artifact at `path` (see
+    /// [`PowerGear::to_artifact`] for the probe arguments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pg_store::StoreError`] from the filesystem.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        meta: pg_store::ArtifactMeta,
+        probe_graphs: &[PowerGraph],
+        probe_max: usize,
+    ) -> Result<(), pg_store::StoreError> {
+        self.to_artifact(meta, probe_graphs, probe_max).save(path)
+    }
+
+    /// Reconstructs an estimator from a loaded artifact, requiring both
+    /// the `total` and `dynamic` ensembles and running the embedded
+    /// bit-exactness probe (if present).
+    ///
+    /// # Errors
+    ///
+    /// [`pg_store::StoreError`] when a head is missing or the probe fails.
+    pub fn from_artifact(
+        artifact: &pg_store::ModelArtifact,
+    ) -> Result<PowerGear, pg_store::StoreError> {
+        artifact.verify()?;
+        let get = |name: &'static str| {
+            artifact.ensemble(name).cloned().ok_or_else(|| {
+                pg_store::StoreError::corrupt(format!("artifact has no `{name}` ensemble"))
+            })
+        };
+        Ok(PowerGear {
+            total_model: get(Self::TOTAL_ENSEMBLE)?,
+            dynamic_model: get(Self::DYNAMIC_ENSEMBLE)?,
+        })
+    }
+
+    /// Loads an estimator saved with [`PowerGear::save`]. Inference runs
+    /// zero training epochs: the ensembles come off disk bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Any [`pg_store::StoreError`] from I/O, decoding or verification.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<PowerGear, pg_store::StoreError> {
+        Self::from_artifact(&pg_store::ModelArtifact::load(path)?)
     }
 
     /// MAPE (%) of both heads on labeled samples: `(total, dynamic)`.
@@ -389,6 +496,36 @@ mod tests {
             assert_eq!(st.to_bits(), t.to_bits());
             assert_eq!(sd.to_bits(), d.to_bits());
         }
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_exact() {
+        let ds = tiny_datasets();
+        let model = PowerGear::fit(&ds, &tiny_config());
+        let graphs: Vec<PowerGraph> = ds[0].samples.iter().map(|s| s.graph.clone()).collect();
+        let path = std::env::temp_dir().join(format!("pg_core_rt_{}.pgm", std::process::id()));
+        let meta = pg_store::ArtifactMeta::now("mvt,bicg", "total+dynamic");
+        model.save(&path, meta, &graphs, 4).unwrap();
+
+        let loaded = PowerGear::load(&path).unwrap();
+        let refs: Vec<&PowerGraph> = ds[1].samples.iter().map(|s| &s.graph).collect();
+        let a = model.estimate_graphs(&refs);
+        let b = loaded.estimate_graphs(&refs);
+        for ((t1, d1), (t2, d2)) in a.iter().zip(&b) {
+            assert_eq!(t1.to_bits(), t2.to_bits());
+            assert_eq!(d1.to_bits(), d2.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_artifact_without_heads() {
+        let artifact = pg_store::ModelArtifact {
+            meta: pg_store::ArtifactMeta::now("x", "dynamic"),
+            ensembles: vec![],
+            probe: None,
+        };
+        assert!(PowerGear::from_artifact(&artifact).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * [`build`] — kernel + directives → HLS → trace → [`pg_graphcon::PowerGraph`]
 //!   (metadata attached) → oracle power labels;
 //! * [`cache`] — a thread-safe memoizing [`HlsCache`] so identical
-//!   kernel+directive pairs are synthesized once per process;
+//!   kernel+directive pairs are synthesized once per process, with
+//!   `save_to`/`load_from` spill so warm replays survive process exits;
+//! * [`snapshot`] — persist/restore fully-labeled datasets (`pg_store`
+//!   containers), skipping synthesis, tracing and the oracle entirely;
 //! * [`splits`] — the leave-one-kernel-out evaluation protocol.
 //!
 //! # Examples
@@ -26,6 +29,7 @@
 pub mod build;
 pub mod cache;
 pub mod polybench;
+pub mod snapshot;
 pub mod space;
 pub mod splits;
 pub mod synthetic;
@@ -36,6 +40,7 @@ pub use build::{
 };
 pub use cache::{kernel_fingerprint, HlsCache};
 pub use polybench::{by_name, polybench, KERNEL_NAMES};
+pub use snapshot::{load_dataset, save_dataset};
 pub use space::{enumerate_space, sample_space};
 pub use splits::{all_splits, leave_one_out, LooSplit};
 pub use synthetic::{synthetic_kernel, synthetic_kernels};

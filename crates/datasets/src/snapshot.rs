@@ -1,0 +1,145 @@
+//! Dataset snapshots: persist a fully-labeled [`KernelDataset`] so serving
+//! and retraining can skip HLS, tracing, graph construction and the power
+//! oracle entirely.
+//!
+//! A snapshot stores every [`Sample`] — annotated power graph, directives,
+//! oracle power breakdown, latency, HLS report — plus the kernel's
+//! unoptimized baseline report, in one `pg_store` container under the
+//! `dataset` section. Floats travel as IEEE bit patterns, so a restored
+//! dataset compares equal (`==`) to the one that was saved and trains
+//! bit-identical models.
+
+use crate::build::{KernelDataset, Sample};
+use pg_powersim::PowerBreakdown;
+use pg_store::codec::{
+    dec_directives, dec_graph, dec_report, enc_directives, enc_graph, enc_report,
+};
+use pg_store::{Dec, Enc, Reader, StoreError, Writer};
+use std::path::Path;
+
+/// Section name datasets are stored under.
+const DATASET_SECTION: &str = "dataset";
+
+fn enc_power(e: &mut Enc, p: &PowerBreakdown) {
+    e.f64(p.total);
+    e.f64(p.dynamic);
+    e.f64(p.static_);
+    e.f64(p.nets);
+    e.f64(p.internal);
+    e.f64(p.clock);
+}
+
+fn dec_power(d: &mut Dec<'_>) -> Result<PowerBreakdown, StoreError> {
+    Ok(PowerBreakdown {
+        total: d.f64("power total")?,
+        dynamic: d.f64("power dynamic")?,
+        static_: d.f64("power static")?,
+        nets: d.f64("power nets")?,
+        internal: d.f64("power internal")?,
+        clock: d.f64("power clock")?,
+    })
+}
+
+fn enc_sample(e: &mut Enc, s: &Sample) {
+    e.str(&s.kernel);
+    e.str(&s.design_id);
+    enc_directives(e, &s.directives);
+    enc_graph(e, &s.graph);
+    enc_power(e, &s.power);
+    e.u64(s.latency);
+    enc_report(e, &s.report);
+}
+
+fn dec_sample(d: &mut Dec<'_>) -> Result<Sample, StoreError> {
+    Ok(Sample {
+        kernel: d.str("sample kernel")?,
+        design_id: d.str("sample design id")?,
+        directives: dec_directives(d)?,
+        graph: dec_graph(d)?,
+        power: dec_power(d)?,
+        latency: d.u64("sample latency")?,
+        report: dec_report(d)?,
+    })
+}
+
+/// Writes `dataset` as a snapshot container at `path`.
+///
+/// # Errors
+///
+/// Propagates [`StoreError`] from the filesystem.
+pub fn save_dataset(dataset: &KernelDataset, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let mut e = Enc::new();
+    e.str(&dataset.kernel);
+    e.u64(dataset.size as u64);
+    enc_report(&mut e, &dataset.baseline);
+    e.u32(dataset.samples.len() as u32);
+    for s in &dataset.samples {
+        enc_sample(&mut e, s);
+    }
+    let mut w = Writer::new();
+    w.section(DATASET_SECTION, e.into_bytes());
+    w.write_to(path)
+}
+
+/// Loads a snapshot written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Any [`StoreError`]: I/O, bad magic/version, CRC mismatch, or corrupt
+/// payload. Never panics on malformed input.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<KernelDataset, StoreError> {
+    let r = Reader::open(path)?;
+    let mut d = Dec::new(r.section(DATASET_SECTION)?);
+    let kernel = d.str("dataset kernel")?;
+    let size = d.usize("dataset size")?;
+    let baseline = dec_report(&mut d)?;
+    let n = d.count(16, "dataset sample count")?;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push(dec_sample(&mut d)?);
+    }
+    d.finish("dataset section")?;
+    Ok(KernelDataset {
+        kernel,
+        size,
+        samples,
+        baseline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_kernel_dataset, DatasetConfig};
+    use crate::polybench;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pg_snapshot_{tag}_{}.pgstore", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_exact() {
+        let ds = build_kernel_dataset(&polybench::mvt(6), &DatasetConfig::tiny());
+        let path = tmp("rt");
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(ds, back, "snapshot must be bit-exact");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_corruption_is_typed() {
+        let ds = build_kernel_dataset(&polybench::mvt(6), &DatasetConfig::tiny());
+        let path = tmp("bad");
+        save_dataset(&ds, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_dataset(&path).is_err());
+        // truncation never panics either
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(load_dataset(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -44,6 +44,12 @@ impl DseConfig {
             seed,
         }
     }
+
+    /// A quick exploration (20 % budget, the paper's smallest setting) —
+    /// the default for CLI-driven runs against a loaded model.
+    pub fn quick(seed: u64) -> Self {
+        DseConfig::with_budget(0.2, seed)
+    }
 }
 
 /// Result of one DSE run.
@@ -57,6 +63,22 @@ pub struct DseOutcome {
     pub exact_frontier: Vec<Point>,
     /// Eq. 8 distance between the two frontiers.
     pub adrs: f64,
+}
+
+impl DseOutcome {
+    /// A one-paragraph human-readable summary (sampling effort, frontier
+    /// sizes, ADRS) for CLI/driver output.
+    pub fn summary(&self, space_size: usize) -> String {
+        format!(
+            "sampled {}/{} design points ({:.0}%), approx frontier {} vs exact {}, ADRS {:.4}",
+            self.sampled.len(),
+            space_size,
+            100.0 * self.sampled.len() as f64 / space_size.max(1) as f64,
+            self.approx_frontier.len(),
+            self.exact_frontier.len(),
+            self.adrs
+        )
+    }
 }
 
 /// Runs the iterative DSE loop.

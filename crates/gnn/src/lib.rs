@@ -38,4 +38,7 @@ pub use ablation::{table2_variants, Variant};
 pub use batch::{GraphBatch, RelEdges};
 pub use model::{Arch, ModelConfig, PowerModel};
 pub use serve::{InferenceEngine, ServeConfig, ServeStats};
-pub use train::{evaluate_model, train_ensemble, train_single, Ensemble, TrainConfig};
+pub use train::{
+    evaluate_model, train_ensemble, train_ensemble_with, train_single, Ensemble, LabelNorm,
+    MemberTrained, TrainConfig,
+};

@@ -95,7 +95,7 @@ impl ModelConfig {
     }
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct Slots {
     wv: Vec<usize>,
     we: Vec<usize>,
@@ -112,15 +112,25 @@ struct Slots {
 }
 
 /// A trainable power-regression model.
-#[derive(Debug, Clone)]
+///
+/// The network regresses *normalized* labels: for a raw network output `z`
+/// the absolute prediction is `z * target_scale + target_shift`. With
+/// `target_shift == 0` this is the paper's mean-scaled MAPE regression; a
+/// nonzero shift selects standardized (z-score) MSE regression, which keeps
+/// small-epoch training well-conditioned for targets dominated by a large
+/// constant offset (total power = dynamic + mostly-constant static).
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     /// Hyperparameters.
     pub config: ModelConfig,
     /// Parameters.
     pub store: ParamStore,
     slots: Slots,
-    /// Output scale: the model regresses `power / target_scale`.
+    /// Output scale: the model regresses `(power - target_shift) /
+    /// target_scale`.
     pub target_scale: f32,
+    /// Output shift (0 for the paper's pure mean-scaled regression).
+    pub target_shift: f32,
 }
 
 impl PowerModel {
@@ -193,6 +203,7 @@ impl PowerModel {
             store,
             slots,
             target_scale: 1.0,
+            target_shift: 0.0,
         }
     }
 
@@ -390,6 +401,10 @@ impl PowerModel {
     }
 
     /// One training step's loss and gradients for a batch.
+    ///
+    /// With `target_shift == 0` this is the paper's MAPE loss on
+    /// mean-scaled labels; with a shift the labels are standardized and can
+    /// straddle zero, so the loss switches to MSE (MAPE is undefined there).
     pub fn loss_and_grads(
         &self,
         batch: &GraphBatch,
@@ -400,9 +415,13 @@ impl PowerModel {
         let scaled: Vec<f32> = batch
             .targets
             .iter()
-            .map(|&t| t / self.target_scale)
+            .map(|&t| (t - self.target_shift) / self.target_scale)
             .collect();
-        let loss = tape.mape_loss(pred, &scaled);
+        let loss = if self.target_shift == 0.0 {
+            tape.mape_loss(pred, &scaled)
+        } else {
+            tape.mse_loss(pred, &scaled)
+        };
         let value = tape.value(loss).data[0] as f64;
         (value, tape.backward(loss))
     }
@@ -424,7 +443,7 @@ impl PowerModel {
         tape.value(pred)
             .data
             .iter()
-            .map(|&v| ((v * self.target_scale) as f64).max(1e-3))
+            .map(|&v| ((v * self.target_scale + self.target_shift) as f64).max(1e-3))
             .collect()
     }
 }

@@ -1,0 +1,449 @@
+//! The `.pgm` model artifact: named trained ensembles + metadata + an
+//! embedded self-verification probe.
+//!
+//! An artifact is one `PGSTORE` container with three sections:
+//!
+//! * `meta` — [`ArtifactMeta`]: kernel, power target(s), a fingerprint of
+//!   the training configuration, evaluation metrics and creation time;
+//! * `ensembles` — one or more named [`Ensemble`]s (PowerGear saves
+//!   `total` and `dynamic`);
+//! * `probe` (optional) — a handful of [`PowerGraph`]s plus the bit
+//!   patterns each ensemble predicted for them at save time. A fresh
+//!   process can re-run the loaded ensembles on the stored graphs and
+//!   compare bits, proving the load is exact without needing the original
+//!   dataset.
+
+use crate::codec::{dec_ensemble, dec_graph, enc_ensemble, enc_graph, Dec, Enc};
+use crate::container::{Reader, Writer};
+use crate::error::StoreError;
+use pg_gnn::{Ensemble, TrainConfig};
+use pg_graphcon::PowerGraph;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Descriptive metadata stored alongside the weights.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArtifactMeta {
+    /// Kernel(s) the model was trained on (comma-separated).
+    pub kernel: String,
+    /// Power target(s) covered (e.g. `total+dynamic`).
+    pub target: String,
+    /// Stable fingerprint of the training configuration (see
+    /// [`train_fingerprint`]).
+    pub train_fingerprint: u64,
+    /// Evaluation metrics recorded at save time (name, value).
+    pub metrics: Vec<(String, f64)>,
+    /// Creation time, seconds since the Unix epoch (0 when unavailable).
+    pub created_at_unix: u64,
+    /// Version of the writing tool (crate version).
+    pub tool_version: String,
+    /// Free-form notes.
+    pub notes: String,
+}
+
+impl ArtifactMeta {
+    /// Metadata stamped with the current time and this crate's version.
+    pub fn now(kernel: &str, target: &str) -> Self {
+        ArtifactMeta {
+            kernel: kernel.to_string(),
+            target: target.to_string(),
+            created_at_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            ..ArtifactMeta::default()
+        }
+    }
+
+    /// Looks up a recorded metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Stable fingerprint of a training configuration, recorded in the
+/// metadata so a registry can distinguish artifacts trained with different
+/// hyperparameters. Uses the `Debug` rendering, which covers every field.
+pub fn train_fingerprint(cfg: &TrainConfig) -> u64 {
+    pg_util::rng::hash64(format!("{cfg:?}").as_bytes())
+}
+
+/// A self-verification probe: input graphs plus each ensemble's exact
+/// prediction bits at save time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProbeSet {
+    /// Probe inputs.
+    pub graphs: Vec<PowerGraph>,
+    /// `(ensemble name, prediction bit patterns)` per stored ensemble.
+    pub expected: Vec<(String, Vec<u64>)>,
+}
+
+impl ProbeSet {
+    /// Captures a probe over `graphs` for every named ensemble. With no
+    /// graphs the probe is trivially empty (and trivially verifies).
+    pub fn capture(ensembles: &[(String, Ensemble)], graphs: &[PowerGraph]) -> Self {
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let expected = ensembles
+            .iter()
+            .map(|(name, ens)| {
+                let bits = if refs.is_empty() {
+                    Vec::new()
+                } else {
+                    ens.predict(&refs).iter().map(|v| v.to_bits()).collect()
+                };
+                (name.clone(), bits)
+            })
+            .collect();
+        ProbeSet {
+            graphs: graphs.to_vec(),
+            expected,
+        }
+    }
+
+    /// Re-runs every ensemble on the stored graphs and compares prediction
+    /// bits with the values captured at save time.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VerifyFailed`] naming the first diverging ensemble
+    /// and graph.
+    pub fn verify(&self, ensembles: &[(String, Ensemble)]) -> Result<(), StoreError> {
+        let refs: Vec<&PowerGraph> = self.graphs.iter().collect();
+        for (name, expect) in &self.expected {
+            let Some((_, ens)) = ensembles.iter().find(|(n, _)| n == name) else {
+                return Err(StoreError::VerifyFailed {
+                    detail: format!("probe references missing ensemble `{name}`"),
+                });
+            };
+            if refs.is_empty() {
+                continue;
+            }
+            let got: Vec<u64> = ens.predict(&refs).iter().map(|v| v.to_bits()).collect();
+            if got.len() != expect.len() {
+                return Err(StoreError::VerifyFailed {
+                    detail: format!(
+                        "ensemble `{name}`: probe has {} expectations, predicted {}",
+                        expect.len(),
+                        got.len()
+                    ),
+                });
+            }
+            for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+                if g != e {
+                    return Err(StoreError::VerifyFailed {
+                        detail: format!(
+                            "ensemble `{name}`, probe graph {i}: predicted bits {g:016x}, \
+                             saved bits {e:016x}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete model artifact: metadata, named ensembles and the optional
+/// self-verification probe.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelArtifact {
+    /// Descriptive metadata.
+    pub meta: ArtifactMeta,
+    /// Named trained ensembles, in save order.
+    pub ensembles: Vec<(String, Ensemble)>,
+    /// Optional self-verification probe.
+    pub probe: Option<ProbeSet>,
+}
+
+impl ModelArtifact {
+    /// The ensemble stored under `name`, if present.
+    pub fn ensemble(&self, name: &str) -> Option<&Ensemble> {
+        self.ensembles
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+    }
+
+    /// Captures and embeds a probe over `graphs` (capped at `max` inputs).
+    pub fn with_probe(mut self, graphs: &[PowerGraph], max: usize) -> Self {
+        let take = graphs.len().min(max);
+        self.probe = Some(ProbeSet::capture(&self.ensembles, &graphs[..take]));
+        self
+    }
+
+    /// Serializes the artifact to container bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = Enc::new();
+        enc_meta(&mut meta, &self.meta);
+        let mut ens = Enc::new();
+        ens.u32(self.ensembles.len() as u32);
+        for (name, e) in &self.ensembles {
+            ens.str(name);
+            enc_ensemble(&mut ens, e);
+        }
+        let mut w = Writer::new();
+        w.section("meta", meta.into_bytes());
+        w.section("ensembles", ens.into_bytes());
+        if let Some(probe) = &self.probe {
+            let mut p = Enc::new();
+            p.u32(probe.graphs.len() as u32);
+            for g in &probe.graphs {
+                enc_graph(&mut p, g);
+            }
+            p.u32(probe.expected.len() as u32);
+            for (name, bits) in &probe.expected {
+                p.str(name);
+                p.u32(bits.len() as u32);
+                for &b in bits {
+                    p.u64(b);
+                }
+            }
+            w.section("probe", p.into_bytes());
+        }
+        w.to_bytes()
+    }
+
+    /// Writes the artifact to `path` (conventionally `*.pgm`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let bytes = self.to_bytes();
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Loads an artifact from container bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from the container or the codecs.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, StoreError> {
+        let r = Reader::from_bytes(bytes)?;
+        let meta = dec_meta_section(&r)?;
+        let ens_bytes = r.section("ensembles")?;
+        let mut d = Dec::new(ens_bytes);
+        let n = d.count(4, "ensemble group count")?;
+        let mut ensembles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = d.str("ensemble name")?;
+            let e = dec_ensemble(&mut d)?;
+            ensembles.push((name, e));
+        }
+        d.finish("ensembles section")?;
+        let probe = if r.has_section("probe") {
+            let mut d = Dec::new(r.section("probe")?);
+            let ng = d.count(4, "probe graph count")?;
+            let mut graphs = Vec::with_capacity(ng);
+            for _ in 0..ng {
+                graphs.push(dec_graph(&mut d)?);
+            }
+            let ne = d.count(4, "probe expectation count")?;
+            let mut expected = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                let name = d.str("probe ensemble name")?;
+                let nb = d.count(8, "probe bits count")?;
+                let mut bits = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    bits.push(d.u64("probe bits")?);
+                }
+                expected.push((name, bits));
+            }
+            d.finish("probe section")?;
+            Some(ProbeSet { graphs, expected })
+        } else {
+            None
+        };
+        Ok(ModelArtifact {
+            meta,
+            ensembles,
+            probe,
+        })
+    }
+
+    /// Loads an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from I/O, the container or the codecs.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        ModelArtifact::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Runs the embedded probe (if any) against the loaded ensembles.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VerifyFailed`] when predictions diverge from the
+    /// bits captured at save time.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        match &self.probe {
+            Some(p) => p.verify(&self.ensembles),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Reads only the `meta` section of the artifact at `path` — the registry
+/// listing fast path (weights are not decoded).
+///
+/// # Errors
+///
+/// Any [`StoreError`] from I/O, the container or the metadata codec.
+pub fn load_meta(path: impl AsRef<Path>) -> Result<ArtifactMeta, StoreError> {
+    let r = Reader::open(path)?;
+    dec_meta_section(&r)
+}
+
+fn dec_meta_section(r: &Reader) -> Result<ArtifactMeta, StoreError> {
+    let mut d = Dec::new(r.section("meta")?);
+    let meta = dec_meta(&mut d)?;
+    d.finish("meta section")?;
+    Ok(meta)
+}
+
+fn enc_meta(e: &mut Enc, m: &ArtifactMeta) {
+    e.str(&m.kernel);
+    e.str(&m.target);
+    e.u64(m.train_fingerprint);
+    e.u32(m.metrics.len() as u32);
+    for (name, v) in &m.metrics {
+        e.str(name);
+        e.f64(*v);
+    }
+    e.u64(m.created_at_unix);
+    e.str(&m.tool_version);
+    e.str(&m.notes);
+}
+
+fn dec_meta(d: &mut Dec<'_>) -> Result<ArtifactMeta, StoreError> {
+    let kernel = d.str("meta kernel")?;
+    let target = d.str("meta target")?;
+    let train_fingerprint = d.u64("meta fingerprint")?;
+    let n = d.count(12, "meta metric count")?;
+    let mut metrics = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str("metric name")?;
+        let v = d.f64("metric value")?;
+        metrics.push((name, v));
+    }
+    Ok(ArtifactMeta {
+        kernel,
+        target,
+        train_fingerprint,
+        metrics,
+        created_at_unix: d.u64("meta created at")?,
+        tool_version: d.str("meta tool version")?,
+        notes: d.str("meta notes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_gnn::{ModelConfig, PowerModel};
+    use pg_graphcon::Relation;
+    use pg_util::Rng64;
+
+    fn graph(seed: u64) -> PowerGraph {
+        let mut rng = Rng64::new(seed);
+        let nodes = 4 + rng.below(4);
+        let f = PowerGraph::NODE_FEATS;
+        let mut node_feats = vec![0.0f32; nodes * f];
+        for n in 0..nodes {
+            node_feats[n * f + rng.below(5)] = 1.0;
+        }
+        let edges: Vec<(u32, u32)> = (1..nodes as u32).map(|d| (d - 1, d)).collect();
+        let ne = edges.len();
+        PowerGraph {
+            kernel: "art".into(),
+            design_id: format!("a{seed}"),
+            num_nodes: nodes,
+            node_feats,
+            edges,
+            edge_feats: (0..ne).map(|_| [rng.f32(), rng.f32(), 0.1, 0.2]).collect(),
+            edge_rel: (0..ne)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Relation::AA
+                    } else {
+                        Relation::NN
+                    }
+                })
+                .collect(),
+            meta: (0..10).map(|_| rng.f32()).collect(),
+        }
+    }
+
+    fn artifact() -> ModelArtifact {
+        let ens = |seed| Ensemble {
+            models: vec![
+                PowerModel::new(ModelConfig::hec(8), seed),
+                PowerModel::new(ModelConfig::hec(8), seed + 1),
+            ],
+        };
+        let mut meta = ArtifactMeta::now("mvt", "total+dynamic");
+        meta.metrics.push(("total_val_mape".into(), 12.5));
+        let graphs: Vec<PowerGraph> = (0..4).map(graph).collect();
+        ModelArtifact {
+            meta,
+            ensembles: vec![("total".into(), ens(1)), ("dynamic".into(), ens(10))],
+            probe: None,
+        }
+        .with_probe(&graphs, 3)
+    }
+
+    #[test]
+    fn roundtrip_and_self_verify() {
+        let a = artifact();
+        let bytes = a.to_bytes();
+        let b = ModelArtifact::from_bytes(bytes).unwrap();
+        assert_eq!(a, b);
+        b.verify().expect("probe must verify after load");
+        assert_eq!(b.probe.as_ref().unwrap().graphs.len(), 3);
+        assert_eq!(b.meta.metric("total_val_mape"), Some(12.5));
+        assert!(b.ensemble("dynamic").is_some());
+        assert!(b.ensemble("nope").is_none());
+    }
+
+    #[test]
+    fn tampered_weights_fail_probe_verification() {
+        let a = artifact();
+        let mut b = ModelArtifact::from_bytes(a.to_bytes()).unwrap();
+        // perturb one weight of the total ensemble
+        b.ensembles[0].1.models[0].store.get_mut(0).data[0] += 0.5;
+        assert!(matches!(b.verify(), Err(StoreError::VerifyFailed { .. })));
+    }
+
+    #[test]
+    fn meta_fast_path_matches_full_load() {
+        let a = artifact();
+        let dir = std::env::temp_dir().join(format!("pg_store_meta_{}", std::process::id()));
+        let path = dir.join("m.pgm");
+        a.save(&path).unwrap();
+        let meta = load_meta(&path).unwrap();
+        assert_eq!(meta, a.meta);
+        let full = ModelArtifact::load(&path).unwrap();
+        assert_eq!(full, a);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = TrainConfig::quick(ModelConfig::hec(16));
+        let mut b = a.clone();
+        b.epochs += 1;
+        assert_ne!(train_fingerprint(&a), train_fingerprint(&b));
+        assert_eq!(train_fingerprint(&a), train_fingerprint(&a.clone()));
+    }
+}

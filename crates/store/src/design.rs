@@ -1,0 +1,554 @@
+//! Codec for complete synthesized [`HlsDesign`]s — the payload of an
+//! `HlsCache` spill.
+//!
+//! Synthesis is deterministic, but it is also the single most expensive
+//! step of the pipeline; spilling finished designs lets a fresh process
+//! warm-start a design-space replay without re-running HLS. The codec
+//! covers every artifact the downstream stages consume: the SSA IR
+//! (including affine memory references), block schedules, FU binding and
+//! sharing sets, the FSMD, the HLS report, partitioned array declarations
+//! and the FU library.
+
+use crate::codec::{dec_directives, dec_report, enc_directives, enc_report, Dec, Enc};
+use crate::error::StoreError;
+use pg_hls::{
+    Binding, BlockSchedule, FsmState, Fsmd, FuInstance, FuKind, FuLibrary, HlsDesign, Schedule,
+};
+use pg_ir::{
+    AffineExpr, ArrayDecl, ArrayKind, IrBlock, IrFunction, IrOp, LoopDim, MemRef, Opcode, Operand,
+    ValueId,
+};
+
+// ---------------------------------------------------------------------------
+// IR building blocks
+
+fn enc_affine(e: &mut Enc, a: &AffineExpr) {
+    e.u32(a.terms.len() as u32);
+    for (v, c) in &a.terms {
+        e.str(v);
+        e.i64(*c);
+    }
+    e.i64(a.offset);
+}
+
+fn dec_affine(d: &mut Dec<'_>) -> Result<AffineExpr, StoreError> {
+    let n = d.count(12, "affine term count")?;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = d.str("affine variable")?;
+        let c = d.i64("affine coefficient")?;
+        terms.push((v, c));
+    }
+    Ok(AffineExpr {
+        terms,
+        offset: d.i64("affine offset")?,
+    })
+}
+
+fn enc_operand(e: &mut Enc, o: &Operand) {
+    match o {
+        Operand::Value(v) => {
+            e.u8(0);
+            e.u32(v.0);
+        }
+        Operand::ConstF(c) => {
+            e.u8(1);
+            e.f64(*c);
+        }
+        Operand::ConstI(c) => {
+            e.u8(2);
+            e.i64(*c);
+        }
+        Operand::IVar(s) => {
+            e.u8(3);
+            e.str(s);
+        }
+        Operand::Scalar(s) => {
+            e.u8(4);
+            e.str(s);
+        }
+    }
+}
+
+fn dec_operand(d: &mut Dec<'_>) -> Result<Operand, StoreError> {
+    Ok(match d.u8("operand tag")? {
+        0 => Operand::Value(ValueId(d.u32("operand value id")?)),
+        1 => Operand::ConstF(d.f64("operand f const")?),
+        2 => Operand::ConstI(d.i64("operand i const")?),
+        3 => Operand::IVar(d.str("operand ivar")?),
+        4 => Operand::Scalar(d.str("operand scalar")?),
+        t => return Err(StoreError::corrupt(format!("unknown operand tag {t}"))),
+    })
+}
+
+fn enc_memref(e: &mut Enc, m: &MemRef) {
+    e.str(&m.array);
+    e.u32(m.indices.len() as u32);
+    for i in &m.indices {
+        enc_affine(e, i);
+    }
+    enc_affine(e, &m.linear);
+    match m.bank {
+        Some(b) => {
+            e.bool(true);
+            e.u64(b as u64);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn dec_memref(d: &mut Dec<'_>) -> Result<MemRef, StoreError> {
+    let array = d.str("memref array")?;
+    let ni = d.count(8, "memref index count")?;
+    let mut indices = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        indices.push(dec_affine(d)?);
+    }
+    let linear = dec_affine(d)?;
+    let bank = if d.bool("memref bank flag")? {
+        Some(d.usize("memref bank")?)
+    } else {
+        None
+    };
+    Ok(MemRef {
+        array,
+        indices,
+        linear,
+        bank,
+    })
+}
+
+fn opcode_tag(o: Opcode) -> u8 {
+    o.index() as u8
+}
+
+fn opcode_from_tag(t: u8) -> Result<Opcode, StoreError> {
+    Opcode::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| StoreError::corrupt(format!("unknown opcode tag {t}")))
+}
+
+fn enc_op(e: &mut Enc, op: &IrOp) {
+    e.u32(op.id.0);
+    e.u8(opcode_tag(op.opcode));
+    e.u32(op.operands.len() as u32);
+    for o in &op.operands {
+        enc_operand(e, o);
+    }
+    e.u32(op.bits);
+    e.u64(op.block as u64);
+    match &op.mem {
+        Some(m) => {
+            e.bool(true);
+            enc_memref(e, m);
+        }
+        None => e.bool(false),
+    }
+    e.u64(op.lane as u64);
+}
+
+fn dec_op(d: &mut Dec<'_>) -> Result<IrOp, StoreError> {
+    let id = ValueId(d.u32("op id")?);
+    let opcode = opcode_from_tag(d.u8("op opcode")?)?;
+    let no = d.count(1, "op operand count")?;
+    let mut operands = Vec::with_capacity(no);
+    for _ in 0..no {
+        operands.push(dec_operand(d)?);
+    }
+    let bits = d.u32("op bits")?;
+    let block = d.usize("op block")?;
+    let mem = if d.bool("op mem flag")? {
+        Some(dec_memref(d)?)
+    } else {
+        None
+    };
+    let lane = d.usize("op lane")?;
+    Ok(IrOp {
+        id,
+        opcode,
+        operands,
+        bits,
+        block,
+        mem,
+        lane,
+    })
+}
+
+fn enc_block(e: &mut Enc, b: &IrBlock) {
+    e.str(&b.label);
+    e.u32(b.dims.len() as u32);
+    for dim in &b.dims {
+        e.str(&dim.var);
+        e.u64(dim.trip as u64);
+        e.str(&dim.source_label);
+    }
+    e.u32(b.ops.len() as u32);
+    for v in &b.ops {
+        e.u32(v.0);
+    }
+    e.bool(b.pipelined);
+    e.u64(b.unroll as u64);
+}
+
+fn dec_block(d: &mut Dec<'_>) -> Result<IrBlock, StoreError> {
+    let label = d.str("block label")?;
+    let nd = d.count(8, "block dim count")?;
+    let mut dims = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        dims.push(LoopDim {
+            var: d.str("dim var")?,
+            trip: d.usize("dim trip")?,
+            source_label: d.str("dim source label")?,
+        });
+    }
+    let no = d.count(4, "block op count")?;
+    let mut ops = Vec::with_capacity(no);
+    for _ in 0..no {
+        ops.push(ValueId(d.u32("block op id")?));
+    }
+    Ok(IrBlock {
+        label,
+        dims,
+        ops,
+        pipelined: d.bool("block pipelined")?,
+        unroll: d.usize("block unroll")?,
+    })
+}
+
+fn enc_ir(e: &mut Enc, f: &IrFunction) {
+    e.str(&f.name);
+    e.u32(f.ops.len() as u32);
+    for op in &f.ops {
+        enc_op(e, op);
+    }
+    e.u32(f.blocks.len() as u32);
+    for b in &f.blocks {
+        enc_block(e, b);
+    }
+}
+
+fn dec_ir(d: &mut Dec<'_>) -> Result<IrFunction, StoreError> {
+    let name = d.str("ir name")?;
+    let no = d.count(16, "ir op count")?;
+    let mut ops = Vec::with_capacity(no);
+    for _ in 0..no {
+        ops.push(dec_op(d)?);
+    }
+    let nb = d.count(8, "ir block count")?;
+    let mut blocks = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        blocks.push(dec_block(d)?);
+    }
+    Ok(IrFunction { name, ops, blocks })
+}
+
+// ---------------------------------------------------------------------------
+// Schedule, binding, FSMD
+
+fn enc_schedule(e: &mut Enc, s: &Schedule) {
+    e.u32(s.blocks.len() as u32);
+    for b in &s.blocks {
+        e.u64(b.block as u64);
+        e.u32(b.start.len() as u32);
+        for &c in &b.start {
+            e.u32(c);
+        }
+        e.u32(b.depth);
+        e.u32(b.ii);
+        e.u64(b.total_latency);
+    }
+    e.u64(s.total_latency);
+}
+
+fn dec_schedule(d: &mut Dec<'_>) -> Result<Schedule, StoreError> {
+    let nb = d.count(8, "schedule block count")?;
+    let mut blocks = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        let block = d.usize("schedule block index")?;
+        let ns = d.count(4, "schedule start count")?;
+        let mut start = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            start.push(d.u32("schedule start cycle")?);
+        }
+        blocks.push(BlockSchedule {
+            block,
+            start,
+            depth: d.u32("schedule depth")?,
+            ii: d.u32("schedule ii")?,
+            total_latency: d.u64("schedule block latency")?,
+        });
+    }
+    Ok(Schedule {
+        blocks,
+        total_latency: d.u64("schedule latency")?,
+    })
+}
+
+fn fu_kind_tag(k: FuKind) -> u8 {
+    FuKind::ALL
+        .iter()
+        .position(|&x| x == k)
+        .expect("kind listed in ALL") as u8
+}
+
+fn fu_kind_from_tag(t: u8) -> Result<FuKind, StoreError> {
+    FuKind::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| StoreError::corrupt(format!("unknown FU kind tag {t}")))
+}
+
+fn enc_binding(e: &mut Enc, b: &Binding) {
+    e.u32(b.instances.len() as u32);
+    for inst in &b.instances {
+        e.u8(fu_kind_tag(inst.kind));
+        e.u64(inst.index as u64);
+        e.u32(inst.ops.len() as u32);
+        for v in &inst.ops {
+            e.u32(v.0);
+        }
+        match &inst.mem {
+            Some((a, bank)) => {
+                e.bool(true);
+                e.str(a);
+                e.u64(*bank as u64);
+            }
+            None => e.bool(false),
+        }
+    }
+    // HashMap iteration order is nondeterministic; sort by key so the
+    // encoding (and any checksum over it) is stable.
+    let mut entries: Vec<(u32, usize)> = b.op_to_instance.iter().map(|(v, &i)| (v.0, i)).collect();
+    entries.sort_unstable();
+    e.u32(entries.len() as u32);
+    for (v, i) in entries {
+        e.u32(v);
+        e.u64(i as u64);
+    }
+    e.u32(b.mux_inputs);
+    e.u64(b.reg_bits);
+}
+
+fn dec_binding(d: &mut Dec<'_>) -> Result<Binding, StoreError> {
+    let ni = d.count(8, "binding instance count")?;
+    let mut instances = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        let kind = fu_kind_from_tag(d.u8("instance kind")?)?;
+        let index = d.usize("instance index")?;
+        let no = d.count(4, "instance op count")?;
+        let mut ops = Vec::with_capacity(no);
+        for _ in 0..no {
+            ops.push(ValueId(d.u32("instance op")?));
+        }
+        let mem = if d.bool("instance mem flag")? {
+            let a = d.str("instance mem array")?;
+            let bank = d.usize("instance mem bank")?;
+            Some((a, bank))
+        } else {
+            None
+        };
+        instances.push(FuInstance {
+            kind,
+            index,
+            ops,
+            mem,
+        });
+    }
+    let nm = d.count(12, "binding map count")?;
+    let mut op_to_instance = std::collections::HashMap::with_capacity(nm);
+    for _ in 0..nm {
+        let v = ValueId(d.u32("binding map op")?);
+        let i = d.usize("binding map instance")?;
+        op_to_instance.insert(v, i);
+    }
+    Ok(Binding {
+        instances,
+        op_to_instance,
+        mux_inputs: d.u32("binding mux inputs")?,
+        reg_bits: d.u64("binding reg bits")?,
+    })
+}
+
+fn enc_fsmd(e: &mut Enc, f: &Fsmd) {
+    e.u32(f.states.len() as u32);
+    for s in &f.states {
+        e.u64(s.block as u64);
+        e.u32(s.cycle);
+        e.u32(s.active.len() as u32);
+        for v in &s.active {
+            e.u32(v.0);
+        }
+    }
+}
+
+fn dec_fsmd(d: &mut Dec<'_>) -> Result<Fsmd, StoreError> {
+    let ns = d.count(16, "fsmd state count")?;
+    let mut states = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let block = d.usize("fsm state block")?;
+        let cycle = d.u32("fsm state cycle")?;
+        let na = d.count(4, "fsm active count")?;
+        let mut active = Vec::with_capacity(na);
+        for _ in 0..na {
+            active.push(ValueId(d.u32("fsm active op")?));
+        }
+        states.push(FsmState {
+            block,
+            cycle,
+            active,
+        });
+    }
+    Ok(Fsmd { states })
+}
+
+// ---------------------------------------------------------------------------
+// Arrays and the FU library
+
+fn enc_arrays(e: &mut Enc, arrays: &[(ArrayDecl, usize)]) {
+    e.u32(arrays.len() as u32);
+    for (decl, banks) in arrays {
+        e.str(&decl.name);
+        e.u32(decl.dims.len() as u32);
+        for &dim in &decl.dims {
+            e.u64(dim as u64);
+        }
+        e.u8(match decl.kind {
+            ArrayKind::Input => 0,
+            ArrayKind::Output => 1,
+            ArrayKind::Temp => 2,
+        });
+        e.u64(*banks as u64);
+    }
+}
+
+fn dec_arrays(d: &mut Dec<'_>) -> Result<Vec<(ArrayDecl, usize)>, StoreError> {
+    let n = d.count(16, "array count")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str("array name")?;
+        let nd = d.count(8, "array dim count")?;
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(d.usize("array dim")?);
+        }
+        let kind = match d.u8("array kind")? {
+            0 => ArrayKind::Input,
+            1 => ArrayKind::Output,
+            2 => ArrayKind::Temp,
+            t => return Err(StoreError::corrupt(format!("unknown array kind tag {t}"))),
+        };
+        let banks = d.usize("array banks")?;
+        out.push((ArrayDecl { name, dims, kind }, banks));
+    }
+    Ok(out)
+}
+
+fn enc_lib(e: &mut Enc, l: &FuLibrary) {
+    e.u32(l.mem_ports_per_bank);
+    e.u32(l.bram_words);
+    e.f64(l.target_clock_ns);
+    e.f64(l.vdd);
+}
+
+fn dec_lib(d: &mut Dec<'_>) -> Result<FuLibrary, StoreError> {
+    Ok(FuLibrary {
+        mem_ports_per_bank: d.u32("lib mem ports")?,
+        bram_words: d.u32("lib bram words")?,
+        target_clock_ns: d.f64("lib clock")?,
+        vdd: d.f64("lib vdd")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The design itself
+
+/// Encodes a complete synthesized [`HlsDesign`].
+pub fn enc_design(e: &mut Enc, design: &HlsDesign) {
+    e.str(&design.kernel_name);
+    enc_directives(e, &design.directives);
+    enc_ir(e, &design.ir);
+    enc_schedule(e, &design.schedule);
+    enc_binding(e, &design.binding);
+    enc_fsmd(e, &design.fsmd);
+    enc_report(e, &design.report);
+    enc_arrays(e, &design.arrays);
+    enc_lib(e, &design.lib);
+}
+
+/// Decodes an [`HlsDesign`] written by [`enc_design`].
+///
+/// # Errors
+///
+/// [`StoreError`] on any truncation, unknown tag or inconsistent count.
+pub fn dec_design(d: &mut Dec<'_>) -> Result<HlsDesign, StoreError> {
+    Ok(HlsDesign {
+        kernel_name: d.str("design kernel name")?,
+        directives: dec_directives(d)?,
+        ir: dec_ir(d)?,
+        schedule: dec_schedule(d)?,
+        binding: dec_binding(d)?,
+        fsmd: dec_fsmd(d)?,
+        report: dec_report(d)?,
+        arrays: dec_arrays(d)?,
+        lib: dec_lib(d)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hls::{Directives, HlsFlow};
+
+    fn mvt_kernel() -> pg_ir::Kernel {
+        // A tiny mvt-style kernel; the full Polybench suite lives in
+        // `pg_datasets` (which sits above this crate in the DAG).
+        use pg_ir::expr::{aff, Expr};
+        pg_ir::KernelBuilder::new("mini_mvt")
+            .array("A", &[6, 6], pg_ir::ArrayKind::Input)
+            .array("x", &[6], pg_ir::ArrayKind::Input)
+            .array("y", &[6], pg_ir::ArrayKind::Output)
+            .loop_("i", 6, |b| {
+                b.assign(("y", vec![aff("i")]), Expr::Const(0.0));
+                b.loop_("j", 6, |b| {
+                    b.assign(
+                        ("y", vec![aff("i")]),
+                        Expr::load("y", vec![aff("i")])
+                            + Expr::load("A", vec![aff("i"), aff("j")])
+                                * Expr::load("x", vec![aff("j")]),
+                    );
+                });
+            })
+            .build()
+            .expect("valid kernel")
+    }
+
+    #[test]
+    fn design_roundtrip_is_exact() {
+        let kernel = mvt_kernel();
+        let mut dir = Directives::new();
+        dir.pipeline("j").unroll("j", 2);
+        let design = HlsFlow::new().run(&kernel, &dir).expect("synthesis");
+        let mut e = Enc::new();
+        enc_design(&mut e, &design);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = dec_design(&mut d).expect("decode");
+        d.finish("design").expect("no trailing bytes");
+        assert_eq!(design, back);
+    }
+
+    #[test]
+    fn truncated_design_errors_cleanly() {
+        let kernel = mvt_kernel();
+        let design = HlsFlow::new()
+            .run(&kernel, &Directives::new())
+            .expect("synthesis");
+        let mut e = Enc::new();
+        enc_design(&mut e, &design);
+        let bytes = e.into_bytes();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(dec_design(&mut Dec::new(&bytes[..cut])).is_err());
+        }
+    }
+}

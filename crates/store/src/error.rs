@@ -1,0 +1,112 @@
+//! Typed errors for the persistence layer.
+//!
+//! Every decode path returns a [`StoreError`] instead of panicking: a
+//! corrupt, truncated or foreign file must never take the process down —
+//! the registry and the CLI surface these as clean diagnostics.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong saving or loading an artifact.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the `PGSTORE\0` magic.
+    BadMagic {
+        /// The bytes actually found (up to the magic length).
+        found: Vec<u8>,
+    },
+    /// The container's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The file ends before a structure is complete.
+    Truncated {
+        /// What was being read when the data ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    CrcMismatch {
+        /// Section name.
+        section: String,
+        /// CRC recorded in the section table.
+        expected: u32,
+        /// CRC of the bytes actually present.
+        actual: u32,
+    },
+    /// A required section is absent from the container.
+    MissingSection {
+        /// Section name.
+        section: &'static str,
+    },
+    /// Structurally invalid data inside an intact (CRC-verified) section.
+    Corrupt {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The artifact loaded, but a semantic check failed (e.g. the stored
+    /// probe predictions no longer match the deserialized ensemble).
+    VerifyFailed {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Convenience constructor for [`StoreError::Corrupt`].
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a PGSTORE container (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "container format v{found} is newer than supported v{supported}"
+            ),
+            StoreError::Truncated { context } => {
+                write!(f, "file truncated while reading {context}")
+            }
+            StoreError::CrcMismatch {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section `{section}` corrupt: crc {actual:08x}, expected {expected:08x}"
+            ),
+            StoreError::MissingSection { section } => {
+                write!(f, "required section `{section}` missing")
+            }
+            StoreError::Corrupt { detail } => write!(f, "corrupt payload: {detail}"),
+            StoreError::VerifyFailed { detail } => write!(f, "verification failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,213 @@
+//! A directory-backed registry of trained model artifacts.
+//!
+//! Layout: one `<name>.pgm` container per published model inside a root
+//! directory. The name is the registry key; all descriptive metadata
+//! (kernel, target, fingerprint, metrics, creation time) lives *inside*
+//! the artifact's `meta` section, so a registry can be rebuilt from the
+//! files alone — there is no separate index to corrupt or desynchronize.
+
+use crate::artifact::{load_meta, ArtifactMeta, ModelArtifact};
+use crate::error::StoreError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File extension used for published artifacts.
+pub const ARTIFACT_EXT: &str = "pgm";
+
+/// One registry row: an artifact name plus its metadata (or the error that
+/// kept the metadata from loading — listings must not die on one corrupt
+/// file).
+#[derive(Debug)]
+pub struct RegistryEntry {
+    /// Registry key (file stem).
+    pub name: String,
+    /// Full path of the artifact file.
+    pub path: PathBuf,
+    /// Decoded metadata, or the load error for a damaged artifact.
+    pub meta: Result<ArtifactMeta, StoreError>,
+}
+
+/// A directory of versioned, self-describing model artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) the registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path an artifact named `name` is (or would be) stored at.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for names that would escape the registry
+    /// directory (path separators, `..`, empty).
+    pub fn path_of(&self, name: &str) -> Result<PathBuf, StoreError> {
+        if name.is_empty()
+            || name == ".."
+            || name.contains('/')
+            || name.contains('\\')
+            || name.contains('\0')
+        {
+            return Err(StoreError::corrupt(format!(
+                "invalid registry name `{name}`"
+            )));
+        }
+        Ok(self.root.join(format!("{name}.{ARTIFACT_EXT}")))
+    }
+
+    /// Publishes `artifact` under `name`, overwriting any previous version,
+    /// and returns the file path.
+    ///
+    /// # Errors
+    ///
+    /// Invalid names and filesystem errors.
+    pub fn publish(&self, name: &str, artifact: &ModelArtifact) -> Result<PathBuf, StoreError> {
+        let path = self.path_of(name)?;
+        artifact.save(&path)?;
+        Ok(path)
+    }
+
+    /// Loads the artifact published under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid names, I/O errors and any decode error.
+    pub fn load(&self, name: &str) -> Result<ModelArtifact, StoreError> {
+        ModelArtifact::load(self.path_of(name)?)
+    }
+
+    /// Reads only the metadata of the artifact published under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid names, I/O errors and any decode error.
+    pub fn meta(&self, name: &str) -> Result<ArtifactMeta, StoreError> {
+        load_meta(self.path_of(name)?)
+    }
+
+    /// Removes the artifact published under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid names and filesystem errors (including "not found").
+    pub fn remove(&self, name: &str) -> Result<(), StoreError> {
+        fs::remove_file(self.path_of(name)?)?;
+        Ok(())
+    }
+
+    /// Lists every artifact in the registry, sorted by name. Damaged
+    /// artifacts appear with their load error instead of being skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn list(&self) -> Result<Vec<RegistryEntry>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(ARTIFACT_EXT) {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            out.push(RegistryEntry {
+                name: name.to_string(),
+                meta: load_meta(&path),
+                path,
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_gnn::{Ensemble, ModelConfig, PowerModel};
+
+    fn tmp_registry(tag: &str) -> ModelRegistry {
+        let root = std::env::temp_dir().join(format!("pg_registry_{tag}_{}", std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        ModelRegistry::open(root).unwrap()
+    }
+
+    fn artifact(kernel: &str) -> ModelArtifact {
+        ModelArtifact {
+            meta: ArtifactMeta::now(kernel, "dynamic"),
+            ensembles: vec![(
+                "dynamic".into(),
+                Ensemble {
+                    models: vec![PowerModel::new(ModelConfig::hec(8), 7)],
+                },
+            )],
+            probe: None,
+        }
+    }
+
+    #[test]
+    fn publish_list_load_remove() {
+        let reg = tmp_registry("plr");
+        reg.publish("mvt-v1", &artifact("mvt")).unwrap();
+        reg.publish("bicg-v1", &artifact("bicg")).unwrap();
+        let listed = reg.list().unwrap();
+        assert_eq!(
+            listed.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["bicg-v1", "mvt-v1"]
+        );
+        assert_eq!(listed[1].meta.as_ref().unwrap().kernel, "mvt");
+        let loaded = reg.load("mvt-v1").unwrap();
+        assert_eq!(loaded.meta.kernel, "mvt");
+        reg.remove("mvt-v1").unwrap();
+        assert_eq!(reg.list().unwrap().len(), 1);
+        fs::remove_dir_all(reg.root()).ok();
+    }
+
+    #[test]
+    fn damaged_artifact_listed_with_error() {
+        let reg = tmp_registry("dmg");
+        reg.publish("good", &artifact("mvt")).unwrap();
+        fs::write(reg.root().join("bad.pgm"), b"not a container").unwrap();
+        let listed = reg.list().unwrap();
+        assert_eq!(listed.len(), 2);
+        assert!(listed[0].meta.is_err(), "bad sorts first");
+        assert!(listed[1].meta.is_ok());
+        fs::remove_dir_all(reg.root()).ok();
+    }
+
+    #[test]
+    fn path_traversal_rejected() {
+        let reg = tmp_registry("sec");
+        for bad in ["", "..", "a/b", "a\\b", "x\0y"] {
+            assert!(reg.path_of(bad).is_err(), "{bad:?} must be rejected");
+        }
+        fs::remove_dir_all(reg.root()).ok();
+    }
+
+    #[test]
+    fn republish_overwrites() {
+        let reg = tmp_registry("ovr");
+        reg.publish("m", &artifact("mvt")).unwrap();
+        reg.publish("m", &artifact("gemm")).unwrap();
+        assert_eq!(reg.meta("m").unwrap().kernel, "gemm");
+        assert_eq!(reg.list().unwrap().len(), 1);
+        fs::remove_dir_all(reg.root()).ok();
+    }
+}

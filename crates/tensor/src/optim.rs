@@ -7,7 +7,7 @@
 use crate::matrix::Matrix;
 
 /// A named collection of parameter matrices.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParamStore {
     params: Vec<Matrix>,
     names: Vec<String>,

@@ -11,6 +11,7 @@ pub use pg_hlpow as hlpow;
 pub use pg_hls as hls;
 pub use pg_ir as ir;
 pub use pg_powersim as powersim;
+pub use pg_store as store;
 pub use pg_tensor as tensor;
 pub use pg_util as util;
 pub use powergear;

@@ -16,15 +16,20 @@
 use crate::stimuli::Stimuli;
 use pg_hls::HlsDesign;
 use pg_ir::{Opcode, Operand, ValueId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Traced values for one static op.
+///
+/// Event sequences are shared (`Arc`): graph construction copies an op's
+/// output stream onto every consumer edge, and sharing makes those copies
+/// reference bumps instead of multi-kilobyte memcpys.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OpTrace {
     /// `(cycle, bits)` of every produced value, in execution order.
-    pub outputs: Vec<(u64, u32)>,
+    pub outputs: Arc<Vec<(u64, u32)>>,
     /// Per-operand `(cycle, bits)` of every consumed value.
-    pub inputs: Vec<Vec<(u64, u32)>>,
+    pub inputs: Vec<Arc<Vec<(u64, u32)>>>,
 }
 
 /// A full execution trace of a design.
@@ -48,14 +53,15 @@ impl ExecutionTrace {
     /// estimators (the Vivado surrogate) that need the netlist structure but
     /// assume default toggle rates instead of simulating.
     pub fn empty(design: &HlsDesign) -> Self {
+        let none: Arc<Vec<(u64, u32)>> = Arc::new(Vec::new());
         ExecutionTrace {
             per_op: design
                 .ir
                 .ops
                 .iter()
                 .map(|op| OpTrace {
-                    outputs: Vec::new(),
-                    inputs: vec![Vec::new(); op.operands.len()],
+                    outputs: Arc::clone(&none),
+                    inputs: vec![Arc::clone(&none); op.operands.len()],
                 })
                 .collect(),
             latency: design.report.latency_cycles,
@@ -94,6 +100,57 @@ impl Val {
     }
 }
 
+/// A pre-resolved operand: every string lookup (induction variables,
+/// scalar arguments) and [`ValueId`] indirection is resolved once per
+/// block, so the iteration loop is pure index arithmetic.
+#[derive(Debug, Clone, Copy)]
+enum PreOperand {
+    /// Result register of another op.
+    Reg(usize),
+    /// Integer constant (also unbound induction variables, which the
+    /// interpreter has always read as 0).
+    ConstI(i64),
+    /// Float constant.
+    ConstF(f32),
+    /// Induction variable, as an index into the block's dense counters.
+    Dim(usize),
+    /// Scalar argument, resolved from the stimuli.
+    Scalar(f32),
+}
+
+/// A memory address `offset + Σ coeff·counter[dim]`, precompiled from the
+/// op's affine `linear` expression against the block's dimension order.
+#[derive(Debug, Clone)]
+struct PreAddr {
+    slot: usize,
+    terms: Vec<(usize, i64)>,
+    offset: i64,
+}
+
+impl PreAddr {
+    #[inline]
+    fn eval(&self, counters: &[i64]) -> i64 {
+        let mut acc = self.offset;
+        for &(dim, coeff) in &self.terms {
+            acc += coeff * counters[dim];
+        }
+        acc
+    }
+}
+
+/// One op of a block, fully pre-resolved for the iteration loop.
+#[derive(Debug, Clone)]
+struct PreOp {
+    /// Index into `per_op`/`regs` (the op's ValueId index).
+    reg: usize,
+    opcode: Opcode,
+    /// Scheduled start cycle within the iteration.
+    start: u64,
+    operands: Vec<PreOperand>,
+    /// Precompiled address for gep/load/store.
+    addr: Option<PreAddr>,
+}
+
 /// Executes `design` with `stimuli`, producing the full activity trace.
 ///
 /// # Panics
@@ -112,24 +169,24 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
         array_names.push(name.clone());
         array_data.push(data.clone());
     }
-    let mem_slot: Vec<usize> = func
+    // Raw (growable) accumulators; moved into shared `Arc`s at the end.
+    struct RawOpTrace {
+        outputs: Vec<(u64, u32)>,
+        inputs: Vec<Vec<(u64, u32)>>,
+    }
+    let mut per_op: Vec<RawOpTrace> = func
         .ops
         .iter()
-        .map(|op| match &op.mem {
-            Some(m) => *slot_of
-                .get(m.array.as_str())
-                .unwrap_or_else(|| panic!("array `{}` missing from stimuli", m.array)),
-            None => usize::MAX,
-        })
-        .collect();
-    let mut per_op: Vec<OpTrace> = func
-        .ops
-        .iter()
-        .map(|op| OpTrace {
+        .map(|op| RawOpTrace {
             outputs: Vec::new(),
             inputs: vec![Vec::new(); op.operands.len()],
         })
         .collect();
+
+    // Result registers; reset per block (ops never read across blocks —
+    // dataflow between blocks goes through the arrays).
+    let mut regs: Vec<Val> = vec![Val::I(0); func.ops.len()];
+    let mut vals: Vec<Val> = Vec::with_capacity(8);
 
     let mut block_base: u64 = 0;
     for (bi, block) in func.blocks.iter().enumerate() {
@@ -141,38 +198,117 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
         };
         let trips: Vec<usize> = block.dims.iter().map(|d| d.trip).collect();
         let total: usize = trips.iter().product::<usize>().max(1);
-        let mut env: BTreeMap<String, i64> = BTreeMap::new();
-        // register file for op results within the current iteration
-        let mut regs: Vec<Val> = vec![Val::I(0); func.ops.len()];
+
+        // Pre-resolve every op of the block once: operand kinds, scalar
+        // values, dimension indices and affine addresses.
+        let dim_of = |name: &str| block.dims.iter().position(|d| d.var == name);
+        let pre_ops: Vec<PreOp> = block
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(oi, &vid)| {
+                let op = func.op(vid);
+                let operands: Vec<PreOperand> = op
+                    .operands
+                    .iter()
+                    .map(|operand| match operand {
+                        Operand::Value(v) => PreOperand::Reg(v.idx()),
+                        Operand::ConstF(c) => PreOperand::ConstF(*c as f32),
+                        Operand::ConstI(c) => PreOperand::ConstI(*c),
+                        Operand::IVar(name) => match dim_of(name) {
+                            Some(d) => PreOperand::Dim(d),
+                            None => PreOperand::ConstI(0),
+                        },
+                        Operand::Scalar(name) => PreOperand::Scalar(stimuli.scalar(name)),
+                    })
+                    .collect();
+                let addr = match op.opcode {
+                    Opcode::GetElementPtr | Opcode::Load | Opcode::Store => {
+                        let m = op.mem.as_ref().expect("mem op has memref");
+                        let slot = *slot_of
+                            .get(m.array.as_str())
+                            .unwrap_or_else(|| panic!("array `{}` missing from stimuli", m.array));
+                        let terms = m
+                            .linear
+                            .terms
+                            .iter()
+                            .map(|(v, c)| {
+                                let d = dim_of(v).unwrap_or_else(|| {
+                                    panic!("unbound loop variable `{v}` in affine expression")
+                                });
+                                (d, *c)
+                            })
+                            .collect();
+                        Some(PreAddr {
+                            slot,
+                            terms,
+                            offset: m.linear.offset,
+                        })
+                    }
+                    _ => None,
+                };
+                // Reserve the exact event capacity up front: every op fires
+                // once per iteration. Constant operand streams are never
+                // recorded (see the iteration loop), so they reserve nothing.
+                let ot = &mut per_op[vid.idx()];
+                ot.outputs.reserve_exact(total);
+                for (inp, operand) in ot.inputs.iter_mut().zip(operands.iter()) {
+                    if matches!(*operand, PreOperand::Reg(_) | PreOperand::Dim(_)) {
+                        inp.reserve_exact(total);
+                    }
+                }
+                PreOp {
+                    reg: vid.idx(),
+                    opcode: op.opcode,
+                    start: bs.start[oi] as u64,
+                    operands,
+                    addr,
+                }
+            })
+            .collect();
+
+        // Dense induction-variable counters, row-major decoded per iteration.
+        let mut counters: Vec<i64> = vec![0; block.dims.len()];
+        regs.fill(Val::I(0));
 
         for it in 0..total {
-            // decode iteration index into per-dim counters (row-major)
             let mut rem = it;
-            for (d, &trip) in block.dims.iter().zip(&trips).rev() {
-                env.insert(d.var.clone(), (rem % trip) as i64);
+            for (d, &trip) in (0..counters.len()).zip(&trips).rev() {
+                counters[d] = (rem % trip) as i64;
                 rem /= trip;
             }
             let iter_time = block_base + it as u64 * iter_stride;
-            for (oi, &vid) in block.ops.iter().enumerate() {
-                let op = func.op(vid);
-                let t = iter_time + bs.start[oi] as u64;
-                // evaluate operands
-                let mut vals: Vec<Val> = Vec::with_capacity(op.operands.len());
-                for (k, operand) in op.operands.iter().enumerate() {
-                    let v = eval_operand(operand, &regs, &env, stimuli);
-                    per_op[vid.idx()].inputs[k].push((t, v.bits()));
+            for pre in &pre_ops {
+                let t = iter_time + pre.start;
+                vals.clear();
+                let ot = &mut per_op[pre.reg];
+                // Constant streams (ConstI/ConstF/Scalar) are not recorded:
+                // their switching activity is identically zero, which is
+                // exactly what downstream consumers compute from an empty
+                // stream, and no graph edge ever reads them.
+                for (inp, operand) in ot.inputs.iter_mut().zip(&pre.operands) {
+                    let v = match *operand {
+                        PreOperand::Reg(r) => regs[r],
+                        PreOperand::ConstI(c) => {
+                            vals.push(Val::I(c));
+                            continue;
+                        }
+                        PreOperand::ConstF(c) => {
+                            vals.push(Val::F(c));
+                            continue;
+                        }
+                        PreOperand::Dim(d) => Val::I(counters[d]),
+                        PreOperand::Scalar(s) => {
+                            vals.push(Val::F(s));
+                            continue;
+                        }
+                    };
+                    inp.push((t, v.bits()));
                     vals.push(v);
                 }
-                let result = step(
-                    op.opcode,
-                    &vals,
-                    op,
-                    &env,
-                    mem_slot[vid.idx()],
-                    &mut array_data,
-                );
-                regs[vid.idx()] = result;
-                per_op[vid.idx()].outputs.push((t, result.bits()));
+                let result = step(pre, &vals, &counters, &mut array_data);
+                regs[pre.reg] = result;
+                ot.outputs.push((t, result.bits()));
             }
         }
         block_base += total as u64 * iter_stride + bs.depth as u64 + 1;
@@ -180,51 +316,36 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
 
     let final_arrays: HashMap<String, Vec<f32>> = array_names.into_iter().zip(array_data).collect();
     ExecutionTrace {
-        per_op,
+        per_op: per_op
+            .into_iter()
+            .map(|raw| OpTrace {
+                outputs: Arc::new(raw.outputs),
+                inputs: raw.inputs.into_iter().map(Arc::new).collect(),
+            })
+            .collect(),
         latency: design.report.latency_cycles,
         final_arrays,
     }
 }
 
-fn eval_operand(
-    operand: &Operand,
-    regs: &[Val],
-    env: &BTreeMap<String, i64>,
-    stimuli: &Stimuli,
-) -> Val {
-    match operand {
-        Operand::Value(v) => regs[v.idx()],
-        Operand::ConstF(c) => Val::F(*c as f32),
-        Operand::ConstI(c) => Val::I(*c),
-        Operand::IVar(name) => Val::I(*env.get(name).unwrap_or(&0)),
-        Operand::Scalar(name) => Val::F(stimuli.scalar(name)),
-    }
-}
-
-fn step(
-    opcode: Opcode,
-    vals: &[Val],
-    op: &pg_ir::IrOp,
-    env: &BTreeMap<String, i64>,
-    slot: usize,
-    arrays: &mut [Vec<f32>],
-) -> Val {
-    match opcode {
+#[inline]
+fn step(pre: &PreOp, vals: &[Val], counters: &[i64], arrays: &mut [Vec<f32>]) -> Val {
+    match pre.opcode {
         Opcode::Alloca => Val::I(0),
         Opcode::GetElementPtr => {
-            let m = op.mem.as_ref().expect("gep has memref");
-            Val::I(m.linear.eval(env))
+            let a = pre.addr.as_ref().expect("gep has address");
+            Val::I(a.eval(counters))
         }
         Opcode::Load => {
-            let m = op.mem.as_ref().expect("load has memref");
-            let addr = m.linear.eval(env);
-            Val::F(arrays[slot][addr as usize])
+            let a = pre.addr.as_ref().expect("load has address");
+            let addr = a.eval(counters);
+            Val::F(arrays[a.slot][addr as usize])
         }
         Opcode::Store => {
-            let m = op.mem.as_ref().expect("store has memref");
-            let addr = m.linear.eval(env);
+            let a = pre.addr.as_ref().expect("store has address");
+            let addr = a.eval(counters);
             let value = vals[0].as_f();
-            arrays[slot][addr as usize] = value;
+            arrays[a.slot][addr as usize] = value;
             Val::F(value)
         }
         Opcode::FAdd => Val::F(vals[0].as_f() + vals[1].as_f()),
@@ -319,8 +440,14 @@ mod tests {
                 "{} executed wrong number of times",
                 op.id
             );
+            // Value/induction operand streams carry one event per
+            // iteration; constant streams are skipped (zero switching).
             for (k2, inp) in trace.of(op.id).inputs.iter().enumerate() {
-                assert_eq!(inp.len(), trip, "operand {k2} of {}", op.id);
+                let expected = match &op.operands[k2] {
+                    pg_ir::Operand::Value(_) | pg_ir::Operand::IVar(_) => trip,
+                    _ => 0,
+                };
+                assert_eq!(inp.len(), expected, "operand {k2} of {}", op.id);
             }
         }
     }

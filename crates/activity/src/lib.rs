@@ -41,5 +41,5 @@ pub mod sa;
 pub mod stimuli;
 
 pub use exec::{execute, ExecutionTrace, OpTrace};
-pub use sa::{activation_rate, switching_activity, NodeActivity};
+pub use sa::{activation_rate, sa_ar, switching_activity, NodeActivity};
 pub use stimuli::Stimuli;

@@ -49,6 +49,27 @@ pub fn activation_rate(events: &[(u64, u32)], latency: u64) -> f64 {
     changes as f64 / latency as f64
 }
 
+/// [`switching_activity`] and [`activation_rate`] of one event sequence in
+/// a single pass (graph finalization evaluates both on every edge
+/// direction; walking the events once halves that cost). Bit-identical to
+/// calling the two functions separately.
+pub fn sa_ar(events: &[(u64, u32)], latency: u64) -> (f64, f64) {
+    if latency == 0 || events.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let mut hamming = 0u64;
+    let mut changes = 0u64;
+    for w in events.windows(2) {
+        let d = (w[0].1 ^ w[1].1).count_ones();
+        hamming += d as u64;
+        changes += (d != 0) as u64;
+    }
+    (
+        hamming as f64 / latency as f64,
+        changes as f64 / latency as f64,
+    )
+}
+
 /// Per-node activity statistics used as numeric node features: "overall
 /// activation rate, input, output and overall switching activities"
 /// (§III-A).
@@ -67,7 +88,7 @@ pub struct NodeActivity {
 impl NodeActivity {
     /// Computes node statistics from an op trace.
     pub fn from_trace(trace: &OpTrace, latency: u64) -> Self {
-        let sa_out = switching_activity(&trace.outputs, latency);
+        let (sa_out, ar) = sa_ar(&trace.outputs, latency);
         let sa_in = if trace.inputs.is_empty() {
             0.0
         } else {
@@ -79,7 +100,7 @@ impl NodeActivity {
                 / trace.inputs.len() as f64
         };
         NodeActivity {
-            ar: activation_rate(&trace.outputs, latency),
+            ar,
             sa_in,
             sa_out,
             sa_overall: sa_in + sa_out,
@@ -166,8 +187,11 @@ mod tests {
     #[test]
     fn node_activity_from_trace() {
         let t = OpTrace {
-            outputs: vec![(0, 0), (1, 3), (2, 3)],
-            inputs: vec![vec![(0, 0), (1, 1)], vec![(0, 7), (1, 7)]],
+            outputs: std::sync::Arc::new(vec![(0, 0), (1, 3), (2, 3)]),
+            inputs: vec![
+                std::sync::Arc::new(vec![(0, 0), (1, 1)]),
+                std::sync::Arc::new(vec![(0, 7), (1, 7)]),
+            ],
         };
         let s = NodeActivity::from_trace(&t, 10);
         assert!((s.sa_out - 0.2).abs() < 1e-12);

@@ -1,0 +1,126 @@
+//! `profile_synth` — attributes cold dataset-build time across pipeline
+//! stages and reports cold-synthesis throughput.
+//!
+//! The cold path is `HlsFlow::run` (lower → schedule → bind → FSMD →
+//! report) followed by graph construction (raw DFG → buffers → merge →
+//! trim → finalize), activity tracing and the power oracle. This driver
+//! enables the `pg_util::prof` timer scopes baked into those stages,
+//! builds one kernel dataset cold, and prints the attribution table plus
+//! the `cold_synth_throughput` figure the perf-smoke gate tracks.
+//!
+//! ```text
+//! profile_synth [<kernel>] [--samples N] [--size n] [--threads T]
+//!               [--seed s] [--warm]
+//! ```
+//!
+//! * `<kernel>`     Polybench kernel name (default `gemm`)
+//! * `--samples N`  design points (default 96; paper scale is 500)
+//! * `--size n`     problem size (default 12)
+//! * `--threads T`  worker threads (default 1 — per-stage attribution is
+//!                  cleanest single-threaded; wall time still reported)
+//! * `--seed s`     sampling seed (default 1)
+//! * `--warm`       additionally time a warm rebuild over the same cache
+//!
+//! Example (the reference measurement of the dataset-scale work):
+//!
+//! ```text
+//! cargo run --release -p powergear_bench --bin profile_synth -- gemm --samples 96
+//! ```
+
+use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache};
+use pg_util::prof;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("flag `{flag}` expects a value")),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{raw}` for `{flag}`")),
+        },
+    }
+}
+
+/// The kernel positional: the first token that is neither a flag nor a
+/// flag's value.
+fn kernel_positional(args: &[String]) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--warm" {
+            i += 1;
+        } else if a.starts_with("--") {
+            i += 2; // value flag: skip its argument too
+        } else {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = kernel_positional(&args).unwrap_or_else(|| "gemm".into());
+    let cfg = DatasetConfig {
+        size: arg_value(&args, "--size")?.unwrap_or(12),
+        max_samples: arg_value(&args, "--samples")?.unwrap_or(96),
+        seed: arg_value(&args, "--seed")?.unwrap_or(1),
+        threads: arg_value(&args, "--threads")?.unwrap_or(1),
+    };
+    let warm = args.iter().any(|a| a == "--warm");
+    let kernel = polybench::by_name(&kernel_name, cfg.size)
+        .ok_or_else(|| format!("unknown kernel `{kernel_name}`"))?;
+
+    eprintln!(
+        "[profile] cold build: {} x {} design points (size {}, {} thread(s))",
+        kernel.name, cfg.max_samples, cfg.size, cfg.threads
+    );
+    prof::set_enabled(true);
+    prof::reset();
+    let cache = HlsCache::new();
+    let t = Instant::now();
+    let ds = build_kernel_dataset_cached(&kernel, &cfg, &cache);
+    let cold_s = t.elapsed().as_secs_f64();
+    prof::set_enabled(false);
+
+    let designs = cache.misses();
+    println!("{}", prof::report(cold_s));
+    println!(
+        "cold build: {} samples / {} synthesized designs in {:.3}s ({:.1} avg nodes)",
+        ds.samples.len(),
+        designs,
+        cold_s,
+        ds.avg_nodes()
+    );
+    println!(
+        "cold_synth_throughput: {:.1} designs/s",
+        designs as f64 / cold_s.max(1e-9)
+    );
+
+    if warm {
+        let t = Instant::now();
+        let ds2 = build_kernel_dataset_cached(&kernel, &cfg, &cache);
+        let warm_s = t.elapsed().as_secs_f64();
+        assert_eq!(ds, ds2, "warm rebuild must be bit-identical");
+        println!(
+            "warm rebuild: {:.3}s ({:.1}x cold, bit-identical)",
+            warm_s,
+            cold_s / warm_s.max(1e-9)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

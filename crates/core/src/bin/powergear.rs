@@ -7,18 +7,22 @@
 //! powergear measure <kernel> [directives...]   # simulated board measurement
 //! powergear space   <kernel> [N]               # enumerate the design space
 //! powergear serve   <kernel> [N]               # batched-inference throughput demo
+//! powergear dataset <kernel>                   # build a labeled dataset at scale
 //!
 //! powergear train   <kernel> --save <m.pgm>    # train once, persist the model
 //! powergear predict <kernel> [directives...] --model <m.pgm>
 //! powergear serve   <kernel> [N] --model <m.pgm>   # zero training epochs
 //! powergear verify  <m.pgm>                    # bit-exactness probe check
 //! powergear models  [--registry <dir>]         # list the model registry
+//! powergear models  --verify-all               # replay every artifact's probe
 //! powergear dse     <kernel> [N] --model <m.pgm>   # explore with a loaded model
 //!
 //! directive syntax:  pipeline=<loop>  unroll=<loop>:<k>  partition=<array>:<k>
 //! common flags:      --size <n>  (problem size, default 12)
 //! serve flags:       --threads <t>  (engine worker threads, default: cores)
 //! train flags:       --samples <N> --epochs <e> --registry <dir> --name <name>
+//! dataset flags:     --samples <N> (default 500) --threads <t> --seed <s>
+//!                    --out <snapshot.pgstore>
 //! dse flags:         --budget <frac>  (sampling budget, default 0.2)
 //! ```
 //!
@@ -26,6 +30,7 @@
 //!
 //! ```text
 //! powergear report gemm pipeline=k unroll=k:4 partition=A:4 --size 12
+//! powergear dataset gemm --samples 500 --threads 4 --out gemm500.pgstore
 //! powergear train bicg --samples 24 --size 8 --save bicg.pgm
 //! powergear serve bicg 24 --model bicg.pgm
 //! ```
@@ -55,6 +60,7 @@ fn main() -> ExitCode {
         "space" => cmd_space(rest),
         "serve" => cmd_serve(rest),
         "report" | "graph" | "measure" => cmd_design(cmd, rest),
+        "dataset" => cmd_dataset(rest),
         "train" => cmd_train(rest),
         "predict" => cmd_predict(rest),
         "verify" => cmd_verify(rest),
@@ -90,8 +96,8 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
     }
 }
 
-/// Every flag the CLI understands; all of them take a value.
-const KNOWN_FLAGS: [&str; 9] = [
+/// Every value-taking flag the CLI understands.
+const KNOWN_FLAGS: [&str; 11] = [
     "--size",
     "--threads",
     "--samples",
@@ -101,7 +107,12 @@ const KNOWN_FLAGS: [&str; 9] = [
     "--registry",
     "--name",
     "--budget",
+    "--seed",
+    "--out",
 ];
+
+/// Boolean flags (present or absent, no value).
+const KNOWN_BOOL_FLAGS: [&str; 1] = ["--verify-all"];
 
 /// Positional (non-flag) arguments, rejecting unknown `--flags` so typos
 /// fail instead of being treated as kernel names or directives.
@@ -111,10 +122,13 @@ fn positionals(args: &[String]) -> Result<Vec<&String>, String> {
     while i < args.len() {
         let a = &args[i];
         if a.starts_with("--") {
-            if !KNOWN_FLAGS.contains(&a.as_str()) {
+            if KNOWN_BOOL_FLAGS.contains(&a.as_str()) {
+                i += 1;
+            } else if KNOWN_FLAGS.contains(&a.as_str()) {
+                i += 2; // skip the flag's value
+            } else {
                 return Err(format!("unknown flag `{a}`"));
             }
-            i += 2; // skip the flag's value
         } else {
             out.push(a);
             i += 1;
@@ -286,6 +300,52 @@ fn build_dataset(
     Ok(ds)
 }
 
+/// Builds one kernel's labeled dataset at paper scale (default 500 design
+/// points), reporting cold-build timing and throughput, and optionally
+/// persisting a `pg_store` snapshot that `load_dataset` can replay without
+/// any synthesis.
+fn cmd_dataset(args: &[String]) -> Result<(), String> {
+    let kernel = load_kernel(args)?;
+    let defaults = DatasetConfig::default();
+    let cfg = DatasetConfig {
+        size: flag_value(args, "--size")?.unwrap_or(12),
+        max_samples: flag_value(args, "--samples")?
+            .unwrap_or(defaults.max_samples)
+            .max(4),
+        seed: flag_value(args, "--seed")?.unwrap_or(defaults.seed),
+        threads: flag_value(args, "--threads")?.unwrap_or_else(default_threads),
+    };
+    let out: Option<String> = flag_value(args, "--out")?;
+
+    eprintln!(
+        "[dataset] building {} design points of `{}` (size {}, {} thread(s))...",
+        cfg.max_samples, kernel.name, cfg.size, cfg.threads
+    );
+    let cache = HlsCache::new();
+    let t = Instant::now();
+    let ds = build_kernel_dataset_cached(&kernel, &cfg, &cache);
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "dataset `{}`: {} samples, {:.1} avg nodes, baseline latency {} cycles",
+        ds.kernel,
+        ds.samples.len(),
+        ds.avg_nodes(),
+        ds.baseline.latency_cycles
+    );
+    println!(
+        "cold build: {:.2}s ({:.1} designs/s, {} synthesized, {} cache hits)",
+        secs,
+        cache.misses() as f64 / secs.max(1e-9),
+        cache.misses(),
+        cache.hits()
+    );
+    if let Some(path) = out {
+        pg_datasets::save_dataset(&ds, &path).map_err(|e| e.to_string())?;
+        println!("snapshot saved to {path} (replay with load_dataset, zero synthesis)");
+    }
+    Ok(())
+}
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let kernel = load_kernel(args)?;
     let save: Option<String> = flag_value(args, "--save")?;
@@ -434,13 +494,26 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 
 fn cmd_models(args: &[String]) -> Result<(), String> {
     let dir: String = flag_value(args, "--registry")?.unwrap_or_else(|| "models".into());
+    let verify_all = args.iter().any(|a| a == "--verify-all");
     let reg = ModelRegistry::open(&dir).map_err(|e| e.to_string())?;
     let entries = reg.list().map_err(|e| e.to_string())?;
     if entries.is_empty() {
+        // A sweep over nothing must not report success — an empty registry
+        // under --verify-all is almost always a mistyped --registry path
+        // (open() creates missing directories), and a CI gate that
+        // verified zero probes has verified nothing.
+        if verify_all {
+            return Err(format!(
+                "registry `{dir}` holds no artifacts — nothing to verify"
+            ));
+        }
         println!("registry `{dir}` is empty (publish with `train --registry {dir} --name <n>`)");
         return Ok(());
     }
     println!("registry `{dir}`: {} artifact(s)", entries.len());
+    if verify_all {
+        return verify_registry(&reg, &entries);
+    }
     for e in entries {
         match e.meta {
             Ok(m) => {
@@ -462,6 +535,43 @@ fn cmd_models(args: &[String]) -> Result<(), String> {
             Err(err) => println!("  {:16} UNREADABLE: {err}", e.name),
         }
     }
+    Ok(())
+}
+
+/// `models --verify-all`: loads every artifact in the registry and replays
+/// its embedded bit-exactness probe, reporting pass/fail per model. Any
+/// failure (unreadable artifact, probe mismatch) makes the command exit
+/// non-zero, so a registry sweep can gate CI or a deployment.
+fn verify_registry(reg: &ModelRegistry, entries: &[pg_store::RegistryEntry]) -> Result<(), String> {
+    let mut failed = 0usize;
+    for e in entries {
+        let status = reg
+            .load(&e.name)
+            .and_then(|artifact| artifact.verify().map(|()| artifact));
+        match status {
+            Ok(artifact) => {
+                let probe = artifact.probe.as_ref().map(|p| p.graphs.len()).unwrap_or(0);
+                println!(
+                    "  {:16} PASS (kernel={}, {} ensembles, probe over {} graphs bit-exact)",
+                    e.name,
+                    artifact.meta.kernel,
+                    artifact.ensembles.len(),
+                    probe
+                );
+            }
+            Err(err) => {
+                failed += 1;
+                println!("  {:16} FAIL: {err}", e.name);
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed}/{} artifact(s) failed verification",
+            entries.len()
+        ));
+    }
+    println!("all {} artifact(s) verified bit-exact", entries.len());
     Ok(())
 }
 

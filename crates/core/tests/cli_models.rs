@@ -1,0 +1,153 @@
+//! CLI integration tests for the `models --verify-all` registry sweep:
+//! spawns the real `powergear` binary against a temp registry holding good
+//! artifacts (probe-carrying and probe-less) plus one deliberately
+//! corrupted file, and asserts the per-model PASS/FAIL report and exit
+//! codes.
+
+use pg_datasets::{build_sample, polybench, sample_space};
+use pg_gnn::{Ensemble, ModelConfig, PowerModel};
+use pg_hls::{Directives, HlsFlow};
+use pg_store::{ArtifactMeta, ModelArtifact, ModelRegistry, ProbeSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn powergear() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_powergear"))
+}
+
+fn tmp_registry(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pg_cli_models_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create registry dir");
+    dir
+}
+
+/// A small untrained-but-valid artifact; `with_probe` embeds prediction
+/// bits over two real graphs so `verify` exercises actual inference.
+fn artifact(kernel_name: &str, with_probe: bool) -> ModelArtifact {
+    let ensembles = vec![(
+        "dynamic".to_string(),
+        Ensemble {
+            models: vec![PowerModel::new(ModelConfig::hec(8), 11)],
+        },
+    )];
+    let probe = with_probe.then(|| {
+        let kernel = polybench::by_name(kernel_name, 6).expect("kernel");
+        let baseline = HlsFlow::new()
+            .run(&kernel, &Directives::new())
+            .expect("baseline")
+            .report;
+        let stimuli = pg_activity::Stimuli::for_kernel(&kernel, 1);
+        let graphs: Vec<_> = sample_space(&kernel, 2, 1)
+            .iter()
+            .map(|d| build_sample(&kernel, d, &stimuli, &baseline).graph)
+            .collect();
+        ProbeSet::capture(&ensembles, &graphs)
+    });
+    ModelArtifact {
+        meta: ArtifactMeta::now(kernel_name, "dynamic"),
+        ensembles,
+        probe,
+    }
+}
+
+#[test]
+fn verify_all_passes_clean_registry() {
+    let dir = tmp_registry("clean");
+    let reg = ModelRegistry::open(&dir).unwrap();
+    reg.publish("mvt-v1", &artifact("mvt", true)).unwrap();
+    reg.publish("bicg-v1", &artifact("bicg", false)).unwrap();
+
+    let out = powergear()
+        .args(["models", "--registry"])
+        .arg(&dir)
+        .arg("--verify-all")
+        .output()
+        .expect("run powergear");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected success:\n{stdout}");
+    assert_eq!(stdout.matches("PASS").count(), 2, "{stdout}");
+    assert!(
+        stdout.contains("all 2 artifact(s) verified bit-exact"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_all_fails_on_corrupted_artifact() {
+    let dir = tmp_registry("corrupt");
+    let reg = ModelRegistry::open(&dir).unwrap();
+    reg.publish("good", &artifact("mvt", true)).unwrap();
+    // A deliberately corrupted artifact: valid container bytes with a bit
+    // flipped in the payload, so the CRC check must reject it.
+    let good_path = dir.join("good.pgm");
+    let mut bytes = std::fs::read(&good_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(dir.join("broken.pgm"), bytes).unwrap();
+
+    let out = powergear()
+        .args(["models", "--registry"])
+        .arg(&dir)
+        .arg("--verify-all")
+        .output()
+        .expect("run powergear");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "corrupted registry must exit non-zero:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("good") && stdout.contains("PASS"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("broken") && stdout.contains("FAIL"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("failed verification"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_all_fails_on_empty_registry() {
+    // A sweep over zero artifacts (e.g. a mistyped --registry path, which
+    // open() silently creates) must not report success.
+    let dir = tmp_registry("empty");
+    let out = powergear()
+        .args(["models", "--registry"])
+        .arg(&dir)
+        .arg("--verify-all")
+        .output()
+        .expect("run powergear");
+    assert!(
+        !out.status.success(),
+        "verify-all over an empty registry must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nothing to verify"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plain_listing_still_reports_unreadable_without_failing() {
+    let dir = tmp_registry("listing");
+    let reg = ModelRegistry::open(&dir).unwrap();
+    reg.publish("ok", &artifact("mvt", false)).unwrap();
+    std::fs::write(dir.join("junk.pgm"), b"not a container").unwrap();
+
+    let out = powergear()
+        .args(["models", "--registry"])
+        .arg(&dir)
+        .output()
+        .expect("run powergear");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "plain listing must not fail:\n{stdout}"
+    );
+    assert!(stdout.contains("UNREADABLE"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

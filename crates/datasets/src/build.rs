@@ -3,8 +3,40 @@
 //!
 //! This is the "training stage" data collection of Fig. 1, with the
 //! RTL-implementation + on-board measurement replaced by the `pg-powersim`
-//! oracle. Samples are built in parallel across worker threads and are
-//! bit-deterministic for a given configuration.
+//! oracle. The default [`DatasetConfig`] targets the paper's scale of
+//! ~500 design points per kernel.
+//!
+//! # Parallel cold-synthesis architecture
+//!
+//! [`build_kernel_dataset_cached`] runs two parallel phases over one
+//! shared [`HlsCache`]:
+//!
+//! 1. **Cold synthesis** — a [`KernelSession`](crate::cache::KernelSession)
+//!    is opened once per kernel (computing the fingerprint and the
+//!    directive-independent [`KernelAnalysis`](pg_hls::KernelAnalysis)
+//!    exactly once for the whole space), then
+//!    [`populate`](crate::cache::KernelSession::populate) synthesizes the
+//!    directive space with *work-stealing* workers: an atomic cursor over
+//!    the config list, because design points vary wildly in cost (an
+//!    unrolled-by-8 pipelined point can cost ~50x the baseline) and
+//!    static chunking would leave workers idle.
+//! 2. **Sample assembly** — tracing, graph construction and oracle
+//!    labeling run over the now-warm cache, again via an atomic cursor;
+//!    each worker pushes `(index, sample)` and results are re-ordered by
+//!    index afterwards.
+//!
+//! Both phases are scheduling-nondeterministic internally, but neither
+//! lets the schedule leak into the output: the cache keys designs by
+//! directive id and synthesis is a pure function, and assembly re-orders
+//! by index. Datasets are therefore **bit-identical for any thread
+//! count** (pinned by the scale-determinism suite in
+//! `tests/determinism.rs`).
+//!
+//! Per design point, one `WorkGraph` is built and shared between the
+//! finalized [`PowerGraph`] sample and the power oracle's netlist
+//! surrogate — see [`sample_from_design`]. Timing of every stage is
+//! attributed via `pg_util::prof` scopes; the `profile_synth` bench bin
+//! prints the table.
 
 use crate::cache::HlsCache;
 use crate::space::sample_space;
@@ -13,6 +45,7 @@ use pg_graphcon::{GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsDesign, HlsReport};
 use pg_ir::Kernel;
 use pg_powersim::{BoardOracle, PowerBreakdown};
+use pg_util::prof;
 
 /// Dataset construction parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,10 +61,14 @@ pub struct DatasetConfig {
 }
 
 impl Default for DatasetConfig {
+    /// The paper profile: ~500 design points per kernel (HL-Pow and
+    /// PowerGear both train on design spaces of this density). The
+    /// optimized cold-synthesis path makes this the affordable default;
+    /// use [`DatasetConfig::quick`] for the old 96-point scale.
     fn default() -> Self {
         DatasetConfig {
             size: 16,
-            max_samples: 96,
+            max_samples: 500,
             seed: 1,
             threads: 2,
         }
@@ -39,6 +76,20 @@ impl Default for DatasetConfig {
 }
 
 impl DatasetConfig {
+    /// The paper-scale profile (alias of `Default`): ~500 points/kernel.
+    pub fn paper() -> Self {
+        DatasetConfig::default()
+    }
+
+    /// The quick profile: 96 points/kernel (the pre-optimization default),
+    /// still dense enough for examples and local experiments.
+    pub fn quick() -> Self {
+        DatasetConfig {
+            max_samples: 96,
+            ..DatasetConfig::default()
+        }
+    }
+
     /// A smaller configuration for unit tests.
     pub fn tiny() -> Self {
         DatasetConfig {
@@ -131,15 +182,27 @@ pub fn sample_from_design(
     stimuli: &Stimuli,
     baseline: &HlsReport,
 ) -> Sample {
-    let trace = execute(design, stimuli);
-    let mut graph = GraphFlow::new().build(design, &trace);
+    let _t = prof::scope("sample");
+    let trace = {
+        let _t = prof::scope("sample.trace");
+        execute(design, stimuli)
+    };
+    // One work graph serves both the GNN sample and the oracle's netlist
+    // surrogate — the construction passes (raw DFG, buffers, merge, trim)
+    // used to run twice per design point.
+    let flow = GraphFlow::new();
+    let work = flow.build_work(design, &trace);
+    let mut graph = flow.finalize_work(&work, design);
     graph.meta = design
         .report
         .metadata_features(baseline)
         .into_iter()
         .map(|v| v as f32)
         .collect();
-    let power = BoardOracle::default().measure(design, &trace);
+    let power = {
+        let _t = prof::scope("sample.oracle");
+        BoardOracle::default().measure_graph(design, &work)
+    };
     Sample {
         kernel: kernel.name.clone(),
         design_id: design.design_id(),
@@ -182,45 +245,62 @@ pub fn build_sample(
 ///
 /// Sample order, labels and graphs are bit-identical to the uncached
 /// [`build_kernel_dataset`]; only redundant synthesis work is skipped.
+///
+/// Two parallel phases, both dynamically load-balanced (see the module
+/// docs): cold synthesis of the whole directive space through a
+/// [`KernelSession`](crate::cache::KernelSession), then sample assembly
+/// (trace → graph → labels) over the now-warm cache.
 pub fn build_kernel_dataset_cached(
     kernel: &Kernel,
     cfg: &DatasetConfig,
     cache: &HlsCache,
 ) -> KernelDataset {
+    let session = cache
+        .session(kernel)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
     let stimuli = Stimuli::for_kernel(kernel, cfg.seed);
-    let baseline = cache
-        .run(kernel, &Directives::new())
+    let baseline = session
+        .run(&Directives::new())
         .unwrap_or_else(|e| panic!("{} baseline: {e}", kernel.name))
         .report
         .clone();
     let configs = sample_space(kernel, cfg.max_samples, cfg.seed);
 
+    // Phase 1: cold synthesis across the directive space (work-stealing).
+    session
+        .populate(&configs, cfg.threads)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+
+    // Phase 2: sample assembly over the warm cache. Every `session.run`
+    // below is a cache hit; workers pull design points off an atomic
+    // cursor and results are re-ordered by index, so sample order, labels
+    // and graphs never depend on the thread count.
+    let assemble = |d: &Directives| {
+        let design = session
+            .run(d)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        sample_from_design(kernel, &design, &stimuli, &baseline)
+    };
     let samples: Vec<Sample> = if cfg.threads <= 1 || configs.len() < 4 {
-        configs
-            .iter()
-            .map(|d| build_sample_cached(kernel, d, &stimuli, &baseline, cache))
-            .collect()
+        configs.iter().map(assemble).collect()
     } else {
-        let chunk = configs.len().div_ceil(cfg.threads);
-        let mut out: Vec<Vec<Sample>> = Vec::new();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let done: std::sync::Mutex<Vec<(usize, Sample)>> =
+            std::sync::Mutex::new(Vec::with_capacity(configs.len()));
         std::thread::scope(|scope| {
-            let handles: Vec<_> = configs
-                .chunks(chunk)
-                .map(|part| {
-                    let stimuli = &stimuli;
-                    let baseline = &baseline;
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|d| build_sample_cached(kernel, d, stimuli, baseline, cache))
-                            .collect::<Vec<Sample>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("dataset worker panicked"));
+            let workers = cfg.threads.min(configs.len());
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(d) = configs.get(i) else { break };
+                    let s = assemble(d);
+                    done.lock().expect("sample lock").push((i, s));
+                });
             }
         });
-        out.into_iter().flatten().collect()
+        let mut done = done.into_inner().expect("sample lock");
+        done.sort_by_key(|(i, _)| *i);
+        done.into_iter().map(|(_, s)| s).collect()
     };
 
     KernelDataset {
@@ -307,12 +387,15 @@ mod tests {
         // baseline report + baseline sample share one synthesis
         assert!(cache.hits() >= 1, "baseline design must hit");
         let hits_before = cache.hits();
+        let misses_before = cache.misses();
         let second = build_kernel_dataset_cached(&k, &cfg, &cache);
         assert_eq!(first, second);
-        // the rebuild is served entirely from cache
+        // the rebuild is served entirely from cache: baseline + populate
+        // phase + assembly phase all hit, and nothing is re-synthesized
+        assert_eq!(cache.misses(), misses_before, "rebuild must not synthesize");
         assert_eq!(
             cache.hits() - hits_before,
-            cfg.max_samples + 1,
+            2 * cfg.max_samples + 1,
             "rebuild must be all hits"
         );
     }

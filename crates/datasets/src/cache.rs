@@ -21,9 +21,10 @@
 //! warm-starts a fresh process from it, so the measured ~15x warm-replay
 //! win carries across runs instead of evaporating with the process.
 
-use pg_hls::{Directives, HlsDesign, HlsError, HlsFlow};
+use pg_hls::{Directives, HlsDesign, HlsError, HlsFlow, KernelAnalysis, PreparedKernel};
 use pg_ir::Kernel;
 use pg_store::{dec_design, enc_design, Dec, Enc, Reader, StoreError, Writer};
+use pg_util::prof;
 use pg_util::rng::hash64;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,6 +36,7 @@ const CACHE_SECTION: &str = "hls_cache";
 /// A stable content fingerprint of a kernel (name, arrays, loop nest),
 /// distinguishing e.g. the same Polybench kernel at different sizes.
 pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
+    let _t = prof::scope("hls.fingerprint");
     hash64(format!("{kernel:?}").as_bytes())
 }
 
@@ -43,6 +45,9 @@ pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
 pub struct HlsCache {
     flow: HlsFlow,
     map: Mutex<HashMap<(u64, String), Arc<HlsDesign>>>,
+    /// Directive-independent kernel analyses, keyed by fingerprint, so a
+    /// whole design space shares one validation/label analysis.
+    analyses: Mutex<HashMap<u64, Arc<KernelAnalysis>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -51,6 +56,47 @@ impl HlsCache {
     /// An empty cache over the default UltraScale+-style FU library.
     pub fn new() -> Self {
         HlsCache::default()
+    }
+
+    /// The shared [`KernelAnalysis`] for `kernel`, computed at most once
+    /// per fingerprint.
+    fn analysis(&self, fingerprint: u64, kernel: &Kernel) -> Result<Arc<KernelAnalysis>, HlsError> {
+        if let Some(a) = self
+            .analyses
+            .lock()
+            .expect("analysis lock")
+            .get(&fingerprint)
+        {
+            return Ok(Arc::clone(a));
+        }
+        // Analyze outside the lock; first insertion wins (deterministic —
+        // the analysis is a pure function of the kernel).
+        let fresh = Arc::new(KernelAnalysis::new(kernel)?);
+        let mut analyses = self.analyses.lock().expect("analysis lock");
+        let entry = analyses.entry(fingerprint).or_insert(fresh);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Opens a per-kernel session: fingerprint and directive-independent
+    /// analysis are computed once up front, so synthesizing many design
+    /// points of the same kernel skips both on every call. This is the
+    /// fast path the dataset builder uses; [`HlsCache::run`] remains for
+    /// one-off callers.
+    ///
+    /// # Errors
+    ///
+    /// [`HlsError::InvalidKernel`] when structural validation fails.
+    pub fn session<'c, 'k>(
+        &'c self,
+        kernel: &'k Kernel,
+    ) -> Result<KernelSession<'c, 'k>, HlsError> {
+        let fingerprint = kernel_fingerprint(kernel);
+        let analysis = self.analysis(fingerprint, kernel)?;
+        Ok(KernelSession {
+            cache: self,
+            prepared: PreparedKernel::with_analysis(kernel, analysis),
+            fingerprint,
+        })
     }
 
     /// Runs the HLS flow, reusing a previously synthesized design when the
@@ -64,13 +110,39 @@ impl HlsCache {
         kernel: &Kernel,
         directives: &Directives,
     ) -> Result<Arc<HlsDesign>, HlsError> {
-        let key = (kernel_fingerprint(kernel), directives.id());
+        let fingerprint = kernel_fingerprint(kernel);
+        if let Some(design) = self
+            .map
+            .lock()
+            .expect("cache lock")
+            .get(&(fingerprint, directives.id()))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(design));
+        }
+        let analysis = self.analysis(fingerprint, kernel)?;
+        self.run_prepared(
+            fingerprint,
+            &PreparedKernel::with_analysis(kernel, analysis),
+            directives,
+        )
+    }
+
+    /// Cache lookup + synthesis against an already-prepared kernel. The
+    /// hit path re-checks the map because populate workers race on it.
+    fn run_prepared(
+        &self,
+        fingerprint: u64,
+        prepared: &PreparedKernel<'_>,
+        directives: &Directives,
+    ) -> Result<Arc<HlsDesign>, HlsError> {
+        let key = (fingerprint, directives.id());
         if let Some(design) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(design));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let design = Arc::new(self.flow.run(kernel, directives)?);
+        let design = Arc::new(self.flow.run_prepared(prepared, directives)?);
         let mut map = self.map.lock().expect("cache lock");
         let entry = map.entry(key).or_insert(design);
         Ok(Arc::clone(entry))
@@ -153,9 +225,82 @@ impl HlsCache {
         Ok(HlsCache {
             flow: HlsFlow::new(),
             map: Mutex::new(map),
+            analyses: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         })
+    }
+}
+
+/// A per-kernel view of an [`HlsCache`]: the kernel fingerprint and shared
+/// [`KernelAnalysis`] are computed once at session open, so every
+/// subsequent design-point synthesis pays only for the directive-dependent
+/// work. Sessions are cheap handles; open one per kernel per build.
+#[derive(Debug)]
+pub struct KernelSession<'c, 'k> {
+    cache: &'c HlsCache,
+    prepared: PreparedKernel<'k>,
+    fingerprint: u64,
+}
+
+impl KernelSession<'_, '_> {
+    /// The session's kernel.
+    pub fn kernel(&self) -> &Kernel {
+        self.prepared.kernel
+    }
+
+    /// Synthesizes (or replays) one design point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HlsError`] from synthesis; failed runs are not cached.
+    pub fn run(&self, directives: &Directives) -> Result<Arc<HlsDesign>, HlsError> {
+        self.cache
+            .run_prepared(self.fingerprint, &self.prepared, directives)
+    }
+
+    /// Synthesizes every design point of `configs` into the cache, cold
+    /// points in parallel across `threads` workers.
+    ///
+    /// Work is distributed dynamically (an atomic cursor over the config
+    /// list) rather than in static chunks: design points vary wildly in
+    /// synthesis cost — an unrolled-by-8 pipelined point can cost 50x the
+    /// baseline — so static sharding leaves workers idle. The cache keys
+    /// results by directive id, so the population order (which *is*
+    /// nondeterministic) never affects dataset contents.
+    ///
+    /// # Errors
+    ///
+    /// The first [`HlsError`] encountered (by config order), if any;
+    /// successfully synthesized points remain cached.
+    pub fn populate(&self, configs: &[Directives], threads: usize) -> Result<(), HlsError> {
+        let _t = prof::scope("populate");
+        let workers = threads.max(1).min(configs.len().max(1));
+        if workers <= 1 {
+            for d in configs {
+                self.run(d)?;
+            }
+            return Ok(());
+        }
+        let cursor = AtomicUsize::new(0);
+        let failures: Mutex<Vec<(usize, HlsError)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(d) = configs.get(i) else { break };
+                    if let Err(e) = self.run(d) {
+                        failures.lock().expect("failure lock").push((i, e));
+                    }
+                });
+            }
+        });
+        let mut failures = failures.into_inner().expect("failure lock");
+        failures.sort_by_key(|(i, _)| *i);
+        match failures.into_iter().next() {
+            None => Ok(()),
+            Some((_, e)) => Err(e),
+        }
     }
 }
 

@@ -38,7 +38,7 @@ pub use build::{
     build_all, build_kernel_dataset, build_kernel_dataset_cached, build_sample,
     build_sample_cached, sample_from_design, DatasetConfig, KernelDataset, PowerTarget, Sample,
 };
-pub use cache::{kernel_fingerprint, HlsCache};
+pub use cache::{kernel_fingerprint, HlsCache, KernelSession};
 pub use polybench::{by_name, polybench, KERNEL_NAMES};
 pub use snapshot::{load_dataset, save_dataset};
 pub use space::{enumerate_space, sample_space};

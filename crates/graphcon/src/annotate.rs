@@ -9,7 +9,7 @@
 //! nodes.
 
 use crate::dfg::{PowerGraph, Relation, WorkGraph};
-use pg_activity::{activation_rate, switching_activity};
+use pg_activity::sa_ar;
 
 /// Finalizes a worked graph into a [`PowerGraph`] sample.
 pub fn finalize(g: &WorkGraph, kernel: &str, design_id: &str) -> PowerGraph {
@@ -49,12 +49,9 @@ pub fn finalize(g: &WorkGraph, kernel: &str, design_id: &str) -> PowerGraph {
         let (s, d) = (remap[e.src], remap[e.dst]);
         debug_assert!(s != u32::MAX && d != u32::MAX);
         edges.push((s, d));
-        edge_feats.push([
-            switching_activity(&e.src_ev, g.latency) as f32,
-            switching_activity(&e.snk_ev, g.latency) as f32,
-            activation_rate(&e.src_ev, g.latency) as f32,
-            activation_rate(&e.snk_ev, g.latency) as f32,
-        ]);
+        let (sa_src, ar_src) = sa_ar(&e.src_ev, g.latency);
+        let (sa_snk, ar_snk) = sa_ar(&e.snk_ev, g.latency);
+        edge_feats.push([sa_src as f32, sa_snk as f32, ar_src as f32, ar_snk as f32]);
         edge_rel.push(Relation::from_classes(
             g.nodes[e.src].kind.is_arithmetic(),
             g.nodes[e.dst].kind.is_arithmetic(),
@@ -121,8 +118,8 @@ mod tests {
         g.add_edge(WorkEdge {
             src: load,
             dst: fadd,
-            src_ev: vec![(0, 0), (1, 0xFF)],
-            snk_ev: vec![(0, 0), (2, 0xFF)],
+            src_ev: crate::dfg::events(vec![(0, 0), (1, 0xFF)]),
+            snk_ev: crate::dfg::events(vec![(0, 0), (2, 0xFF)]),
             alive: true,
         });
         g

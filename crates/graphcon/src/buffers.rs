@@ -54,6 +54,34 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
     };
 
     let func = &design.ir;
+    // Event sources for `trace_outputs`, resolved in one edge pass (the
+    // per-node scan made buffer insertion O(V·E)): first alive outgoing
+    // edge with events, and first alive incoming edge as the store
+    // fallback — "first" by edge index, as the scans would find.
+    let mut first_out_ev: Vec<usize> = vec![usize::MAX; g.nodes.len()];
+    let mut first_in_ev: Vec<usize> = vec![usize::MAX; g.nodes.len()];
+    for (ei, e) in g.edges.iter().enumerate() {
+        if !e.alive {
+            continue;
+        }
+        if !e.src_ev.is_empty() && first_out_ev[e.src] == usize::MAX {
+            first_out_ev[e.src] = ei;
+        }
+        if !e.snk_ev.is_empty() && first_in_ev[e.dst] == usize::MAX {
+            first_in_ev[e.dst] = ei;
+        }
+    }
+    let no_events = crate::dfg::events(Vec::new());
+    let trace_outputs = |ni: usize| -> crate::dfg::EventSeq {
+        if first_out_ev[ni] != usize::MAX {
+            g.edges[first_out_ev[ni]].src_ev.clone()
+        } else if first_in_ev[ni] != usize::MAX {
+            g.edges[first_in_ev[ni]].snk_ev.clone()
+        } else {
+            no_events.clone()
+        }
+    };
+
     // Plan rewires before mutating.
     let mut new_edges: Vec<WorkEdge> = Vec::new();
     let mut kill_nodes: Vec<usize> = Vec::new();
@@ -104,8 +132,8 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
                     new_edges.push(WorkEdge {
                         src: b,
                         dst: ni,
-                        src_ev: trace_outputs(g, ni),
-                        snk_ev: trace_outputs(g, ni),
+                        src_ev: trace_outputs(ni),
+                        snk_ev: trace_outputs(ni),
                         alive: true,
                     });
                 }
@@ -117,8 +145,8 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
                     new_edges.push(WorkEdge {
                         src: ni,
                         dst: b,
-                        src_ev: trace_outputs(g, ni),
-                        snk_ev: trace_outputs(g, ni),
+                        src_ev: trace_outputs(ni),
+                        snk_ev: trace_outputs(ni),
                         alive: true,
                     });
                 }
@@ -142,10 +170,12 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
     for ei in kill_edges {
         g.edges[ei].alive = false;
     }
-    for ni in kill_nodes {
+    for &ni in &kill_nodes {
         g.nodes[ni].alive = false;
+    }
+    if !kill_nodes.is_empty() {
         for e in &mut g.edges {
-            if e.alive && (e.src == ni || e.dst == ni) {
+            if e.alive && (!g.nodes[e.src].alive || !g.nodes[e.dst].alive) {
                 e.alive = false;
             }
         }
@@ -156,40 +186,28 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
         }
     }
 
-    // Buffer activity: aggregate of the traffic flowing through it.
-    for bi in buffer_of.values() {
-        let mut stats = Vec::new();
-        for e in g.edges.iter().filter(|e| e.alive) {
-            if e.dst == *bi {
-                stats.push(g.nodes[e.src].activity);
-            } else if e.src == *bi {
-                stats.push(g.nodes[e.dst].activity);
-            }
+    // Buffer activity: aggregate of the traffic flowing through it, with
+    // per-buffer neighbour lists filled in one edge pass (edge order, so
+    // the float accumulation matches the per-buffer scans exactly).
+    let mut buffer_slot: Vec<usize> = vec![usize::MAX; g.nodes.len()];
+    let buffer_nodes: Vec<usize> = buffer_of.values().copied().collect();
+    for (slot, &bi) in buffer_nodes.iter().enumerate() {
+        buffer_slot[bi] = slot;
+    }
+    let mut stats: Vec<Vec<NodeActivity>> = vec![Vec::new(); buffer_nodes.len()];
+    for e in g.edges.iter().filter(|e| e.alive) {
+        if buffer_slot[e.dst] != usize::MAX {
+            stats[buffer_slot[e.dst]].push(g.nodes[e.src].activity);
+        } else if buffer_slot[e.src] != usize::MAX {
+            stats[buffer_slot[e.src]].push(g.nodes[e.dst].activity);
         }
-        g.nodes[*bi].activity = NodeActivity::merge(&stats);
+    }
+    for (slot, &bi) in buffer_nodes.iter().enumerate() {
+        g.nodes[bi].activity = NodeActivity::merge(&stats[slot]);
     }
 
     g.fuse_parallel_edges();
     debug_assert_eq!(g.check(), Ok(()));
-}
-
-/// Output events of node `ni` (its first op's trace was copied onto its
-/// outgoing def-use edges at build time; for loads/stores we reuse the
-/// node's own event record held in its activity source edges).
-fn trace_outputs(g: &WorkGraph, ni: usize) -> Vec<(u64, u32)> {
-    // The raw builder put the op's outputs on every outgoing edge; find one.
-    for e in g.edges.iter() {
-        if e.alive && e.src == ni && !e.src_ev.is_empty() {
-            return e.src_ev.clone();
-        }
-    }
-    // Stores may have no outgoing def-use edge: fall back to input events.
-    for e in g.edges.iter() {
-        if e.alive && e.dst == ni && !e.snk_ev.is_empty() {
-            return e.snk_ev.clone();
-        }
-    }
-    Vec::new()
 }
 
 #[cfg(test)]

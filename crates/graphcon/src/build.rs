@@ -10,8 +10,11 @@ use pg_activity::{ExecutionTrace, NodeActivity};
 use pg_hls::schedule::may_alias;
 use pg_hls::HlsDesign;
 use pg_ir::{Opcode, Operand};
+use std::sync::Arc;
 
 /// Builds the raw dataflow graph of `design` annotated with traced events.
+/// Edge event sequences are shared with the trace (`Arc`), so attaching an
+/// op's outputs to every consumer edge costs a reference bump.
 pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
     let func = &design.ir;
     let mut g = WorkGraph {
@@ -40,8 +43,8 @@ pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
                 g.add_edge(WorkEdge {
                     src: u.idx(),
                     dst: op.id.idx(),
-                    src_ev: trace.of(*u).outputs.clone(),
-                    snk_ev: trace.of(op.id).inputs[k].clone(),
+                    src_ev: Arc::clone(&trace.of(*u).outputs),
+                    snk_ev: Arc::clone(&trace.of(op.id).inputs[k]),
                     alive: true,
                 });
             }
@@ -70,8 +73,8 @@ pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
                 g.add_edge(WorkEdge {
                     src: s.id.idx(),
                     dst: l.id.idx(),
-                    src_ev: trace.of(s.id).outputs.clone(),
-                    snk_ev: trace.of(l.id).outputs.clone(),
+                    src_ev: Arc::clone(&trace.of(s.id).outputs),
+                    snk_ev: Arc::clone(&trace.of(l.id).outputs),
                     alive: true,
                 });
             }

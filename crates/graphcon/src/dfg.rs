@@ -9,6 +9,22 @@
 use pg_activity::NodeActivity;
 use pg_ir::{OpClass, Opcode, ValueId};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared cycle-stamped `(cycle, bits)` event sequence.
+///
+/// Construction passes constantly duplicate event streams — def-use
+/// fan-out puts one op's outputs on every consumer edge, buffer insertion
+/// reroutes them, trim bypass inherits them onto bridge edges. Behind an
+/// `Arc`, all of those are reference bumps instead of deep copies; a pass
+/// that actually needs a *new* sequence (parallel-edge fusion) builds one
+/// and wraps it.
+pub type EventSeq = Arc<Vec<(u64, u32)>>;
+
+/// Wraps raw events into a shared [`EventSeq`].
+pub fn events(ev: Vec<(u64, u32)>) -> EventSeq {
+    Arc::new(ev)
+}
 
 /// Kind of a graph node after construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,9 +131,9 @@ pub struct WorkEdge {
     /// Sink node index.
     pub dst: usize,
     /// `(cycle, bits)` events injected by the source.
-    pub src_ev: Vec<(u64, u32)>,
+    pub src_ev: EventSeq,
     /// `(cycle, bits)` events consumed by the sink.
-    pub snk_ev: Vec<(u64, u32)>,
+    pub snk_ev: EventSeq,
     /// Liveness flag.
     pub alive: bool,
 }
@@ -203,11 +219,21 @@ impl WorkGraph {
         for (keep, drop) in to_merge {
             let (se, de) = {
                 let d = &self.edges[drop];
-                (d.src_ev.clone(), d.snk_ev.clone())
+                (Arc::clone(&d.src_ev), Arc::clone(&d.snk_ev))
             };
+            // Merging with an empty sequence is the identity — reuse the
+            // non-empty side's shared sequence instead of re-allocating.
             let k = &mut self.edges[keep];
-            k.src_ev = pg_activity::sa::merge_events(&k.src_ev, &se);
-            k.snk_ev = pg_activity::sa::merge_events(&k.snk_ev, &de);
+            k.src_ev = match (k.src_ev.is_empty(), se.is_empty()) {
+                (true, _) => se,
+                (false, true) => Arc::clone(&k.src_ev),
+                (false, false) => Arc::new(pg_activity::sa::merge_events(&k.src_ev, &se)),
+            };
+            k.snk_ev = match (k.snk_ev.is_empty(), de.is_empty()) {
+                (true, _) => de,
+                (false, true) => Arc::clone(&k.snk_ev),
+                (false, false) => Arc::new(pg_activity::sa::merge_events(&k.snk_ev, &de)),
+            };
             self.edges[drop].alive = false;
         }
     }
@@ -363,15 +389,15 @@ mod tests {
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: vec![],
-            snk_ev: vec![],
+            src_ev: events(vec![]),
+            snk_ev: events(vec![]),
             alive: true,
         });
         g.add_edge(WorkEdge {
             src: b,
             dst: c,
-            src_ev: vec![],
-            snk_ev: vec![],
+            src_ev: events(vec![]),
+            snk_ev: events(vec![]),
             alive: true,
         });
         assert_eq!(g.preds(b), vec![a]);
@@ -391,21 +417,21 @@ mod tests {
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: vec![(0, 1)],
-            snk_ev: vec![(0, 1)],
+            src_ev: events(vec![(0, 1)]),
+            snk_ev: events(vec![(0, 1)]),
             alive: true,
         });
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: vec![(1, 2)],
-            snk_ev: vec![(1, 2)],
+            src_ev: events(vec![(1, 2)]),
+            snk_ev: events(vec![(1, 2)]),
             alive: true,
         });
         g.fuse_parallel_edges();
         assert_eq!(g.num_edges(), 1);
         let e = g.edges.iter().find(|e| e.alive).unwrap();
-        assert_eq!(e.src_ev, vec![(0, 1), (1, 2)]);
+        assert_eq!(*e.src_ev, vec![(0, 1), (1, 2)]);
         assert!(g.check().is_ok());
     }
 
@@ -417,8 +443,8 @@ mod tests {
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: vec![],
-            snk_ev: vec![],
+            src_ev: events(vec![]),
+            snk_ev: events(vec![]),
             alive: true,
         });
         g.nodes[b].alive = false;

@@ -14,6 +14,7 @@ use crate::merge::merge_datapaths;
 use crate::trim::trim;
 use pg_activity::ExecutionTrace;
 use pg_hls::HlsDesign;
+use pg_util::prof;
 
 /// Pass-selection configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,17 +58,41 @@ impl GraphFlow {
     /// Builds the annotated power graph for `design` using its activity
     /// `trace`.
     pub fn build(&self, design: &HlsDesign, trace: &ExecutionTrace) -> PowerGraph {
-        let mut g = build_raw(design, trace);
+        let g = self.build_work(design, trace);
+        self.finalize_work(&g, design)
+    }
+
+    /// Runs the configured construction passes, returning the intermediate
+    /// [`WorkGraph`](crate::dfg::WorkGraph). The work graph is also what
+    /// the power oracle's netlist surrogate consumes — building it once
+    /// and sharing it (see `pg_powersim::build_netlist_from_graph`) halves
+    /// the graph-construction cost of a labeled sample.
+    pub fn build_work(&self, design: &HlsDesign, trace: &ExecutionTrace) -> crate::dfg::WorkGraph {
+        let _t = prof::scope("graph");
+        let mut g = {
+            let _t = prof::scope("graph.build_raw");
+            build_raw(design, trace)
+        };
         if self.config.buffer_insertion {
+            let _t = prof::scope("graph.buffers");
             insert_buffers(&mut g, design);
         }
         if self.config.datapath_merging {
+            let _t = prof::scope("graph.merge");
             merge_datapaths(&mut g, design);
         }
         if self.config.graph_trimming {
+            let _t = prof::scope("graph.trim");
             trim(&mut g);
         }
-        finalize(&g, &design.kernel_name, &design.design_id())
+        g
+    }
+
+    /// Annotates and compacts an already-built work graph into the final
+    /// [`PowerGraph`] sample.
+    pub fn finalize_work(&self, g: &crate::dfg::WorkGraph, design: &HlsDesign) -> PowerGraph {
+        let _t = prof::scope("graph.finalize");
+        finalize(g, &design.kernel_name, &design.design_id())
     }
 }
 

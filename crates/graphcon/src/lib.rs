@@ -49,5 +49,5 @@ pub mod flow;
 pub mod merge;
 pub mod trim;
 
-pub use dfg::{NodeKind, PowerGraph, Relation, WorkEdge, WorkGraph, WorkNode};
+pub use dfg::{events, EventSeq, NodeKind, PowerGraph, Relation, WorkEdge, WorkGraph, WorkNode};
 pub use flow::{GraphConfig, GraphFlow};

@@ -70,6 +70,23 @@ pub fn merge_by_binding(g: &mut WorkGraph, design: &HlsDesign) {
 
 /// One round of structural merging; returns `true` if anything merged.
 pub fn merge_structural_round(g: &mut WorkGraph) -> bool {
+    // Adjacency in one edge pass (the per-node `preds`/`succs` helpers
+    // rescan the whole edge list per call, which made this round O(V·E)).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for e in g.edges.iter().filter(|e| e.alive) {
+        if g.nodes[e.src].alive {
+            preds[e.dst].push(e.src);
+        }
+        if g.nodes[e.dst].alive {
+            succs[e.src].push(e.dst);
+        }
+    }
+    for list in preds.iter_mut().chain(succs.iter_mut()) {
+        list.sort_unstable();
+        list.dedup();
+    }
+
     let mut by_key: HashMap<(usize, Vec<usize>, Vec<usize>), Vec<usize>> = HashMap::new();
     for (ni, node) in g.nodes.iter().enumerate() {
         if !node.alive {
@@ -78,8 +95,10 @@ pub fn merge_structural_round(g: &mut WorkGraph) -> bool {
         if !matches!(node.kind, NodeKind::Op(_)) {
             continue; // buffers are distinct physical memories
         }
-        let preds = g.preds(ni);
-        let succs = g.succs(ni);
+        let (preds, succs) = (
+            std::mem::take(&mut preds[ni]),
+            std::mem::take(&mut succs[ni]),
+        );
         if preds.is_empty() && succs.is_empty() {
             continue;
         }
@@ -114,18 +133,21 @@ fn merge_group(g: &mut WorkGraph, group: &[usize]) {
         ops.extend(g.nodes[i].ops.iter().copied());
         bram += g.nodes[i].bram;
     }
-    for &drop in &sorted[1..] {
-        for e in &mut g.edges {
-            if !e.alive {
-                continue;
-            }
-            if e.src == drop {
-                e.src = keep;
-            }
-            if e.dst == drop {
-                e.dst = keep;
-            }
+    // One edge pass re-points every dropped member to `keep` (the dropped
+    // set is sorted, so membership is a binary search).
+    let dropped = &sorted[1..];
+    for e in &mut g.edges {
+        if !e.alive {
+            continue;
         }
+        if dropped.binary_search(&e.src).is_ok() {
+            e.src = keep;
+        }
+        if dropped.binary_search(&e.dst).is_ok() {
+            e.dst = keep;
+        }
+    }
+    for &drop in dropped {
         g.nodes[drop].alive = false;
     }
     let node = &mut g.nodes[keep];

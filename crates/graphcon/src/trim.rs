@@ -10,64 +10,70 @@
 use crate::dfg::{NodeKind, WorkEdge, WorkGraph};
 
 /// Runs graph trimming on `g`.
+///
+/// Single pass over nodes with an incrementally-maintained adjacency
+/// index: bypassing victim `n` appends bridge edges and registers them in
+/// the index, so a later victim on the same cast chain sees them without
+/// rescanning the edge list. Equivalent to (and bit-identical with) the
+/// fixpoint formulation — victims are processed in ascending node order,
+/// which is exactly the order repeated "first trimmable node" scans would
+/// produce, and trimming never *creates* trimmable nodes — but costs
+/// O(V + E) amortized instead of O(V·E).
 pub fn trim(g: &mut WorkGraph) {
-    // Iterate until no trimmable node remains (handles cast chains).
-    loop {
-        let victim = g
-            .nodes
-            .iter()
-            .position(|n| n.alive && matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable()));
-        let Some(ni) = victim else { break };
-        bypass(g, ni);
+    // Adjacency index over alive edges (edge indexes, ascending).
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for (ei, e) in g.edges.iter().enumerate() {
+        if e.alive {
+            in_edges[e.dst].push(ei);
+            out_edges[e.src].push(ei);
+        }
+    }
+
+    for ni in 0..g.nodes.len() {
+        let n = &g.nodes[ni];
+        if !(n.alive && matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable())) {
+            continue;
+        }
+        // Bridge every alive in-edge to every alive out-edge, inheriting
+        // producer-side events from the in-edge and consumer-side events
+        // from the out-edge.
+        let mut bridges: Vec<WorkEdge> = Vec::new();
+        for &ie in &in_edges[ni] {
+            if !g.edges[ie].alive {
+                continue;
+            }
+            for &oe in &out_edges[ni] {
+                if !g.edges[oe].alive {
+                    continue;
+                }
+                let (src, dst) = (g.edges[ie].src, g.edges[oe].dst);
+                if src != ni && dst != ni {
+                    bridges.push(WorkEdge {
+                        src,
+                        dst,
+                        src_ev: g.edges[ie].src_ev.clone(),
+                        snk_ev: g.edges[oe].snk_ev.clone(),
+                        alive: true,
+                    });
+                }
+            }
+        }
+        for slot in [&in_edges[ni], &out_edges[ni]] {
+            for &ei in slot {
+                g.edges[ei].alive = false;
+            }
+        }
+        g.nodes[ni].alive = false;
+        for b in bridges {
+            let (src, dst) = (b.src, b.dst);
+            let ei = g.add_edge(b);
+            in_edges[dst].push(ei);
+            out_edges[src].push(ei);
+        }
     }
     g.fuse_parallel_edges();
     debug_assert_eq!(g.check(), Ok(()));
-}
-
-fn bypass(g: &mut WorkGraph, ni: usize) {
-    let in_edges: Vec<usize> = g
-        .edges
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.alive && e.dst == ni)
-        .map(|(i, _)| i)
-        .collect();
-    let out_edges: Vec<usize> = g
-        .edges
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.alive && e.src == ni)
-        .map(|(i, _)| i)
-        .collect();
-    let mut bridges = Vec::new();
-    for &ie in &in_edges {
-        for &oe in &out_edges {
-            let (src, src_ev) = {
-                let e = &g.edges[ie];
-                (e.src, e.src_ev.clone())
-            };
-            let (dst, snk_ev) = {
-                let e = &g.edges[oe];
-                (e.dst, e.snk_ev.clone())
-            };
-            if src != ni && dst != ni {
-                bridges.push(WorkEdge {
-                    src,
-                    dst,
-                    src_ev,
-                    snk_ev,
-                    alive: true,
-                });
-            }
-        }
-    }
-    for &ie in in_edges.iter().chain(&out_edges) {
-        g.edges[ie].alive = false;
-    }
-    g.nodes[ni].alive = false;
-    for b in bridges {
-        g.add_edge(b);
-    }
 }
 
 #[cfg(test)]

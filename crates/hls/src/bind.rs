@@ -56,17 +56,29 @@ impl Binding {
 
 /// Binds all shareable ops of `func` given its schedule.
 pub fn bind(func: &IrFunction, sched: &Schedule, lib: &FuLibrary) -> Binding {
+    // Memory keys are interned `(array id, bank)` pairs so the per-op
+    // grouping maps hash integers instead of cloning array names; the
+    // id → name table materializes the display name once per instance.
+    let mut array_ids: HashMap<&str, u32> = HashMap::new();
+    let mut array_names: Vec<&str> = Vec::new();
+    for op in &func.ops {
+        if let Some(m) = &op.mem {
+            array_ids.entry(m.array.as_str()).or_insert_with(|| {
+                array_names.push(m.array.as_str());
+                (array_names.len() - 1) as u32
+            });
+        }
+    }
     // key -> (slot -> rank counter) is rebuilt per block; the map below
     // tracks global instances: (kind-or-memkey, rank) -> instance index.
-    let mut instance_index: HashMap<(FuKind, Option<(String, usize)>, usize), usize> =
-        HashMap::new();
+    let mut instance_index: HashMap<(FuKind, Option<(u32, usize)>, usize), usize> = HashMap::new();
     let mut binding = Binding::default();
 
     for (bi, block) in func.blocks.iter().enumerate() {
         let bs = &sched.blocks[bi];
         let pipelined = block.pipelined;
         // (kind, memkey, slot) -> rank counter within this block
-        let mut slot_rank: HashMap<(FuKind, Option<(String, usize)>, u32), usize> = HashMap::new();
+        let mut slot_rank: HashMap<(FuKind, Option<(u32, usize)>, u32), usize> = HashMap::new();
         // deterministic order: by start cycle, then program order
         let mut order: Vec<usize> = (0..block.ops.len()).collect();
         order.sort_by_key(|&i| (bs.start[i], i));
@@ -79,7 +91,7 @@ pub fn bind(func: &IrFunction, sched: &Schedule, lib: &FuLibrary) -> Binding {
             }
             let memkey = if kind == FuKind::MemPort {
                 let m = op.mem.as_ref().expect("mem op has memref");
-                Some((m.array.clone(), m.bank.unwrap_or(0)))
+                Some((array_ids[m.array.as_str()], m.bank.unwrap_or(0)))
             } else {
                 None
             };
@@ -88,20 +100,20 @@ pub fn bind(func: &IrFunction, sched: &Schedule, lib: &FuLibrary) -> Binding {
             } else {
                 bs.start[i]
             };
-            let rank_key = (kind, memkey.clone(), slot);
+            let rank_key = (kind, memkey, slot);
             let rank = {
                 let r = slot_rank.entry(rank_key).or_insert(0);
                 let cur = *r;
                 *r += 1;
                 cur
             };
-            let global_key = (kind, memkey.clone(), rank);
+            let global_key = (kind, memkey, rank);
             let inst = *instance_index.entry(global_key).or_insert_with(|| {
                 binding.instances.push(FuInstance {
                     kind,
                     index: rank,
                     ops: Vec::new(),
-                    mem: memkey.clone(),
+                    mem: memkey.map(|(aid, bank)| (array_names[aid as usize].to_string(), bank)),
                 });
                 binding.instances.len() - 1
             });

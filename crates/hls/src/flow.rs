@@ -10,12 +10,14 @@
 use crate::bind::{bind, Binding};
 use crate::directives::Directives;
 use crate::fsmd::{build_fsmd, Fsmd};
-use crate::lower::lower;
+use crate::lower::lower_prepared;
 use crate::report::{report, HlsReport};
 use crate::resources::FuLibrary;
 use crate::schedule::{schedule, Schedule};
 use pg_ir::{ArrayDecl, IrFunction, Kernel, KernelError};
+use pg_util::prof;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from the HLS flow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +53,82 @@ impl std::error::Error for HlsError {}
 impl From<KernelError> for HlsError {
     fn from(e: KernelError) -> Self {
         HlsError::InvalidKernel(e)
+    }
+}
+
+/// Directive-independent analysis of a kernel: structural validation plus
+/// the loop-label and innermost-loop sets every directive validation
+/// consults. Computing it is cheap for a single design point but — done
+/// per-point — used to be repeated ~500 times per kernel during dataset
+/// generation; [`PreparedKernel`] hoists it so the whole design space
+/// shares one analysis (the `HlsCache` keeps one per kernel fingerprint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelAnalysis {
+    /// All loop labels, pre-order.
+    labels: Vec<String>,
+    /// Innermost loop labels (pipeline/unroll targets).
+    innermost: Vec<String>,
+}
+
+impl KernelAnalysis {
+    /// Validates `kernel` and captures its directive-independent analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`HlsError::InvalidKernel`] when structural validation fails.
+    pub fn new(kernel: &Kernel) -> Result<Self, HlsError> {
+        let _t = prof::scope("hls.analyze");
+        kernel.validate()?;
+        Ok(KernelAnalysis {
+            labels: kernel.loop_labels(),
+            innermost: kernel.innermost_loops(),
+        })
+    }
+
+    /// All loop labels of the analyzed kernel.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Innermost loop labels of the analyzed kernel.
+    pub fn innermost(&self) -> &[String] {
+        &self.innermost
+    }
+}
+
+/// A kernel bundled with its shared [`KernelAnalysis`]; the input of
+/// [`HlsFlow::run_prepared`]. Preparing once and synthesizing many design
+/// points amortizes validation across the directive space.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel<'k> {
+    /// The underlying kernel.
+    pub kernel: &'k Kernel,
+    analysis: Arc<KernelAnalysis>,
+}
+
+impl<'k> PreparedKernel<'k> {
+    /// Validates and analyzes `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// [`HlsError::InvalidKernel`] when structural validation fails.
+    pub fn new(kernel: &'k Kernel) -> Result<Self, HlsError> {
+        Ok(PreparedKernel {
+            kernel,
+            analysis: Arc::new(KernelAnalysis::new(kernel)?),
+        })
+    }
+
+    /// Rebinds an already-computed analysis to `kernel`. The caller asserts
+    /// the analysis was produced from this kernel (the `HlsCache` keys it
+    /// by kernel fingerprint).
+    pub fn with_analysis(kernel: &'k Kernel, analysis: Arc<KernelAnalysis>) -> Self {
+        PreparedKernel { kernel, analysis }
+    }
+
+    /// The shared analysis.
+    pub fn analysis(&self) -> &Arc<KernelAnalysis> {
+        &self.analysis
     }
 }
 
@@ -103,11 +181,40 @@ impl HlsFlow {
     ///
     /// Returns [`HlsError`] for invalid kernels or directive targets.
     pub fn run(&self, kernel: &Kernel, directives: &Directives) -> Result<HlsDesign, HlsError> {
-        kernel.validate()?;
-        let ir = lower(kernel, directives)?;
-        let sched = schedule(&ir, &self.lib, directives);
-        let binding = bind(&ir, &sched, &self.lib);
-        let fsmd = build_fsmd(&ir, &sched);
+        self.run_prepared(&PreparedKernel::new(kernel)?, directives)
+    }
+
+    /// Runs the flow against an already-validated [`PreparedKernel`],
+    /// skipping the directive-independent analysis (structural validation,
+    /// loop-label/innermost sets) that [`PreparedKernel::new`] hoisted out.
+    /// The produced design is bit-identical to [`HlsFlow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError`] for invalid directive targets.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedKernel,
+        directives: &Directives,
+    ) -> Result<HlsDesign, HlsError> {
+        let _t = prof::scope("hls");
+        let kernel = &prepared.kernel;
+        let ir = {
+            let _t = prof::scope("hls.lower");
+            lower_prepared(prepared, directives)?
+        };
+        let sched = {
+            let _t = prof::scope("hls.schedule");
+            schedule(&ir, &self.lib, directives)
+        };
+        let binding = {
+            let _t = prof::scope("hls.bind");
+            bind(&ir, &sched, &self.lib)
+        };
+        let fsmd = {
+            let _t = prof::scope("hls.fsmd");
+            build_fsmd(&ir, &sched)
+        };
         let arrays: Vec<(ArrayDecl, usize)> = kernel
             .arrays
             .iter()
@@ -116,7 +223,10 @@ impl HlsFlow {
                 (a.clone(), banks)
             })
             .collect();
-        let rpt = report(&ir, &sched, &binding, &fsmd, &arrays, &self.lib);
+        let rpt = {
+            let _t = prof::scope("hls.report");
+            report(&ir, &sched, &binding, &fsmd, &arrays, &self.lib)
+        };
         Ok(HlsDesign {
             kernel_name: kernel.name.clone(),
             directives: directives.clone(),

@@ -61,7 +61,7 @@ pub mod schedule;
 
 pub use bind::{Binding, FuInstance};
 pub use directives::Directives;
-pub use flow::{HlsDesign, HlsError, HlsFlow};
+pub use flow::{HlsDesign, HlsError, HlsFlow, KernelAnalysis, PreparedKernel};
 pub use fsmd::{FsmState, Fsmd};
 pub use report::HlsReport;
 pub use resources::{FuKind, FuLibrary, FuSpec};

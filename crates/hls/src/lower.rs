@@ -9,7 +9,7 @@
 //! deliberate: the paper's graph-trimming pass exists to remove it.
 
 use crate::directives::Directives;
-use crate::flow::HlsError;
+use crate::flow::{HlsError, PreparedKernel};
 use pg_ir::expr::{AffineExpr, ArrayRef, Expr};
 use pg_ir::{ArrayKind, BinOp, Block, Kernel, Loop, Opcode};
 use pg_ir::{IrFunction, LoopDim, MemRef, Operand, ValueId};
@@ -20,10 +20,26 @@ use std::collections::HashMap;
 /// # Errors
 ///
 /// Returns [`HlsError`] when a directive references an unknown loop/array,
-/// or when pipeline/unroll targets a non-innermost loop (the only placement
-/// the design spaces use, mirroring the paper's setup).
+/// when pipeline/unroll targets a non-innermost loop (the only placement
+/// the design spaces use, mirroring the paper's setup), or when the kernel
+/// fails structural validation.
 pub fn lower(kernel: &Kernel, directives: &Directives) -> Result<IrFunction, HlsError> {
-    validate_directives(kernel, directives)?;
+    lower_prepared(&PreparedKernel::new(kernel)?, directives)
+}
+
+/// [`lower`] against a shared [`PreparedKernel`], skipping the repeated
+/// directive-independent kernel analysis.
+///
+/// # Errors
+///
+/// Returns [`HlsError`] when a directive references an unknown loop/array
+/// or pipeline/unroll targets a non-innermost loop.
+pub fn lower_prepared(
+    prepared: &PreparedKernel<'_>,
+    directives: &Directives,
+) -> Result<IrFunction, HlsError> {
+    validate_directives(prepared, directives)?;
+    let kernel = prepared.kernel;
     let mut lw = Lowerer {
         kernel,
         directives,
@@ -35,9 +51,10 @@ pub fn lower(kernel: &Kernel, directives: &Directives) -> Result<IrFunction, Hls
     Ok(lw.func)
 }
 
-fn validate_directives(kernel: &Kernel, d: &Directives) -> Result<(), HlsError> {
-    let labels = kernel.loop_labels();
-    let innermost = kernel.innermost_loops();
+fn validate_directives(prepared: &PreparedKernel<'_>, d: &Directives) -> Result<(), HlsError> {
+    let analysis = prepared.analysis();
+    let labels = analysis.labels();
+    let innermost = analysis.innermost();
     for l in d.pipelined_loops() {
         if !labels.iter().any(|x| x == l) {
             return Err(HlsError::UnknownLoop(l.to_string()));
@@ -55,7 +72,7 @@ fn validate_directives(kernel: &Kernel, d: &Directives) -> Result<(), HlsError> 
         }
     }
     for (a, _) in d.partitioned_arrays() {
-        if kernel.array(a).is_none() {
+        if prepared.kernel.array(a).is_none() {
             return Err(HlsError::UnknownArray(a.to_string()));
         }
     }

@@ -130,27 +130,58 @@ fn block_deps(func: &IrFunction, block: &IrBlock) -> Vec<Vec<usize>> {
     preds
 }
 
-/// Memory-port demand key: `(array, bank)`; `usize::MAX` marks the
-/// "all banks" reservation for unresolved accesses.
-type PortKey = (String, usize);
+/// Memory-port demand key: `(interned array id, bank)`. Array names are
+/// interned once per function (see [`ArrayInterner`]) so the reservation
+/// probes in the modulo-scheduling loop hash two integers instead of
+/// cloning strings.
+type PortKey = (u32, usize);
 
-fn port_keys(m: &MemRef, partitions: usize) -> Vec<PortKey> {
+/// First-seen-order interning of the array names referenced by a function's
+/// memory ops.
+#[derive(Debug, Default)]
+struct ArrayInterner<'f> {
+    ids: HashMap<&'f str, u32>,
+}
+
+impl<'f> ArrayInterner<'f> {
+    fn new(func: &'f IrFunction) -> Self {
+        let mut ids = HashMap::new();
+        for op in &func.ops {
+            if let Some(m) = &op.mem {
+                let next = ids.len() as u32;
+                ids.entry(m.array.as_str()).or_insert(next);
+            }
+        }
+        ArrayInterner { ids }
+    }
+
+    fn id(&self, array: &str) -> u32 {
+        self.ids[array]
+    }
+}
+
+fn port_keys(m: &MemRef, partitions: usize, arrays: &ArrayInterner<'_>) -> Vec<PortKey> {
+    let aid = arrays.id(&m.array);
     match m.bank {
-        Some(b) => vec![(m.array.clone(), b)],
-        None => (0..partitions.max(1))
-            .map(|b| (m.array.clone(), b))
-            .collect(),
+        Some(b) => vec![(aid, b)],
+        None => (0..partitions.max(1)).map(|b| (aid, b)).collect(),
     }
 }
 
 /// Lower bound on II from memory-port pressure.
-fn ii_mem_bound(func: &IrFunction, block: &IrBlock, directives: &Directives, ports: u32) -> u32 {
+fn ii_mem_bound(
+    func: &IrFunction,
+    block: &IrBlock,
+    directives: &Directives,
+    ports: u32,
+    arrays: &ArrayInterner<'_>,
+) -> u32 {
     let mut demand: HashMap<PortKey, u32> = HashMap::new();
     for &v in &block.ops {
         let op = func.op(v);
         if matches!(op.opcode, Opcode::Load | Opcode::Store) {
             let m = op.mem.as_ref().expect("mem op has memref");
-            for k in port_keys(m, directives.partition_factor(&m.array)) {
+            for k in port_keys(m, directives.partition_factor(&m.array), arrays) {
                 *demand.entry(k).or_insert(0) += 1;
             }
         }
@@ -225,6 +256,7 @@ fn schedule_block(
     block_idx: usize,
     lib: &FuLibrary,
     directives: &Directives,
+    arrays: &ArrayInterner<'_>,
 ) -> BlockSchedule {
     let block = &func.blocks[block_idx];
     let preds = block_deps(func, block);
@@ -233,7 +265,7 @@ fn schedule_block(
 
     let pipelined = block.pipelined;
     let mut ii = if pipelined {
-        ii_mem_bound(func, block, directives, ports).max(ii_recurrence_bound(
+        ii_mem_bound(func, block, directives, ports, arrays).max(ii_recurrence_bound(
             func,
             block,
             lib,
@@ -244,7 +276,17 @@ fn schedule_block(
     };
 
     loop {
-        match try_list_schedule(func, block, lib, directives, &preds, &asap_start, ii, ports) {
+        match try_list_schedule(
+            func,
+            block,
+            lib,
+            directives,
+            &preds,
+            &asap_start,
+            ii,
+            ports,
+            arrays,
+        ) {
             Some(start) => {
                 let depth = block
                     .ops
@@ -306,6 +348,7 @@ fn try_list_schedule(
     asap_start: &[u32],
     ii: u32,
     ports: u32,
+    arrays: &ArrayInterner<'_>,
 ) -> Option<Vec<u32>> {
     let n = block.ops.len();
     let modulo = ii != u32::MAX;
@@ -333,16 +376,16 @@ fn try_list_schedule(
             continue;
         }
         let m = op.mem.as_ref().expect("mem op has memref");
-        let keys = port_keys(m, directives.partition_factor(&m.array));
+        let keys = port_keys(m, directives.partition_factor(&m.array), arrays);
         let mut placed = false;
         while t <= horizon {
             let slot = if modulo { t % ii } else { t };
             let free = keys
                 .iter()
-                .all(|k| reserved.get(&(k.clone(), slot)).copied().unwrap_or(0) < ports);
+                .all(|&k| reserved.get(&(k, slot)).copied().unwrap_or(0) < ports);
             if free {
-                for k in &keys {
-                    *reserved.entry((k.clone(), slot)).or_insert(0) += 1;
+                for &k in &keys {
+                    *reserved.entry((k, slot)).or_insert(0) += 1;
                 }
                 start[i] = t;
                 placed = true;
@@ -359,8 +402,9 @@ fn try_list_schedule(
 
 /// Schedules every block of `func`.
 pub fn schedule(func: &IrFunction, lib: &FuLibrary, directives: &Directives) -> Schedule {
+    let arrays = ArrayInterner::new(func);
     let blocks: Vec<BlockSchedule> = (0..func.blocks.len())
-        .map(|b| schedule_block(func, b, lib, directives))
+        .map(|b| schedule_block(func, b, lib, directives, &arrays))
         .collect();
     // Interface/start-up overhead approximates the HLS wrapper FSM.
     let total: u64 = blocks.iter().map(|b| b.total_latency).sum::<u64>() + 10;
@@ -530,6 +574,7 @@ mod tests {
         d.pipeline("i").unroll("i", 8);
         let f = lower(&axpy(), &d).unwrap();
         let s = schedule(&f, &lib, &d);
+        let arrays = ArrayInterner::new(&f);
         for (bi, bs) in s.blocks.iter().enumerate() {
             let block = &f.blocks[bi];
             let ii = bs.ii;
@@ -543,7 +588,7 @@ mod tests {
                     } else {
                         bs.start[i]
                     };
-                    for k in port_keys(m, d.partition_factor(&m.array)) {
+                    for k in port_keys(m, d.partition_factor(&m.array), &arrays) {
                         *usage.entry((k, slot)).or_insert(0) += 1;
                     }
                 }

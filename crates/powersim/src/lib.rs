@@ -49,7 +49,9 @@ pub mod place;
 pub mod power;
 pub mod vivado;
 
-pub use netlist::{build_netlist, CompKind, Component, Net, NetClass, Netlist};
+pub use netlist::{
+    build_netlist, build_netlist_from_graph, CompKind, Component, Net, NetClass, Netlist,
+};
 pub use place::{place, Placement};
 pub use power::{BoardOracle, PowerBreakdown};
 pub use vivado::VivadoEstimator;

@@ -109,7 +109,20 @@ pub fn build_netlist(design: &HlsDesign, trace: &ExecutionTrace) -> Netlist {
     insert_buffers(&mut g, design);
     merge_datapaths(&mut g, design);
     trim(&mut g);
+    build_netlist_from_graph(design, &g)
+}
 
+/// Builds the netlist from an already-constructed (fully optimized) work
+/// graph — the exact graph [`build_netlist`] would build internally. The
+/// dataset builder constructs one work graph per design point and shares
+/// it between the GNN sample and this oracle netlist, so the construction
+/// passes run once instead of twice.
+///
+/// The graph must have gone through **all** passes (buffers, merge, trim);
+/// a partially-built graph would silently change the physics, so pass one
+/// built by `GraphFlow::new()` (all passes on) or by [`build_netlist`]'s
+/// own sequence.
+pub fn build_netlist_from_graph(design: &HlsDesign, g: &WorkGraph) -> Netlist {
     let lib = &design.lib;
     let mut components = Vec::new();
     let mut node_to_comp = vec![usize::MAX; g.nodes.len()];
@@ -227,7 +240,7 @@ pub fn build_netlist(design: &HlsDesign, trace: &ExecutionTrace) -> Netlist {
     Netlist {
         components,
         nets,
-        latency: trace.latency.max(1),
+        latency: g.latency.max(1),
     }
 }
 

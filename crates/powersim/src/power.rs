@@ -92,8 +92,23 @@ impl BoardOracle {
     /// Measures a design end-to-end: netlist synthesis, placement, Eq. 1.
     pub fn measure(&self, design: &HlsDesign, trace: &ExecutionTrace) -> PowerBreakdown {
         let netlist = build_netlist(design, trace);
-        let placement = place(&netlist, &design.design_id());
-        self.measure_netlist(&netlist, &placement, &design.design_id())
+        let design_id = design.design_id();
+        let placement = place(&netlist, &design_id);
+        self.measure_netlist(&netlist, &placement, &design_id)
+    }
+
+    /// [`BoardOracle::measure`] over an already-built, fully-optimized work
+    /// graph (see `build_netlist_from_graph`); bit-identical to `measure`
+    /// on the trace the graph was built from.
+    pub fn measure_graph(
+        &self,
+        design: &HlsDesign,
+        graph: &pg_graphcon::WorkGraph,
+    ) -> PowerBreakdown {
+        let netlist = crate::netlist::build_netlist_from_graph(design, graph);
+        let design_id = design.design_id();
+        let placement = place(&netlist, &design_id);
+        self.measure_netlist(&netlist, &placement, &design_id)
     }
 
     /// Evaluates power over an already-placed netlist.

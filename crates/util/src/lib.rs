@@ -1,9 +1,10 @@
 //! Shared utilities for the PowerGear reproduction workspace.
 //!
 //! Provides a deterministic pseudo-random number generator ([`Rng64`]),
-//! summary statistics used throughout the evaluation harness, and plain-text
+//! summary statistics used throughout the evaluation harness, plain-text
 //! table/CSV writers used by the benchmark binaries to regenerate the
-//! paper's tables and figures.
+//! paper's tables and figures, and lightweight timer-scope instrumentation
+//! ([`prof`]) attributing cold-synthesis time across pipeline stages.
 //!
 //! # Examples
 //!
@@ -15,6 +16,7 @@
 //! ```
 
 pub mod csv;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod table;

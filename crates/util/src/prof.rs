@@ -1,0 +1,209 @@
+//! Lightweight timing instrumentation: named timer scopes.
+//!
+//! The cold synthesis path (`HlsFlow::run` stages, graph construction,
+//! trimming) is instrumented with [`scope`] guards. When profiling is
+//! disabled — the default — a scope costs one relaxed atomic load, so the
+//! instrumentation can stay in the hot paths permanently. When enabled
+//! (via [`set_enabled`]), each scope records its wall time into a global
+//! accumulator keyed by name; [`entries`] and [`report`] read the result.
+//!
+//! Scopes are thread-safe: parallel dataset workers accumulate into the
+//! same counters. Nested scopes each record their own wall time, so a
+//! parent stage ("hls") includes its children ("hls.lower", ...) — the
+//! report is an attribution tree flattened by dotted names, not a
+//! partition.
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_util::prof;
+//! prof::set_enabled(true);
+//! prof::reset();
+//! {
+//!     let _t = prof::scope("work");
+//!     std::hint::black_box(40 + 2);
+//! }
+//! let entries = prof::entries();
+//! assert_eq!(entries.len(), 1);
+//! assert_eq!(entries[0].name, "work");
+//! assert_eq!(entries[0].count, 1);
+//! prof::set_enabled(false);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<&'static str, (u64, u64)>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, (u64, u64)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Is profiling currently recording?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off (off by default; scopes are near-free while
+/// off).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears all accumulated timings.
+pub fn reset() {
+    registry().lock().expect("prof lock").clear();
+}
+
+/// One accumulated timer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfEntry {
+    /// Scope name (dotted hierarchy by convention, e.g. `hls.schedule`).
+    pub name: &'static str,
+    /// Total wall time spent inside the scope.
+    pub total_secs: f64,
+    /// Number of times the scope ran.
+    pub count: u64,
+}
+
+impl ProfEntry {
+    /// Mean wall time per invocation.
+    pub fn mean_secs(&self) -> f64 {
+        self.total_secs / self.count.max(1) as f64
+    }
+}
+
+/// Snapshot of every accumulator, sorted by descending total time.
+pub fn entries() -> Vec<ProfEntry> {
+    let mut out: Vec<ProfEntry> = registry()
+        .lock()
+        .expect("prof lock")
+        .iter()
+        .map(|(&name, &(ns, count))| ProfEntry {
+            name,
+            total_secs: ns as f64 / 1e9,
+            count,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_secs
+            .partial_cmp(&a.total_secs)
+            .expect("finite totals")
+            .then(a.name.cmp(b.name))
+    });
+    out
+}
+
+/// RAII guard recording elapsed wall time on drop (no-op while disabled).
+#[must_use = "a dropped scope records zero time"]
+pub struct Scope {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a named timer scope. The returned guard records on drop.
+pub fn scope(name: &'static str) -> Scope {
+    Scope {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            let mut reg = registry().lock().expect("prof lock");
+            let slot = reg.entry(self.name).or_insert((0, 0));
+            slot.0 += ns;
+            slot.1 += 1;
+        }
+    }
+}
+
+/// Formats [`entries`] as an aligned text table. `total_secs` (when
+/// positive) adds a share-of-total column so stage attribution reads off
+/// directly.
+pub fn report(total_secs: f64) -> String {
+    let entries = entries();
+    let mut out = format!(
+        "{:<28} {:>10} {:>12} {:>12} {:>7}\n",
+        "scope", "calls", "total ms", "mean us", "share"
+    );
+    for e in &entries {
+        let share = if total_secs > 0.0 {
+            format!("{:.1}%", 100.0 * e.total_secs / total_secs)
+        } else {
+            "-".into()
+        };
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>12.2} {:>12.2} {:>7}\n",
+            e.name,
+            e.count,
+            e.total_secs * 1e3,
+            e.mean_secs() * 1e6,
+            share
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so exercise everything in one test —
+    // parallel test threads would otherwise race reset() calls.
+    #[test]
+    fn scopes_accumulate_and_reset() {
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _t = scope("prof_test.a");
+            std::hint::black_box(1 + 1);
+        }
+        {
+            let _outer = scope("prof_test.outer");
+            let _inner = scope("prof_test.outer.inner");
+        }
+        let all = entries();
+        let a = all.iter().find(|e| e.name == "prof_test.a").unwrap();
+        assert_eq!(a.count, 3);
+        assert!(a.total_secs >= 0.0);
+        assert!(a.mean_secs() <= a.total_secs.max(1e-12) + 1e-9);
+        assert!(all.iter().any(|e| e.name == "prof_test.outer.inner"));
+
+        let table = report(a.total_secs.max(1e-9));
+        assert!(table.contains("prof_test.a"));
+        assert!(table.contains("scope"));
+
+        // Disabled scopes record nothing.
+        set_enabled(false);
+        reset();
+        {
+            let _t = scope("prof_test.disabled");
+        }
+        assert!(entries().is_empty());
+
+        // Threads share the accumulator.
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _t = scope("prof_test.mt");
+                });
+            }
+        });
+        let all = entries();
+        assert_eq!(
+            all.iter().find(|e| e.name == "prof_test.mt").unwrap().count,
+            4
+        );
+        set_enabled(false);
+        reset();
+    }
+}

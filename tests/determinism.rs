@@ -4,8 +4,8 @@
 //! dataset build and with a shared memoizing HLS cache.
 
 use powergear_repro::datasets::{
-    build_kernel_dataset, build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache,
-    PowerTarget,
+    build_all, build_kernel_dataset, build_kernel_dataset_cached, polybench, DatasetConfig,
+    HlsCache, PowerTarget,
 };
 use powergear_repro::gnn::{train_ensemble, ModelConfig, TrainConfig};
 use powergear_repro::graphcon::PowerGraph;
@@ -76,6 +76,49 @@ fn dataset_build_with_shared_cache_is_deterministic() {
         "warm rebuild must be served from cache (hits: {})",
         cache.hits()
     );
+}
+
+/// `build_all` must be bit-identical at any worker-thread count: both the
+/// parallel cold-synthesis phase and the parallel sample-assembly phase
+/// are work-stealing (nondeterministic scheduling), so this pins the
+/// property that scheduling never leaks into dataset contents.
+fn build_all_across_threads(cfg: DatasetConfig) {
+    let reference = build_all(&DatasetConfig {
+        threads: 1,
+        ..cfg.clone()
+    });
+    for threads in [2, 4] {
+        let parallel = build_all(&DatasetConfig {
+            threads,
+            ..cfg.clone()
+        });
+        assert_eq!(
+            reference, parallel,
+            "build_all diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn build_all_scale_determinism_quick() {
+    // CI profile: small problem size and space, all nine kernels.
+    build_all_across_threads(DatasetConfig {
+        size: 6,
+        max_samples: 8,
+        seed: 3,
+        threads: 1,
+    });
+}
+
+#[test]
+#[ignore = "paper-scale (500 points/kernel); run with --ignored in the dataset-scale CI job"]
+fn build_all_scale_determinism_paper() {
+    build_all_across_threads(DatasetConfig {
+        size: 8,
+        max_samples: 500,
+        seed: 3,
+        threads: 1,
+    });
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Golden-sample regression harness for the cold synthesis path.
+//!
+//! A checked-in fixture (`tests/golden/synth_digests.tsv`) pins one digest
+//! per (kernel, directive id): the digest covers the HLS report (resources,
+//! latency, clock), the annotated power graph (topology, node/edge/meta
+//! features, bit-exact) and the oracle power labels. Any performance work on
+//! lowering, scheduling, binding, graph construction or trimming must
+//! reproduce these digests **bit-exactly** — an optimization that changes
+//! any of them is a semantics change, not a speedup, and fails here.
+//!
+//! Regenerating (only legitimate after an *intentional* semantic change):
+//!
+//! ```text
+//! PG_GOLDEN_REGEN=1 cargo test --test golden_synth
+//! ```
+
+use powergear_repro::datasets::{build_sample, polybench, sample_space};
+use powergear_repro::graphcon::PowerGraph;
+use powergear_repro::hls::{Directives, HlsFlow};
+use powergear_repro::powersim::PowerBreakdown;
+use powergear_repro::util::rng::hash64;
+
+/// Problem size of the fixture kernels (small enough for CI, large enough
+/// to exercise multi-loop scheduling and partitioned banking).
+const SIZE: usize = 8;
+/// Design points digested per kernel.
+const POINTS: usize = 8;
+/// Sampling seed for the fixture design points.
+const SEED: u64 = 1;
+/// Fixture kernels: distinct loop structures (two-nest, reduction, triple).
+const KERNELS: [&str; 3] = ["mvt", "bicg", "gemm"];
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/synth_digests.tsv"
+);
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    push_u64(buf, v.to_bits());
+}
+
+fn push_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn graph_bytes(buf: &mut Vec<u8>, g: &PowerGraph) {
+    push_u64(buf, g.num_nodes as u64);
+    push_u64(buf, g.num_edges() as u64);
+    for f in &g.node_feats {
+        push_f32(buf, *f);
+    }
+    for &(s, d) in &g.edges {
+        push_u32(buf, s);
+        push_u32(buf, d);
+    }
+    for ef in &g.edge_feats {
+        for v in ef {
+            push_f32(buf, *v);
+        }
+    }
+    for r in &g.edge_rel {
+        buf.push(r.index() as u8);
+    }
+    for m in &g.meta {
+        push_f32(buf, *m);
+    }
+}
+
+fn power_bytes(buf: &mut Vec<u8>, p: &PowerBreakdown) {
+    for v in [p.total, p.dynamic, p.static_, p.nets, p.internal, p.clock] {
+        push_f64(buf, v);
+    }
+}
+
+/// Digest of everything the estimator pipeline consumes from one design
+/// point: report, graph and labels. Bit-exact by construction.
+fn sample_digest(kernel_name: &str) -> Vec<(String, u64)> {
+    let kernel = polybench::by_name(kernel_name, SIZE).expect("fixture kernel");
+    let baseline = HlsFlow::new()
+        .run(&kernel, &Directives::new())
+        .expect("baseline synthesis")
+        .report;
+    let stimuli = powergear_repro::activity::Stimuli::for_kernel(&kernel, SEED);
+    sample_space(&kernel, POINTS, SEED)
+        .iter()
+        .map(|d| {
+            let s = build_sample(&kernel, d, &stimuli, &baseline);
+            let mut buf = Vec::new();
+            push_u32(&mut buf, s.report.lut);
+            push_u32(&mut buf, s.report.ff);
+            push_u32(&mut buf, s.report.dsp);
+            push_u32(&mut buf, s.report.bram);
+            push_u64(&mut buf, s.report.latency_cycles);
+            push_f64(&mut buf, s.report.clock_ns);
+            push_u64(&mut buf, s.latency);
+            power_bytes(&mut buf, &s.power);
+            graph_bytes(&mut buf, &s.graph);
+            (s.design_id.clone(), hash64(&buf))
+        })
+        .collect()
+}
+
+fn current_digests() -> Vec<(String, u64)> {
+    KERNELS.iter().flat_map(|k| sample_digest(k)).collect()
+}
+
+fn render(digests: &[(String, u64)]) -> String {
+    let mut out = String::from("# design_id\tdigest (see tests/golden_synth.rs)\n");
+    for (id, d) in digests {
+        out.push_str(&format!("{id}\t{d:016x}\n"));
+    }
+    out
+}
+
+fn parse_fixture(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let (id, hex) = l.split_once('\t').expect("fixture line is id\\tdigest");
+            (
+                id.to_string(),
+                u64::from_str_radix(hex.trim(), 16).expect("hex digest"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn synthesis_reproduces_golden_digests() {
+    let current = current_digests();
+    if std::env::var_os("PG_GOLDEN_REGEN").is_some() {
+        std::fs::write(FIXTURE, render(&current)).expect("write fixture");
+        eprintln!("regenerated {FIXTURE} with {} digests", current.len());
+        return;
+    }
+    let golden = parse_fixture(&std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
+        panic!("missing fixture {FIXTURE} ({e}); regenerate with PG_GOLDEN_REGEN=1")
+    }));
+    assert_eq!(
+        golden.len(),
+        KERNELS.len() * POINTS,
+        "fixture size drifted from the harness configuration"
+    );
+    let mismatches: Vec<String> = golden
+        .iter()
+        .zip(&current)
+        .filter_map(|((gid, gd), (cid, cd))| {
+            if gid != cid {
+                Some(format!(
+                    "design order drifted: fixture `{gid}` vs current `{cid}`"
+                ))
+            } else if gd != cd {
+                Some(format!("`{gid}`: golden {gd:016x} != current {cd:016x}"))
+            } else {
+                None
+            }
+        })
+        .collect();
+    assert!(
+        mismatches.is_empty(),
+        "cold synthesis no longer reproduces the golden samples — an \
+         optimization changed semantics:\n  {}",
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn digests_are_sensitive_to_labels() {
+    // Sanity: the digest must actually depend on its inputs — two different
+    // design points of the same kernel must not collide.
+    let d = sample_digest("mvt");
+    assert!(d.len() >= 2);
+    assert_ne!(d[0].1, d[1].1, "distinct designs must digest differently");
+}

@@ -1,0 +1,180 @@
+//! Property tests for the graph-trimming pass (`pg_graphcon::trim`) over
+//! randomly generated DFGs.
+//!
+//! The single-pass trim rewrite must preserve the pass's contract for any
+//! graph, not just the ones the pipeline happens to build today:
+//!
+//! * **idempotence** — a second trim changes nothing;
+//! * **completeness** — no trimmable node survives;
+//! * **reachability preservation** — two surviving nodes are connected
+//!   after trimming iff they were connected before (bypass bridges every
+//!   cast/control chain, and never invents new dataflow);
+//! * **annotation preservation** — surviving nodes keep their activity
+//!   statistics, BRAM/array annotations and op lists bit-for-bit.
+
+use proptest::prelude::*;
+
+use powergear_repro::activity::NodeActivity;
+use powergear_repro::graphcon::{events, trim::trim, NodeKind, WorkEdge, WorkGraph, WorkNode};
+use powergear_repro::ir::Opcode;
+
+/// Mix of trimmable (casts/branches) and persistent opcodes.
+const OPCODES: [Opcode; 10] = [
+    Opcode::SExt,
+    Opcode::ZExt,
+    Opcode::Trunc,
+    Opcode::BitCast,
+    Opcode::Br,
+    Opcode::FAdd,
+    Opcode::FMul,
+    Opcode::Load,
+    Opcode::Store,
+    Opcode::Phi,
+];
+
+const NODES: usize = 10;
+const PAIRS: usize = NODES * (NODES - 1) / 2;
+
+/// Builds a random DAG: node kinds from `OPCODES`, edges over the
+/// upper-triangular pair mask (so src < dst), random sorted event streams.
+fn build_graph(kinds: Vec<usize>, edge_mask: Vec<bool>, seeds: Vec<u32>) -> WorkGraph {
+    let mut g = WorkGraph {
+        latency: 40,
+        ..WorkGraph::default()
+    };
+    for (i, k) in kinds.iter().enumerate() {
+        g.add_node(WorkNode {
+            kind: NodeKind::Op(OPCODES[k % OPCODES.len()]),
+            ops: vec![],
+            activity: NodeActivity {
+                ar: (i as f64) / 16.0,
+                sa_in: (*k as f64) / 8.0,
+                sa_out: 0.25,
+                sa_overall: (i + k) as f64 / 20.0,
+            },
+            bram: 0.0,
+            array: None,
+            bank: 0,
+            alive: true,
+        });
+    }
+    let mut pair = 0usize;
+    for src in 0..NODES {
+        for dst in (src + 1)..NODES {
+            if edge_mask[pair] {
+                let s = seeds[pair] as u64;
+                let ev: Vec<(u64, u32)> = (0..(s % 3 + 1))
+                    .map(|j| (s % 17 + j, (seeds[pair].wrapping_mul(j as u32 + 1)) ^ 0xA5))
+                    .collect();
+                g.add_edge(WorkEdge {
+                    src,
+                    dst,
+                    src_ev: events(ev.clone()),
+                    snk_ev: events(ev),
+                    alive: true,
+                });
+            }
+            pair += 1;
+        }
+    }
+    g
+}
+
+fn is_trimmable_node(n: &WorkNode) -> bool {
+    matches!(&n.kind, NodeKind::Op(o) if o.is_trimmable())
+}
+
+/// All-pairs reachability (directed, over alive nodes/edges), restricted
+/// to the given node set.
+fn reachability(g: &WorkGraph) -> Vec<Vec<bool>> {
+    let n = g.nodes.len();
+    let mut reach = vec![vec![false; n]; n];
+    for e in g.edges.iter().filter(|e| e.alive) {
+        if g.nodes[e.src].alive && g.nodes[e.dst].alive {
+            reach[e.src][e.dst] = true;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Canonical snapshot of alive topology: alive node set + sorted alive
+/// edge multiset with event lengths.
+fn snapshot(g: &WorkGraph) -> (Vec<bool>, Vec<(usize, usize, usize, usize)>) {
+    let nodes: Vec<bool> = g.nodes.iter().map(|n| n.alive).collect();
+    let mut edges: Vec<(usize, usize, usize, usize)> = g
+        .edges
+        .iter()
+        .filter(|e| e.alive)
+        .map(|e| (e.src, e.dst, e.src_ev.len(), e.snk_ev.len()))
+        .collect();
+    edges.sort_unstable();
+    (nodes, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trim_invariants(
+        kinds in prop::collection::vec(0usize..OPCODES.len(), NODES),
+        edge_mask in prop::collection::vec(any::<bool>(), PAIRS),
+        seeds in prop::collection::vec(any::<u32>(), PAIRS),
+    ) {
+        let mut g = build_graph(kinds, edge_mask, seeds);
+        let before_reach = reachability(&g);
+        let before_nodes: Vec<WorkNode> = g.nodes.clone();
+
+        trim(&mut g);
+        prop_assert_eq!(g.check(), Ok(()));
+
+        // Completeness: no trimmable node survives.
+        prop_assert!(
+            !g.nodes.iter().any(|n| n.alive && is_trimmable_node(n)),
+            "trimmable node survived"
+        );
+
+        // Reachability among surviving nodes is exactly preserved.
+        let after_reach = reachability(&g);
+        for a in 0..g.nodes.len() {
+            for b in 0..g.nodes.len() {
+                if g.nodes[a].alive && g.nodes[b].alive {
+                    prop_assert_eq!(
+                        before_reach[a][b], after_reach[a][b],
+                        "reachability {} -> {} changed (before {}, after {})",
+                        a, b, before_reach[a][b], after_reach[a][b]
+                    );
+                }
+            }
+        }
+
+        // Annotations of surviving nodes are untouched, and only trimmable
+        // nodes were retired.
+        for (i, n) in g.nodes.iter().enumerate() {
+            if n.alive {
+                prop_assert_eq!(n, &before_nodes[i], "node {} annotation changed", i);
+            } else {
+                prop_assert!(
+                    is_trimmable_node(&before_nodes[i]),
+                    "non-trimmable node {} was dropped",
+                    i
+                );
+            }
+        }
+
+        // Idempotence: a second trim is a no-op on the alive topology.
+        let snap = snapshot(&g);
+        trim(&mut g);
+        prop_assert_eq!(snapshot(&g), snap);
+    }
+}

@@ -12,31 +12,45 @@
 //! block 1, …). For the affine kernels modeled here this is semantics-
 //! preserving loop distribution — each block's reads depend only on earlier
 //! blocks' completed writes or its own earlier iterations.
+//!
+//! # Event storage
+//!
+//! Traced streams land in one flat per-design [`EventArena`] instead of
+//! one `Vec<(u64, u32)>` per stream: the iteration loop appends raw values
+//! to one column buffer per traced stream (4 bytes per event, recycled
+//! allocations), and at block end every column is run-length encoded into
+//! the arena as arithmetic-progression runs — within a block every op
+//! fires exactly once per iteration, so a stream's cycle stamps are
+//! affine (`block_base + op_start + it × stride`) by construction.
+//! [`TraceScratch`] recycles all the buffers across design points, which
+//! is what the dataset builder's work-stealing workers do.
 
+use crate::events::{encode_affine, EventArena, EventRef};
+use crate::sa::NodeActivity;
 use crate::stimuli::Stimuli;
 use pg_hls::HlsDesign;
 use pg_ir::{Opcode, Operand, ValueId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Traced values for one static op.
-///
-/// Event sequences are shared (`Arc`): graph construction copies an op's
-/// output stream onto every consumer edge, and sharing makes those copies
-/// reference bumps instead of multi-kilobyte memcpys.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct OpTrace {
-    /// `(cycle, bits)` of every produced value, in execution order.
-    pub outputs: Arc<Vec<(u64, u32)>>,
-    /// Per-operand `(cycle, bits)` of every consumed value.
-    pub inputs: Vec<Arc<Vec<(u64, u32)>>>,
-}
-
-/// A full execution trace of a design.
+/// A full execution trace of a design: one shared compressed arena plus
+/// per-op stream refs (flat, no per-op allocations).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionTrace {
-    /// Per-op traces, indexed by [`ValueId`].
-    pub per_op: Vec<OpTrace>,
+    /// Compressed event storage for every traced stream.
+    pub arena: Arc<EventArena>,
+    /// Per-op output stream, indexed by [`ValueId`] index.
+    outputs: Vec<EventRef>,
+    /// Per-operand input streams, flattened over all ops. Only streams a
+    /// graph edge can reference are materialized (value operands);
+    /// induction-variable and constant operand slots stay empty — their
+    /// only consumer is the per-op activity, which is precomputed below.
+    inputs_flat: Vec<EventRef>,
+    /// Prefix index of each op's input refs (`ops.len() + 1` entries).
+    input_start: Vec<u32>,
+    /// Per-op activity statistics, folded from the raw value columns
+    /// during execution (bit-identical to folding the encoded streams).
+    activities: Vec<NodeActivity>,
     /// Design latency (cycles) used to normalize activities.
     pub latency: u64,
     /// Final array contents (for functional verification).
@@ -44,28 +58,78 @@ pub struct ExecutionTrace {
 }
 
 impl ExecutionTrace {
-    /// Trace of op `v`.
-    pub fn of(&self, v: ValueId) -> &OpTrace {
-        &self.per_op[v.idx()]
+    /// Output stream of op `v`.
+    pub fn output(&self, v: ValueId) -> EventRef {
+        self.outputs[v.idx()]
+    }
+
+    /// Input streams of op `v`, one per operand (constant operands are
+    /// empty streams).
+    pub fn inputs(&self, v: ValueId) -> &[EventRef] {
+        &self.inputs_flat
+            [self.input_start[v.idx()] as usize..self.input_start[v.idx() + 1] as usize]
+    }
+
+    /// Activity statistics of op `v` (precomputed during execution).
+    pub fn activity_of(&self, v: ValueId) -> NodeActivity {
+        self.activities[v.idx()]
     }
 
     /// An event-free trace with the design's latency: used by vector-less
     /// estimators (the Vivado surrogate) that need the netlist structure but
     /// assume default toggle rates instead of simulating.
     pub fn empty(design: &HlsDesign) -> Self {
-        let none: Arc<Vec<(u64, u32)>> = Arc::new(Vec::new());
+        let (input_start, total) = input_offsets(&design.ir.ops);
         ExecutionTrace {
-            per_op: design
-                .ir
-                .ops
-                .iter()
-                .map(|op| OpTrace {
-                    outputs: Arc::clone(&none),
-                    inputs: vec![Arc::clone(&none); op.operands.len()],
-                })
-                .collect(),
+            arena: Arc::new(EventArena::new()),
+            outputs: vec![EventRef::EMPTY; design.ir.ops.len()],
+            inputs_flat: vec![EventRef::EMPTY; total as usize],
+            input_start,
+            activities: vec![NodeActivity::default(); design.ir.ops.len()],
             latency: design.report.latency_cycles,
             final_arrays: HashMap::new(),
+        }
+    }
+}
+
+/// Prefix index of each op's operand slots in the flattened per-operand
+/// input-ref table: returns `(input_start, total_slots)` with
+/// `ops.len() + 1` prefix entries.
+fn input_offsets(ops: &[pg_ir::IrOp]) -> (Vec<u32>, u32) {
+    let mut input_start = Vec::with_capacity(ops.len() + 1);
+    let mut total = 0u32;
+    input_start.push(0);
+    for op in ops {
+        total += op.operands.len() as u32;
+        input_start.push(total);
+    }
+    (input_start, total)
+}
+
+/// Reusable interpreter buffers. One instance per worker thread: the
+/// per-stream column buffers and the arena's word buffer survive across
+/// design points, so steady-state tracing performs no large allocations.
+#[derive(Debug, Default)]
+pub struct TraceScratch {
+    /// One value buffer per traced stream of the current block — the
+    /// iteration loop appends to each, the encode pass reads each
+    /// sequentially.
+    cols: Vec<Vec<u32>>,
+    /// Recycled arena backing store.
+    arena: Vec<u32>,
+}
+
+impl TraceScratch {
+    /// A fresh scratch.
+    pub fn new() -> Self {
+        TraceScratch::default()
+    }
+
+    /// Takes the arena allocation back from a trace nobody else references
+    /// (no-op when the arena is still shared, e.g. by a live work graph).
+    pub fn reclaim(&mut self, trace: ExecutionTrace) {
+        if let Ok(arena) = Arc::try_unwrap(trace.arena) {
+            self.arena = arena.into_words();
         }
     }
 }
@@ -152,12 +216,30 @@ struct PreOp {
 }
 
 /// Executes `design` with `stimuli`, producing the full activity trace.
+/// Allocates fresh buffers; the dataset builder's hot path goes through
+/// [`execute_in`] with a per-worker [`TraceScratch`].
 ///
 /// # Panics
 ///
 /// Panics if the design references arrays or scalars missing from the
 /// stimuli (both come from the same kernel in normal use).
 pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
+    execute_in(design, stimuli, &mut TraceScratch::new())
+}
+
+/// [`execute`] against reusable buffers: the block row buffer and arena
+/// words come from (and the row buffer returns to) `scratch`. Bit-identical
+/// to `execute` — buffer reuse never leaks into trace contents.
+///
+/// # Panics
+///
+/// Panics if the design references arrays or scalars missing from the
+/// stimuli.
+pub fn execute_in(
+    design: &HlsDesign,
+    stimuli: &Stimuli,
+    scratch: &mut TraceScratch,
+) -> ExecutionTrace {
     let func = &design.ir;
     // Array storage resolved to dense slots once (the interpreter's inner
     // loop must not hash strings).
@@ -169,19 +251,16 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
         array_names.push(name.clone());
         array_data.push(data.clone());
     }
-    // Raw (growable) accumulators; moved into shared `Arc`s at the end.
-    struct RawOpTrace {
-        outputs: Vec<(u64, u32)>,
-        inputs: Vec<Vec<(u64, u32)>>,
-    }
-    let mut per_op: Vec<RawOpTrace> = func
-        .ops
-        .iter()
-        .map(|op| RawOpTrace {
-            outputs: Vec::new(),
-            inputs: vec![Vec::new(); op.operands.len()],
-        })
-        .collect();
+
+    // Flat stream-ref tables (filled per block below).
+    let mut outputs: Vec<EventRef> = vec![EventRef::EMPTY; func.ops.len()];
+    let (input_start, n_inputs) = input_offsets(&func.ops);
+    let mut inputs_flat: Vec<EventRef> = vec![EventRef::EMPTY; n_inputs as usize];
+    let mut activities: Vec<NodeActivity> = vec![NodeActivity::default(); func.ops.len()];
+
+    let mut words = std::mem::take(&mut scratch.arena);
+    words.clear();
+    let cols = &mut scratch.cols;
 
     // Result registers; reset per block (ops never read across blocks —
     // dataflow between blocks goes through the arrays).
@@ -247,16 +326,6 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
                     }
                     _ => None,
                 };
-                // Reserve the exact event capacity up front: every op fires
-                // once per iteration. Constant operand streams are never
-                // recorded (see the iteration loop), so they reserve nothing.
-                let ot = &mut per_op[vid.idx()];
-                ot.outputs.reserve_exact(total);
-                for (inp, operand) in ot.inputs.iter_mut().zip(operands.iter()) {
-                    if matches!(*operand, PreOperand::Reg(_) | PreOperand::Dim(_)) {
-                        inp.reserve_exact(total);
-                    }
-                }
                 PreOp {
                     reg: vid.idx(),
                     opcode: op.opcode,
@@ -266,6 +335,31 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
                 }
             })
             .collect();
+
+        // One column buffer per traced stream. The iteration loop pushes
+        // values in a fixed order — per op: traced inputs (operand order),
+        // then the output — so buffer `s` holds stream `s`. Constant
+        // operand streams (ConstI/ConstF/Scalar) are not traced: their
+        // switching activity is identically zero, which is exactly what
+        // downstream consumers compute from an empty stream, and no graph
+        // edge ever reads them.
+        let width: usize = pre_ops
+            .iter()
+            .map(|p| {
+                1 + p
+                    .operands
+                    .iter()
+                    .filter(|o| matches!(o, PreOperand::Reg(_) | PreOperand::Dim(_)))
+                    .count()
+            })
+            .sum();
+        while cols.len() < width {
+            cols.push(Vec::new());
+        }
+        for c in cols[..width].iter_mut() {
+            c.clear();
+            c.reserve(total);
+        }
 
         // Dense induction-variable counters, row-major decoded per iteration.
         let mut counters: Vec<i64> = vec![0; block.dims.len()];
@@ -277,16 +371,10 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
                 counters[d] = (rem % trip) as i64;
                 rem /= trip;
             }
-            let iter_time = block_base + it as u64 * iter_stride;
+            let mut slot = 0usize;
             for pre in &pre_ops {
-                let t = iter_time + pre.start;
                 vals.clear();
-                let ot = &mut per_op[pre.reg];
-                // Constant streams (ConstI/ConstF/Scalar) are not recorded:
-                // their switching activity is identically zero, which is
-                // exactly what downstream consumers compute from an empty
-                // stream, and no graph edge ever reads them.
-                for (inp, operand) in ot.inputs.iter_mut().zip(&pre.operands) {
+                for operand in &pre.operands {
                     let v = match *operand {
                         PreOperand::Reg(r) => regs[r],
                         PreOperand::ConstI(c) => {
@@ -303,26 +391,72 @@ pub fn execute(design: &HlsDesign, stimuli: &Stimuli) -> ExecutionTrace {
                             continue;
                         }
                     };
-                    inp.push((t, v.bits()));
+                    cols[slot].push(v.bits());
+                    slot += 1;
                     vals.push(v);
                 }
                 let result = step(pre, &vals, &counters, &mut array_data);
                 regs[pre.reg] = result;
-                ot.outputs.push((t, result.bits()));
+                cols[slot].push(result.bits());
+                slot += 1;
             }
         }
+
+        // Encode the edge-visible streams into the arena and fold every
+        // op's activity from the raw columns. Induction-variable operand
+        // streams are never referenced by a graph edge, so they are folded
+        // but not encoded; constant operands contribute zero activity but
+        // still count in the per-operand average (matching the empty
+        // streams the naive path would fold).
+        let latency = design.report.latency_cycles;
+        let mut slot = 0usize;
+        for pre in &pre_ops {
+            let start_cycle = block_base + pre.start;
+            let stride = iter_stride as u32;
+            let base = input_start[pre.reg] as usize;
+            let mut sa_in_sum = 0.0f64;
+            for (k, operand) in pre.operands.iter().enumerate() {
+                match operand {
+                    PreOperand::Reg(_) => {
+                        inputs_flat[base + k] =
+                            encode_affine(&mut words, start_cycle, stride, &cols[slot]);
+                        sa_in_sum += crate::sa::sa_ar_values(&cols[slot], latency).0;
+                        slot += 1;
+                    }
+                    PreOperand::Dim(_) => {
+                        sa_in_sum += crate::sa::sa_ar_values(&cols[slot], latency).0;
+                        slot += 1;
+                    }
+                    _ => {}
+                }
+            }
+            let (sa_out, ar) = crate::sa::sa_ar_values(&cols[slot], latency);
+            outputs[pre.reg] = encode_affine(&mut words, start_cycle, stride, &cols[slot]);
+            slot += 1;
+            let sa_in = if pre.operands.is_empty() {
+                0.0
+            } else {
+                sa_in_sum / pre.operands.len() as f64
+            };
+            activities[pre.reg] = NodeActivity {
+                ar,
+                sa_in,
+                sa_out,
+                sa_overall: sa_in + sa_out,
+            };
+        }
+        debug_assert_eq!(slot, width);
+
         block_base += total as u64 * iter_stride + bs.depth as u64 + 1;
     }
 
     let final_arrays: HashMap<String, Vec<f32>> = array_names.into_iter().zip(array_data).collect();
     ExecutionTrace {
-        per_op: per_op
-            .into_iter()
-            .map(|raw| OpTrace {
-                outputs: Arc::new(raw.outputs),
-                inputs: raw.inputs.into_iter().map(Arc::new).collect(),
-            })
-            .collect(),
+        arena: Arc::new(EventArena::from_words(words)),
+        outputs,
+        inputs_flat,
+        input_start,
+        activities,
         latency: design.report.latency_cycles,
         final_arrays,
     }
@@ -435,19 +569,26 @@ mod tests {
         for op in &design.ir.ops {
             let trip = design.ir.blocks[op.block].trip_product();
             assert_eq!(
-                trace.of(op.id).outputs.len(),
+                trace.arena.count(trace.output(op.id)),
                 trip,
                 "{} executed wrong number of times",
                 op.id
             );
-            // Value/induction operand streams carry one event per
-            // iteration; constant streams are skipped (zero switching).
-            for (k2, inp) in trace.of(op.id).inputs.iter().enumerate() {
+            // Value operand streams carry one event per iteration;
+            // constant streams are skipped (zero switching) and
+            // induction-variable streams are folded into the activity
+            // but never materialized (no graph edge reads them).
+            for (k2, &inp) in trace.inputs(op.id).iter().enumerate() {
                 let expected = match &op.operands[k2] {
-                    pg_ir::Operand::Value(_) | pg_ir::Operand::IVar(_) => trip,
+                    pg_ir::Operand::Value(_) => trip,
                     _ => 0,
                 };
-                assert_eq!(inp.len(), expected, "operand {k2} of {}", op.id);
+                assert_eq!(
+                    trace.arena.count(inp),
+                    expected,
+                    "operand {k2} of {}",
+                    op.id
+                );
             }
         }
     }
@@ -455,9 +596,10 @@ mod tests {
     #[test]
     fn cycle_stamps_monotone_per_op() {
         let k = axpy();
-        let (_d, _s, trace) = run(&k, &Directives::new());
-        for ot in &trace.per_op {
-            for w in ot.outputs.windows(2) {
+        let (design, _s, trace) = run(&k, &Directives::new());
+        for op in &design.ir.ops {
+            let ev = trace.arena.decode(trace.output(op.id));
+            for w in ev.windows(2) {
                 assert!(w[0].0 < w[1].0, "non-monotone cycle stamps");
             }
         }
@@ -477,10 +619,34 @@ mod tests {
             .iter()
             .find(|o| o.opcode == Opcode::Load)
             .unwrap();
-        let times: Vec<u64> = trace.of(op.id).outputs.iter().map(|e| e.0).collect();
+        let times: Vec<u64> = trace
+            .arena
+            .decode(trace.output(op.id))
+            .iter()
+            .map(|e| e.0)
+            .collect();
         for w in times.windows(2) {
             assert_eq!(w[1] - w[0], bs.ii as u64);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let k = axpy();
+        let design = HlsFlow::new().run(&k, &Directives::new()).unwrap();
+        let stim = Stimuli::for_kernel(&k, 0);
+        let fresh = execute(&design, &stim);
+        let mut scratch = TraceScratch::new();
+        // Dirty the scratch with a different design first.
+        let mut d = Directives::new();
+        d.unroll("i", 4);
+        let other = HlsFlow::new().run(&k, &d).unwrap();
+        let warmup = execute_in(&other, &stim, &mut scratch);
+        scratch.reclaim(warmup);
+        let reused = execute_in(&design, &stim, &mut scratch);
+        assert_eq!(fresh, reused, "scratch reuse changed the trace");
+        scratch.reclaim(reused);
+        assert!(!scratch.arena.is_empty(), "arena buffer must be reclaimed");
     }
 
     #[test]

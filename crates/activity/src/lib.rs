@@ -11,7 +11,11 @@
 //!   cycle it occurs in (the "detection probe" equivalent);
 //! * [`switching_activity`] / [`activation_rate`] — the Eq. 2 / Eq. 3 math
 //!   over traced bit vectors (Hamming distance between consecutive values,
-//!   normalized by design latency).
+//!   normalized by design latency);
+//! * [`events`] — the flat per-design [`EventArena`] holding every traced
+//!   stream in run-length/delta compressed form (`(offset, len)` refs
+//!   instead of per-stream allocations), with streaming SA/AR folds that
+//!   consume the compressed runs directly.
 //!
 //! # Examples
 //!
@@ -36,10 +40,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod events;
 pub mod exec;
 pub mod sa;
 pub mod stimuli;
 
-pub use exec::{execute, ExecutionTrace, OpTrace};
+pub use events::{EventArena, EventRef};
+pub use exec::{execute, execute_in, ExecutionTrace, TraceScratch};
 pub use sa::{activation_rate, sa_ar, switching_activity, NodeActivity};
 pub use stimuli::Stimuli;

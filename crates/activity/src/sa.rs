@@ -7,8 +7,6 @@
 //! source (producer) and sink (consumer) direction of every graph edge,
 //! giving the four-dimensional edge features of §III-A.
 
-use crate::exec::OpTrace;
-
 /// Eq. 2: `SA = Σ HD(v(i), v(i-1)) / L` over the cycles where the value
 /// changes.
 ///
@@ -49,6 +47,27 @@ pub fn activation_rate(events: &[(u64, u32)], latency: u64) -> f64 {
     changes as f64 / latency as f64
 }
 
+/// [`sa_ar`] over a bare value sequence (cycle stamps don't affect Eq. 2/3
+/// — only the value order does). The trace interpreter folds raw column
+/// buffers with this before they are encoded; bit-identical to folding
+/// the encoded stream.
+pub fn sa_ar_values(vals: &[u32], latency: u64) -> (f64, f64) {
+    if latency == 0 || vals.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let mut hamming = 0u64;
+    let mut changes = 0u64;
+    for w in vals.windows(2) {
+        let d = (w[0] ^ w[1]).count_ones();
+        hamming += d as u64;
+        changes += (d != 0) as u64;
+    }
+    (
+        hamming as f64 / latency as f64,
+        changes as f64 / latency as f64,
+    )
+}
+
 /// [`switching_activity`] and [`activation_rate`] of one event sequence in
 /// a single pass (graph finalization evaluates both on every edge
 /// direction; walking the events once halves that cost). Bit-identical to
@@ -86,27 +105,6 @@ pub struct NodeActivity {
 }
 
 impl NodeActivity {
-    /// Computes node statistics from an op trace.
-    pub fn from_trace(trace: &OpTrace, latency: u64) -> Self {
-        let (sa_out, ar) = sa_ar(&trace.outputs, latency);
-        let sa_in = if trace.inputs.is_empty() {
-            0.0
-        } else {
-            trace
-                .inputs
-                .iter()
-                .map(|seq| switching_activity(seq, latency))
-                .sum::<f64>()
-                / trace.inputs.len() as f64
-        };
-        NodeActivity {
-            ar,
-            sa_in,
-            sa_out,
-            sa_overall: sa_in + sa_out,
-        }
-    }
-
     /// Merges statistics of fused nodes (datapath merging averages the
     /// per-instance activities weighted equally; the merged node represents
     /// one hardware entity exercised by all instances).
@@ -182,22 +180,6 @@ mod tests {
         let ar = activation_rate(&ev, 5);
         assert!(sa >= ar);
         assert!(sa <= 32.0 * ar);
-    }
-
-    #[test]
-    fn node_activity_from_trace() {
-        let t = OpTrace {
-            outputs: std::sync::Arc::new(vec![(0, 0), (1, 3), (2, 3)]),
-            inputs: vec![
-                std::sync::Arc::new(vec![(0, 0), (1, 1)]),
-                std::sync::Arc::new(vec![(0, 7), (1, 7)]),
-            ],
-        };
-        let s = NodeActivity::from_trace(&t, 10);
-        assert!((s.sa_out - 0.2).abs() < 1e-12);
-        assert!((s.sa_in - 0.05).abs() < 1e-12);
-        assert!((s.sa_overall - 0.25).abs() < 1e-12);
-        assert!((s.ar - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use pg_datasets::{
     PowerTarget,
 };
 use pg_gnn::{
-    table2_variants, train_ensemble, train_single, Arch, Ensemble, ModelConfig, TrainConfig,
+    table2_variants, train_ensemble, train_single, Arch, Ensemble, LabelNorm, ModelConfig,
+    TrainConfig,
 };
 use pg_graphcon::PowerGraph;
 use pg_hlpow::HlPowModel;
@@ -133,6 +134,15 @@ impl EvalConfig {
         cfg.epochs = match target {
             PowerTarget::Dynamic => self.epochs + self.epochs * 3 / 5,
             PowerTarget::Total => self.epochs,
+        };
+        // Same per-target scheme as `PowerGearConfig::train_config`: Total
+        // power is offset-dominated (static leakage), so it standardizes
+        // to z-scores + MSE instead of the paper's mean-scaled MAPE — the
+        // mean-scale scheme collapses Total predictions to the 1 mW floor
+        // at bench epoch budgets.
+        cfg.label_norm = match target {
+            PowerTarget::Total => LabelNorm::Standardize,
+            PowerTarget::Dynamic => LabelNorm::MeanScale,
         };
         cfg.folds = self.folds;
         cfg.seeds = self.seeds.clone();
@@ -571,6 +581,55 @@ fn load_cache(path: &Path) -> Option<EvalContext> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_total_standardizes_and_stays_nondegenerate() {
+        let cfg = EvalConfig::quick();
+        assert_eq!(
+            cfg.train_config(PowerTarget::Total, ModelConfig::hec(8))
+                .label_norm,
+            LabelNorm::Standardize,
+            "bench Total columns must use the standardized label scheme"
+        );
+        assert_eq!(
+            cfg.train_config(PowerTarget::Dynamic, ModelConfig::hec(8))
+                .label_norm,
+            LabelNorm::MeanScale,
+            "Dynamic keeps the paper's mean-scaled MAPE scheme"
+        );
+
+        // End-to-end: a tiny Total-power ensemble trained through the
+        // bench config must produce finite, non-collapsed predictions
+        // (the old mean-scale scheme drove Total to the 1 mW floor —
+        // ~99% error — at bench epoch budgets).
+        let ds = pg_datasets::build_kernel_dataset(
+            &pg_datasets::polybench::mvt(6),
+            &pg_datasets::DatasetConfig::tiny(),
+        );
+        let data = ds.labeled(PowerTarget::Total);
+        let mut small = EvalConfig::quick();
+        small.hidden = 8;
+        small.epochs = 10;
+        small.folds = 2;
+        small.seeds = vec![17];
+        small.threads = 1;
+        let ens = train_ensemble(
+            &data,
+            &small.train_config(PowerTarget::Total, ModelConfig::hec(8)),
+        );
+        let err = ens.evaluate(&data);
+        assert!(err.is_finite(), "bench Total error must be finite: {err}");
+        assert!(err < 90.0, "bench Total error degenerate: {err}% MAPE");
+        let graphs: Vec<&pg_graphcon::PowerGraph> = data.iter().map(|(g, _)| *g).collect();
+        let preds = ens.predict(&graphs);
+        let mean_truth = data.iter().map(|(_, t)| *t).sum::<f64>() / data.len() as f64;
+        let mean_pred = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!(preds.iter().all(|p| p.is_finite()));
+        assert!(
+            mean_pred > 0.2 * mean_truth,
+            "Total predictions collapsed: mean {mean_pred} vs truth {mean_truth}"
+        );
+    }
 
     #[test]
     fn config_hash_changes_with_scale() {

@@ -34,13 +34,16 @@
 //!
 //! Per design point, one `WorkGraph` is built and shared between the
 //! finalized [`PowerGraph`] sample and the power oracle's netlist
-//! surrogate — see [`sample_from_design`]. Timing of every stage is
-//! attributed via `pg_util::prof` scopes; the `profile_synth` bench bin
-//! prints the table.
+//! surrogate — see [`sample_from_design`]. Every assembly worker owns a
+//! [`pg_activity::TraceScratch`]: the trace interpreter's flat event arena
+//! and row buffer are recycled across all the design points the worker
+//! steals, so steady-state assembly performs no large allocations. Timing
+//! of every stage is attributed via `pg_util::prof` scopes; the
+//! `profile_synth` bench bin prints the table.
 
 use crate::cache::HlsCache;
 use crate::space::sample_space;
-use pg_activity::{execute, Stimuli};
+use pg_activity::{execute_in, Stimuli, TraceScratch};
 use pg_graphcon::{GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsDesign, HlsReport};
 use pg_ir::Kernel;
@@ -86,6 +89,17 @@ impl DatasetConfig {
     pub fn quick() -> Self {
         DatasetConfig {
             max_samples: 96,
+            ..DatasetConfig::default()
+        }
+    }
+
+    /// The XL profile: up to 1000 design points per kernel (benchmark
+    /// scale à la Wu et al.'s GNN performance-prediction suites; kernels
+    /// whose directive space is smaller use the whole space). Affordable
+    /// because of the flat event arena + compressed activity streams.
+    pub fn paper_xl() -> Self {
+        DatasetConfig {
+            max_samples: 1000,
             ..DatasetConfig::default()
         }
     }
@@ -182,10 +196,25 @@ pub fn sample_from_design(
     stimuli: &Stimuli,
     baseline: &HlsReport,
 ) -> Sample {
+    sample_from_design_in(kernel, design, stimuli, baseline, &mut TraceScratch::new())
+}
+
+/// [`sample_from_design`] against a reusable [`TraceScratch`]: the trace
+/// interpreter's event arena and row buffer come from `scratch` and the
+/// arena allocation is reclaimed once the sample no longer references it,
+/// so a worker labeling many design points performs no large per-point
+/// allocations. Bit-identical to the fresh-buffer path.
+pub fn sample_from_design_in(
+    kernel: &Kernel,
+    design: &HlsDesign,
+    stimuli: &Stimuli,
+    baseline: &HlsReport,
+    scratch: &mut TraceScratch,
+) -> Sample {
     let _t = prof::scope("sample");
     let trace = {
         let _t = prof::scope("sample.trace");
-        execute(design, stimuli)
+        execute_in(design, stimuli, scratch)
     };
     // One work graph serves both the GNN sample and the oracle's netlist
     // surrogate — the construction passes (raw DFG, buffers, merge, trim)
@@ -203,6 +232,11 @@ pub fn sample_from_design(
         let _t = prof::scope("sample.oracle");
         BoardOracle::default().measure_graph(design, &work)
     };
+    // The work graph held the last shared reference to the trace arena;
+    // dropping it lets the scratch take the allocation back for the next
+    // design point.
+    drop(work);
+    scratch.reclaim(trace);
     Sample {
         kernel: kernel.name.clone(),
         design_id: design.design_id(),
@@ -274,15 +308,18 @@ pub fn build_kernel_dataset_cached(
     // Phase 2: sample assembly over the warm cache. Every `session.run`
     // below is a cache hit; workers pull design points off an atomic
     // cursor and results are re-ordered by index, so sample order, labels
-    // and graphs never depend on the thread count.
-    let assemble = |d: &Directives| {
+    // and graphs never depend on the thread count. Each worker owns one
+    // [`TraceScratch`], so the trace arena and row buffers are recycled
+    // across all design points the worker steals.
+    let assemble = |d: &Directives, scratch: &mut TraceScratch| {
         let design = session
             .run(d)
             .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
-        sample_from_design(kernel, &design, &stimuli, &baseline)
+        sample_from_design_in(kernel, &design, &stimuli, &baseline, scratch)
     };
     let samples: Vec<Sample> = if cfg.threads <= 1 || configs.len() < 4 {
-        configs.iter().map(assemble).collect()
+        let mut scratch = TraceScratch::new();
+        configs.iter().map(|d| assemble(d, &mut scratch)).collect()
     } else {
         let cursor = std::sync::atomic::AtomicUsize::new(0);
         let done: std::sync::Mutex<Vec<(usize, Sample)>> =
@@ -290,11 +327,14 @@ pub fn build_kernel_dataset_cached(
         std::thread::scope(|scope| {
             let workers = cfg.threads.min(configs.len());
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(d) = configs.get(i) else { break };
-                    let s = assemble(d);
-                    done.lock().expect("sample lock").push((i, s));
+                scope.spawn(|| {
+                    let mut scratch = TraceScratch::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(d) = configs.get(i) else { break };
+                        let s = assemble(d, &mut scratch);
+                        done.lock().expect("sample lock").push((i, s));
+                    }
                 });
             }
         });
@@ -330,6 +370,33 @@ pub fn build_all(cfg: &DatasetConfig) -> Vec<KernelDataset> {
 mod tests {
     use super::*;
     use crate::polybench;
+
+    #[test]
+    fn profiles_scale_as_documented() {
+        assert_eq!(DatasetConfig::default().max_samples, 500);
+        assert_eq!(DatasetConfig::paper().max_samples, 500);
+        assert_eq!(DatasetConfig::paper_xl().max_samples, 1000);
+        assert_eq!(DatasetConfig::quick().max_samples, 96);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_samples() {
+        // One shared scratch across several design points must reproduce
+        // the fresh-buffer samples exactly.
+        let k = polybench::mvt(6);
+        let cache = HlsCache::new();
+        let session = cache.session(&k).unwrap();
+        let stimuli = Stimuli::for_kernel(&k, 1);
+        let baseline = session.run(&Directives::new()).unwrap().report.clone();
+        let configs = crate::space::sample_space(&k, 6, 1);
+        let mut scratch = TraceScratch::new();
+        for d in &configs {
+            let design = session.run(d).unwrap();
+            let fresh = sample_from_design(&k, &design, &stimuli, &baseline);
+            let reused = sample_from_design_in(&k, &design, &stimuli, &baseline, &mut scratch);
+            assert_eq!(fresh, reused, "scratch reuse changed sample {d}");
+        }
+    }
 
     #[test]
     fn builds_labeled_samples() {

@@ -36,7 +36,8 @@ pub mod synthetic;
 
 pub use build::{
     build_all, build_kernel_dataset, build_kernel_dataset_cached, build_sample,
-    build_sample_cached, sample_from_design, DatasetConfig, KernelDataset, PowerTarget, Sample,
+    build_sample_cached, sample_from_design, sample_from_design_in, DatasetConfig, KernelDataset,
+    PowerTarget, Sample,
 };
 pub use cache::{kernel_fingerprint, HlsCache, KernelSession};
 pub use polybench::{by_name, polybench, KERNEL_NAMES};

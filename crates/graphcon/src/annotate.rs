@@ -9,7 +9,7 @@
 //! nodes.
 
 use crate::dfg::{PowerGraph, Relation, WorkGraph};
-use pg_activity::sa_ar;
+use std::collections::HashMap;
 
 /// Finalizes a worked graph into a [`PowerGraph`] sample.
 pub fn finalize(g: &WorkGraph, kernel: &str, design_id: &str) -> PowerGraph {
@@ -45,12 +45,15 @@ pub fn finalize(g: &WorkGraph, kernel: &str, design_id: &str) -> PowerGraph {
     let mut edges = Vec::new();
     let mut edge_feats = Vec::new();
     let mut edge_rel = Vec::new();
+    // Fan-out attaches one op's stream to many edges as the same
+    // `(offset, len)` ref — fold each distinct stream once.
+    let mut fold_memo: HashMap<(u32, u32), (f64, f64)> = HashMap::new();
     for e in g.edges.iter().filter(|e| e.alive) {
         let (s, d) = (remap[e.src], remap[e.dst]);
         debug_assert!(s != u32::MAX && d != u32::MAX);
         edges.push((s, d));
-        let (sa_src, ar_src) = sa_ar(&e.src_ev, g.latency);
-        let (sa_snk, ar_snk) = sa_ar(&e.snk_ev, g.latency);
+        let (sa_src, ar_src) = g.events.sa_ar_memo(e.src_ev, g.latency, &mut fold_memo);
+        let (sa_snk, ar_snk) = g.events.sa_ar_memo(e.snk_ev, g.latency, &mut fold_memo);
         edge_feats.push([sa_src as f32, sa_snk as f32, ar_src as f32, ar_snk as f32]);
         edge_rel.push(Relation::from_classes(
             g.nodes[e.src].kind.is_arithmetic(),
@@ -115,11 +118,13 @@ mod tests {
             alive: false,
         });
         let _ = dead;
+        let src_ev = g.add_events(&[(0, 0), (1, 0xFF)]);
+        let snk_ev = g.add_events(&[(0, 0), (2, 0xFF)]);
         g.add_edge(WorkEdge {
             src: load,
             dst: fadd,
-            src_ev: crate::dfg::events(vec![(0, 0), (1, 0xFF)]),
-            snk_ev: crate::dfg::events(vec![(0, 0), (2, 0xFF)]),
+            src_ev,
+            snk_ev,
             alive: true,
         });
         g

@@ -9,7 +9,7 @@
 //! the raw store→load shortcut edges.
 
 use crate::dfg::{NodeKind, WorkEdge, WorkGraph, WorkNode};
-use pg_activity::NodeActivity;
+use pg_activity::{EventRef, NodeActivity};
 use pg_hls::HlsDesign;
 use pg_ir::Opcode;
 use std::collections::HashMap;
@@ -71,14 +71,13 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
             first_in_ev[e.dst] = ei;
         }
     }
-    let no_events = crate::dfg::events(Vec::new());
-    let trace_outputs = |ni: usize| -> crate::dfg::EventSeq {
+    let trace_outputs = |ni: usize| -> EventRef {
         if first_out_ev[ni] != usize::MAX {
-            g.edges[first_out_ev[ni]].src_ev.clone()
+            g.edges[first_out_ev[ni]].src_ev
         } else if first_in_ev[ni] != usize::MAX {
-            g.edges[first_in_ev[ni]].snk_ev.clone()
+            g.edges[first_in_ev[ni]].snk_ev
         } else {
-            no_events.clone()
+            EventRef::EMPTY
         }
     };
 
@@ -112,8 +111,8 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
                             new_edges.push(WorkEdge {
                                 src: e.src,
                                 dst: b,
-                                src_ev: e.src_ev.clone(),
-                                snk_ev: e.snk_ev.clone(),
+                                src_ev: e.src_ev,
+                                snk_ev: e.snk_ev,
                                 alive: true,
                             });
                         }

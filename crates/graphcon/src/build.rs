@@ -5,30 +5,31 @@
 //! aliasing accesses (these are replaced by explicit buffer nodes in the
 //! buffer-insertion pass).
 
-use crate::dfg::{NodeKind, WorkEdge, WorkGraph, WorkNode};
-use pg_activity::{ExecutionTrace, NodeActivity};
+use crate::dfg::{GraphEvents, NodeKind, WorkEdge, WorkGraph, WorkNode};
+use pg_activity::ExecutionTrace;
 use pg_hls::schedule::may_alias;
 use pg_hls::HlsDesign;
 use pg_ir::{Opcode, Operand};
 use std::sync::Arc;
 
 /// Builds the raw dataflow graph of `design` annotated with traced events.
-/// Edge event sequences are shared with the trace (`Arc`), so attaching an
-/// op's outputs to every consumer edge costs a reference bump.
+/// The trace's compressed event arena is shared with the graph (`Arc`), so
+/// attaching an op's outputs to every consumer edge costs an
+/// `(offset, len)` copy.
 pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
     let func = &design.ir;
     let mut g = WorkGraph {
         latency: trace.latency,
+        events: GraphEvents::with_base(Arc::clone(&trace.arena)),
         ..WorkGraph::default()
     };
 
     // One node per static op; node index == ValueId index.
     for op in &func.ops {
-        let t = trace.of(op.id);
         g.add_node(WorkNode {
             kind: NodeKind::Op(op.opcode),
             ops: vec![op.id],
-            activity: NodeActivity::from_trace(t, trace.latency),
+            activity: trace.activity_of(op.id),
             bram: 0.0,
             array: op.mem.as_ref().map(|m| m.array.clone()),
             bank: op.mem.as_ref().and_then(|m| m.bank).unwrap_or(0),
@@ -43,8 +44,8 @@ pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
                 g.add_edge(WorkEdge {
                     src: u.idx(),
                     dst: op.id.idx(),
-                    src_ev: Arc::clone(&trace.of(*u).outputs),
-                    snk_ev: Arc::clone(&trace.of(op.id).inputs[k]),
+                    src_ev: trace.output(*u),
+                    snk_ev: trace.inputs(op.id)[k],
                     alive: true,
                 });
             }
@@ -73,8 +74,8 @@ pub fn build_raw(design: &HlsDesign, trace: &ExecutionTrace) -> WorkGraph {
                 g.add_edge(WorkEdge {
                     src: s.id.idx(),
                     dst: l.id.idx(),
-                    src_ev: Arc::clone(&trace.of(s.id).outputs),
-                    snk_ev: Arc::clone(&trace.of(l.id).outputs),
+                    src_ev: trace.output(s.id),
+                    snk_ev: trace.output(l.id),
                     alive: true,
                 });
             }
@@ -174,7 +175,7 @@ mod tests {
         assert!(with_events > 5, "expected traced events on edges");
         // all event sequences are time-sorted
         for e in g.edges.iter().filter(|e| e.alive) {
-            for w in e.src_ev.windows(2) {
+            for w in g.events.decode(e.src_ev).windows(2) {
                 assert!(w[0].0 <= w[1].0);
             }
         }

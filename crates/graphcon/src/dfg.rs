@@ -5,25 +5,168 @@
 //! cycle-stamped value-event sequences on every edge so that activities can
 //! be recomputed after edges are fused or rerouted. [`PowerGraph`] is the
 //! finalized, feature-annotated sample consumed by the GNN.
+//!
+//! # Edge event storage
+//!
+//! Edges do not own event vectors. Every stream lives compressed in a flat
+//! arena (see [`pg_activity::events`] for the run format) and edges hold
+//! copyable [`EventRef`] slices into it, managed by [`GraphEvents`]:
+//!
+//! * the **base** arena is the execution trace's arena, shared with the
+//!   graph via `Arc` — def-use fan-out, buffer rerouting and trim bypass
+//!   attach an op's stream to many edges as plain `(offset, len)` copies;
+//! * the **extension** arena holds streams the passes create (parallel-
+//!   edge fusion time-merges two streams into a new one), distinguished by
+//!   bit 31 of the ref offset.
+//!
+//! Activity folds ([`GraphEvents::sa_ar`]) consume the compressed runs
+//! directly — no decode allocation — and are bit-identical to the naive
+//! slice math of Eq. 2/3.
 
-use pg_activity::NodeActivity;
+use pg_activity::events::{EventArena, MergeScratch};
+use pg_activity::{EventRef, NodeActivity};
 use pg_ir::{OpClass, Opcode, ValueId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A shared cycle-stamped `(cycle, bits)` event sequence.
-///
-/// Construction passes constantly duplicate event streams — def-use
-/// fan-out puts one op's outputs on every consumer edge, buffer insertion
-/// reroutes them, trim bypass inherits them onto bridge edges. Behind an
-/// `Arc`, all of those are reference bumps instead of deep copies; a pass
-/// that actually needs a *new* sequence (parallel-edge fusion) builds one
-/// and wraps it.
-pub type EventSeq = Arc<Vec<(u64, u32)>>;
+/// Offset tag selecting the extension arena of a [`GraphEvents`].
+const EXT_BIT: u32 = 1 << 31;
 
-/// Wraps raw events into a shared [`EventSeq`].
-pub fn events(ev: Vec<(u64, u32)>) -> EventSeq {
-    Arc::new(ev)
+/// The event storage of one [`WorkGraph`]: the trace's shared base arena
+/// plus a graph-owned extension arena for streams created by passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphEvents {
+    base: Arc<EventArena>,
+    ext: EventArena,
+}
+
+impl GraphEvents {
+    /// Wraps the trace's arena as the shared base.
+    pub fn with_base(base: Arc<EventArena>) -> Self {
+        assert!(
+            base.words().len() < EXT_BIT as usize,
+            "base arena exceeds the 2^31-word ref space"
+        );
+        GraphEvents {
+            base,
+            ext: EventArena::new(),
+        }
+    }
+
+    /// Compressed words of one stream.
+    pub fn stream(&self, r: EventRef) -> &[u32] {
+        if r.off & EXT_BIT != 0 {
+            let off = (r.off & !EXT_BIT) as usize;
+            &self.ext.words()[off..off + r.len as usize]
+        } else {
+            &self.base.words()[r.off as usize..(r.off + r.len) as usize]
+        }
+    }
+
+    /// Number of events in a stream.
+    pub fn count(&self, r: EventRef) -> usize {
+        pg_activity::events::event_count(self.stream(r))
+    }
+
+    /// Decodes a stream to raw `(cycle, bits)` events (tests, diagnostics).
+    pub fn decode(&self, r: EventRef) -> Vec<(u64, u32)> {
+        pg_activity::events::decode(self.stream(r))
+    }
+
+    /// Eq. 2 / Eq. 3 of one stream, folded over its compressed runs.
+    pub fn sa_ar(&self, r: EventRef, latency: u64) -> (f64, f64) {
+        pg_activity::events::fold_sa_ar(self.stream(r), latency)
+    }
+
+    /// [`GraphEvents::sa_ar`] memoized per distinct stream: fan-out
+    /// attaches one op's stream to many edges as the same `(offset, len)`
+    /// ref — bit 31 of the offset disambiguates base vs extension arena,
+    /// so the pair is a sound memo key. Used by graph finalization and
+    /// the oracle netlist, which both fold every alive edge.
+    pub fn sa_ar_memo(
+        &self,
+        r: EventRef,
+        latency: u64,
+        memo: &mut HashMap<(u32, u32), (f64, f64)>,
+    ) -> (f64, f64) {
+        *memo
+            .entry((r.off, r.len))
+            .or_insert_with(|| self.sa_ar(r, latency))
+    }
+
+    /// Tags an extension-arena ref with [`EXT_BIT`], checking the same
+    /// 2^31-word bound `with_base` enforces for the base arena (an
+    /// overflowing offset would silently alias an earlier stream).
+    fn ext_ref(&self, off: u32, len: u32) -> EventRef {
+        assert!(
+            self.ext.words().len() < EXT_BIT as usize,
+            "extension arena exceeds the 2^31-word ref space"
+        );
+        EventRef {
+            off: off | EXT_BIT,
+            len,
+        }
+    }
+
+    /// Encodes raw events into the extension arena (tests, synthetic
+    /// graphs).
+    pub fn push_events(&mut self, events: &[(u64, u32)]) -> EventRef {
+        let r = self.ext.push_events(events);
+        self.ext_ref(r.off, r.len)
+    }
+
+    /// Time-merges two streams into a new extension stream (stable: ties
+    /// take `a` first), decoding through `scratch` so repeated merges
+    /// reuse one pool of buffers. The merged stream is encoded as delta
+    /// runs directly into the extension arena. Both streams must be
+    /// non-empty (merging with an empty stream is the identity — keep the
+    /// other ref instead, as `fuse_parallel_edges` does).
+    pub fn merge(&mut self, a: EventRef, b: EventRef, scratch: &mut MergeScratch) -> EventRef {
+        self.merge_many(&[a, b], scratch)
+    }
+
+    /// K-way time-merge (stable: equal cycles take the earliest stream in
+    /// `refs` first — bit-identical to a left-fold of pairwise merges, but
+    /// each input is read exactly once). Every stream must be non-empty:
+    /// empty members would be identity elements, so callers filter them
+    /// out and keep the surviving ref when fewer than two remain.
+    pub fn merge_many(&mut self, refs: &[EventRef], scratch: &mut MergeScratch) -> EventRef {
+        use pg_activity::events::{merge_streams_k, MERGE_FAN_IN};
+        assert!(
+            refs.len() >= 2 && refs.iter().all(|r| !r.is_empty()),
+            "merge_many requires >= 2 non-empty streams"
+        );
+        if refs.len() <= MERGE_FAN_IN {
+            // Compressed-domain fast path: merge the run encodings
+            // directly, staged through the scratch because the output
+            // arena may also be an input.
+            let mut tmp = std::mem::take(&mut scratch.words_tmp);
+            tmp.clear();
+            {
+                let mut inputs: [&[u32]; MERGE_FAN_IN] = [&[]; MERGE_FAN_IN];
+                for (i, &r) in refs.iter().enumerate() {
+                    inputs[i] = self.stream(r);
+                }
+                merge_streams_k(&mut tmp, &inputs[..refs.len()]);
+            }
+            let out = self.ext.words_mut();
+            let off = out.len() as u32;
+            out.extend_from_slice(&tmp);
+            let len = tmp.len() as u32;
+            scratch.words_tmp = tmp;
+            return self.ext_ref(off, len);
+        }
+        // Wide groups: decode all inputs first (immutable borrows end),
+        // then append the interleave to the extension arena.
+        scratch.begin();
+        for &r in refs {
+            scratch.add(self.stream(r));
+        }
+        let out = self.ext.words_mut();
+        let off = out.len() as u32;
+        let r = scratch.encode_merged(out);
+        self.ext_ref(off, r.len)
+    }
 }
 
 /// Kind of a graph node after construction.
@@ -123,17 +266,19 @@ pub struct WorkNode {
     pub alive: bool,
 }
 
-/// An edge of the working graph with raw event sequences.
-#[derive(Debug, Clone, PartialEq)]
+/// An edge of the working graph. Event sequences are `(offset, len)` refs
+/// into the graph's [`GraphEvents`] arenas — attaching a stream to another
+/// edge is a copy of two words, never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkEdge {
     /// Source node index.
     pub src: usize,
     /// Sink node index.
     pub dst: usize,
     /// `(cycle, bits)` events injected by the source.
-    pub src_ev: EventSeq,
+    pub src_ev: EventRef,
     /// `(cycle, bits)` events consumed by the sink.
-    pub snk_ev: EventSeq,
+    pub snk_ev: EventRef,
     /// Liveness flag.
     pub alive: bool,
 }
@@ -145,6 +290,8 @@ pub struct WorkGraph {
     pub nodes: Vec<WorkNode>,
     /// Edges (tombstoned, never removed).
     pub edges: Vec<WorkEdge>,
+    /// Event stream storage referenced by the edges.
+    pub events: GraphEvents,
     /// Design latency for activity normalization.
     pub latency: u64,
 }
@@ -160,6 +307,11 @@ impl WorkGraph {
     pub fn add_edge(&mut self, edge: WorkEdge) -> usize {
         self.edges.push(edge);
         self.edges.len() - 1
+    }
+
+    /// Encodes raw events into the graph's extension arena (test helper).
+    pub fn add_events(&mut self, events: &[(u64, u32)]) -> EventRef {
+        self.events.push_events(events)
     }
 
     /// Alive-node count.
@@ -200,41 +352,62 @@ impl WorkGraph {
 
     /// Fuses parallel edges (same `(src, dst)`) by time-merging their event
     /// sequences. Called after passes that re-point edges.
+    ///
+    /// Each group of parallel edges is merged **k-way in one pass** —
+    /// bit-identical to folding pairwise merges left-to-right in edge
+    /// order (cycle ties keep the earlier edge's events first), but every
+    /// stream is decoded once instead of the accumulating stream being
+    /// re-decoded per pair.
     pub fn fuse_parallel_edges(&mut self) {
-        let mut first: HashMap<(usize, usize), usize> = HashMap::new();
-        let mut to_merge: Vec<(usize, usize)> = Vec::new();
+        let _t = pg_util::prof::scope("graph.fuse");
+        // Group alive parallel edges by endpoint pair, preserving edge
+        // order within and across groups.
+        let mut group_idx: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (i, e) in self.edges.iter().enumerate() {
             if !e.alive {
                 continue;
             }
-            match first.entry((e.src, e.dst)) {
+            match group_idx.entry((e.src, e.dst)) {
                 std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(i);
+                    v.insert(groups.len());
+                    groups.push((i, Vec::new()));
                 }
                 std::collections::hash_map::Entry::Occupied(o) => {
-                    to_merge.push((*o.get(), i));
+                    groups[*o.get()].1.push(i);
                 }
             }
         }
-        for (keep, drop) in to_merge {
-            let (se, de) = {
-                let d = &self.edges[drop];
-                (Arc::clone(&d.src_ev), Arc::clone(&d.snk_ev))
-            };
-            // Merging with an empty sequence is the identity — reuse the
-            // non-empty side's shared sequence instead of re-allocating.
-            let k = &mut self.edges[keep];
-            k.src_ev = match (k.src_ev.is_empty(), se.is_empty()) {
-                (true, _) => se,
-                (false, true) => Arc::clone(&k.src_ev),
-                (false, false) => Arc::new(pg_activity::sa::merge_events(&k.src_ev, &se)),
-            };
-            k.snk_ev = match (k.snk_ev.is_empty(), de.is_empty()) {
-                (true, _) => de,
-                (false, true) => Arc::clone(&k.snk_ev),
-                (false, false) => Arc::new(pg_activity::sa::merge_events(&k.snk_ev, &de)),
-            };
-            self.edges[drop].alive = false;
+        let mut scratch = MergeScratch::default();
+        let mut streams: Vec<EventRef> = Vec::new();
+        for (keep, drops) in &groups {
+            if drops.is_empty() {
+                continue;
+            }
+            let src_ev = fuse_group_side(
+                &self.edges,
+                &mut self.events,
+                *keep,
+                drops,
+                |e| e.src_ev,
+                &mut scratch,
+                &mut streams,
+            );
+            let snk_ev = fuse_group_side(
+                &self.edges,
+                &mut self.events,
+                *keep,
+                drops,
+                |e| e.snk_ev,
+                &mut scratch,
+                &mut streams,
+            );
+            let k = &mut self.edges[*keep];
+            k.src_ev = src_ev;
+            k.snk_ev = snk_ev;
+            for &d in drops {
+                self.edges[d].alive = false;
+            }
         }
     }
 
@@ -252,6 +425,36 @@ impl WorkGraph {
             }
         }
         Ok(())
+    }
+}
+
+/// Fuses one side (source or sink events) of a parallel-edge group.
+/// Merging with an empty sequence is the identity — a group with one
+/// non-empty stream reuses that stream's ref; with none, the ref of the
+/// last member (what a pairwise fold would leave behind).
+fn fuse_group_side(
+    edges: &[WorkEdge],
+    events: &mut GraphEvents,
+    keep: usize,
+    drops: &[usize],
+    side: fn(&WorkEdge) -> EventRef,
+    scratch: &mut MergeScratch,
+    streams: &mut Vec<EventRef>,
+) -> EventRef {
+    streams.clear();
+    streams.push(side(&edges[keep]));
+    streams.extend(drops.iter().map(|&d| side(&edges[d])));
+    let non_empty = streams.iter().filter(|r| !r.is_empty()).count();
+    match non_empty {
+        0 => *streams.last().expect("group has members"),
+        1 => *streams
+            .iter()
+            .find(|r| !r.is_empty())
+            .expect("one non-empty stream"),
+        _ => {
+            streams.retain(|r| !r.is_empty());
+            events.merge_many(streams, scratch)
+        }
     }
 }
 
@@ -389,15 +592,15 @@ mod tests {
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: events(vec![]),
-            snk_ev: events(vec![]),
+            src_ev: EventRef::EMPTY,
+            snk_ev: EventRef::EMPTY,
             alive: true,
         });
         g.add_edge(WorkEdge {
             src: b,
             dst: c,
-            src_ev: events(vec![]),
-            snk_ev: events(vec![]),
+            src_ev: EventRef::EMPTY,
+            snk_ev: EventRef::EMPTY,
             alive: true,
         });
         assert_eq!(g.preds(b), vec![a]);
@@ -414,25 +617,53 @@ mod tests {
         let mut g = WorkGraph::default();
         let a = g.add_node(mk_node(NodeKind::Op(Opcode::Load)));
         let b = g.add_node(mk_node(NodeKind::Op(Opcode::FAdd)));
+        let e1s = g.add_events(&[(0, 1)]);
+        let e2s = g.add_events(&[(1, 2)]);
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: events(vec![(0, 1)]),
-            snk_ev: events(vec![(0, 1)]),
+            src_ev: e1s,
+            snk_ev: e1s,
             alive: true,
         });
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: events(vec![(1, 2)]),
-            snk_ev: events(vec![(1, 2)]),
+            src_ev: e2s,
+            snk_ev: e2s,
             alive: true,
         });
         g.fuse_parallel_edges();
         assert_eq!(g.num_edges(), 1);
-        let e = g.edges.iter().find(|e| e.alive).unwrap();
-        assert_eq!(*e.src_ev, vec![(0, 1), (1, 2)]);
+        let e = *g.edges.iter().find(|e| e.alive).unwrap();
+        assert_eq!(g.events.decode(e.src_ev), vec![(0, 1), (1, 2)]);
         assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn fuse_with_empty_side_reuses_stream() {
+        let mut g = WorkGraph::default();
+        let a = g.add_node(mk_node(NodeKind::Op(Opcode::Load)));
+        let b = g.add_node(mk_node(NodeKind::Op(Opcode::FAdd)));
+        let ev = g.add_events(&[(0, 1), (2, 3)]);
+        g.add_edge(WorkEdge {
+            src: a,
+            dst: b,
+            src_ev: EventRef::EMPTY,
+            snk_ev: ev,
+            alive: true,
+        });
+        g.add_edge(WorkEdge {
+            src: a,
+            dst: b,
+            src_ev: ev,
+            snk_ev: EventRef::EMPTY,
+            alive: true,
+        });
+        g.fuse_parallel_edges();
+        let e = *g.edges.iter().find(|e| e.alive).unwrap();
+        assert_eq!(e.src_ev, ev, "non-empty side must be reused verbatim");
+        assert_eq!(e.snk_ev, ev);
     }
 
     #[test]
@@ -443,8 +674,8 @@ mod tests {
         g.add_edge(WorkEdge {
             src: a,
             dst: b,
-            src_ev: events(vec![]),
-            snk_ev: events(vec![]),
+            src_ev: EventRef::EMPTY,
+            snk_ev: EventRef::EMPTY,
             alive: true,
         });
         g.nodes[b].alive = false;

@@ -49,5 +49,6 @@ pub mod flow;
 pub mod merge;
 pub mod trim;
 
-pub use dfg::{events, EventSeq, NodeKind, PowerGraph, Relation, WorkEdge, WorkGraph, WorkNode};
+pub use dfg::{GraphEvents, NodeKind, PowerGraph, Relation, WorkEdge, WorkGraph, WorkNode};
 pub use flow::{GraphConfig, GraphFlow};
+pub use pg_activity::EventRef;

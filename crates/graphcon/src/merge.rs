@@ -23,7 +23,11 @@ use std::collections::HashMap;
 
 /// Runs both merging mechanisms until fixpoint.
 pub fn merge_datapaths(g: &mut WorkGraph, design: &HlsDesign) {
-    merge_by_binding(g, design);
+    {
+        let _t = pg_util::prof::scope("graph.merge.binding");
+        merge_by_binding(g, design);
+    }
+    let _t = pg_util::prof::scope("graph.merge.rounds");
     let mut guard = 0;
     while merge_structural_round(g) {
         guard += 1;

@@ -52,8 +52,8 @@ pub fn trim(g: &mut WorkGraph) {
                     bridges.push(WorkEdge {
                         src,
                         dst,
-                        src_ev: g.edges[ie].src_ev.clone(),
-                        snk_ev: g.edges[oe].snk_ev.clone(),
+                        src_ev: g.edges[ie].src_ev,
+                        snk_ev: g.edges[oe].snk_ev,
                         alive: true,
                     });
                 }

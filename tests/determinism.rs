@@ -121,6 +121,20 @@ fn build_all_scale_determinism_paper() {
     });
 }
 
+/// XL scale: the `paper_xl` 1000-point profile over the flat-arena cold
+/// path. Worker-local `TraceScratch` reuse (arena recycling) must never
+/// leak into dataset contents at any thread count.
+#[test]
+#[ignore = "XL-scale (1000 points/kernel); run with --ignored in the dataset-scale CI job"]
+fn build_all_scale_determinism_paper_xl() {
+    build_all_across_threads(DatasetConfig {
+        size: 8,
+        seed: 3,
+        threads: 1,
+        ..DatasetConfig::paper_xl()
+    });
+}
+
 #[test]
 fn one_training_epoch_is_bit_identical_across_runs() {
     let (preds1, err1) = one_epoch_metrics();

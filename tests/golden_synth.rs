@@ -27,8 +27,11 @@ const SIZE: usize = 8;
 const POINTS: usize = 8;
 /// Sampling seed for the fixture design points.
 const SEED: u64 = 1;
-/// Fixture kernels: distinct loop structures (two-nest, reduction, triple).
-const KERNELS: [&str; 3] = ["mvt", "bicg", "gemm"];
+/// Fixture kernels: distinct loop structures (two-nest, reduction, triple,
+/// multi-block sequential chain, scalar-weighted accumulation). The first
+/// three pin the original 24 digests; `atax` and `gesummv` extend the wall
+/// to 40 for the arena/compressed-stream path.
+const KERNELS: [&str; 5] = ["mvt", "bicg", "gemm", "atax", "gesummv"];
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),

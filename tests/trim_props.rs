@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 
 use powergear_repro::activity::NodeActivity;
-use powergear_repro::graphcon::{events, trim::trim, NodeKind, WorkEdge, WorkGraph, WorkNode};
+use powergear_repro::graphcon::{trim::trim, NodeKind, WorkEdge, WorkGraph, WorkNode};
 use powergear_repro::ir::Opcode;
 
 /// Mix of trimmable (casts/branches) and persistent opcodes.
@@ -66,11 +66,12 @@ fn build_graph(kinds: Vec<usize>, edge_mask: Vec<bool>, seeds: Vec<u32>) -> Work
                 let ev: Vec<(u64, u32)> = (0..(s % 3 + 1))
                     .map(|j| (s % 17 + j, (seeds[pair].wrapping_mul(j as u32 + 1)) ^ 0xA5))
                     .collect();
+                let ev_ref = g.add_events(&ev);
                 g.add_edge(WorkEdge {
                     src,
                     dst,
-                    src_ev: events(ev.clone()),
-                    snk_ev: events(ev),
+                    src_ev: ev_ref,
+                    snk_ev: ev_ref,
                     alive: true,
                 });
             }
@@ -109,14 +110,21 @@ fn reachability(g: &WorkGraph) -> Vec<Vec<bool>> {
 }
 
 /// Canonical snapshot of alive topology: alive node set + sorted alive
-/// edge multiset with event lengths.
+/// edge multiset with event counts.
 fn snapshot(g: &WorkGraph) -> (Vec<bool>, Vec<(usize, usize, usize, usize)>) {
     let nodes: Vec<bool> = g.nodes.iter().map(|n| n.alive).collect();
     let mut edges: Vec<(usize, usize, usize, usize)> = g
         .edges
         .iter()
         .filter(|e| e.alive)
-        .map(|e| (e.src, e.dst, e.src_ev.len(), e.snk_ev.len()))
+        .map(|e| {
+            (
+                e.src,
+                e.dst,
+                g.events.count(e.src_ev),
+                g.events.count(e.snk_ev),
+            )
+        })
         .collect();
     edges.sort_unstable();
     (nodes, edges)

@@ -8,16 +8,20 @@
 use pg_ir::{ArrayKind, Kernel};
 use pg_util::rng::hash64;
 use pg_util::Rng64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Input data for one kernel execution.
+///
+/// Both maps are ordered: the interpreter iterates `arrays` to lay out its
+/// value slots, so iteration order must be a function of the kernel alone,
+/// never of hash state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stimuli {
     /// Initial contents per array (row-major flattened). `Temp` arrays are
     /// zero-initialized, matching C semantics of locals written before read.
-    pub arrays: HashMap<String, Vec<f32>>,
+    pub arrays: BTreeMap<String, Vec<f32>>,
     /// Scalar argument values.
-    pub scalars: HashMap<String, f32>,
+    pub scalars: BTreeMap<String, f32>,
 }
 
 impl Stimuli {
@@ -25,7 +29,7 @@ impl Stimuli {
     /// `[-1, 1)`, ~12 % exact zeros to exercise data-dependent toggling).
     pub fn for_kernel(kernel: &Kernel, seed: u64) -> Self {
         let mut rng = Rng64::new(hash64(kernel.name.as_bytes()) ^ seed);
-        let mut arrays = HashMap::new();
+        let mut arrays = BTreeMap::new();
         for a in &kernel.arrays {
             let data: Vec<f32> = match a.kind {
                 ArrayKind::Temp => vec![0.0; a.len()],
@@ -41,7 +45,7 @@ impl Stimuli {
             };
             arrays.insert(a.name.clone(), data);
         }
-        let mut scalars = HashMap::new();
+        let mut scalars = BTreeMap::new();
         for s in &kernel.scalars {
             scalars.insert(s.clone(), rng.uniform(0.25, 2.0) as f32);
         }

@@ -1,0 +1,139 @@
+//! `pg-lint` — run the workspace static analyzer.
+//!
+//! ```text
+//! pg-lint --workspace [--deny-warnings] [--json out.jsonl]
+//!         [--baseline pg-lint.baseline] [--write-baseline] [--root DIR]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pg_lint::engine::{apply_baseline, parse_baseline, render_baseline, run_workspace};
+use pg_lint::Config;
+
+fn usage() -> &'static str {
+    "usage: pg-lint --workspace [--deny-warnings] [--json PATH] \
+     [--baseline PATH] [--write-baseline] [--root DIR]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut deny_warnings = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--write-baseline" => write_baseline = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pg-lint: --json needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pg-lint: --baseline needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pg-lint: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pg-lint: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !workspace {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    // Default root: walk up from CWD to the first directory whose Cargo.toml
+    // declares a [workspace], so the bin works from any crate dir.
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            loop {
+                let m = dir.join("Cargo.toml");
+                let is_ws = std::fs::read_to_string(&m)
+                    .map(|t| t.contains("[workspace]"))
+                    .unwrap_or(false);
+                if is_ws {
+                    break dir;
+                }
+                if !dir.pop() {
+                    eprintln!("pg-lint: no workspace root found above the current directory");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("pg-lint.baseline"));
+    let cfg = Config::house();
+    let (findings, files, manifests) = run_workspace(&root, &cfg);
+
+    if write_baseline {
+        let text = render_baseline(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("pg-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "pg-lint: wrote {} ({} finding class(es)); fill in the reasons",
+            baseline_path.display(),
+            text.lines().filter(|l| !l.starts_with('#')).count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("pg-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(), // no baseline file = empty baseline
+    };
+
+    let mut report = apply_baseline(findings, &baseline);
+    report.files_scanned = files;
+    report.manifests_scanned = manifests;
+
+    if let Some(jp) = &json_path {
+        if let Err(e) = std::fs::write(jp, report.render_jsonl()) {
+            eprintln!("pg-lint: cannot write {}: {e}", jp.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    print!("{}", report.render_text(deny_warnings));
+    if report.is_clean(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

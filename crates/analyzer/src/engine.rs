@@ -1,0 +1,480 @@
+//! Finding model, baseline handling, report rendering and the workspace
+//! driver that walks every crate and applies all rule families.
+//!
+//! The library never writes to stdout/stderr itself — all output is returned
+//! as strings and printed by the `pg-lint` bin (the analyzer must pass its
+//! own `print_hygiene` rule).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::arch;
+use crate::check::{check_file, Config};
+use crate::manifest::parse_manifest;
+use crate::source::{FileClass, SourceFile};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    /// Trimmed text of the offending line (baseline fingerprint input).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Stable fingerprint: hashes the line *text*, not the line number, so a
+    /// baselined finding survives unrelated edits above it.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.snippet.trim().as_bytes())
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(&self.rule),
+            self.severity.as_str(),
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.message),
+            json_escape(&self.snippet),
+        )
+    }
+}
+
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One grandfathered finding class in the checked-in baseline file.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub fingerprint: u64,
+    /// How many findings with this (rule, path, fingerprint) are tolerated.
+    pub count: u32,
+    pub reason: String,
+}
+
+/// Parses `pg-lint.baseline`: tab-separated
+/// `rule<TAB>path<TAB>fingerprint-hex<TAB>count<TAB>reason` lines,
+/// `#`-comments and blank lines ignored.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 5 {
+            return Err(format!(
+                "baseline line {}: expected 5 tab-separated columns, got {}",
+                i + 1,
+                cols.len()
+            ));
+        }
+        let fingerprint = u64::from_str_radix(cols[2].trim_start_matches("0x"), 16)
+            .map_err(|e| format!("baseline line {}: bad fingerprint: {e}", i + 1))?;
+        let count: u32 = cols[3]
+            .parse()
+            .map_err(|e| format!("baseline line {}: bad count: {e}", i + 1))?;
+        if cols[4].trim().is_empty() {
+            return Err(format!("baseline line {}: empty reason", i + 1));
+        }
+        out.push(BaselineEntry {
+            rule: cols[0].to_string(),
+            path: cols[1].to_string(),
+            fingerprint,
+            count,
+            reason: cols[4].to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders findings back out in baseline format (for `--write-baseline`).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut grouped: Vec<(String, String, u64, u32)> = Vec::new();
+    for f in findings {
+        let fp = f.fingerprint();
+        if let Some(g) = grouped
+            .iter_mut()
+            .find(|(r, p, h, _)| *r == f.rule && *p == f.path && *h == fp)
+        {
+            g.3 += 1;
+        } else {
+            grouped.push((f.rule.clone(), f.path.clone(), fp, 1));
+        }
+    }
+    grouped.sort();
+    let mut out = String::from(
+        "# pg-lint baseline: grandfathered findings.\n\
+         # rule<TAB>path<TAB>line-fingerprint<TAB>count<TAB>reason\n\
+         # Shrink this file over time; never grow it without a written reason.\n",
+    );
+    for (rule, path, fp, count) in grouped {
+        out.push_str(&format!(
+            "{rule}\t{path}\t{fp:016x}\t{count}\tTODO: justify or fix\n"
+        ));
+    }
+    out
+}
+
+/// Result of a workspace run, split into live findings and baselined ones.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub baselined: Vec<(Finding, String)>,
+    /// Baseline entries that matched nothing — stale, should be pruned.
+    pub stale_baseline: Vec<BaselineEntry>,
+    pub files_scanned: usize,
+    pub manifests_scanned: usize,
+}
+
+impl Report {
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self, deny_warnings: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}: [{}] {}:{}: {}\n",
+                f.severity.as_str(),
+                f.rule,
+                f.path,
+                f.line,
+                f.message
+            ));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("    | {}\n", f.snippet));
+            }
+        }
+        for e in &self.stale_baseline {
+            out.push_str(&format!(
+                "warning: [baseline] stale entry `{}\t{}\t{:016x}` matched no finding; prune it\n",
+                e.rule, e.path, e.fingerprint
+            ));
+        }
+        let errors = self.error_count();
+        let warnings = self.warning_count();
+        out.push_str(&format!(
+            "pg-lint: {} file(s), {} manifest(s) scanned; {} error(s), {} warning(s), {} baselined, {} stale baseline entr(ies)\n",
+            self.files_scanned,
+            self.manifests_scanned,
+            errors,
+            warnings,
+            self.baselined.len(),
+            self.stale_baseline.len()
+        ));
+        if errors > 0 || (deny_warnings && warnings > 0) || !self.stale_baseline.is_empty() {
+            out.push_str("pg-lint: FAIL\n");
+        } else {
+            out.push_str("pg-lint: ok\n");
+        }
+        out
+    }
+
+    /// JSON-lines rendering of live findings (one object per line).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.error_count() == 0
+            && (!deny_warnings || self.warning_count() == 0)
+            && self.stale_baseline.is_empty()
+    }
+}
+
+/// Splits raw findings against the baseline: each baseline entry absorbs up
+/// to `count` findings with the matching (rule, path, fingerprint).
+pub fn apply_baseline(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> Report {
+    let mut remaining: Vec<(BaselineEntry, u32)> =
+        baseline.iter().map(|e| (e.clone(), e.count)).collect();
+    let mut live = Vec::new();
+    let mut absorbed = Vec::new();
+    for f in findings {
+        let fp = f.fingerprint();
+        let slot = remaining.iter_mut().find(|(e, left)| {
+            *left > 0 && e.rule == f.rule && e.path == f.path && e.fingerprint == fp
+        });
+        match slot {
+            Some((e, left)) => {
+                *left -= 1;
+                absorbed.push((f, e.reason.clone()));
+            }
+            None => live.push(f),
+        }
+    }
+    let stale = remaining
+        .into_iter()
+        .filter(|(e, left)| *left == e.count)
+        .map(|(e, _)| e)
+        .collect();
+    Report {
+        findings: live,
+        baselined: absorbed,
+        stale_baseline: stale,
+        files_scanned: 0,
+        manifests_scanned: 0,
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Classifies a workspace-relative source path.
+fn classify(rel: &str) -> FileClass {
+    if rel.contains("/src/bin/") {
+        FileClass::Bin
+    } else if rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("tests/")
+    {
+        FileClass::Test
+    } else {
+        FileClass::Lib
+    }
+}
+
+/// Directories whose sources are outside pg-lint's jurisdiction: vendored
+/// shims mimic external crates' APIs, and rule-test fixtures contain seeded
+/// violations on purpose.
+fn source_excluded(rel: &str) -> bool {
+    rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.starts_with("crates/analyzer/tests/fixtures/")
+}
+
+/// Runs every rule family over the workspace rooted at `root`.
+/// Returns raw findings (baseline not yet applied) plus scan counts.
+pub fn run_workspace(root: &Path, cfg: &Config) -> (Vec<Finding>, usize, usize) {
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    let mut manifests = 0usize;
+
+    let rel_of = |p: &Path| -> String {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/")
+    };
+
+    // Architecture pass: root manifest + every member manifest.
+    let root_manifest_path = root.join("Cargo.toml");
+    if let Ok(text) = fs::read_to_string(&root_manifest_path) {
+        manifests += 1;
+        let m = parse_manifest("Cargo.toml", &text);
+        arch::check_root(&m, &mut findings);
+        arch::check_manifest(&m, &mut findings);
+        for member in &m.members {
+            let mp = root.join(member).join("Cargo.toml");
+            let rel = rel_of(&mp);
+            match fs::read_to_string(&mp) {
+                Ok(t) => {
+                    manifests += 1;
+                    let mm = parse_manifest(&rel, &t);
+                    arch::check_manifest(&mm, &mut findings);
+                }
+                Err(_) => findings.push(Finding {
+                    rule: "dag".to_string(),
+                    severity: Severity::Error,
+                    path: rel,
+                    line: 1,
+                    message: format!("workspace member `{member}` has no readable Cargo.toml"),
+                    snippet: String::new(),
+                }),
+            }
+        }
+    } else {
+        findings.push(Finding {
+            rule: "dag".to_string(),
+            severity: Severity::Error,
+            path: "Cargo.toml".to_string(),
+            line: 1,
+            message: "workspace root Cargo.toml is missing or unreadable".to_string(),
+            snippet: String::new(),
+        });
+    }
+
+    // Source pass: src/, tests/, benches/ of every crate dir plus the root
+    // package, in sorted order for deterministic output.
+    let mut rs_files = Vec::new();
+    collect_rs(&root.join("src"), &mut rs_files);
+    collect_rs(&root.join("tests"), &mut rs_files);
+    collect_rs(&root.join("crates"), &mut rs_files);
+    rs_files.sort();
+
+    for path in rs_files {
+        let rel = rel_of(&path);
+        if source_excluded(&rel) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        files += 1;
+        let sf = SourceFile::new(rel, classify_with_root(&path, root), text);
+        check_file(&sf, cfg, &mut findings);
+    }
+
+    (findings, files, manifests)
+}
+
+fn classify_with_root(path: &Path, root: &Path) -> FileClass {
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    classify(&rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            severity: Severity::Error,
+            path: path.into(),
+            line: 10,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let f = finding("print_hygiene", "crates/x/src/lib.rs", "eprintln!(\"hi\");");
+        let text = render_baseline(std::slice::from_ref(&f)).replace("TODO: justify or fix", "ok");
+        let entries = parse_baseline(&text).unwrap();
+        assert_eq!(entries.len(), 1);
+        let rep = apply_baseline(vec![f], &entries);
+        assert!(rep.findings.is_empty());
+        assert_eq!(rep.baselined.len(), 1);
+        assert!(rep.stale_baseline.is_empty());
+    }
+
+    #[test]
+    fn baseline_count_is_a_cap() {
+        let f = finding("x", "p.rs", "line");
+        let entries =
+            parse_baseline(&format!("x\tp.rs\t{:016x}\t1\tr\n", f.fingerprint())).unwrap();
+        let rep = apply_baseline(vec![f.clone(), f], &entries);
+        assert_eq!(rep.baselined.len(), 1);
+        assert_eq!(rep.findings.len(), 1);
+    }
+
+    #[test]
+    fn stale_baseline_detected() {
+        let entries = parse_baseline("x\tp.rs\t00000000deadbeef\t1\tr\n").unwrap();
+        let rep = apply_baseline(Vec::new(), &entries);
+        assert_eq!(rep.stale_baseline.len(), 1);
+        assert!(!rep.is_clean(false));
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_number() {
+        let a = finding("x", "p.rs", "let y = 1;");
+        let mut b = a.clone();
+        b.line = 99;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn baseline_rejects_empty_reason() {
+        assert!(parse_baseline("x\tp.rs\t0\t1\t \n").is_err());
+        assert!(parse_baseline("x\tp.rs\t0\t1\n").is_err());
+    }
+
+    #[test]
+    fn json_escaping() {
+        let f = finding("x", "p.rs", "say \"hi\"\\");
+        let j = f.to_json();
+        assert!(j.contains("say \\\"hi\\\"\\\\"));
+    }
+
+    #[test]
+    fn deny_warnings_gates_cleanliness() {
+        let mut f = finding("x", "p.rs", "s");
+        f.severity = Severity::Warning;
+        let rep = apply_baseline(vec![f], &[]);
+        assert!(rep.is_clean(false));
+        assert!(!rep.is_clean(true));
+    }
+}

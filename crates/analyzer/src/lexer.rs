@@ -1,0 +1,440 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rule engine needs just enough token structure to tell identifiers
+//! apart from the insides of comments and string literals — a naive
+//! `grep` would flag `//! println!(...)` doc examples and `"HashMap"`
+//! string payloads. The lexer therefore recognizes comments (line, block
+//! with nesting, doc), string/char/byte literals (including raw strings
+//! with `#` fences), lifetimes, numbers, identifiers and punctuation.
+//!
+//! Guarantees (property-tested in `tests/lexer_props.rs`):
+//!
+//! * never panics, on any input string;
+//! * tokens are non-empty, contiguous and cover the input exactly, so
+//!   `tokens.map(|t| &src[t.start..t.end])` concatenates back to `src`;
+//! * every token's `line` is the 1-based line its first byte sits on.
+//!
+//! Unterminated literals or comments extend to end-of-input rather than
+//! erroring: the lexer's job is to classify bytes, not validate Rust.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Whitespace run (including newlines).
+    Ws,
+    /// `// ...` to end of line (covers `///` and `//!` doc comments).
+    LineComment,
+    /// `/* ... */`, nesting-aware (covers `/** ... */`).
+    BlockComment,
+    /// Identifier or keyword, including raw `r#ident`.
+    Ident,
+    /// Lifetime such as `'a` (but not a char literal).
+    Lifetime,
+    /// Numeric literal, with radix prefix / float part / suffix attached.
+    Num,
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation. Multi-char sequences `::`, `->`, `=>`, `..`, `..=`
+    /// are single tokens; everything else is one char per token.
+    Punct,
+}
+
+/// One token: classification plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+/// Character cursor: `(byte offset, char)` pairs plus an end sentinel,
+/// so every position arithmetic stays on char boundaries by construction.
+struct Cursor<'s> {
+    src: &'s str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars.get(idx).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    /// Advances one char, tracking newlines.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a complete, contiguous token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let start_idx = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur);
+        debug_assert!(cur.pos > start_idx, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start: cur.byte_at(start_idx),
+            end: cur.byte_at(cur.pos),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes one token's chars and returns its kind.
+fn next_kind(cur: &mut Cursor<'_>) -> TokKind {
+    let c = cur.peek(0).unwrap_or('\0');
+    if c.is_whitespace() {
+        while cur.peek(0).is_some_and(|c| c.is_whitespace()) {
+            cur.bump();
+        }
+        return TokKind::Ws;
+    }
+    if c == '/' && cur.peek(1) == Some('/') {
+        while cur.peek(0).is_some_and(|c| c != '\n') {
+            cur.bump();
+        }
+        return TokKind::LineComment;
+    }
+    if c == '/' && cur.peek(1) == Some('*') {
+        cur.bump_n(2);
+        let mut depth = 1usize;
+        while !cur.at_end() && depth > 0 {
+            match (cur.peek(0), cur.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    cur.bump_n(2);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    cur.bump_n(2);
+                }
+                _ => cur.bump(),
+            }
+        }
+        return TokKind::BlockComment;
+    }
+    // Raw strings, byte strings, raw identifiers: r" r#" r#ident b" b' br"
+    if c == 'r' || c == 'b' {
+        if let Some(kind) = try_prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if is_ident_start(c) {
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        lex_number(cur);
+        return TokKind::Num;
+    }
+    if c == '"' {
+        cur.bump();
+        lex_quoted(cur, '"');
+        return TokKind::Str;
+    }
+    if c == '\'' {
+        // Lifetime `'a` vs char `'a'`: a lifetime is `'` + ident chars NOT
+        // followed by a closing quote.
+        if cur.peek(1).is_some_and(is_ident_start) {
+            let mut j = 2;
+            while cur.peek(j).is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            if cur.peek(j) != Some('\'') {
+                cur.bump(); // '
+                cur.bump_n(j - 1);
+                return TokKind::Lifetime;
+            }
+        }
+        cur.bump();
+        lex_quoted(cur, '\'');
+        return TokKind::Char;
+    }
+    // Multi-char punctuation the rule engine cares about.
+    match (c, cur.peek(1), cur.peek(2)) {
+        (':', Some(':'), _) | ('-', Some('>'), _) | ('=', Some('>'), _) => {
+            cur.bump_n(2);
+            return TokKind::Punct;
+        }
+        ('.', Some('.'), Some('=')) => {
+            cur.bump_n(3);
+            return TokKind::Punct;
+        }
+        ('.', Some('.'), _) => {
+            cur.bump_n(2);
+            return TokKind::Punct;
+        }
+        _ => {}
+    }
+    cur.bump();
+    TokKind::Punct
+}
+
+/// Consumes the body of a quoted literal after the opening quote, honoring
+/// backslash escapes, up to the closing quote or end of input.
+fn lex_quoted(cur: &mut Cursor<'_>, close: char) {
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump_n(2);
+            continue;
+        }
+        cur.bump();
+        if c == close {
+            return;
+        }
+    }
+}
+
+/// Tries `r#ident`, `r"..."`, `r#"..."#`, `b"..."`, `b'...'`, `br#"..."#`
+/// at the cursor; consumes and classifies on success, leaves the cursor
+/// untouched on failure (the caller falls through to plain ident lexing).
+fn try_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let c0 = cur.peek(0)?;
+    // Offset of the char after the r/b/br prefix.
+    let (raw, body): (bool, usize) = match (c0, cur.peek(1)) {
+        ('r', Some('#')) | ('r', Some('"')) => (true, 1),
+        ('b', Some('r')) if matches!(cur.peek(2), Some('#') | Some('"')) => (true, 2),
+        ('b', Some('"')) => (false, 1),
+        ('b', Some('\'')) => {
+            cur.bump_n(2);
+            lex_quoted(cur, '\'');
+            return Some(TokKind::Char);
+        }
+        _ => return None,
+    };
+    if !raw {
+        cur.bump_n(body + 1);
+        lex_quoted(cur, '"');
+        return Some(TokKind::Str);
+    }
+    // Count `#` fence.
+    let mut fence = 0usize;
+    while cur.peek(body + fence) == Some('#') {
+        fence += 1;
+    }
+    if cur.peek(body + fence) != Some('"') {
+        // `r#ident` (raw identifier) or bare `r#` — treat as ident if an
+        // ident follows, otherwise not a literal.
+        if c0 == 'r' && fence == 1 && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump_n(2);
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            return Some(TokKind::Ident);
+        }
+        return None;
+    }
+    // Raw string: consume prefix + fence + quote, then scan for `"` + fence.
+    cur.bump_n(body + fence + 1);
+    'scan: while let Some(c) = cur.peek(0) {
+        cur.bump();
+        if c == '"' {
+            for k in 0..fence {
+                if cur.peek(k) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            cur.bump_n(fence);
+            return Some(TokKind::Str);
+        }
+    }
+    Some(TokKind::Str) // unterminated: runs to end of input
+}
+
+/// Consumes a numeric literal: radix prefixes, `_` separators, a float
+/// part (only when the dot is followed by a digit — `0..5` stays a range),
+/// exponents, and trailing type suffixes (`1.0f32`, `0xFFu8`).
+fn lex_number(cur: &mut Cursor<'_>) {
+    // Leading digits (covers radix prefixes since `x`/`o`/`b` and hex
+    // digits fall under ident-continue).
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    // Fractional part: `.` followed by a digit.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    // Exponent sign: `1e-3` — the `e` was consumed as ident-continue, the
+    // sign and exponent digits were not.
+    if matches!(cur.peek(0), Some('+') | Some('-'))
+        && cur
+            .chars
+            .get(cur.pos.wrapping_sub(1))
+            .is_some_and(|&(_, c)| c == 'e' || c == 'E')
+    {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn sig(src: &str) -> Vec<(TokKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covers_input_exactly() {
+        let src = "fn main() { let x = 1.0; // hi\n }";
+        let toks = lex(src);
+        assert_eq!(toks.first().map(|t| t.start), Some(0));
+        assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let src = "// HashMap here\n/* println! */ let x = 0;";
+        let idents: Vec<_> = sig(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(idents, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r##"let s = "HashMap::new()"; let r = r#"Instant"# ;"##;
+        let idents: Vec<_> = sig(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let toks = sig(src);
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let src = "for i in 0..5 { let x = 1.5e-3f64; }";
+        let toks = sig(src);
+        assert!(toks.contains(&(TokKind::Punct, "..")));
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3f64")));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let toks = sig("std::collections::HashMap");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "std"),
+                (TokKind::Punct, "::"),
+                (TokKind::Ident, "collections"),
+                (TokKind::Punct, "::"),
+                (TokKind::Ident, "HashMap"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ x";
+        let toks = sig(src);
+        assert_eq!(toks, vec![(TokKind::Ident, "x")]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n  c";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(toks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "src={src:?}");
+        }
+    }
+}

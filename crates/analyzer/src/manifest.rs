@@ -1,0 +1,197 @@
+//! Minimal parser for the subset of TOML the workspace manifests use:
+//! `[section]` headers, `key = "string"`, `key.workspace = true`,
+//! `key = { path = "..." }` inline tables, and multi-line string arrays.
+//!
+//! This is deliberately not a general TOML parser — it only has to read
+//! manifests this repository itself checks in, and the architecture rule
+//! fails loudly when a manifest drifts outside the subset.
+
+/// A parsed `Cargo.toml`, reduced to the facts the architecture rules need.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Workspace-relative path of the manifest (e.g. `crates/hls/Cargo.toml`).
+    pub path: String,
+    /// `package.name`, empty for a virtual manifest.
+    pub name: String,
+    /// `[dependencies]` keys in file order.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` keys in file order.
+    pub dev_deps: Vec<String>,
+    /// `workspace.members` entries (root manifest only).
+    pub members: Vec<String>,
+    /// `workspace.dependencies` keys (root manifest only).
+    pub workspace_deps: Vec<String>,
+    /// Lines the parser could not classify, surfaced as findings so drift
+    /// outside the supported subset never passes silently.
+    pub unparsed: Vec<(u32, String)>,
+}
+
+/// Strips a trailing `#` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Extracts `"..."` string items from an array body fragment.
+fn string_items(fragment: &str, out: &mut Vec<String>) {
+    let mut rest = fragment;
+    while let Some(open) = rest.find('"') {
+        let Some(close_rel) = rest[open + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close_rel].to_string());
+        rest = &rest[open + close_rel + 2..];
+    }
+}
+
+pub fn parse_manifest(path: &str, text: &str) -> Manifest {
+    let mut m = Manifest {
+        path: path.to_string(),
+        ..Manifest::default()
+    };
+    #[derive(PartialEq)]
+    enum Sect {
+        Package,
+        Deps,
+        DevDeps,
+        Workspace,
+        WorkspaceDeps,
+        Other,
+    }
+    let mut sect = Sect::Other;
+    // Which array key a multi-line `[` ... `]` block is feeding, if any.
+    let mut open_array: Option<&'static str> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(key) = open_array {
+            let done = line.contains(']');
+            let body = line.split(']').next().unwrap_or("");
+            if key == "members" {
+                string_items(body, &mut m.members);
+            }
+            if done {
+                open_array = None;
+            }
+            continue;
+        }
+
+        if line.starts_with('[') {
+            sect = match line {
+                "[package]" => Sect::Package,
+                "[dependencies]" => Sect::Deps,
+                "[dev-dependencies]" => Sect::DevDeps,
+                "[workspace]" => Sect::Workspace,
+                "[workspace.dependencies]" => Sect::WorkspaceDeps,
+                "[lib]" | "[[bin]]" | "[[bench]]" | "[workspace.package]" => Sect::Other,
+                _ => {
+                    m.unparsed.push((line_no, raw.trim().to_string()));
+                    Sect::Other
+                }
+            };
+            continue;
+        }
+
+        let Some(eq) = line.find('=') else {
+            m.unparsed.push((line_no, raw.trim().to_string()));
+            continue;
+        };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        // `pg_util.workspace = true` — the dependency name is the first
+        // dotted segment.
+        let base = key.split('.').next().unwrap_or(key).trim();
+
+        match sect {
+            Sect::Package => {
+                if base == "name" {
+                    let mut v = Vec::new();
+                    string_items(val, &mut v);
+                    if let Some(n) = v.into_iter().next() {
+                        m.name = n;
+                    }
+                }
+            }
+            Sect::Deps => m.deps.push(base.to_string()),
+            Sect::DevDeps => m.dev_deps.push(base.to_string()),
+            Sect::WorkspaceDeps => m.workspace_deps.push(base.to_string()),
+            Sect::Workspace => {
+                if base == "members" {
+                    if val == "[" || (val.starts_with('[') && !val.contains(']')) {
+                        string_items(val, &mut m.members);
+                        open_array = Some("members");
+                    } else {
+                        string_items(val, &mut m.members);
+                    }
+                }
+            }
+            Sect::Other => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[workspace]
+resolver = "2"
+members = [
+    "crates/a",   # trailing comment
+    "crates/b",
+]
+
+[workspace.dependencies]
+pg_a = { path = "crates/a" }
+
+[package]
+name = "demo"
+version.workspace = true
+
+[dependencies]
+pg_util.workspace = true
+pg_hls = { path = "../hls" }
+
+[dev-dependencies]
+proptest.workspace = true
+"#;
+
+    #[test]
+    fn parses_sections() {
+        let m = parse_manifest("Cargo.toml", SAMPLE);
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.members, vec!["crates/a", "crates/b"]);
+        assert_eq!(m.workspace_deps, vec!["pg_a"]);
+        assert_eq!(m.deps, vec!["pg_util", "pg_hls"]);
+        assert_eq!(m.dev_deps, vec!["proptest"]);
+        assert!(m.unparsed.is_empty());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let m = parse_manifest("Cargo.toml", "[package]\nname = \"has#hash\"\n");
+        assert_eq!(m.name, "has#hash");
+    }
+
+    #[test]
+    fn unknown_section_is_flagged() {
+        let m = parse_manifest("Cargo.toml", "[features]\nfoo = []\n");
+        assert_eq!(m.unparsed.len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Source-file model: lexed text plus the structural facts rules need —
+//! file class (library / binary / test), `#[cfg(test)]` and `#[test]`
+//! regions, and inline `// pg-lint: allow(...)` suppressions.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// How a file participates in the build; several rules scope by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code: `src/**` of a crate (minus `src/bin/**`).
+    Lib,
+    /// Binary targets: `src/bin/**` and declared `[[bin]]` paths.
+    Bin,
+    /// Integration tests, benches and examples.
+    Test,
+}
+
+/// An inline suppression parsed from `// pg-lint: allow(rule, reason = "...")`.
+/// It silences `rule` on the comment's own line and on the following line.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: String,
+    pub line: u32,
+}
+
+/// A lexed workspace source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub class: FileClass,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` items and `#[test]` functions.
+    pub test_regions: Vec<(usize, usize)>,
+    pub suppressions: Vec<Suppression>,
+    /// Suppression comments that failed to parse (missing reason, bad
+    /// syntax); reported as `bad_suppression` findings.
+    pub bad_suppressions: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    pub fn new(path: String, class: FileClass, text: String) -> Self {
+        let tokens = lex(&text);
+        let test_regions = find_test_regions(&tokens, &text);
+        let (suppressions, bad_suppressions) = find_suppressions(&tokens, &text);
+        SourceFile {
+            path,
+            class,
+            text,
+            tokens,
+            test_regions,
+            suppressions,
+            bad_suppressions,
+        }
+    }
+
+    /// Indices of significant tokens (not whitespace, not comments).
+    pub fn significant(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Text of a token.
+    pub fn tok_text(&self, t: &Token) -> &str {
+        &self.text[t.start..t.end]
+    }
+
+    /// `true` when the byte offset falls inside a `#[cfg(test)]` / `#[test]`
+    /// region (or the whole file is test-classified).
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.class == FileClass::Test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The trimmed source line `line` (1-based) sits on, for snippets and
+    /// baseline fingerprints.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// `true` when `rule` is suppressed on `line` by an inline allow on the
+    /// same or the preceding line.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && (s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Finds byte ranges of test-only code: an item (with braces) following a
+/// `#[cfg(test)]` or `#[test]` attribute.
+fn find_test_regions(tokens: &[Token], text: &str) -> Vec<(usize, usize)> {
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect();
+    let word = |t: &Token| &text[t.start..t.end];
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        // `#` `[` ... `]` — attribute; check whether it marks test code.
+        if word(sig[i]) == "#" && i + 1 < sig.len() && word(sig[i + 1]) == "[" {
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut is_test_attr = false;
+            let mut saw_cfg = false;
+            while j < sig.len() && depth > 0 {
+                match word(sig[j]) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" => saw_cfg = true,
+                    "test" => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `#[test]` or `#[cfg(test)]` (incl. `#[cfg(all(test, ...))]`).
+            let bare_test = is_test_attr && !saw_cfg && j == attr_start + 4;
+            if is_test_attr && (bare_test || saw_cfg) {
+                // Skip any further attributes between this one and the item.
+                let mut k = j;
+                while k + 1 < sig.len() && word(sig[k]) == "#" && word(sig[k + 1]) == "[" {
+                    let mut d = 1i32;
+                    k += 2;
+                    while k < sig.len() && d > 0 {
+                        match word(sig[k]) {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Scan to the item's opening brace (or `;` for `mod x;`).
+                let item_start = sig.get(attr_start).map(|t| t.start).unwrap_or(0);
+                let mut brace = None;
+                while k < sig.len() {
+                    match word(sig[k]) {
+                        "{" => {
+                            brace = Some(k);
+                            break;
+                        }
+                        ";" => break,
+                        _ => k += 1,
+                    }
+                }
+                if let Some(open) = brace {
+                    let mut d = 0i32;
+                    let mut m = open;
+                    while m < sig.len() {
+                        match word(sig[m]) {
+                            "{" => d += 1,
+                            "}" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    let end = sig.get(m).map(|t| t.end).unwrap_or(text.len());
+                    regions.push((item_start, end));
+                    i = m + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Parses `pg-lint: allow(rule, reason = "...")` comments.
+fn find_suppressions(tokens: &[Token], text: &str) -> (Vec<Suppression>, Vec<(u32, String)>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        // Only a comment that *begins* with `pg-lint:` (after the comment
+        // leader) is a directive — prose that merely mentions the syntax,
+        // like this analyzer's own docs, is not.
+        let body = &text[t.start..t.end];
+        let content = body
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start()
+            .trim_end_matches(['*', '/'])
+            .trim_end();
+        let Some(rest) = content.strip_prefix("pg-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        match parse_allow(rest) {
+            Some((rule, Some(reason))) if !reason.trim().is_empty() => ok.push(Suppression {
+                rule,
+                reason,
+                line: t.line,
+            }),
+            Some((rule, _)) => bad.push((
+                t.line,
+                format!("suppression of `{rule}` is missing a non-empty reason"),
+            )),
+            None => bad.push((
+                t.line,
+                "malformed pg-lint comment; expected `pg-lint: allow(<rule>, reason = \"...\")`"
+                    .to_string(),
+            )),
+        }
+    }
+    (ok, bad)
+}
+
+/// Parses `allow(rule, reason = "...")`; returns `(rule, reason)`.
+fn parse_allow(s: &str) -> Option<(String, Option<String>)> {
+    let s = s.strip_prefix("allow")?.trim_start();
+    let s = s.strip_prefix('(')?;
+    let close = s.rfind(')')?;
+    let inner = &s[..close];
+    let (rule, rest) = match inner.find(',') {
+        Some(c) => (&inner[..c], Some(&inner[c + 1..])),
+        None => (inner, None),
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c == '_' || c.is_ascii_alphanumeric()) {
+        return None;
+    }
+    let reason = rest.and_then(|r| {
+        let r = r.trim().strip_prefix("reason")?.trim_start();
+        let r = r.strip_prefix('=')?.trim_start();
+        let r = r.strip_prefix('"')?;
+        let end = r.rfind('"')?;
+        Some(r[..end].to_string())
+    });
+    Some((rule.to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.iter(); }\n}\n";
+        let f = SourceFile::new("x.rs".into(), FileClass::Lib, src.into());
+        assert_eq!(f.test_regions.len(), 1);
+        let iter_at = src.find("x.iter").unwrap();
+        assert!(f.in_test_region(iter_at));
+        assert!(!f.in_test_region(src.find("pub fn a").unwrap()));
+    }
+
+    #[test]
+    fn test_fn_region_detected() {
+        let src = "fn lib() {}\n#[test]\nfn t() { boom(); }\nfn lib2() {}\n";
+        let f = SourceFile::new("x.rs".into(), FileClass::Lib, src.into());
+        assert!(f.in_test_region(src.find("boom").unwrap()));
+        assert!(!f.in_test_region(src.find("lib2").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_ignored() {
+        let src = "#[cfg(feature = \"x\")]\nmod m { fn a() {} }\n";
+        let f = SourceFile::new("x.rs".into(), FileClass::Lib, src.into());
+        assert!(f.test_regions.is_empty());
+    }
+
+    #[test]
+    fn suppression_parses() {
+        let src = "// pg-lint: allow(map_iter, reason = \"sorted right after\")\nlet x = 1;\n";
+        let f = SourceFile::new("x.rs".into(), FileClass::Lib, src.into());
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rule, "map_iter");
+        assert!(f.suppressed("map_iter", 1));
+        assert!(f.suppressed("map_iter", 2));
+        assert!(!f.suppressed("map_iter", 3));
+        assert!(!f.suppressed("wall_clock", 2));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_bad() {
+        let src = "// pg-lint: allow(map_iter)\n// pg-lint: allow(x, reason = \"\")\n";
+        let f = SourceFile::new("x.rs".into(), FileClass::Lib, src.into());
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.bad_suppressions.len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//~ path: crates/gnn/src/train.rs
+// Seeded D-family violations: float casts and reductions in a threaded module
+// (the fixture borrows pg_gnn::train's path, which is on the threaded list).
+
+pub fn mean(v: &[f64]) -> f64 {
+    let total: f64 = v.iter().sum(); //~ float_fold
+    total / v.len() as f64 //~ float_cast
+}
+
+pub fn scale(x: u32) -> f32 {
+    x as f32 //~ float_cast
+}
+
+pub fn integer_math(v: &[u64]) -> u64 {
+    // Integer reductions are order-free; only float folds are flagged.
+    v.iter().sum() //~ float_fold (rule is type-blind; suppress when integer)
+}

@@ -1,0 +1,20 @@
+//~ path: crates/x/src/lib.rs
+// Seeded H-family violations: prints in lib code, allow without reason,
+// malformed suppressions.
+
+pub fn noisy() {
+    println!("progress"); //~ print_hygiene
+    eprintln!("warning"); //~ print_hygiene
+}
+
+#[allow(dead_code)] //~ allow_no_reason
+fn unused() {}
+
+// reason: retained to keep the v1 trait object layout stable.
+#[allow(dead_code)]
+fn justified() {}
+
+// pg-lint: allow(print_hygiene) //~ bad_suppression (missing reason)
+pub fn still_noisy() {
+    println!("not actually suppressed"); //~ print_hygiene
+}

@@ -1,0 +1,59 @@
+//~ path: crates/x/src/lib.rs
+// Seeded D-family violations: hash-collection iteration in lib code.
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
+
+pub struct Cache {
+    map: Mutex<HashMap<u64, u32>>,
+}
+
+pub fn direct_iter(m: HashMap<u32, u32>) -> u32 {
+    m.iter().map(|(_, v)| *v).sum() //~ map_iter
+}
+
+pub fn for_loop(m: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_k, v) in &m {
+        //~ map_iter (reported on the `m` after `in &`)
+        acc += v;
+    }
+    acc
+}
+
+pub fn set_drain(mut s: HashSet<u32>) -> Vec<u32> {
+    s.drain().collect() //~ map_iter
+}
+
+impl Cache {
+    pub fn values(&self) -> Vec<u32> {
+        let map = self.map.lock().unwrap();
+        map.values().copied().collect() //~ map_iter (wrapped in Mutex)
+    }
+}
+
+// Negative cases: none of these may fire.
+pub fn lookup_only(m: HashMap<u32, u32>) -> Option<u32> {
+    m.get(&3).copied()
+}
+
+// (named `b`, not `m`: name-to-type resolution is file-scoped, so reusing a
+// name that is a hash collection elsewhere in the file would be flagged)
+pub fn ordered(b: BTreeMap<u32, u32>) -> u32 {
+    b.values().sum()
+}
+
+pub fn suppressed(m: HashMap<u32, u32>) -> u32 {
+    // pg-lint: allow(map_iter, reason = "summed; addition order cannot change the integer result")
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn in_tests_maps_are_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in &m {}
+        let _ = m.iter();
+    }
+}

@@ -1,0 +1,26 @@
+//~ path: crates/store/src/fixture.rs
+// Seeded S-family violations: panics in a panic-audited scope (pg_store).
+
+pub fn load(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap(); //~ panic_path
+    let second = bytes.get(1).expect("second byte"); //~ panic_path
+    if bytes.len() > 9 {
+        panic!("too long"); //~ panic_path
+    }
+    (*first as u32) << 8 | *second as u32
+}
+
+pub fn load_checked(bytes: &[u8]) -> Option<u32> {
+    let first = *bytes.first()? as u32;
+    let second = *bytes.get(1)? as u32;
+    Some(first << 8 | second)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//~ path: crates/x/src/lib.rs
+// Seeded S-family violations: unsafe without a SAFETY comment.
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe_no_safety
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points into a live allocation of at
+    // least one byte.
+    unsafe { *p }
+}
+
+// SAFETY: all fields are plain-old-data; no drop glue, no references.
+pub unsafe fn transmute_like() {}
+
+pub unsafe fn undocumented_fn() {} //~ unsafe_no_safety

@@ -1,0 +1,31 @@
+//~ path: crates/x/src/lib.rs
+// Seeded D-family violations: wall-clock reads in library code.
+use std::time::Instant; //~ wall_clock
+use std::time::SystemTime; //~ wall_clock
+
+pub fn timed<F: FnOnce()>(f: F) -> u64 {
+    let t0 = Instant::now(); //~ wall_clock
+    f();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn stamp() -> u64 {
+    SystemTime::now() //~ wall_clock
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn allowed() -> u64 {
+    // pg-lint: allow(wall_clock, reason = "telemetry only; value never reaches an artifact")
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the pg_lint lexer: on *arbitrary* input it must never
+//! panic, and its tokens must tile the input exactly — contiguous,
+//! non-overlapping spans from byte 0 to `len`, with line numbers
+//! non-decreasing. These two invariants are what the rule engine relies on.
+
+use pg_lint::lexer::lex;
+use proptest::prelude::*;
+
+fn assert_tiles(src: &str) {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    for t in &toks {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {pos} in {src:?}");
+        assert!(t.line >= line, "line went backwards in {src:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span not on char boundary in {src:?}"
+        );
+        line = t.line;
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens do not cover {src:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded): never panic, always tile.
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..160)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src);
+    }
+
+    /// Random concatenations of adversarial Rust fragments — unterminated
+    /// literals, nested comments, raw strings, lifetimes — stressing every
+    /// lexer mode boundary.
+    #[test]
+    fn lexer_total_on_tricky_fragments(
+        picks in prop::collection::vec(0usize..16, 0..12)
+    ) {
+        const FRAGMENTS: [&str; 16] = [
+            "r#\"raw \" string\"#",
+            "r##\"nested \"# inner\"##",
+            "'a>",
+            "'x'",
+            "b'\\n'",
+            "\"unterminated",
+            "/* nested /* block */ comment */",
+            "/* unterminated",
+            "// line comment\n",
+            "0..5",
+            "1.5e-3f64",
+            "ident_1::path->x",
+            "#[cfg(test)]",
+            "r#fn",
+            "\"esc \\\" aped\"",
+            "..=",
+        ];
+        let mut src = String::new();
+        for p in &picks {
+            src.push_str(FRAGMENTS[*p]);
+            src.push(' ');
+        }
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn lexer_total_on_own_sources() {
+    // The analyzer's own crate is a convenient corpus of real Rust.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0;
+    let mut stack = vec![dir];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let p = entry.unwrap().path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                assert_tiles(&std::fs::read_to_string(&p).unwrap());
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 7, "expected to lex the analyzer's own modules");
+}

@@ -1,0 +1,101 @@
+//! Fixture-driven rule tests: every `tests/fixtures/<name>.rs` holds seeded
+//! violations (and negative cases that must stay silent); the sibling
+//! `<name>.expected` snapshot lists the findings as sorted `rule:line`
+//! lines. The fixture's first line, `//~ path: <workspace path>`, sets the
+//! synthetic path the file is checked under, which drives rule scoping.
+
+use std::path::PathBuf;
+
+use pg_lint::check::{check_file, Config};
+use pg_lint::source::{FileClass, SourceFile};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_fixture(name: &str) -> (Vec<String>, Vec<String>) {
+    let dir = fixtures_dir();
+    let src = std::fs::read_to_string(dir.join(format!("{name}.rs")))
+        .unwrap_or_else(|e| panic!("read fixture {name}.rs: {e}"));
+    let expected_text = std::fs::read_to_string(dir.join(format!("{name}.expected")))
+        .unwrap_or_else(|e| panic!("read snapshot {name}.expected: {e}"));
+
+    let synthetic_path = src
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//~ path:"))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| panic!("fixture {name}.rs must start with `//~ path: <path>`"));
+    let class = if synthetic_path.contains("/src/bin/") {
+        FileClass::Bin
+    } else if synthetic_path.contains("/tests/") {
+        FileClass::Test
+    } else {
+        FileClass::Lib
+    };
+
+    let file = SourceFile::new(synthetic_path, class, src);
+    let mut findings = Vec::new();
+    check_file(&file, &Config::house(), &mut findings);
+
+    let mut got: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect();
+    got.sort();
+    let mut expected: Vec<String> = expected_text
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    expected.sort();
+    (got, expected)
+}
+
+macro_rules! fixture_test {
+    ($name:ident) => {
+        #[test]
+        fn $name() {
+            let (got, expected) = run_fixture(stringify!($name));
+            assert_eq!(
+                got,
+                expected,
+                "findings for fixture `{}` diverged from the snapshot",
+                stringify!($name)
+            );
+        }
+    };
+}
+
+fixture_test!(map_iter);
+fixture_test!(wall_clock);
+fixture_test!(float);
+fixture_test!(unsafe_safety);
+fixture_test!(panic_path);
+fixture_test!(hygiene);
+
+/// The A-family rules are manifest-level, so their "fixtures" are inline
+/// TOML: one seeded back-edge, one seeded external dependency.
+#[test]
+fn dag_fixture_back_edge() {
+    let m = pg_lint::manifest::parse_manifest(
+        "crates/util/Cargo.toml",
+        "[package]\nname = \"pg_util\"\n[dependencies]\npg_gnn.workspace = true\n",
+    );
+    let mut f = Vec::new();
+    pg_lint::arch::check_manifest(&m, &mut f);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "dag");
+}
+
+#[test]
+fn dag_fixture_external_dep() {
+    let m = pg_lint::manifest::parse_manifest(
+        "crates/gnn/Cargo.toml",
+        "[package]\nname = \"pg_gnn\"\n[dependencies]\nrayon = \"1\"\n",
+    );
+    let mut f = Vec::new();
+    pg_lint::arch::check_manifest(&m, &mut f);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "external_dep");
+}

@@ -123,5 +123,7 @@ fn min_max(v: &[f64]) -> (f64, f64) {
 }
 
 /// A [`Point`] is re-exported so plot tooling can consume the CSV schema.
+// reason: the marker exists only to pin the CSV schema type; it is never
+// called from the bin itself.
 #[allow(dead_code)]
 fn _schema_marker(_: Point) {}

@@ -26,7 +26,7 @@ use pg_ir::Kernel;
 use pg_store::{dec_design, enc_design, Dec, Enc, Reader, StoreError, Writer};
 use pg_util::prof;
 use pg_util::rng::hash64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,10 +44,12 @@ pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
 #[derive(Debug, Default)]
 pub struct HlsCache {
     flow: HlsFlow,
-    map: Mutex<HashMap<(u64, String), Arc<HlsDesign>>>,
+    /// Ordered map so spills and any future iteration are deterministic by
+    /// construction (lookup cost is negligible next to synthesis).
+    map: Mutex<BTreeMap<(u64, String), Arc<HlsDesign>>>,
     /// Directive-independent kernel analyses, keyed by fingerprint, so a
     /// whole design space shares one validation/label analysis.
-    analyses: Mutex<HashMap<u64, Arc<KernelAnalysis>>>,
+    analyses: Mutex<BTreeMap<u64, Arc<KernelAnalysis>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -170,20 +172,18 @@ impl HlsCache {
 
     /// Spills every cached design to a `pg_store` container at `path`, so
     /// a later process can warm-start with [`HlsCache::load_from`] instead
-    /// of re-synthesizing the space. Entries are written in sorted key
-    /// order, making the file deterministic for a given cache content.
-    /// Returns the number of designs written.
+    /// of re-synthesizing the space. The map is ordered, so entries land in
+    /// sorted key order and the file is deterministic for a given cache
+    /// content. Returns the number of designs written.
     ///
     /// # Errors
     ///
     /// Propagates [`StoreError`] from the filesystem.
     pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<usize, StoreError> {
         let map = self.map.lock().expect("cache lock");
-        let mut entries: Vec<(&(u64, String), &Arc<HlsDesign>)> = map.iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(b.0));
         let mut e = Enc::new();
-        e.u32(entries.len() as u32);
-        for ((fingerprint, directive_id), design) in entries {
+        e.u32(map.len() as u32);
+        for ((fingerprint, directive_id), design) in map.iter() {
             e.u64(*fingerprint);
             e.str(directive_id);
             enc_design(&mut e, design);
@@ -208,7 +208,7 @@ impl HlsCache {
         let r = Reader::open(path)?;
         let mut d = Dec::new(r.section(CACHE_SECTION)?);
         let n = d.count(8, "cache entry count")?;
-        let mut map = HashMap::with_capacity(n);
+        let mut map = BTreeMap::new();
         for _ in 0..n {
             let fingerprint = d.u64("cache entry fingerprint")?;
             let directive_id = d.str("cache entry directive id")?;
@@ -225,7 +225,7 @@ impl HlsCache {
         Ok(HlsCache {
             flow: HlsFlow::new(),
             map: Mutex::new(map),
-            analyses: Mutex::new(HashMap::new()),
+            analyses: Mutex::new(BTreeMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         })

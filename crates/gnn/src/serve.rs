@@ -28,6 +28,7 @@
 
 use crate::train::Ensemble;
 use pg_graphcon::PowerGraph;
+// pg-lint: allow(wall_clock, reason = "import only; the single use site is the telemetry timer annotated below")
 use std::time::Instant;
 
 /// Batching/parallelism knobs for [`InferenceEngine`].
@@ -136,6 +137,7 @@ impl<'a> InferenceEngine<'a> {
 
     /// [`InferenceEngine::predict`] plus serving counters.
     pub fn predict_with_stats(&self, graphs: &[&PowerGraph]) -> (Vec<f64>, ServeStats) {
+        // pg-lint: allow(wall_clock, reason = "serving telemetry (ServeStats.seconds); never feeds model math or artifacts")
         let t0 = Instant::now();
         if graphs.is_empty() {
             return (
@@ -168,6 +170,7 @@ impl<'a> InferenceEngine<'a> {
                     .collect();
                 handles
                     .into_iter()
+                    // pg-lint: allow(panic_path, reason = "a panicked worker holds no recoverable state; swallowing the join error would silently drop a shard of predictions")
                     .flat_map(|h| h.join().expect("inference worker panicked"))
                     .collect()
             })

@@ -9,7 +9,7 @@
 //! nodes.
 
 use crate::dfg::{PowerGraph, Relation, WorkGraph};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Finalizes a worked graph into a [`PowerGraph`] sample.
 pub fn finalize(g: &WorkGraph, kernel: &str, design_id: &str) -> PowerGraph {
@@ -47,7 +47,7 @@ pub fn finalize(g: &WorkGraph, kernel: &str, design_id: &str) -> PowerGraph {
     let mut edge_rel = Vec::new();
     // Fan-out attaches one op's stream to many edges as the same
     // `(offset, len)` ref — fold each distinct stream once.
-    let mut fold_memo: HashMap<(u32, u32), (f64, f64)> = HashMap::new();
+    let mut fold_memo: BTreeMap<(u32, u32), (f64, f64)> = BTreeMap::new();
     for e in g.edges.iter().filter(|e| e.alive) {
         let (s, d) = (remap[e.src], remap[e.dst]);
         debug_assert!(s != u32::MAX && d != u32::MAX);

@@ -12,12 +12,14 @@ use crate::dfg::{NodeKind, WorkEdge, WorkGraph, WorkNode};
 use pg_activity::{EventRef, NodeActivity};
 use pg_hls::HlsDesign;
 use pg_ir::Opcode;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Runs buffer insertion on `g`.
 pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
-    // Materialize one buffer node per (array, bank).
-    let mut buffer_of: HashMap<(String, usize), usize> = HashMap::new();
+    // Materialize one buffer node per (array, bank). Ordered map: the
+    // activity-aggregation pass below iterates it, so iteration order must
+    // not depend on hash state.
+    let mut buffer_of: BTreeMap<(String, usize), usize> = BTreeMap::new();
     for (decl, banks) in &design.arrays {
         let blocks_total = design.lib.bram_blocks(decl.len(), *banks) as f64;
         for bank in 0..*banks {
@@ -38,7 +40,7 @@ pub fn insert_buffers(g: &mut WorkGraph, design: &HlsDesign) {
             buffer_of.insert((decl.name.clone(), bank), idx);
         }
     }
-    let banks_of: HashMap<String, usize> = design
+    let banks_of: BTreeMap<String, usize> = design
         .arrays
         .iter()
         .map(|(d, b)| (d.name.clone(), *b))

@@ -26,7 +26,7 @@
 use pg_activity::events::{EventArena, MergeScratch};
 use pg_activity::{EventRef, NodeActivity};
 use pg_ir::{OpClass, Opcode, ValueId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Offset tag selecting the extension arena of a [`GraphEvents`].
@@ -87,7 +87,7 @@ impl GraphEvents {
         &self,
         r: EventRef,
         latency: u64,
-        memo: &mut HashMap<(u32, u32), (f64, f64)>,
+        memo: &mut BTreeMap<(u32, u32), (f64, f64)>,
     ) -> (f64, f64) {
         *memo
             .entry((r.off, r.len))
@@ -362,18 +362,18 @@ impl WorkGraph {
         let _t = pg_util::prof::scope("graph.fuse");
         // Group alive parallel edges by endpoint pair, preserving edge
         // order within and across groups.
-        let mut group_idx: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut group_idx: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (i, e) in self.edges.iter().enumerate() {
             if !e.alive {
                 continue;
             }
             match group_idx.entry((e.src, e.dst)) {
-                std::collections::hash_map::Entry::Vacant(v) => {
+                std::collections::btree_map::Entry::Vacant(v) => {
                     v.insert(groups.len());
                     groups.push((i, Vec::new()));
                 }
-                std::collections::hash_map::Entry::Occupied(o) => {
+                std::collections::btree_map::Entry::Occupied(o) => {
                     groups[*o.get()].1.push(i);
                 }
             }

@@ -19,7 +19,7 @@
 use crate::dfg::{NodeKind, WorkGraph};
 use pg_activity::NodeActivity;
 use pg_hls::HlsDesign;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Runs both merging mechanisms until fixpoint.
 pub fn merge_datapaths(g: &mut WorkGraph, design: &HlsDesign) {
@@ -42,8 +42,10 @@ pub fn merge_datapaths(g: &mut WorkGraph, design: &HlsDesign) {
 /// instance executing `add` and `icmp` in different states keeps separate
 /// node identities for feature fidelity).
 pub fn merge_by_binding(g: &mut WorkGraph, design: &HlsDesign) {
-    // Group alive op nodes by (instance, opcode).
-    let mut groups: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    // Group alive op nodes by (instance, opcode). Ordered map: groups are
+    // disjoint so merge order cannot change the result, but iterating in
+    // key order keeps the pass reproducible by construction.
+    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
     for (ni, node) in g.nodes.iter().enumerate() {
         if !node.alive {
             continue;
@@ -91,7 +93,7 @@ pub fn merge_structural_round(g: &mut WorkGraph) -> bool {
         list.dedup();
     }
 
-    let mut by_key: HashMap<(usize, Vec<usize>, Vec<usize>), Vec<usize>> = HashMap::new();
+    let mut by_key: BTreeMap<(usize, Vec<usize>, Vec<usize>), Vec<usize>> = BTreeMap::new();
     for (ni, node) in g.nodes.iter().enumerate() {
         if !node.alive {
             continue;

@@ -10,7 +10,7 @@
 use crate::resources::{FuKind, FuLibrary};
 use crate::schedule::Schedule;
 use pg_ir::{IrFunction, ValueId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One physical functional-unit instance and the ops time-sharing it.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +30,9 @@ pub struct FuInstance {
 pub struct Binding {
     /// All instances.
     pub instances: Vec<FuInstance>,
-    /// Map op → index into [`Binding::instances`].
-    pub op_to_instance: HashMap<ValueId, usize>,
+    /// Map op → index into [`Binding::instances`]. Ordered so that every
+    /// consumer (encoding, digests) iterates in `ValueId` order for free.
+    pub op_to_instance: BTreeMap<ValueId, usize>,
     /// Total 32-bit multiplexer inputs introduced by sharing.
     pub mux_inputs: u32,
     /// Total register bits (output + pipeline staging estimate).

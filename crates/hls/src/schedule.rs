@@ -176,7 +176,9 @@ fn ii_mem_bound(
     ports: u32,
     arrays: &ArrayInterner<'_>,
 ) -> u32 {
-    let mut demand: HashMap<PortKey, u32> = HashMap::new();
+    // Ordered map: the fold below iterates it (max is order-insensitive,
+    // but unordered iteration in the schedule path is banned outright).
+    let mut demand: std::collections::BTreeMap<PortKey, u32> = std::collections::BTreeMap::new();
     for &v in &block.ops {
         let op = func.op(v);
         if matches!(op.opcode, Opcode::Load | Opcode::Store) {
@@ -338,6 +340,8 @@ fn block_latency(block: &IrBlock, depth: u32, ii: u32, pipelined: bool) -> (u32,
 
 /// Resource-constrained list scheduling (priority = ASAP time). For
 /// pipelined blocks, memory ports are reserved modulo II.
+// reason: the scheduler threads six orthogonal inputs (IR, block, library,
+// directives, interner, II) that have no natural struct to live in.
 #[allow(clippy::too_many_arguments)]
 fn try_list_schedule(
     func: &IrFunction,

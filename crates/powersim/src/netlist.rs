@@ -188,8 +188,8 @@ pub fn build_netlist_from_graph(design: &HlsDesign, g: &WorkGraph) -> Netlist {
     // Datapath nets from graph edges; SA/AR folded straight over the
     // compressed runs (bit-identical to the slice math of Eq. 2/3), each
     // distinct stream folded once (fan-out shares refs across edges).
-    let mut fold_memo: std::collections::HashMap<(u32, u32), (f64, f64)> =
-        std::collections::HashMap::new();
+    let mut fold_memo: std::collections::BTreeMap<(u32, u32), (f64, f64)> =
+        std::collections::BTreeMap::new();
     for e in g.edges.iter().filter(|e| e.alive) {
         let (s, d) = (node_to_comp[e.src], node_to_comp[e.dst]);
         if s == usize::MAX || d == usize::MAX {

@@ -19,6 +19,7 @@ use crate::error::StoreError;
 use pg_gnn::{Ensemble, TrainConfig};
 use pg_graphcon::PowerGraph;
 use std::path::Path;
+// pg-lint: allow(wall_clock, reason = "import only; the single use site is the provenance timestamp annotated below")
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Descriptive metadata stored alongside the weights.
@@ -47,6 +48,7 @@ impl ArtifactMeta {
         ArtifactMeta {
             kernel: kernel.to_string(),
             target: target.to_string(),
+            // pg-lint: allow(wall_clock, reason = "provenance timestamp in artifact metadata; excluded from the bit-exactness probe")
             created_at_unix: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs())

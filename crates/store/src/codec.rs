@@ -135,25 +135,27 @@ impl<'a> Dec<'a> {
         Ok(self.take(1, context)?[0])
     }
 
+    /// Reads a fixed-width little-endian word into an array without any
+    /// panicking conversion: `take` already guarantees the slice length.
+    fn word<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], StoreError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N, context)?);
+        Ok(a)
+    }
+
     /// Reads a `u32`.
     pub fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, context)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.word(context)?))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, context)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.word(context)?))
     }
 
     /// Reads an `i64`.
     pub fn i64(&mut self, context: &'static str) -> Result<i64, StoreError> {
-        Ok(i64::from_le_bytes(
-            self.take(8, context)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_le_bytes(self.word(context)?))
     }
 
     /// Reads a `usize` (stored as `u64`), rejecting values that cannot fit.

@@ -228,34 +228,33 @@ impl Reader {
     }
 }
 
-fn read_u16(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<u16, StoreError> {
-    let end = *pos + 2;
+/// Reads `N` bytes at `*pos` into a fixed array, advancing the cursor.
+/// The bounds check makes the copy infallible — no panicking conversion.
+fn read_word<const N: usize>(
+    bytes: &[u8],
+    pos: &mut usize,
+    context: &'static str,
+) -> Result<[u8; N], StoreError> {
+    let end = *pos + N;
     if end > bytes.len() {
         return Err(StoreError::Truncated { context });
     }
-    let v = u16::from_le_bytes(bytes[*pos..end].try_into().expect("2 bytes"));
+    let mut a = [0u8; N];
+    a.copy_from_slice(&bytes[*pos..end]);
     *pos = end;
-    Ok(v)
+    Ok(a)
+}
+
+fn read_u16(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<u16, StoreError> {
+    Ok(u16::from_le_bytes(read_word(bytes, pos, context)?))
 }
 
 fn read_u32(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<u32, StoreError> {
-    let end = *pos + 4;
-    if end > bytes.len() {
-        return Err(StoreError::Truncated { context });
-    }
-    let v = u32::from_le_bytes(bytes[*pos..end].try_into().expect("4 bytes"));
-    *pos = end;
-    Ok(v)
+    Ok(u32::from_le_bytes(read_word(bytes, pos, context)?))
 }
 
 fn read_u64(bytes: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, StoreError> {
-    let end = *pos + 8;
-    if end > bytes.len() {
-        return Err(StoreError::Truncated { context });
-    }
-    let v = u64::from_le_bytes(bytes[*pos..end].try_into().expect("8 bytes"));
-    *pos = end;
-    Ok(v)
+    Ok(u64::from_le_bytes(read_word(bytes, pos, context)?))
 }
 
 #[cfg(test)]

@@ -286,10 +286,20 @@ fn dec_schedule(d: &mut Dec<'_>) -> Result<Schedule, StoreError> {
 }
 
 fn fu_kind_tag(k: FuKind) -> u8 {
-    FuKind::ALL
-        .iter()
-        .position(|&x| x == k)
-        .expect("kind listed in ALL") as u8
+    // Exhaustive match instead of a position() + expect(): the compiler
+    // proves every kind has a tag, so the encode path cannot panic. Tags
+    // must stay in `FuKind::ALL` order — `fu_kind_from_tag` inverts them.
+    match k {
+        FuKind::FAddSub => 0,
+        FuKind::FMul => 1,
+        FuKind::FDiv => 2,
+        FuKind::FCmp => 3,
+        FuKind::IntAlu => 4,
+        FuKind::IntMul => 5,
+        FuKind::MemPort => 6,
+        FuKind::Wire => 7,
+        FuKind::Control => 8,
+    }
 }
 
 fn fu_kind_from_tag(t: u8) -> Result<FuKind, StoreError> {
@@ -317,13 +327,11 @@ fn enc_binding(e: &mut Enc, b: &Binding) {
             None => e.bool(false),
         }
     }
-    // HashMap iteration order is nondeterministic; sort by key so the
-    // encoding (and any checksum over it) is stable.
-    let mut entries: Vec<(u32, usize)> = b.op_to_instance.iter().map(|(v, &i)| (v.0, i)).collect();
-    entries.sort_unstable();
-    e.u32(entries.len() as u32);
-    for (v, i) in entries {
-        e.u32(v);
+    // The binding map is a BTreeMap, so iteration is already in ValueId
+    // order and the encoding (and any checksum over it) is stable.
+    e.u32(b.op_to_instance.len() as u32);
+    for (v, &i) in &b.op_to_instance {
+        e.u32(v.0);
         e.u64(i as u64);
     }
     e.u32(b.mux_inputs);
@@ -356,7 +364,7 @@ fn dec_binding(d: &mut Dec<'_>) -> Result<Binding, StoreError> {
         });
     }
     let nm = d.count(12, "binding map count")?;
-    let mut op_to_instance = std::collections::HashMap::with_capacity(nm);
+    let mut op_to_instance = std::collections::BTreeMap::new();
     for _ in 0..nm {
         let v = ValueId(d.u32("binding map op")?);
         let i = d.usize("binding map instance")?;

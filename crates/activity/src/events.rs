@@ -275,7 +275,7 @@ pub fn fold_sa_ar(words: &[u32], latency: u64) -> (f64, f64) {
 /// (`start + i * stride`) from a contiguous value buffer — the
 /// interpreter's fast path: the cycle side needs no per-event delta
 /// detection at all. Values are run-length segmented: a maximal equal
-/// stretch of at least [`MIN_CONST_RUN`] becomes a const run, everything
+/// stretch of at least `MIN_CONST_RUN` becomes a const run, everything
 /// else verbatim.
 pub fn encode_affine(out: &mut Vec<u32>, start_cycle: u64, stride: u32, vals: &[u32]) -> EventRef {
     let begin = out.len();

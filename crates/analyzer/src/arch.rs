@@ -87,6 +87,8 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "pg_store",
             "pg_tensor",
             "pg_util",
+            // loadgen drives the powergear serve daemon over real sockets
+            "powergear",
         ],
     ),
     (

@@ -33,6 +33,8 @@ impl Config {
             panic_scopes: vec![
                 "crates/store/src/".to_string(),
                 "crates/gnn/src/serve.rs".to_string(),
+                "crates/gnn/src/admission.rs".to_string(),
+                "crates/core/src/daemon.rs".to_string(),
             ],
             // prof is the sanctioned timing seam; bench exists to measure.
             time_exempt: vec![

@@ -1,0 +1,193 @@
+//! `loadgen` — socket-level load generator for the `powergear serve`
+//! daemon, reporting the latency/throughput numbers `docs/SERVING.md`
+//! tunes against.
+//!
+//! ```text
+//! loadgen [--addr <host:port>] [--kernel bicg] [--size 10] [--samples 24]
+//!         [--clients 8] [--requests 32] [--graphs 4]
+//!         [--batch-deadline-us 500] [--max-batch 32] [--threads T]
+//! ```
+//!
+//! Without `--addr`, loadgen is self-contained: it builds a small
+//! dataset, trains a quick ensemble, publishes it to a temporary
+//! registry, spawns the daemon in-process on a free port, drives it, and
+//! verifies every served prediction is bit-identical to the in-process
+//! sequential path. With `--addr` it drives an already-running daemon
+//! (no bit-parity check — the remote model is not known here).
+//!
+//! Output: p50/p95/p99 request latency, sustained graphs/s and
+//! requests/s, plus error/mismatch counts. Exits non-zero on any error
+//! or bit mismatch.
+
+use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache};
+use pg_gnn::{train_ensemble, ModelConfig, TrainConfig};
+use pg_graphcon::PowerGraph;
+use powergear::daemon::{Daemon, DaemonConfig};
+use powergear::PowerGear;
+use powergear_bench::loadgen::{run_load, LoadConfig, LoadReport};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("flag `{flag}` expects a value")),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{raw}` for `{flag}`")),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let kernel_name: String = arg_value(args, "--kernel")?.unwrap_or_else(|| "bicg".into());
+    let size: usize = arg_value(args, "--size")?.unwrap_or(10);
+    let samples: usize = arg_value(args, "--samples")?.unwrap_or(24);
+    let cfg = LoadConfig {
+        clients: arg_value(args, "--clients")?.unwrap_or(8),
+        requests: arg_value(args, "--requests")?.unwrap_or(32),
+        graphs_per_request: arg_value(args, "--graphs")?.unwrap_or(4),
+    };
+    let addr_flag: Option<String> = arg_value(args, "--addr")?;
+
+    let kernel = polybench::by_name(&kernel_name, size)
+        .ok_or_else(|| format!("unknown kernel `{kernel_name}`"))?;
+    eprintln!(
+        "[loadgen] building {samples} design points of `{kernel_name}` (size {size}) \
+         for request payloads..."
+    );
+    let ds_cfg = DatasetConfig {
+        size,
+        max_samples: samples.max(4),
+        seed: 1,
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    };
+    let ds = build_kernel_dataset_cached(&kernel, &ds_cfg, &HlsCache::new());
+    let graphs: Vec<PowerGraph> = ds.samples.iter().map(|s| s.graph.clone()).collect();
+
+    let report = match addr_flag {
+        Some(raw) => {
+            let addr = resolve(&raw)?;
+            eprintln!("[loadgen] driving external daemon at {addr} (no bit-parity check)");
+            run_load(addr, &kernel_name, &graphs, None, &cfg)?
+        }
+        None => drive_self_hosted(args, &ds.kernel, &graphs, &cfg)?,
+    };
+
+    print_report(&report, &cfg);
+    Ok(report.errors == 0 && report.mismatches == 0)
+}
+
+fn resolve(raw: &str) -> Result<SocketAddr, String> {
+    raw.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{raw}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{raw}` resolves to no address"))
+}
+
+/// Spawns an in-process daemon over a quick-trained model and drives it,
+/// checking served bits against the in-process sequential path.
+fn drive_self_hosted(
+    args: &[String],
+    kernel: &str,
+    graphs: &[PowerGraph],
+    cfg: &LoadConfig,
+) -> Result<LoadReport, String> {
+    let labeled: Vec<(&PowerGraph, f64)> = graphs
+        .iter()
+        .zip(std::iter::repeat(1.0))
+        .map(|(g, v)| (g, v))
+        .collect();
+    let mut tc = TrainConfig::quick(ModelConfig::hec(16));
+    tc.epochs = 4;
+    tc.folds = 2;
+    tc.threads = 1;
+    eprintln!("[loadgen] training a quick ensemble for the self-hosted daemon...");
+    let ensemble = train_ensemble(&labeled, &tc);
+    let gear = PowerGear {
+        total_model: ensemble.clone(),
+        dynamic_model: ensemble,
+    };
+    let refs: Vec<&PowerGraph> = graphs.iter().collect();
+    let expected = gear.estimate_graphs(&refs);
+
+    let reg_dir = std::env::temp_dir().join(format!("pg_loadgen_{}", std::process::id()));
+    let registry = pg_store::ModelRegistry::open(&reg_dir).map_err(|e| e.to_string())?;
+    registry
+        .publish(
+            "loadgen",
+            &gear.to_artifact(pg_store::ArtifactMeta::now(kernel, "total+dynamic"), &[], 0),
+        )
+        .map_err(|e| e.to_string())?;
+
+    let mut dcfg = DaemonConfig::new("127.0.0.1:0");
+    dcfg.registry_dir = Some(reg_dir.clone());
+    if let Some(us) = arg_value(args, "--batch-deadline-us")? {
+        dcfg.batch_deadline = Duration::from_micros(us);
+    }
+    if let Some(mb) = arg_value(args, "--max-batch")? {
+        dcfg.max_batch = mb;
+    }
+    if let Some(t) = arg_value(args, "--threads")? {
+        dcfg.threads = t;
+    }
+    let daemon = Daemon::bind(dcfg).map_err(|e| e.to_string())?.spawn();
+    eprintln!(
+        "[loadgen] self-hosted daemon on {} — {} clients x {} requests x {} graphs",
+        daemon.addr(),
+        cfg.clients,
+        cfg.requests,
+        cfg.graphs_per_request
+    );
+    let result = run_load(daemon.addr(), kernel, graphs, Some(&expected), cfg);
+    daemon.stop().map_err(|e| e.to_string())?;
+    std::fs::remove_dir_all(&reg_dir).ok();
+    result
+}
+
+fn print_report(r: &LoadReport, cfg: &LoadConfig) {
+    println!(
+        "requests   : {} ok, {} errors, {} bit mismatches",
+        r.latencies.len(),
+        r.errors,
+        r.mismatches
+    );
+    println!(
+        "latency    : p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        r.percentile(50.0) * 1e3,
+        r.percentile(95.0) * 1e3,
+        r.percentile(99.0) * 1e3
+    );
+    println!(
+        "throughput : {:.1} graphs/s, {:.1} requests/s over {:.2}s wall \
+         ({} clients x {} graphs/request)",
+        r.graphs_per_sec(),
+        r.requests_per_sec(),
+        r.elapsed_s,
+        cfg.clients,
+        cfg.graphs_per_request
+    );
+    println!("models     : {:?}", r.models_seen);
+}

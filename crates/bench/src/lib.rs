@@ -17,8 +17,10 @@
 //! the scale toward the paper's settings.
 
 pub mod drivers;
+pub mod loadgen;
 pub mod perf;
 pub mod runtime;
 
 pub use drivers::{EvalConfig, EvalContext};
+pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use perf::{PerfConfig, PerfResult};

@@ -1,0 +1,271 @@
+//! Socket-level load generator for the `powergear serve --listen` daemon.
+//!
+//! Drives a running daemon over real TCP connections with `PGRPC` Predict
+//! frames (`docs/PROTOCOL.md`) from many concurrent clients, and reports
+//! the numbers an operator tunes against (`docs/SERVING.md`): p50/p95/p99
+//! request latency and sustained graph throughput. The `loadgen` binary
+//! is the CLI wrapper; [`crate::perf::run_perf_suite`] reuses
+//! [`run_load`] for the `serve_throughput` CI metric.
+//!
+//! When the caller knows the per-graph ground truth (daemon spawned from
+//! the same process against a known model), pass `expected` and the
+//! report counts bit-mismatches — under the house invariant, a served
+//! prediction must be bit-identical to the in-process sequential path no
+//! matter how requests were coalesced into batches.
+
+use pg_graphcon::PowerGraph;
+use pg_store::frame::{self, FrameType, PredictRequest, PredictResponse};
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Load shape: `clients` concurrent connections, each sending `requests`
+/// back-to-back Predict frames of `graphs_per_request` graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Predict requests per client.
+    pub requests: usize,
+    /// Graphs per Predict request.
+    pub graphs_per_request: usize,
+}
+
+impl LoadConfig {
+    /// CI quick mode: enough traffic to exercise coalescing, fast enough
+    /// for a smoke gate.
+    pub fn quick() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests: 8,
+            graphs_per_request: 4,
+        }
+    }
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Per-request wall latencies in seconds, sorted ascending.
+    pub latencies: Vec<f64>,
+    /// Total graphs served successfully.
+    pub graphs: u64,
+    /// Wall time of the whole run (first connect to last response).
+    pub elapsed_s: f64,
+    /// Requests that failed (socket error or an `Error` frame).
+    pub errors: u64,
+    /// Predictions that were not bit-identical to `expected` (0 when no
+    /// expectation was provided).
+    pub mismatches: u64,
+    /// Distinct model names observed across all responses.
+    pub models_seen: BTreeSet<String>,
+}
+
+impl LoadReport {
+    /// Latency percentile in seconds (`q` in 0..=100) by nearest-rank.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q / 100.0) * self.latencies.len() as f64).ceil() as usize;
+        self.latencies[rank.saturating_sub(1).min(self.latencies.len() - 1)]
+    }
+
+    /// Graphs served per second of wall time.
+    pub fn graphs_per_sec(&self) -> f64 {
+        self.graphs as f64 / self.elapsed_s.max(1e-9)
+    }
+
+    /// Requests answered per second of wall time.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.elapsed_s.max(1e-9)
+    }
+}
+
+/// Per-client results folded into the final [`LoadReport`].
+struct ClientOutcome {
+    latencies: Vec<f64>,
+    graphs: u64,
+    errors: u64,
+    mismatches: u64,
+    models_seen: BTreeSet<String>,
+}
+
+/// Runs one load shape against a live daemon.
+///
+/// Each request rotates its graphs through `graphs` (client- and
+/// request-dependent offsets, so concurrent batches mix different
+/// compositions). `expected`, when given, must align index-wise with
+/// `graphs`: response bit `i` of a request is compared against
+/// `expected[index of its graph]`.
+///
+/// # Errors
+///
+/// An error string when no request succeeded (daemon unreachable).
+pub fn run_load(
+    addr: SocketAddr,
+    kernel: &str,
+    graphs: &[PowerGraph],
+    expected: Option<&[(f64, f64)]>,
+    cfg: &LoadConfig,
+) -> Result<LoadReport, String> {
+    if graphs.is_empty() {
+        return Err("loadgen needs at least one graph".into());
+    }
+    let graphs: Arc<[PowerGraph]> = graphs.to_vec().into();
+    let expected: Option<Arc<[(f64, f64)]>> = expected.map(|e| e.to_vec().into());
+    let kernel = kernel.to_string();
+    let t_run = Instant::now();
+    let workers: Vec<thread::JoinHandle<ClientOutcome>> = (0..cfg.clients.max(1))
+        .map(|c| {
+            let graphs = Arc::clone(&graphs);
+            let expected = expected.clone();
+            let kernel = kernel.clone();
+            let cfg = *cfg;
+            thread::spawn(move || client_loop(addr, &kernel, &graphs, expected.as_deref(), &cfg, c))
+        })
+        .collect();
+
+    let mut report = LoadReport {
+        latencies: Vec::new(),
+        graphs: 0,
+        elapsed_s: 0.0,
+        errors: 0,
+        mismatches: 0,
+        models_seen: BTreeSet::new(),
+    };
+    for w in workers {
+        let Ok(out) = w.join() else {
+            report.errors += 1;
+            continue;
+        };
+        report.latencies.extend(out.latencies);
+        report.graphs += out.graphs;
+        report.errors += out.errors;
+        report.mismatches += out.mismatches;
+        report.models_seen.extend(out.models_seen);
+    }
+    report.elapsed_s = t_run.elapsed().as_secs_f64();
+    report
+        .latencies
+        .sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    if report.latencies.is_empty() {
+        return Err(format!(
+            "no request succeeded against {addr} ({} errors)",
+            report.errors
+        ));
+    }
+    Ok(report)
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    kernel: &str,
+    graphs: &[PowerGraph],
+    expected: Option<&[(f64, f64)]>,
+    cfg: &LoadConfig,
+    client_id: usize,
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        latencies: Vec::with_capacity(cfg.requests),
+        graphs: 0,
+        errors: 0,
+        mismatches: 0,
+        models_seen: BTreeSet::new(),
+    };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        out.errors += cfg.requests as u64;
+        return out;
+    };
+    let _ = stream.set_nodelay(true);
+    let per = cfg.graphs_per_request.max(1);
+    for r in 0..cfg.requests {
+        // rotate through the graph pool so concurrent batches coalesce
+        // different compositions
+        let indices: Vec<usize> = (0..per)
+            .map(|i| (client_id * 31 + r * per + i) % graphs.len())
+            .collect();
+        let request = PredictRequest {
+            kernel: kernel.to_string(),
+            graphs: indices.iter().map(|&i| graphs[i].clone()).collect(),
+        };
+        let raw = frame::RawFrame::new(FrameType::Predict, request.to_payload());
+        let t = Instant::now();
+        let ok = frame::write_frame(&mut stream, &raw).is_ok();
+        let resp = if ok {
+            frame::read_frame(&mut stream).ok().flatten()
+        } else {
+            None
+        };
+        let Some(resp) = resp else {
+            out.errors += 1;
+            continue;
+        };
+        let latency = t.elapsed().as_secs_f64();
+        if resp.frame_type() != Some(FrameType::PredictOk) {
+            out.errors += 1;
+            continue;
+        }
+        let Ok(decoded) = PredictResponse::from_payload(&resp.payload) else {
+            out.errors += 1;
+            continue;
+        };
+        if decoded.predictions.len() != indices.len() {
+            out.errors += 1;
+            continue;
+        }
+        out.latencies.push(latency);
+        out.graphs += indices.len() as u64;
+        out.models_seen.insert(decoded.model);
+        if let Some(expected) = expected {
+            for (&gi, &(t, d)) in indices.iter().zip(&decoded.predictions) {
+                let (et, ed) = expected[gi];
+                if t.to_bits() != et.to_bits() || d.to_bits() != ed.to_bits() {
+                    out.mismatches += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<f64>) -> LoadReport {
+        LoadReport {
+            latencies,
+            graphs: 10,
+            elapsed_s: 2.0,
+            errors: 0,
+            mismatches: 0,
+            models_seen: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let r = report((1..=100).map(|i| i as f64).collect());
+        assert_eq!(r.percentile(50.0), 50.0);
+        assert_eq!(r.percentile(95.0), 95.0);
+        assert_eq!(r.percentile(99.0), 99.0);
+        assert_eq!(r.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_of_one_sample() {
+        let r = report(vec![0.25]);
+        assert_eq!(r.percentile(50.0), 0.25);
+        assert_eq!(r.percentile(99.0), 0.25);
+    }
+
+    #[test]
+    fn throughput_uses_wall_time() {
+        let r = report(vec![0.1; 4]);
+        assert!((r.graphs_per_sec() - 5.0).abs() < 1e-9);
+        assert!((r.requests_per_sec() - 2.0).abs() < 1e-9);
+    }
+}

@@ -5,9 +5,10 @@
 //! trains a quick ensemble, and measures a handful of throughput metrics
 //! (higher is always better):
 //!
-//! * `seq_graphs_per_sec` — sequential [`Ensemble::predict`];
-//! * `engine_t1_graphs_per_sec` — [`InferenceEngine`], one worker;
-//! * `engine_mt_graphs_per_sec` — [`InferenceEngine`], one worker per core;
+//! * `seq_graphs_per_sec` — sequential [`pg_gnn::Ensemble::predict`];
+//! * `engine_t1_graphs_per_sec` — [`pg_gnn::InferenceEngine`], one worker;
+//! * `engine_mt_graphs_per_sec` — [`pg_gnn::InferenceEngine`], one worker
+//!   per core;
 //! * `hls_cache_replay_speedup` — synthesizing the whole design space
 //!   against a warm cache versus cold (pure memoization win; collapses to
 //!   ~1 if the cache ever stops hitting);
@@ -22,7 +23,11 @@
 //! * `warm_start_speedup` — training the ensemble from scratch versus
 //!   loading the saved `pg_store` artifact from disk (the train-once /
 //!   serve-forever win; collapses toward 1 if artifact loading ever gets
-//!   as expensive as training).
+//!   as expensive as training);
+//! * `serve_throughput` — graphs/s sustained by the `powergear serve`
+//!   daemon over real TCP sockets under concurrent PGRPC clients
+//!   ([`crate::loadgen`]), with every served prediction checked
+//!   bit-identical to the in-process sequential path.
 //!
 //! Results serialize to a tiny hand-rolled JSON file (`{"metrics": {...}}`
 //! — the workspace has no serde); [`compare`] flags any metric that fell
@@ -198,6 +203,49 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         "loaded artifact diverged from the trained ensemble"
     );
 
+    // Socket-level serving throughput: publish the trained heads as an
+    // artifact, spawn the daemon on a free port and drive it with
+    // concurrent PGRPC clients. Correctness gates the number: every
+    // served prediction must be bit-identical to the in-process path.
+    let gear = powergear::PowerGear {
+        total_model: ensemble.clone(),
+        dynamic_model: ensemble.clone(),
+    };
+    let owned_graphs: Vec<PowerGraph> = ds.samples.iter().map(|s| s.graph.clone()).collect();
+    let expected = gear.estimate_graphs(&graphs);
+    let reg_dir = std::env::temp_dir().join(format!("pg_perf_serve_{}", std::process::id()));
+    let registry = pg_store::ModelRegistry::open(&reg_dir).expect("perf registry");
+    registry
+        .publish(
+            "perf",
+            &gear.to_artifact(
+                pg_store::ArtifactMeta::now(&ds.kernel, "total+dynamic"),
+                &[],
+                0,
+            ),
+        )
+        .expect("perf publish");
+    let mut daemon_cfg = powergear::daemon::DaemonConfig::new("127.0.0.1:0");
+    daemon_cfg.registry_dir = Some(reg_dir.clone());
+    let daemon = powergear::daemon::Daemon::bind(daemon_cfg)
+        .expect("perf daemon bind")
+        .spawn();
+    let load = crate::loadgen::run_load(
+        daemon.addr(),
+        &ds.kernel,
+        &owned_graphs,
+        Some(&expected),
+        &crate::loadgen::LoadConfig::quick(),
+    )
+    .expect("loadgen run");
+    daemon.stop().expect("perf daemon stop");
+    std::fs::remove_dir_all(&reg_dir).ok();
+    assert_eq!(load.errors, 0, "daemon returned errors under load");
+    assert_eq!(
+        load.mismatches, 0,
+        "served predictions diverged from the in-process path"
+    );
+
     let n = graphs.len() as f64;
     vec![
         PerfResult {
@@ -227,6 +275,10 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         PerfResult {
             name: "warm_start_speedup".into(),
             value: train_s / load_s.max(1e-9),
+        },
+        PerfResult {
+            name: "serve_throughput".into(),
+            value: load.graphs_per_sec(),
         },
     ]
 }
@@ -363,7 +415,7 @@ mod tests {
             epochs: 1,
             reps: 1,
         });
-        assert_eq!(results.len(), 7);
+        assert_eq!(results.len(), 8);
         for r in &results {
             assert!(
                 r.value.is_finite() && r.value > 0.0,

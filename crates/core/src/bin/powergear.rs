@@ -12,6 +12,7 @@
 //! powergear train   <kernel> --save <m.pgm>    # train once, persist the model
 //! powergear predict <kernel> [directives...] --model <m.pgm>
 //! powergear serve   <kernel> [N] --model <m.pgm>   # zero training epochs
+//! powergear serve   --listen <addr> --registry <dir>   # persistent PGRPC daemon
 //! powergear verify  <m.pgm>                    # bit-exactness probe check
 //! powergear models  [--registry <dir>]         # list the model registry
 //! powergear models  --verify-all               # replay every artifact's probe
@@ -20,6 +21,9 @@
 //! directive syntax:  pipeline=<loop>  unroll=<loop>:<k>  partition=<array>:<k>
 //! common flags:      --size <n>  (problem size, default 12)
 //! serve flags:       --threads <t>  (engine worker threads, default: cores)
+//! daemon flags:      --listen <addr>  --registry <dir>  --model <m.pgm>
+//!                    --batch-deadline-us <us> (default 500)
+//!                    --max-batch <graphs> (default 32)  --poll-ms <ms> (default 200)
 //! train flags:       --samples <N> --epochs <e> --registry <dir> --name <name>
 //! dataset flags:     --samples <N> (default 500) --threads <t> --seed <s>
 //!                    --out <snapshot.pgstore>
@@ -97,7 +101,7 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
 }
 
 /// Every value-taking flag the CLI understands.
-const KNOWN_FLAGS: [&str; 11] = [
+const KNOWN_FLAGS: [&str; 15] = [
     "--size",
     "--threads",
     "--samples",
@@ -109,6 +113,10 @@ const KNOWN_FLAGS: [&str; 11] = [
     "--budget",
     "--seed",
     "--out",
+    "--listen",
+    "--batch-deadline-us",
+    "--max-batch",
+    "--poll-ms",
 ];
 
 /// Boolean flags (present or absent, no value).
@@ -611,17 +619,108 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One parsed configuration for both `serve` modes: the one-shot
+/// throughput demo and the persistent `--listen` daemon share it, so the
+/// batching/threading flags mean the same thing in both.
+struct ServeCliConfig {
+    size: usize,
+    count: usize,
+    threads: usize,
+    model: Option<String>,
+    registry: Option<String>,
+    listen: Option<String>,
+    batch_deadline_us: u64,
+    max_batch: usize,
+    poll_ms: u64,
+}
+
+fn parse_serve_config(args: &[String]) -> Result<ServeCliConfig, String> {
+    let cfg = ServeCliConfig {
+        size: flag_value(args, "--size")?.unwrap_or(12),
+        count: second_positional(args)?.unwrap_or(24),
+        threads: flag_value(args, "--threads")?
+            .unwrap_or_else(default_threads)
+            .max(1),
+        model: flag_value(args, "--model")?,
+        registry: flag_value(args, "--registry")?,
+        listen: flag_value(args, "--listen")?,
+        batch_deadline_us: flag_value(args, "--batch-deadline-us")?.unwrap_or(500),
+        max_batch: flag_value(args, "--max-batch")?.unwrap_or(32),
+        poll_ms: flag_value(args, "--poll-ms")?.unwrap_or(200),
+    };
+    if cfg.max_batch == 0 {
+        return Err("--max-batch must be positive".into());
+    }
+    Ok(cfg)
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let cfg = parse_serve_config(args)?;
+    if cfg.listen.is_some() {
+        return cmd_serve_daemon(&cfg);
+    }
+    cmd_serve_oneshot(args, &cfg)
+}
+
+/// `serve --listen <addr>`: the persistent PGRPC daemon (protocol spec in
+/// docs/PROTOCOL.md, operations runbook in docs/SERVING.md). Blocks until
+/// a Shutdown frame arrives.
+fn cmd_serve_daemon(cfg: &ServeCliConfig) -> Result<(), String> {
+    use powergear::daemon::{Daemon, DaemonConfig};
+    if cfg.model.is_none() && cfg.registry.is_none() {
+        return Err(
+            "serve --listen needs a model source: --model <m.pgm> and/or --registry <dir>".into(),
+        );
+    }
+    let listen = cfg.listen.clone().unwrap_or_default();
+    let mut dcfg = DaemonConfig::new(listen);
+    dcfg.max_batch = cfg.max_batch;
+    dcfg.batch_deadline = std::time::Duration::from_micros(cfg.batch_deadline_us);
+    dcfg.poll_interval = std::time::Duration::from_millis(cfg.poll_ms.max(1));
+    dcfg.threads = cfg.threads;
+    dcfg.registry_dir = cfg.registry.clone().map(Into::into);
+    dcfg.model_path = cfg.model.clone().map(Into::into);
+    let daemon = Daemon::bind(dcfg).map_err(|e| e.to_string())?;
+    let models = daemon.models();
+    eprintln!(
+        "[serve] listening on {} — {} model(s), batch ≤{} graphs / {}µs deadline, \
+         {} engine thread(s), source poll {}ms",
+        daemon.local_addr(),
+        models.len(),
+        cfg.max_batch,
+        cfg.batch_deadline_us,
+        cfg.threads,
+        cfg.poll_ms
+    );
+    for m in &models {
+        eprintln!(
+            "[serve]   {:16} kernel(s) `{}` fp={:016x}",
+            m.name, m.kernel, m.fingerprint
+        );
+    }
+    if models.is_empty() {
+        eprintln!(
+            "[serve]   no models loaded yet ({} load error(s)); publish to the registry \
+             and the daemon hot-swaps them in",
+            daemon.load_errors()
+        );
+    }
+    eprintln!("[serve] send a Shutdown frame to stop (see docs/PROTOCOL.md)");
+    daemon.run().map_err(|e| e.to_string())
+}
+
+/// `serve <kernel> [N]` without `--listen`: the original in-process
+/// throughput demo comparing the batched engine against the sequential
+/// path on one locally built dataset.
+fn cmd_serve_oneshot(args: &[String], scfg: &ServeCliConfig) -> Result<(), String> {
     let kernel = load_kernel(args)?;
-    let n = second_positional(args)?.unwrap_or(24);
-    let threads = flag_value(args, "--threads")?
-        .unwrap_or_else(default_threads)
-        .max(1);
-    let model_path: Option<String> = flag_value(args, "--model")?;
+    let n = scfg.count;
+    let threads = scfg.threads;
+    let model_path = &scfg.model;
 
     let cache = HlsCache::new();
     let cfg = DatasetConfig {
-        size: flag_value(args, "--size")?.unwrap_or(12),
+        size: scfg.size,
         max_samples: n.max(4),
         seed: 1,
         threads,
@@ -640,7 +739,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache.hits()
     );
 
-    let ensemble = match &model_path {
+    let ensemble = match model_path {
         Some(_) => {
             let (path, artifact) = load_artifact(args, Some(&kernel.name))?;
             let model = PowerGear::from_artifact(&artifact).map_err(|e| e.to_string())?;

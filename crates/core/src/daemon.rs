@@ -1,0 +1,997 @@
+//! The persistent `powergear serve --listen` daemon: a TCP server that
+//! speaks the `PGRPC` framing protocol (byte-level spec in
+//! `docs/PROTOCOL.md`) over [`std::net::TcpListener`].
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! client ──TCP──▶ accept ──▶ connection handler (1 thread/conn)
+//!                               │  read_frame / decode PredictRequest
+//!                               ▼
+//!                         AdmissionQueue  ◀── micro-batching under a
+//!                               │              latency deadline
+//!                               ▼              (--batch-deadline-us,
+//!                         batcher thread        --max-batch)
+//!                               │  route kernel → model snapshot
+//!                               ▼
+//!                         InferenceEngine (bit-identical to the
+//!                               │           sequential predict path)
+//!                               ▼
+//!                         PredictResponse ──▶ handler ──TCP──▶ client
+//! ```
+//!
+//! Concurrent requests coalesce into engine batches (see
+//! [`pg_gnn::AdmissionQueue`]); because the engine is bit-identical for
+//! any batch composition, coalescing never changes a single bit of any
+//! response — the house determinism invariant is what makes deadline
+//! batching safe.
+//!
+//! # Model routing and hot swap
+//!
+//! Models come from a [`ModelRegistry`] directory and/or a single `.pgm`
+//! artifact. A poller thread rescans the sources every
+//! [`DaemonConfig::poll_interval`] by file mtime+length stamp and
+//! atomically swaps the routing catalog when anything changed. In-flight
+//! requests always execute against the snapshot resolved when their batch
+//! starts, and one request is always served by exactly one model
+//! ([`pg_store::frame::PredictResponse`] carries the model name and
+//! fingerprint so clients can attribute responses) — a swap therefore
+//! drops zero requests and mixes zero models within a response. Artifacts
+//! that fail to load mid-publish keep their previous healthy version until
+//! a later poll succeeds.
+//!
+//! Operational guidance (tuning, troubleshooting) lives in
+//! `docs/SERVING.md`; the overall system map in `docs/ARCHITECTURE.md`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use powergear::daemon::{Daemon, DaemonConfig};
+//!
+//! let mut cfg = DaemonConfig::new("127.0.0.1:7070");
+//! cfg.registry_dir = Some("models".into());
+//! let daemon = Daemon::bind(cfg)?;
+//! daemon.run()?; // blocks until a Shutdown frame arrives
+//! # Ok::<(), powergear::daemon::ServeError>(())
+//! ```
+
+use crate::PowerGear;
+use pg_gnn::{AdmissionQueue, BatchPolicy, ServeConfig};
+use pg_graphcon::PowerGraph;
+use pg_store::frame::{self, error_code};
+use pg_store::{ModelArtifact, ModelInfo, ModelRegistry, StoreError};
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, PoisonError, RwLock};
+use std::thread;
+// pg-lint: allow(wall_clock, reason = "import only; uptime telemetry and mtime-based swap detection are annotated at their use sites — neither feeds model arithmetic")
+use std::time::{Duration, Instant, SystemTime};
+
+/// Configuration for [`Daemon::bind`]. The CLI maps `serve --listen` flags
+/// onto this one-to-one (`docs/SERVING.md` documents the tuning).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to listen on, e.g. `127.0.0.1:7070` (port 0 picks a free
+    /// port; see [`Daemon::local_addr`]).
+    pub listen: String,
+    /// Graph-count weight at which a micro-batch dispatches immediately
+    /// (`--max-batch`).
+    pub max_batch: usize,
+    /// Longest a lone request waits for co-batching
+    /// (`--batch-deadline-us`).
+    pub batch_deadline: Duration,
+    /// How often the model sources are rescanned for hot swap
+    /// (`--poll-ms`).
+    pub poll_interval: Duration,
+    /// Engine worker threads per micro-batch (`--threads`).
+    pub threads: usize,
+    /// Registry directory of `.pgm` artifacts to route between
+    /// (`--registry`).
+    pub registry_dir: Option<PathBuf>,
+    /// A single `.pgm` artifact to serve (`--model`); combinable with
+    /// `registry_dir`, which takes precedence on a name collision.
+    pub model_path: Option<PathBuf>,
+}
+
+impl DaemonConfig {
+    /// A config for `listen` with the default knobs: batch up to 32
+    /// graphs under a 500 µs deadline, poll sources every 200 ms, one
+    /// engine thread.
+    pub fn new(listen: impl Into<String>) -> DaemonConfig {
+        DaemonConfig {
+            listen: listen.into(),
+            max_batch: 32,
+            batch_deadline: Duration::from_micros(500),
+            poll_interval: Duration::from_millis(200),
+            threads: 1,
+            registry_dir: None,
+            model_path: None,
+        }
+    }
+}
+
+/// Errors from binding or running the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, accept, read, write).
+    Io(std::io::Error),
+    /// Persistence-layer failure loading a model source.
+    Store(StoreError),
+    /// Invalid [`DaemonConfig`].
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Store(e) => write!(f, "model store error: {e}"),
+            ServeError::Config(msg) => write!(f, "daemon config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model catalog: routing + hot swap
+
+/// File identity stamp used for swap detection: (mtime nanos, length).
+type Stamp = (u128, u64);
+
+/// One loaded, probe-verified model.
+struct LoadedModel {
+    name: String,
+    /// Kernels the model was trained on (split from
+    /// [`pg_store::ArtifactMeta::kernel`]); empty = serves any kernel.
+    kernels: Vec<String>,
+    kernel_csv: String,
+    fingerprint: u64,
+    gear: PowerGear,
+}
+
+/// The immutable routing catalog a batch executes against. Swaps replace
+/// the whole catalog atomically (an `Arc` behind a lock); per-entry
+/// `Arc`s are reused across rescans when a file's stamp is unchanged.
+#[derive(Default)]
+struct Catalog {
+    entries: BTreeMap<String, (Stamp, Arc<LoadedModel>)>,
+}
+
+impl Catalog {
+    /// Deterministic per-kernel routing: the lexicographically first model
+    /// trained on `kernel`; models with an empty kernel list act as
+    /// wildcard fallbacks (again first-by-name).
+    fn route(&self, kernel: &str) -> Option<Arc<LoadedModel>> {
+        let mut wildcard = None;
+        for (_, (_, model)) in &self.entries {
+            if model.kernels.iter().any(|k| k == kernel) {
+                return Some(Arc::clone(model));
+            }
+            if model.kernels.is_empty() && wildcard.is_none() {
+                wildcard = Some(Arc::clone(model));
+            }
+        }
+        wildcard
+    }
+
+    fn infos(&self) -> Vec<ModelInfo> {
+        self.entries
+            .values()
+            .map(|(_, m)| ModelInfo {
+                name: m.name.clone(),
+                kernel: m.kernel_csv.clone(),
+                fingerprint: m.fingerprint,
+            })
+            .collect()
+    }
+}
+
+fn stamp_of(path: &Path) -> Option<Stamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    let mtime = meta
+        .modified()
+        .ok()
+        // pg-lint: allow(wall_clock, reason = "reads the file's stored mtime for hot-swap change detection — not a clock sample, and never feeds model arithmetic")
+        .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    Some((mtime, meta.len()))
+}
+
+/// Lists `(name, path)` model sources in precedence order: the single
+/// `--model` artifact first, then the registry (later names override
+/// earlier ones on collision).
+fn list_sources(cfg: &DaemonConfig) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    if let Some(path) = &cfg.model_path {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "model".to_string());
+        out.push((name, path.clone()));
+    }
+    if let Some(dir) = &cfg.registry_dir {
+        if let Ok(reg) = ModelRegistry::open(dir) {
+            if let Ok(entries) = reg.list() {
+                for e in entries {
+                    out.push((e.name, e.path));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn load_model(name: &str, path: &Path) -> Result<LoadedModel, StoreError> {
+    let artifact = ModelArtifact::load(path)?;
+    let gear = PowerGear::from_artifact(&artifact)?;
+    let kernel_csv = artifact.meta.kernel.clone();
+    let kernels = kernel_csv
+        .split(',')
+        .map(|k| k.trim().to_string())
+        .filter(|k| !k.is_empty())
+        .collect();
+    Ok(LoadedModel {
+        name: name.to_string(),
+        kernels,
+        kernel_csv,
+        fingerprint: artifact.meta.train_fingerprint,
+        gear,
+    })
+}
+
+/// Rescans the model sources, reusing loaded models whose file stamp is
+/// unchanged. Returns the fresh catalog, whether it differs from `prev`
+/// (membership or any reloaded entry), and the number of load failures
+/// (failed entries keep their previous healthy version, so a half-written
+/// publish never evicts a serving model).
+fn rescan(cfg: &DaemonConfig, prev: &Catalog) -> (Catalog, bool, u64) {
+    let mut next = Catalog::default();
+    let mut changed = false;
+    let mut load_errors = 0u64;
+    for (name, path) in list_sources(cfg) {
+        let stamp = stamp_of(&path).unwrap_or((0, 0));
+        match prev.entries.get(&name) {
+            Some((old_stamp, model)) if *old_stamp == stamp => {
+                next.entries.insert(name, (stamp, Arc::clone(model)));
+            }
+            old => match load_model(&name, &path) {
+                Ok(model) => {
+                    changed = true;
+                    next.entries.insert(name, (stamp, Arc::new(model)));
+                }
+                Err(_) => {
+                    load_errors += 1;
+                    if let Some((old_stamp, model)) = old {
+                        // keep serving the last healthy version
+                        next.entries.insert(name, (*old_stamp, Arc::clone(model)));
+                    }
+                }
+            },
+        }
+    }
+    if next.entries.len() != prev.entries.len()
+        || !next.entries.keys().eq(prev.entries.keys())
+    {
+        changed = true;
+    }
+    (next, changed, load_errors)
+}
+
+// ---------------------------------------------------------------------------
+// Shared daemon state
+
+/// One admitted Predict request: the unit the batcher never splits.
+struct Job {
+    kernel: String,
+    graphs: Vec<PowerGraph>,
+    reply: mpsc::Sender<frame::RawFrame>,
+}
+
+struct Shared {
+    cfg: DaemonConfig,
+    addr: SocketAddr,
+    queue: AdmissionQueue<Job>,
+    catalog: RwLock<Arc<Catalog>>,
+    stop: AtomicBool,
+    // pg-lint: allow(wall_clock, reason = "uptime telemetry for the Stats frame only; never feeds model arithmetic")
+    started: Instant,
+    requests: AtomicU64,
+    graphs: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+    swaps: AtomicU64,
+    load_errors: AtomicU64,
+}
+
+impl Shared {
+    fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(
+            &self
+                .catalog
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    fn stats(&self) -> frame::StatsResponse {
+        frame::StatsResponse {
+            // pg-lint: allow(wall_clock, reason = "uptime telemetry for the Stats frame only; never feeds model arithmetic")
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            requests: self.requests.load(Ordering::Relaxed),
+            graphs: self.graphs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            models: self.catalog().entries.len() as u64,
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Initiates shutdown: further accepts/admissions are refused, queued
+    /// work drains, and the accept loop is woken by a loopback connect.
+    fn begin_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // Wake the blocking accept(); listening on a wildcard address
+        // still accepts loopback connections to the same port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The daemon
+
+/// A bound-but-not-yet-running serving daemon. [`Daemon::run`] blocks the
+/// calling thread (the CLI path); [`Daemon::spawn`] runs it on a
+/// background thread and returns a [`DaemonHandle`] (the test path).
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Binds the listen socket and loads the initial model catalog.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when no model source is configured or a
+    /// batching knob is zero; [`ServeError::Io`] when the bind fails.
+    pub fn bind(cfg: DaemonConfig) -> Result<Daemon, ServeError> {
+        if cfg.registry_dir.is_none() && cfg.model_path.is_none() {
+            return Err(ServeError::Config(
+                "no model source: set registry_dir and/or model_path".into(),
+            ));
+        }
+        if cfg.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be positive".into()));
+        }
+        if cfg.threads == 0 {
+            return Err(ServeError::Config("threads must be positive".into()));
+        }
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let (catalog, _, load_errors) = rescan(&cfg, &Catalog::default());
+        let queue = AdmissionQueue::new(BatchPolicy::new(cfg.max_batch, cfg.batch_deadline));
+        let shared = Arc::new(Shared {
+            cfg,
+            addr,
+            queue,
+            catalog: RwLock::new(Arc::new(catalog)),
+            stop: AtomicBool::new(false),
+            // pg-lint: allow(wall_clock, reason = "uptime telemetry for the Stats frame only; never feeds model arithmetic")
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            graphs: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            load_errors: AtomicU64::new(load_errors),
+        });
+        Ok(Daemon { listener, shared })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The currently loaded models, sorted by name.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.shared.catalog().infos()
+    }
+
+    /// Model-source load failures observed so far (initial load + polls).
+    pub fn load_errors(&self) -> u64 {
+        self.shared.load_errors.load(Ordering::Relaxed)
+    }
+
+    /// Runs the daemon on the calling thread until a `Shutdown` frame
+    /// arrives (or [`DaemonHandle::stop`] is called on a spawned daemon).
+    /// Queued requests drain before shutdown completes — zero admitted
+    /// requests are dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] only for fatal listener failures; per-connection
+    /// errors are answered with `Error` frames and never stop the daemon.
+    pub fn run(self) -> Result<(), ServeError> {
+        let shared = self.shared;
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || batcher_loop(&shared))
+        };
+        let poller = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || poller_loop(&shared))
+        };
+        for stream in self.listener.incoming() {
+            if shared.stopping() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&shared);
+            // Handlers are detached: one blocked on a silent client must
+            // not delay shutdown; it exits on its own read timeout.
+            thread::spawn(move || handle_conn(&shared, stream));
+        }
+        shared.begin_stop();
+        let _ = batcher.join();
+        let _ = poller.join();
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread; the returned handle stops
+    /// it and joins.
+    pub fn spawn(self) -> DaemonHandle {
+        let shared = Arc::clone(&self.shared);
+        let thread = thread::spawn(move || self.run());
+        DaemonHandle { shared, thread }
+    }
+}
+
+/// Handle to a daemon running via [`Daemon::spawn`].
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    thread: thread::JoinHandle<Result<(), ServeError>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serving counters so far.
+    pub fn stats(&self) -> frame::StatsResponse {
+        self.shared.stats()
+    }
+
+    /// Stops the daemon (draining queued requests) and joins its threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the run loop's [`ServeError`], or
+    /// [`ServeError::Config`] if the daemon thread panicked.
+    pub fn stop(self) -> Result<(), ServeError> {
+        self.shared.begin_stop();
+        self.thread
+            .join()
+            .unwrap_or_else(|_| Err(ServeError::Config("daemon thread panicked".into())))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+
+/// How often a blocked read wakes up to check the stop flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+fn io_would_block(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
+}
+
+fn error_frame(code: u16, message: impl Into<String>) -> frame::RawFrame {
+    let payload = frame::ErrorFrame {
+        code,
+        message: message.into(),
+    }
+    .to_payload();
+    frame::RawFrame::new(frame::FrameType::Error, payload)
+}
+
+/// Serves one client connection: a loop of read-frame → respond. Framing
+/// errors answer with `Error { BAD_REQUEST }` and close (the byte stream
+/// is no longer trustworthy); unknown frame types answer with
+/// `Error { UNKNOWN_TYPE }` and keep the connection open (forward
+/// compatibility, `docs/PROTOCOL.md` §versioning).
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        match frame::read_frame(&mut stream) {
+            Ok(None) => return, // clean EOF between frames
+            Ok(Some(req)) => {
+                let closing = matches!(req.frame_type(), Some(frame::FrameType::Shutdown));
+                if respond(shared, &mut stream, req).is_err() || closing {
+                    return;
+                }
+            }
+            Err(ref e) if io_would_block(e) => continue, // poll the stop flag
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let f = error_frame(error_code::BAD_REQUEST, format!("bad frame: {e}"));
+                let _ = frame::write_frame(&mut stream, &f);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one well-framed request and writes the response frame.
+fn respond(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: frame::RawFrame,
+) -> Result<(), StoreError> {
+    let resp = match req.frame_type() {
+        Some(frame::FrameType::Ping) => frame::RawFrame::new(frame::FrameType::Pong, Vec::new()),
+        Some(frame::FrameType::Stats) => {
+            frame::RawFrame::new(frame::FrameType::StatsOk, shared.stats().to_payload())
+        }
+        Some(frame::FrameType::ModelList) => {
+            let payload = frame::ModelListResponse {
+                models: shared.catalog().infos(),
+            }
+            .to_payload();
+            frame::RawFrame::new(frame::FrameType::ModelListOk, payload)
+        }
+        Some(frame::FrameType::Shutdown) => {
+            shared.begin_stop();
+            frame::RawFrame::new(frame::FrameType::ShutdownOk, Vec::new())
+        }
+        Some(frame::FrameType::Predict) => predict(shared, &req.payload),
+        _ => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            error_frame(
+                error_code::UNKNOWN_TYPE,
+                format!("unsupported frame type 0x{:02x}", req.tag),
+            )
+        }
+    };
+    frame::write_frame(stream, &resp)
+}
+
+/// Admits one Predict request and blocks until the batcher replies.
+fn predict(shared: &Shared, payload: &[u8]) -> frame::RawFrame {
+    let request = match frame::PredictRequest::from_payload(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            return error_frame(error_code::BAD_REQUEST, format!("bad predict request: {e}"));
+        }
+    };
+    let (tx, rx) = mpsc::channel();
+    let weight = request.graphs.len();
+    let job = Job {
+        kernel: request.kernel,
+        graphs: request.graphs,
+        reply: tx,
+    };
+    if !shared.queue.push(job, weight) {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        return error_frame(error_code::SHUTTING_DOWN, "daemon is shutting down");
+    }
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    match rx.recv() {
+        Ok(f) => f,
+        Err(_) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            error_frame(error_code::INTERNAL, "batcher dropped the request")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batcher and poller threads
+
+/// Pulls coalesced batches off the admission queue and executes them.
+/// Exits when the queue is closed *and drained* — admitted requests are
+/// always answered, which is the "hot swap / shutdown drops zero
+/// requests" guarantee the protocol tests enforce.
+fn batcher_loop(shared: &Shared) {
+    while let Some(jobs) = shared.queue.next_batch() {
+        if jobs.is_empty() {
+            continue;
+        }
+        // One model snapshot per batch: resolved here, so a concurrent
+        // swap affects only later batches and never splits a request.
+        let catalog = shared.catalog();
+        // name → (model, jobs) preserving FIFO job order within a group.
+        let mut groups: BTreeMap<String, (Arc<LoadedModel>, Vec<Job>)> = BTreeMap::new();
+        for job in jobs {
+            match catalog.route(&job.kernel) {
+                Some(model) => {
+                    groups
+                        .entry(model.name.clone())
+                        .or_insert_with(|| (model, Vec::new()))
+                        .1
+                        .push(job);
+                }
+                None => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    let f = error_frame(
+                        error_code::NO_MODEL,
+                        format!("no loaded model serves kernel `{}`", job.kernel),
+                    );
+                    let _ = job.reply.send(f);
+                }
+            }
+        }
+        for (name, (model, jobs)) in groups {
+            execute_group(shared, &name, &model, jobs);
+        }
+    }
+}
+
+/// Runs one model's share of a micro-batch through the engine and fans
+/// the predictions back out to the per-request reply channels.
+fn execute_group(shared: &Shared, name: &str, model: &LoadedModel, jobs: Vec<Job>) {
+    let refs: Vec<&PowerGraph> = jobs.iter().flat_map(|j| j.graphs.iter()).collect();
+    let preds = if refs.is_empty() {
+        Vec::new()
+    } else {
+        let serve = ServeConfig::new(
+            shared.cfg.max_batch.min(refs.len()).max(1),
+            shared.cfg.threads,
+        );
+        model.gear.estimate_graphs_with(&refs, &serve)
+    };
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.graphs.fetch_add(refs.len() as u64, Ordering::Relaxed);
+    let mut offset = 0usize;
+    for job in jobs {
+        let n = job.graphs.len();
+        let predictions = preds[offset..offset + n].to_vec();
+        offset += n;
+        let payload = frame::PredictResponse {
+            model: name.to_string(),
+            fingerprint: model.fingerprint,
+            predictions,
+        }
+        .to_payload();
+        let f = frame::RawFrame::new(frame::FrameType::PredictOk, payload);
+        let _ = job.reply.send(f);
+    }
+}
+
+/// Rescans the model sources every `poll_interval` and atomically swaps
+/// the catalog when anything changed (sleeping in short slices so
+/// shutdown stays responsive).
+fn poller_loop(shared: &Shared) {
+    const SLICE: Duration = Duration::from_millis(20);
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < shared.cfg.poll_interval {
+            if shared.stopping() {
+                return;
+            }
+            let step = SLICE.min(shared.cfg.poll_interval - slept);
+            thread::sleep(step);
+            slept += step;
+        }
+        let prev = shared.catalog();
+        let (next, changed, load_errors) = rescan(&shared.cfg, &prev);
+        shared.load_errors.fetch_add(load_errors, Ordering::Relaxed);
+        if changed {
+            let mut slot = shared
+                .catalog
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *slot = Arc::new(next);
+            drop(slot);
+            shared.swaps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_gnn::{Ensemble, ModelConfig, PowerModel};
+    use pg_store::ArtifactMeta;
+    use std::io::Write;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "pg_daemon_{tag}_{}_{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A deterministic untrained estimator (seeded Glorot init) — fast to
+    /// build, bit-stable to serve.
+    fn tiny_gear(seed: u64) -> PowerGear {
+        let cfg = ModelConfig::hec(8);
+        PowerGear {
+            total_model: Ensemble {
+                models: vec![PowerModel::new(cfg.clone(), seed)],
+            },
+            dynamic_model: Ensemble {
+                models: vec![PowerModel::new(cfg, seed ^ 0xbeef)],
+            },
+        }
+    }
+
+    fn graph(seed: u64) -> PowerGraph {
+        let nodes = 3 + (seed % 3) as usize;
+        let f = PowerGraph::NODE_FEATS;
+        let mut node_feats = vec![0.0f32; nodes * f];
+        for n in 0..nodes {
+            node_feats[n * f + (seed as usize + n) % f] = 1.0;
+        }
+        let edges: Vec<(u32, u32)> = (1..nodes as u32).map(|d| (d - 1, d)).collect();
+        let ne = edges.len();
+        PowerGraph {
+            kernel: "daemon".into(),
+            design_id: format!("d{seed}"),
+            num_nodes: nodes,
+            node_feats,
+            edges,
+            edge_feats: (0..ne).map(|i| [0.1 * i as f32, 0.2, 0.3, 0.4]).collect(),
+            edge_rel: (0..ne).map(|_| pg_graphcon::Relation::NN).collect(),
+            meta: vec![0.5; 10],
+        }
+    }
+
+    fn publish(dir: &Path, name: &str, kernel: &str, gear: &PowerGear, fp: u64) {
+        let reg = ModelRegistry::open(dir).unwrap();
+        let mut meta = ArtifactMeta::now(kernel, "total+dynamic");
+        meta.train_fingerprint = fp;
+        reg.publish(name, &gear.to_artifact(meta, &[], 0)).unwrap();
+    }
+
+    fn daemon_on(dir: &Path) -> DaemonHandle {
+        let mut cfg = DaemonConfig::new("127.0.0.1:0");
+        cfg.registry_dir = Some(dir.to_path_buf());
+        cfg.batch_deadline = Duration::from_micros(200);
+        cfg.poll_interval = Duration::from_millis(25);
+        Daemon::bind(cfg).unwrap().spawn()
+    }
+
+    fn rpc(stream: &mut TcpStream, req: &frame::RawFrame) -> frame::RawFrame {
+        frame::write_frame(stream, req).unwrap();
+        frame::read_frame(stream).unwrap().expect("response frame")
+    }
+
+    #[test]
+    fn bind_requires_a_model_source() {
+        let cfg = DaemonConfig::new("127.0.0.1:0");
+        assert!(matches!(Daemon::bind(cfg), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn bind_rejects_zero_knobs() {
+        let dir = tmp_dir("zero");
+        let mut cfg = DaemonConfig::new("127.0.0.1:0");
+        cfg.registry_dir = Some(dir.clone());
+        cfg.max_batch = 0;
+        assert!(matches!(Daemon::bind(cfg), Err(ServeError::Config(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ping_stats_models_and_shutdown() {
+        let dir = tmp_dir("basic");
+        let gear = tiny_gear(1);
+        publish(&dir, "mvt-v1", "mvt", &gear, 0xabc);
+        let handle = daemon_on(&dir);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+
+        let pong = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Ping, vec![]));
+        assert_eq!(pong.frame_type(), Some(frame::FrameType::Pong));
+
+        let resp = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::ModelList, vec![]));
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::ModelListOk));
+        let list = frame::ModelListResponse::from_payload(&resp.payload).unwrap();
+        assert_eq!(list.models.len(), 1);
+        assert_eq!(list.models[0].name, "mvt-v1");
+        assert_eq!(list.models[0].kernel, "mvt");
+        assert_eq!(list.models[0].fingerprint, 0xabc);
+
+        let resp = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Stats, vec![]));
+        let stats = frame::StatsResponse::from_payload(&resp.payload).unwrap();
+        assert_eq!(stats.models, 1);
+        assert!(stats.uptime_s >= 0.0);
+
+        let resp = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Shutdown, vec![]));
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::ShutdownOk));
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_is_bit_identical_to_in_process_estimates() {
+        let dir = tmp_dir("predict");
+        let gear = tiny_gear(2);
+        publish(&dir, "mvt-v1", "mvt", &gear, 7);
+        let handle = daemon_on(&dir);
+        let graphs: Vec<PowerGraph> = (0..5).map(graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let expect = gear.estimate_graphs(&refs);
+
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let req = frame::PredictRequest {
+            kernel: "mvt".into(),
+            graphs: graphs.clone(),
+        };
+        let resp = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::Predict, req.to_payload()),
+        );
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::PredictOk));
+        let out = frame::PredictResponse::from_payload(&resp.payload).unwrap();
+        assert_eq!(out.model, "mvt-v1");
+        assert_eq!(out.fingerprint, 7);
+        assert_eq!(out.predictions.len(), expect.len());
+        for ((t1, d1), (t2, d2)) in out.predictions.iter().zip(&expect) {
+            assert_eq!(t1.to_bits(), t2.to_bits());
+            assert_eq!(d1.to_bits(), d2.to_bits());
+        }
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unroutable_kernel_gets_no_model_error() {
+        let dir = tmp_dir("nomodel");
+        publish(&dir, "mvt-v1", "mvt", &tiny_gear(3), 1);
+        let handle = daemon_on(&dir);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let req = frame::PredictRequest {
+            kernel: "gemm".into(),
+            graphs: vec![graph(0)],
+        };
+        let resp = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::Predict, req.to_payload()),
+        );
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::Error));
+        let err = frame::ErrorFrame::from_payload(&resp.payload).unwrap();
+        assert_eq!(err.code, error_code::NO_MODEL);
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_frame_type_keeps_connection_open() {
+        let dir = tmp_dir("unknown");
+        publish(&dir, "m", "mvt", &tiny_gear(4), 1);
+        let handle = daemon_on(&dir);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let bogus = frame::RawFrame {
+            tag: 0x7e,
+            payload: vec![1, 2, 3],
+        };
+        let resp = rpc(&mut s, &bogus);
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::Error));
+        let err = frame::ErrorFrame::from_payload(&resp.payload).unwrap();
+        assert_eq!(err.code, error_code::UNKNOWN_TYPE);
+        // the connection survives: a Ping still works
+        let pong = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Ping, vec![]));
+        assert_eq!(pong.frame_type(), Some(frame::FrameType::Pong));
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_bytes_get_bad_request_then_close() {
+        let dir = tmp_dir("garbage");
+        publish(&dir, "m", "mvt", &tiny_gear(5), 1);
+        let handle = daemon_on(&dir);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        // exactly one header's worth of garbage: unread bytes at close
+        // would RST the socket and race the error frame away
+        s.write_all(b"not a PGRPC hdr!").unwrap();
+        let resp = frame::read_frame(&mut s).unwrap().expect("error frame");
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::Error));
+        let err = frame::ErrorFrame::from_payload(&resp.payload).unwrap();
+        assert_eq!(err.code, error_code::BAD_REQUEST);
+        // server closes the desynced connection
+        assert!(frame::read_frame(&mut s).unwrap().is_none());
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wildcard_model_serves_any_kernel_and_specific_wins() {
+        let dir = tmp_dir("route");
+        publish(&dir, "any", "", &tiny_gear(6), 10);
+        publish(&dir, "mvt-v1", "mvt", &tiny_gear(7), 20);
+        let handle = daemon_on(&dir);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        for (kernel, want) in [("mvt", "mvt-v1"), ("gemm", "any")] {
+            let req = frame::PredictRequest {
+                kernel: kernel.into(),
+                graphs: vec![graph(1)],
+            };
+            let resp = rpc(
+                &mut s,
+                &frame::RawFrame::new(frame::FrameType::Predict, req.to_payload()),
+            );
+            assert_eq!(resp.frame_type(), Some(frame::FrameType::PredictOk));
+            let out = frame::PredictResponse::from_payload(&resp.payload).unwrap();
+            assert_eq!(out.model, want, "kernel {kernel}");
+        }
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hot_swap_picks_up_republished_model() {
+        let dir = tmp_dir("swap");
+        publish(&dir, "mvt-v1", "mvt", &tiny_gear(8), 111);
+        let handle = daemon_on(&dir);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let req = frame::PredictRequest {
+            kernel: "mvt".into(),
+            graphs: vec![graph(2)],
+        };
+        let raw = frame::RawFrame::new(frame::FrameType::Predict, req.to_payload());
+        let before = frame::PredictResponse::from_payload(&rpc(&mut s, &raw).payload).unwrap();
+        assert_eq!(before.fingerprint, 111);
+
+        publish(&dir, "mvt-v1", "mvt", &tiny_gear(9), 222);
+        // wait for the poller (25 ms interval) to observe the new stamp
+        let deadline = 200;
+        let mut swapped = false;
+        for _ in 0..deadline {
+            thread::sleep(Duration::from_millis(10));
+            let after = frame::PredictResponse::from_payload(&rpc(&mut s, &raw).payload).unwrap();
+            if after.fingerprint == 222 {
+                swapped = true;
+                break;
+            }
+        }
+        assert!(swapped, "hot swap never observed");
+        assert!(handle.stats().swaps >= 1);
+        handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

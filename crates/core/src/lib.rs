@@ -30,6 +30,8 @@
 //! # Ok::<(), pg_hls::HlsError>(())
 //! ```
 
+pub mod daemon;
+
 use pg_activity::{execute, Stimuli};
 use pg_datasets::{HlsCache, KernelDataset, PowerTarget};
 use pg_gnn::{Ensemble, InferenceEngine, ModelConfig, ServeConfig, TrainConfig};

@@ -1,7 +1,7 @@
 //! Datasets: the paper's nine Polybench kernels, directive design spaces,
 //! synthetic training kernels, and the end-to-end labeled-sample builder.
 //!
-//! * [`polybench`] — atax, bicg, gemm, gesummv, 2mm, 3mm, mvt, syrk, syr2k
+//! * [`mod@polybench`] — atax, bicg, gemm, gesummv, 2mm, 3mm, mvt, syrk, syr2k
 //!   as loop-nest ASTs (Table I workloads);
 //! * [`space`] — pipeline × unroll × partition design-space enumeration and
 //!   deterministic sampling;

@@ -1,6 +1,6 @@
 //! Synthetic kernel generator.
 //!
-//! The paper "include[s] some synthetic datasets to increase the diversity
+//! The paper "include\[s\] some synthetic datasets to increase the diversity
 //! of loop patterns in training" (§IV). This generator emits random affine
 //! kernels: 1–2 loop nests of depth 1–3 over randomly-shaped arrays, with
 //! random multiply-accumulate expression trees — structurally similar to

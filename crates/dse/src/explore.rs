@@ -4,7 +4,7 @@
 //! utilize PowerGear to estimate dynamic power. Together with the set of
 //! latency derived from HLS, we compute the dynamic power-latency Pareto
 //! frontier using existing sampling points, based on which a sampling
-//! algorithm [7] is applied to select promising design points that are most
+//! algorithm \[7\] is applied to select promising design points that are most
 //! likely to be Pareto-optimal for further evaluation. The above steps are
 //! conducted iteratively … until the total sampling budget is met."
 //!

@@ -1,0 +1,333 @@
+//! Admission queue with micro-batching under a latency deadline — the
+//! many-clients front half of the serving daemon.
+//!
+//! Concurrent connection handlers [`AdmissionQueue::push`] jobs as they
+//! arrive; a single batcher thread pulls coalesced batches with
+//! [`AdmissionQueue::next_batch`]. A batch closes when either
+//!
+//! * the queued **weight** (graphs, for the daemon) reaches
+//!   [`BatchPolicy::max_weight`], or
+//! * [`BatchPolicy::deadline`] has elapsed since the *oldest queued* item
+//!   arrived — bounding the latency a lone request can pay waiting for
+//!   company.
+//!
+//! Items are never split across batches and always dispatch in FIFO
+//! arrival order, so a multi-graph request stays one atomic unit (the
+//! hot-swap "no mixed-model response" guarantee builds on this). Batch
+//! *composition* depends on arrival timing, but downstream arithmetic does
+//! not: the [`crate::InferenceEngine`] is bit-identical for any batch
+//! shape, which is what makes deadline-based coalescing safe under the
+//! workspace's determinism invariant (`docs/ARCHITECTURE.md` shows where
+//! this sits in the daemon's request lifecycle).
+//!
+//! # Examples
+//!
+//! ```
+//! use pg_gnn::{AdmissionQueue, BatchPolicy};
+//! use std::time::Duration;
+//!
+//! let q = AdmissionQueue::new(BatchPolicy {
+//!     max_weight: 32,
+//!     deadline: Duration::from_micros(500),
+//! });
+//! q.push("job", 4);
+//! q.close();
+//! assert_eq!(q.next_batch(), Some(vec!["job"]));
+//! assert_eq!(q.next_batch(), None);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+// pg-lint: allow(wall_clock, reason = "import only; deadline arithmetic sites are annotated below — timing steers batch composition, never model math (engine is bit-identical for any batch shape)")
+use std::time::{Duration, Instant};
+
+/// When a batch closes: at `max_weight`, or `deadline` after the oldest
+/// queued item arrived, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Weight (e.g. graphs) at which a batch dispatches immediately.
+    pub max_weight: usize,
+    /// Longest an admitted item waits for co-batching.
+    pub deadline: Duration,
+}
+
+impl BatchPolicy {
+    /// A policy with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_weight` is zero.
+    pub fn new(max_weight: usize, deadline: Duration) -> Self {
+        assert!(max_weight > 0, "max batch weight must be positive");
+        BatchPolicy {
+            max_weight,
+            deadline,
+        }
+    }
+}
+
+struct Queued<T> {
+    item: T,
+    weight: usize,
+    // pg-lint: allow(wall_clock, reason = "arrival timestamp only feeds the admission deadline; batch composition never changes the served arithmetic")
+    arrived: Instant,
+}
+
+struct State<T> {
+    items: VecDeque<Queued<T>>,
+    /// Sum of queued weights (kept incrementally; avoids O(n) scans).
+    pending_weight: usize,
+    closed: bool,
+}
+
+/// A thread-safe admission queue that coalesces pushed items into batches
+/// under [`BatchPolicy`]. See the module docs for the dispatch rules.
+pub struct AdmissionQueue<T> {
+    policy: BatchPolicy,
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        AdmissionQueue {
+            policy,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                pending_weight: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A poisoned mutex means a producer panicked while holding the
+        // lock; the queue state itself (a VecDeque + counters) is still
+        // coherent, and a daemon must keep serving the other connections.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits an item with the given weight (clamped to at least 1).
+    /// Returns `false` — without enqueueing — once the queue is closed.
+    pub fn push(&self, item: T, weight: usize) -> bool {
+        let mut st = self.lock();
+        if st.closed {
+            return false;
+        }
+        let weight = weight.max(1);
+        st.pending_weight += weight;
+        st.items.push_back(Queued {
+            item,
+            weight,
+            // pg-lint: allow(wall_clock, reason = "deadline bookkeeping for admission scheduling; see module docs — never feeds model arithmetic")
+            arrived: Instant::now(),
+        });
+        drop(st);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Closes the queue: pending items still drain as batches, further
+    /// pushes are rejected, and [`AdmissionQueue::next_batch`] returns
+    /// `None` once empty.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// `true` once [`AdmissionQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Items currently queued (diagnostics only; racy by nature).
+    pub fn pending(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Blocks until a batch is ready and returns it in FIFO order, or
+    /// `None` when the queue is closed and drained. A batch holds at least
+    /// one item; items are never split, so one oversized item dispatches
+    /// alone.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        let mut st = self.lock();
+        loop {
+            if st.items.is_empty() {
+                if st.closed {
+                    return None;
+                }
+                st = self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if st.closed || st.pending_weight >= self.policy.max_weight {
+                break; // dispatch now: full batch, or draining after close
+            }
+            // Wait out the remainder of the oldest item's deadline; a new
+            // push can still complete the batch early.
+            let oldest = st.items[0].arrived;
+            // pg-lint: allow(wall_clock, reason = "deadline check for admission scheduling; see module docs — never feeds model arithmetic")
+            let now = Instant::now();
+            let Some(remaining) = (oldest + self.policy.deadline).checked_duration_since(now)
+            else {
+                break; // deadline expired
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+
+        let mut batch = Vec::new();
+        let mut weight = 0usize;
+        while let Some(front) = st.items.front() {
+            if !batch.is_empty() && weight + front.weight > self.policy.max_weight {
+                break;
+            }
+            let Some(q) = st.items.pop_front() else {
+                break;
+            };
+            weight += q.weight;
+            st.pending_weight -= q.weight;
+            batch.push(q.item);
+            if weight >= self.policy.max_weight {
+                break;
+            }
+        }
+        Some(batch)
+    }
+}
+
+impl<T> std::fmt::Debug for AdmissionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("policy", &self.policy)
+            .field("pending", &self.pending())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn policy(max_weight: usize, deadline_ms: u64) -> BatchPolicy {
+        BatchPolicy::new(max_weight, Duration::from_millis(deadline_ms))
+    }
+
+    #[test]
+    fn weight_threshold_dispatches_without_deadline() {
+        // Deadline is far away; reaching max_weight must dispatch at once.
+        let q = AdmissionQueue::new(policy(4, 60_000));
+        q.push('a', 2);
+        q.push('b', 2);
+        assert_eq!(q.next_batch(), Some(vec!['a', 'b']));
+    }
+
+    #[test]
+    fn deadline_flushes_a_lone_item() {
+        let q = AdmissionQueue::new(policy(1_000, 10));
+        q.push(7u32, 1);
+        let batch = q.next_batch();
+        assert_eq!(batch, Some(vec![7]));
+    }
+
+    #[test]
+    fn items_are_never_split_and_stay_fifo() {
+        let q = AdmissionQueue::new(policy(4, 60_000));
+        q.push("first", 3);
+        q.push("second", 3);
+        q.push("third", 1);
+        q.close();
+        // 3 + 3 > 4: the second item must wait for the next batch.
+        assert_eq!(q.next_batch(), Some(vec!["first"]));
+        assert_eq!(q.next_batch(), Some(vec!["second", "third"]));
+        assert_eq!(q.next_batch(), None);
+    }
+
+    #[test]
+    fn oversized_item_dispatches_alone() {
+        let q = AdmissionQueue::new(policy(4, 60_000));
+        q.push("huge", 100);
+        q.push("next", 1);
+        q.close();
+        assert_eq!(q.next_batch(), Some(vec!["huge"]));
+        assert_eq!(q.next_batch(), Some(vec!["next"]));
+        assert_eq!(q.next_batch(), None);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains() {
+        let q = AdmissionQueue::new(policy(8, 60_000));
+        assert!(q.push(1, 1));
+        q.close();
+        assert!(!q.push(2, 1), "closed queue must reject pushes");
+        assert_eq!(q.next_batch(), Some(vec![1]));
+        assert_eq!(q.next_batch(), None);
+        assert_eq!(q.next_batch(), None, "stays None after drain");
+    }
+
+    #[test]
+    fn zero_weight_counts_as_one() {
+        let q = AdmissionQueue::new(policy(2, 60_000));
+        q.push('x', 0);
+        q.push('y', 0);
+        assert_eq!(q.next_batch(), Some(vec!['x', 'y']));
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let q = Arc::new(AdmissionQueue::new(policy(8, 5)));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        assert!(q.push(p * 1000 + i, 1));
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) = q.next_batch() {
+                    assert!(batch.len() <= 8, "batch overflow: {}", batch.len());
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let mut expect: Vec<i32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "max batch weight must be positive")]
+    fn zero_max_weight_rejected() {
+        BatchPolicy::new(0, Duration::from_millis(1));
+    }
+}

@@ -29,12 +29,14 @@
 //! ```
 
 pub mod ablation;
+pub mod admission;
 pub mod batch;
 pub mod model;
 pub mod serve;
 pub mod train;
 
 pub use ablation::{table2_variants, Variant};
+pub use admission::{AdmissionQueue, BatchPolicy};
 pub use batch::{GraphBatch, RelEdges};
 pub use model::{Arch, ModelConfig, PowerModel};
 pub use serve::{InferenceEngine, ServeConfig, ServeStats};

@@ -23,13 +23,13 @@ use pg_util::Rng64;
 pub enum Arch {
     /// The paper's heterogeneous edge-centric convolution (Eq. 4–5).
     Hec,
-    /// Kipf & Welling GCN (baseline [13]).
+    /// Kipf & Welling GCN (baseline \[13\]).
     Gcn,
-    /// GraphSAGE with mean aggregation (baseline [14]).
+    /// GraphSAGE with mean aggregation (baseline \[14\]).
     Sage,
-    /// Morris et al. GraphConv with edge weights (baseline [16]).
+    /// Morris et al. GraphConv with edge weights (baseline \[16\]).
     GraphConv,
-    /// GINE with edge-feature injection (baseline [15]).
+    /// GINE with edge-feature injection (baseline \[15\]).
     Gine,
 }
 

@@ -1,6 +1,6 @@
 //! HL-Pow feature construction.
 //!
-//! HL-Pow [7] "adopts histograms as a way of feature alignment over
+//! HL-Pow \[7\] "adopts histograms as a way of feature alignment over
 //! different designs … encoding the activities of each type of HLS
 //! operations into a histogram individually, concatenating histograms as
 //! overall design features". Crucially it models *operations only* — no

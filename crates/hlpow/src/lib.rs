@@ -1,4 +1,4 @@
-//! HL-Pow baseline [7]: histogram features + gradient-boosted trees.
+//! HL-Pow baseline \[7\]: histogram features + gradient-boosted trees.
 //!
 //! HL-Pow is the state-of-the-art learning-based HLS power model the paper
 //! compares against (Table I, Table III). It aligns designs by encoding

@@ -9,7 +9,7 @@
 //! * [`netlist`] — maps the bound HLS design to a component/net netlist
 //!   (shared FUs, BRAM banks, FSM, clock tree) with traced per-net
 //!   switching activities;
-//! * [`place`] — a placement/routing surrogate assigning per-net
+//! * [`mod@place`] — a placement/routing surrogate assigning per-net
 //!   capacitances (`C_i` of Eq. 1);
 //! * [`BoardOracle`] — evaluates `P_dyn = Σ α_i·C_i·V²·f` plus gated
 //!   static power and deterministic measurement jitter: the "measured

@@ -16,7 +16,11 @@
 //!   spill/restore in `pg_datasets`;
 //! * [`artifact`] — the `.pgm` model artifact: named ensembles + metadata
 //!   + an embedded bit-exactness probe;
-//! * [`registry`] — a directory of self-describing artifacts.
+//! * [`registry`] — a directory of self-describing artifacts;
+//! * [`frame`] — the `PGRPC` wire framing the `powergear serve --listen`
+//!   daemon speaks over TCP (byte-level spec in `docs/PROTOCOL.md`),
+//!   reusing the same codecs so graphs travel over a socket in exactly the
+//!   bytes they are persisted with.
 //!
 //! # On-disk container format (`FORMAT_VERSION` 1)
 //!
@@ -73,6 +77,7 @@ pub mod codec;
 pub mod container;
 pub mod design;
 pub mod error;
+pub mod frame;
 pub mod registry;
 
 pub use artifact::{load_meta, train_fingerprint, ArtifactMeta, ModelArtifact, ProbeSet};
@@ -80,4 +85,9 @@ pub use codec::{Dec, Enc};
 pub use container::{crc32, Reader, Writer, FORMAT_VERSION, MAGIC};
 pub use design::{dec_design, enc_design};
 pub use error::StoreError;
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, ErrorFrame, FrameType, ModelInfo,
+    ModelListResponse, PredictRequest, PredictResponse, RawFrame, StatsResponse, FRAME_MAGIC,
+    HEADER_LEN, MAX_PAYLOAD, PGRPC_VERSION,
+};
 pub use registry::{ModelRegistry, RegistryEntry, ARTIFACT_EXT};

@@ -293,7 +293,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specification for [`vec`]: an exact count or a range.
+    /// Size specification for [`vec()`]: an exact count or a range.
     pub trait IntoSizeRange {
         /// Inclusive lower bound and exclusive upper bound.
         fn bounds(&self) -> (usize, usize);

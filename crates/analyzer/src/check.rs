@@ -36,9 +36,11 @@ impl Config {
                 "crates/gnn/src/admission.rs".to_string(),
                 "crates/core/src/daemon.rs".to_string(),
             ],
-            // prof is the sanctioned timing seam; bench exists to measure.
+            // prof and metrics are the sanctioned timing seams; bench
+            // exists to measure.
             time_exempt: vec![
                 "crates/util/src/prof.rs".to_string(),
+                "crates/util/src/metrics.rs".to_string(),
                 "crates/bench/".to_string(),
             ],
             print_exempt: vec!["crates/util/src/prof.rs".to_string()],
@@ -88,6 +90,7 @@ pub fn check_file(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
     check_panic(f, cfg, findings);
     check_print(f, cfg, findings);
     check_allow_reason(f, findings);
+    check_metric_name(f, findings);
 }
 
 /// `map_iter` (D): iterating a `HashMap`/`HashSet` in non-test library code.
@@ -496,6 +499,75 @@ fn check_print(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
     }
 }
 
+/// `metric_name` (H): names registered through `pg_util::metrics` must be
+/// lowercase snake_case, counters must end in `_total`, and histograms
+/// must carry a unit suffix — the scrape endpoint and `StatsV2` clients
+/// key on these conventions, and a registry name is frozen at first use.
+///
+/// Flags `counter("NAME")` / `gauge_with("name", ..)` /
+/// `histogram(..)`-style calls whose first argument is a string literal;
+/// names built at runtime are out of reach (and out of house style
+/// anyway).
+fn check_metric_name(f: &SourceFile, findings: &mut Vec<Finding>) {
+    use crate::lexer::TokKind;
+    const HIST_UNITS: [&str; 5] = ["_us", "_s", "_bytes", "_graphs", "_ratio"];
+    let sig = f.significant();
+    let n = sig.len();
+    for i in 0..n {
+        let t = &f.tokens[sig[i]];
+        if f.in_test_region(t.start) {
+            continue;
+        }
+        let w = f.tok_text(t);
+        let kind = match w {
+            "counter" | "counter_with" => "counter",
+            "gauge" | "gauge_with" => "gauge",
+            "histogram" | "histogram_with" => "histogram",
+            _ => continue,
+        };
+        // Registration is a plain call with a literal first argument:
+        // `counter("name")`, `metrics::histogram_with("name", ...)`.
+        // Method calls (`snapshot.histogram("name", ..)`) are lookups,
+        // not registrations, but hold the same names to the same style.
+        if i + 2 >= n || f.tok_text(&f.tokens[sig[i + 1]]) != "(" {
+            continue;
+        }
+        let arg = &f.tokens[sig[i + 2]];
+        if arg.kind != TokKind::Str {
+            continue;
+        }
+        let name = f.tok_text(arg).trim_matches('"');
+        let snake = name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && name.starts_with(|c: char| c.is_ascii_lowercase());
+        let problem = if !snake {
+            Some("must be lowercase snake_case starting with a letter".to_string())
+        } else if kind == "counter" && !name.ends_with("_total") {
+            Some("counters must end in `_total`".to_string())
+        } else if kind == "histogram" && !HIST_UNITS.iter().any(|u| name.ends_with(u)) {
+            Some(format!(
+                "histograms must end in a unit suffix ({})",
+                HIST_UNITS.join(", ")
+            ))
+        } else if kind == "gauge" && name.ends_with("_total") {
+            Some("`_total` is reserved for counters".to_string())
+        } else {
+            None
+        };
+        if let Some(problem) = problem {
+            push(
+                findings,
+                f,
+                "metric_name",
+                Severity::Warning,
+                t.line,
+                format!("metric name {name:?} breaks house style: {problem}"),
+            );
+        }
+    }
+}
+
 /// `allow_no_reason` (H): every `#[allow(..)]` needs an adjacent
 /// `// reason:` comment justifying it.
 fn check_allow_reason(f: &SourceFile, findings: &mut Vec<Finding>) {
@@ -694,6 +766,30 @@ mod tests {
         assert!(lint("crates/x/src/lib.rs", FileClass::Lib, good)
             .iter()
             .all(|x| x.rule != "allow_no_reason"));
+    }
+
+    #[test]
+    fn metric_names_follow_house_style() {
+        let bad = "fn f() {\n\
+                   \x20 let _ = pg_util::metrics::counter(\"served\");\n\
+                   \x20 let _ = pg_util::metrics::histogram(\"latency\", B);\n\
+                   \x20 let _ = pg_util::metrics::gauge(\"depth_total\");\n\
+                   \x20 let _ = pg_util::metrics::counter_with(\"CamelTotal\", &[]);\n\
+                   }\n";
+        let f = lint("crates/x/src/lib.rs", FileClass::Lib, bad);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "metric_name").count(),
+            4,
+            "{f:?}"
+        );
+        let good = "fn f() {\n\
+                    \x20 let _ = pg_util::metrics::counter(\"served_total\");\n\
+                    \x20 let _ = pg_util::metrics::histogram(\"latency_us\", B);\n\
+                    \x20 let _ = pg_util::metrics::gauge(\"queue_depth\");\n\
+                    \x20 let _ = pg_util::metrics::counter(&dynamic_name);\n\
+                    }\n";
+        let f2 = lint("crates/x/src/lib.rs", FileClass::Lib, good);
+        assert!(f2.iter().all(|x| x.rule != "metric_name"), "{f2:?}");
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//~ path: crates/x/src/lib.rs
+// Seeded H-family violations: metric names off the house convention
+// (lowercase snake_case; counters end `_total`; histograms carry a unit
+// suffix; `_total` is reserved for counters).
+use pg_util::metrics::{self, buckets};
+
+pub fn register() {
+    // Violations.
+    let _ = metrics::counter("requestsServed"); //~ metric_name (not snake_case)
+    let _ = metrics::counter("serve_requests"); //~ metric_name (counter w/o _total)
+    let _ = metrics::counter_with("Serve_Total", &[("model", "m")]); //~ metric_name
+    let _ = metrics::histogram("service_time", buckets::LATENCY_US); //~ metric_name (no unit)
+    let _ = metrics::gauge("queue_total"); //~ metric_name (_total on a gauge)
+
+    // Compliant names stay silent.
+    let _ = metrics::counter("serve_requests_total");
+    let _ = metrics::counter_with("serve_graphs_total", &[("model", "m")]);
+    let _ = metrics::histogram("serve_service_time_us", buckets::LATENCY_US);
+    let _ = metrics::histogram_with("serve_batch_size_graphs", &[], buckets::SIZE_POW2);
+    let _ = metrics::gauge("serve_queue_depth");
+
+    // Runtime-built names are out of reach for a token-level rule.
+    let name = format!("dyn_{}", 1);
+    let _ = metrics::counter(&name);
+
+    // Suppressible like every other rule.
+    // pg-lint: allow(metric_name, reason = "legacy v1 name kept for dashboard compat")
+    let _ = metrics::counter("legacyRequests");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_scratch_names() {
+        let _ = pg_util::metrics::counter("ScratchName");
+    }
+}

@@ -73,6 +73,7 @@ fixture_test!(float);
 fixture_test!(unsafe_safety);
 fixture_test!(panic_path);
 fixture_test!(hygiene);
+fixture_test!(metric_name);
 
 /// The A-family rules are manifest-level, so their "fixtures" are inline
 /// TOML: one seeded back-edge, one seeded external dependency.

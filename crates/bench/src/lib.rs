@@ -22,5 +22,5 @@ pub mod perf;
 pub mod runtime;
 
 pub use drivers::{EvalConfig, EvalContext};
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{fetch_stats_v2, run_load, server_delta, LoadConfig, LoadReport, ServerDelta};
 pub use perf::{PerfConfig, PerfResult};

@@ -13,8 +13,16 @@
 //! prediction must be bit-identical to the in-process sequential path no
 //! matter how requests were coalesced into batches.
 
+//! Runs can also be bracketed with `StatsV2` snapshots
+//! ([`fetch_stats_v2`] / [`server_delta`]): the daemon's own per-model
+//! counters across the run are cross-checked against the client-side
+//! tallies, and the server's batch-size distribution (the number the
+//! micro-batcher actually achieved) is reported next to client latency.
+
 use pg_graphcon::PowerGraph;
 use pg_store::frame::{self, FrameType, PredictRequest, PredictResponse};
+use pg_store::StatsV2Response;
+use pg_util::metrics::{HistogramSnapshot, MetricsSnapshot};
 use std::collections::BTreeSet;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -160,6 +168,117 @@ pub fn run_load(
     Ok(report)
 }
 
+/// One `StatsV2` round trip against a live daemon on a fresh connection.
+///
+/// # Errors
+///
+/// An error string on connect/frame failures, or when the daemon answers
+/// with an `Error` frame (a pre-StatsV2 server).
+pub fn fetch_stats_v2(addr: SocketAddr) -> Result<StatsV2Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let req = frame::RawFrame::new(FrameType::StatsV2, Vec::new());
+    frame::write_frame(&mut stream, &req).map_err(|e| e.to_string())?;
+    let resp = frame::read_frame(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "server closed the connection".to_string())?;
+    match resp.frame_type() {
+        Some(FrameType::StatsV2Ok) => {
+            StatsV2Response::from_payload(&resp.payload).map_err(|e| e.to_string())
+        }
+        Some(FrameType::Error) => Err("server does not speak StatsV2 (older daemon?)".into()),
+        other => Err(format!("unexpected response frame {other:?}")),
+    }
+}
+
+/// Server-side counter movement across one load run, from `StatsV2`
+/// snapshots taken before and after. All `serve_*` series are summed
+/// across model labels, so the delta is meaningful even when a run
+/// touches several models (or an external daemon serves other traffic —
+/// in that case the cross-check is advisory, not exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerDelta {
+    /// Requests the daemon served to completion (`serve_requests_total`).
+    pub requests: u64,
+    /// Graphs inside those requests (`serve_graphs_total`).
+    pub graphs: u64,
+    /// Micro-batches the coalescer formed (`serve_batches_total`).
+    pub batches: u64,
+    /// Requests the daemon rejected (`serve_errors_total`).
+    pub errors: u64,
+    /// Batch-size distribution over the run (`serve_batch_size_graphs`
+    /// summed across models), when the daemon exported one.
+    pub batch_size: Option<HistogramSnapshot>,
+}
+
+impl ServerDelta {
+    /// True when server counters exactly match the client-observed run:
+    /// every OK response was counted once server-side, with the same
+    /// total graph count.
+    pub fn matches_client(&self, report: &LoadReport) -> bool {
+        self.requests == report.latencies.len() as u64 && self.graphs == report.graphs
+    }
+}
+
+/// Sum of every counter series named `name`, across label sets.
+fn counter_sum(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|c| c.name == name)
+        .map(|c| c.value)
+        .sum()
+}
+
+/// Bucket-wise sum of every histogram series named `name`; all series of
+/// one name share bounds by construction (the registry rejects a bound
+/// mismatch), so the merge is positional.
+fn histogram_sum(snap: &MetricsSnapshot, name: &str) -> Option<HistogramSnapshot> {
+    let mut merged: Option<HistogramSnapshot> = None;
+    for h in snap.histograms.iter().filter(|h| h.name == name) {
+        match &mut merged {
+            None => {
+                let mut h = h.clone();
+                h.labels.clear();
+                merged = Some(h);
+            }
+            Some(m) => {
+                m.count += h.count;
+                m.sum += h.sum;
+                for (dst, src) in m.buckets.iter_mut().zip(&h.buckets) {
+                    dst.1 += src.1;
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// Counter/histogram movement from snapshot `before` to `after`.
+///
+/// Counters are monotonic, so saturating subtraction only loses
+/// information if the daemon restarted mid-run (in which case the whole
+/// comparison is void anyway).
+pub fn server_delta(before: &StatsV2Response, after: &StatsV2Response) -> ServerDelta {
+    let (b, a) = (&before.snapshot, &after.snapshot);
+    let diff = |name: &str| counter_sum(a, name).saturating_sub(counter_sum(b, name));
+    let batch_size = histogram_sum(a, "serve_batch_size_graphs").map(|mut h| {
+        if let Some(prev) = histogram_sum(b, "serve_batch_size_graphs") {
+            h.count = h.count.saturating_sub(prev.count);
+            h.sum = h.sum.saturating_sub(prev.sum);
+            for (dst, src) in h.buckets.iter_mut().zip(&prev.buckets) {
+                dst.1 = dst.1.saturating_sub(src.1);
+            }
+        }
+        h
+    });
+    ServerDelta {
+        requests: diff("serve_requests_total"),
+        graphs: diff("serve_graphs_total"),
+        batches: diff("serve_batches_total"),
+        errors: diff("serve_errors_total"),
+        batch_size,
+    }
+}
+
 fn client_loop(
     addr: SocketAddr,
     kernel: &str,
@@ -267,5 +386,88 @@ mod tests {
         let r = report(vec![0.1; 4]);
         assert!((r.graphs_per_sec() - 5.0).abs() < 1e-9);
         assert!((r.requests_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    fn stats(
+        series: &[(&str, &str, u64)],
+        hist: &[(&str, u64, u64, &[(u64, u64)])],
+    ) -> StatsV2Response {
+        let mut v2 = StatsV2Response::default();
+        for &(name, model, value) in series {
+            v2.snapshot
+                .counters
+                .push(pg_util::metrics::CounterSnapshot {
+                    name: name.into(),
+                    labels: vec![("model".into(), model.into())],
+                    value,
+                });
+        }
+        for &(model, count, sum, buckets) in hist {
+            v2.snapshot.histograms.push(HistogramSnapshot {
+                name: "serve_batch_size_graphs".into(),
+                labels: vec![("model".into(), model.into())],
+                count,
+                sum,
+                buckets: buckets.to_vec(),
+            });
+        }
+        v2
+    }
+
+    #[test]
+    fn delta_sums_across_models_and_subtracts_before() {
+        let before = stats(
+            &[
+                ("serve_requests_total", "a", 5),
+                ("serve_graphs_total", "a", 20),
+            ],
+            &[("a", 2, 8, &[(4, 2), (u64::MAX, 0)])],
+        );
+        let after = stats(
+            &[
+                ("serve_requests_total", "a", 9),
+                ("serve_requests_total", "b", 3),
+                ("serve_graphs_total", "a", 36),
+                ("serve_graphs_total", "b", 12),
+                ("serve_batches_total", "a", 4),
+            ],
+            &[
+                ("a", 5, 20, &[(4, 5), (u64::MAX, 0)]),
+                ("b", 1, 4, &[(4, 1), (u64::MAX, 0)]),
+            ],
+        );
+        let d = server_delta(&before, &after);
+        assert_eq!(d.requests, 7); // (9 - 5) + 3
+        assert_eq!(d.graphs, 28); // (36 - 20) + 12
+        assert_eq!(d.batches, 4);
+        assert_eq!(d.errors, 0);
+        let bs = d.batch_size.expect("batch-size histogram");
+        assert_eq!(bs.count, 4); // (5 + 1) - 2
+        assert_eq!(bs.sum, 16); // (20 + 4) - 8
+        assert_eq!(bs.buckets, vec![(4, 4), (u64::MAX, 0)]);
+    }
+
+    #[test]
+    fn delta_matches_client_checks_requests_and_graphs() {
+        let d = ServerDelta {
+            requests: 3,
+            graphs: 12,
+            batches: 2,
+            errors: 0,
+            batch_size: None,
+        };
+        let mut r = report(vec![0.1, 0.2, 0.3]);
+        r.graphs = 12;
+        assert!(d.matches_client(&r));
+        r.graphs = 11;
+        assert!(!d.matches_client(&r));
+    }
+
+    #[test]
+    fn delta_without_snapshots_is_zero() {
+        let empty = StatsV2Response::default();
+        let d = server_delta(&empty, &empty);
+        assert_eq!(d.requests, 0);
+        assert!(d.batch_size.is_none());
     }
 }

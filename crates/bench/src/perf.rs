@@ -27,7 +27,11 @@
 //! * `serve_throughput` — graphs/s sustained by the `powergear serve`
 //!   daemon over real TCP sockets under concurrent PGRPC clients
 //!   ([`crate::loadgen`]), with every served prediction checked
-//!   bit-identical to the in-process sequential path.
+//!   bit-identical to the in-process sequential path;
+//! * `metrics_overhead` — hot-path operations/s of a resolved
+//!   `pg_util::metrics` counter + histogram pair (one `inc` + one
+//!   `observe` per op): the regression gate for the claim that
+//!   instrumenting the daemon is effectively free.
 //!
 //! Results serialize to a tiny hand-rolled JSON file (`{"metrics": {...}}`
 //! — the workspace has no serde); [`compare`] flags any metric that fell
@@ -246,6 +250,22 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         "served predictions diverged from the in-process path"
     );
 
+    // Registry hot path: handles resolved once (as instrumented code
+    // holds them), then a tight inc+observe loop. Measured after the
+    // serving runs so the per-thread shards are warm.
+    let ctr = pg_util::metrics::counter("perf_overhead_probe_total");
+    let hist = pg_util::metrics::histogram(
+        "perf_overhead_probe_us",
+        pg_util::metrics::buckets::LATENCY_US,
+    );
+    const OVERHEAD_OPS: u64 = 200_000;
+    let overhead_s = median_secs(cfg.reps, || {
+        for i in 0..OVERHEAD_OPS {
+            ctr.inc();
+            hist.observe(i & 1023);
+        }
+    });
+
     let n = graphs.len() as f64;
     vec![
         PerfResult {
@@ -279,6 +299,10 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         PerfResult {
             name: "serve_throughput".into(),
             value: load.graphs_per_sec(),
+        },
+        PerfResult {
+            name: "metrics_overhead".into(),
+            value: OVERHEAD_OPS as f64 / overhead_s.max(1e-9),
         },
     ]
 }
@@ -415,7 +439,7 @@ mod tests {
             epochs: 1,
             reps: 1,
         });
-        assert_eq!(results.len(), 8);
+        assert_eq!(results.len(), 9);
         for r in &results {
             assert!(
                 r.value.is_finite() && r.value > 0.0,

@@ -13,6 +13,7 @@
 //! powergear predict <kernel> [directives...] --model <m.pgm>
 //! powergear serve   <kernel> [N] --model <m.pgm>   # zero training epochs
 //! powergear serve   --listen <addr> --registry <dir>   # persistent PGRPC daemon
+//! powergear stats   --addr <host:port> [--watch <secs>]   # live daemon metrics
 //! powergear verify  <m.pgm>                    # bit-exactness probe check
 //! powergear models  [--registry <dir>]         # list the model registry
 //! powergear models  --verify-all               # replay every artifact's probe
@@ -24,6 +25,8 @@
 //! daemon flags:      --listen <addr>  --registry <dir>  --model <m.pgm>
 //!                    --batch-deadline-us <us> (default 500)
 //!                    --max-batch <graphs> (default 32)  --poll-ms <ms> (default 200)
+//!                    --metrics-listen <addr> (Prometheus text endpoint)
+//!                    --trace-out <file.jsonl> (per-request span traces)
 //! train flags:       --samples <N> --epochs <e> --registry <dir> --name <name>
 //! dataset flags:     --samples <N> (default 500) --threads <t> --seed <s>
 //!                    --out <snapshot.pgstore>
@@ -54,7 +57,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: powergear <kernels|report|graph|measure|space|serve|train|predict|verify|models|dse> ..."
+            "usage: powergear <kernels|report|graph|measure|space|serve|stats|train|predict|verify|models|dse> ..."
         );
         return ExitCode::FAILURE;
     };
@@ -63,6 +66,7 @@ fn main() -> ExitCode {
         "kernels" => cmd_kernels(),
         "space" => cmd_space(rest),
         "serve" => cmd_serve(rest),
+        "stats" => cmd_stats(rest),
         "report" | "graph" | "measure" => cmd_design(cmd, rest),
         "dataset" => cmd_dataset(rest),
         "train" => cmd_train(rest),
@@ -101,7 +105,7 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
 }
 
 /// Every value-taking flag the CLI understands.
-const KNOWN_FLAGS: [&str; 15] = [
+const KNOWN_FLAGS: [&str; 19] = [
     "--size",
     "--threads",
     "--samples",
@@ -117,6 +121,10 @@ const KNOWN_FLAGS: [&str; 15] = [
     "--batch-deadline-us",
     "--max-batch",
     "--poll-ms",
+    "--metrics-listen",
+    "--trace-out",
+    "--addr",
+    "--watch",
 ];
 
 /// Boolean flags (present or absent, no value).
@@ -632,6 +640,8 @@ struct ServeCliConfig {
     batch_deadline_us: u64,
     max_batch: usize,
     poll_ms: u64,
+    metrics_listen: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_serve_config(args: &[String]) -> Result<ServeCliConfig, String> {
@@ -647,6 +657,8 @@ fn parse_serve_config(args: &[String]) -> Result<ServeCliConfig, String> {
         batch_deadline_us: flag_value(args, "--batch-deadline-us")?.unwrap_or(500),
         max_batch: flag_value(args, "--max-batch")?.unwrap_or(32),
         poll_ms: flag_value(args, "--poll-ms")?.unwrap_or(200),
+        metrics_listen: flag_value(args, "--metrics-listen")?,
+        trace_out: flag_value(args, "--trace-out")?,
     };
     if cfg.max_batch == 0 {
         return Err("--max-batch must be positive".into());
@@ -680,6 +692,8 @@ fn cmd_serve_daemon(cfg: &ServeCliConfig) -> Result<(), String> {
     dcfg.threads = cfg.threads;
     dcfg.registry_dir = cfg.registry.clone().map(Into::into);
     dcfg.model_path = cfg.model.clone().map(Into::into);
+    dcfg.metrics_listen = cfg.metrics_listen.clone();
+    dcfg.trace_out = cfg.trace_out.clone().map(Into::into);
     let daemon = Daemon::bind(dcfg).map_err(|e| e.to_string())?;
     let models = daemon.models();
     eprintln!(
@@ -705,8 +719,115 @@ fn cmd_serve_daemon(cfg: &ServeCliConfig) -> Result<(), String> {
             daemon.load_errors()
         );
     }
+    if let Some(addr) = daemon.metrics_addr() {
+        eprintln!("[serve] Prometheus metrics on http://{addr}/metrics");
+    }
+    if let Some(path) = &cfg.trace_out {
+        eprintln!("[serve] per-request span traces -> {path}");
+    }
     eprintln!("[serve] send a Shutdown frame to stop (see docs/PROTOCOL.md)");
     daemon.run().map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// stats
+
+/// `powergear stats --addr <host:port> [--watch <secs>]`: fetches a
+/// `StatsV2` registry snapshot from a live daemon and renders it as a
+/// table; `--watch` repeats forever at the given period.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let addr: String = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7070".into());
+    let watch: Option<u64> = flag_value(args, "--watch")?;
+    loop {
+        let v2 = fetch_stats_v2(&addr)?;
+        print_stats_v2(&addr, &v2);
+        match watch {
+            None => return Ok(()),
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs.max(1))),
+        }
+    }
+}
+
+/// One StatsV2 round trip on a fresh connection.
+fn fetch_stats_v2(addr: &str) -> Result<pg_store::StatsV2Response, String> {
+    use pg_store::frame;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to `{addr}`: {e}"))?;
+    let req = frame::RawFrame::new(frame::FrameType::StatsV2, Vec::new());
+    frame::write_frame(&mut stream, &req).map_err(|e| e.to_string())?;
+    let resp = frame::read_frame(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "server closed the connection".to_string())?;
+    match resp.frame_type() {
+        Some(frame::FrameType::StatsV2Ok) => {
+            frame::StatsV2Response::from_payload(&resp.payload).map_err(|e| e.to_string())
+        }
+        Some(frame::FrameType::Error) => {
+            let err = frame::ErrorFrame::from_payload(&resp.payload).map_err(|e| e.to_string())?;
+            Err(format!(
+                "server rejected StatsV2 (code {}): {} — an older daemon? try upgrading it",
+                err.code, err.message
+            ))
+        }
+        other => Err(format!("unexpected response frame {other:?}")),
+    }
+}
+
+fn fmt_metric_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// A histogram bound in microseconds, humanized (`u64::MAX` is +inf).
+fn fmt_bound(b: Option<u64>) -> String {
+    match b {
+        None => "-".into(),
+        Some(u64::MAX) => "+inf".into(),
+        Some(v) => v.to_string(),
+    }
+}
+
+fn print_stats_v2(addr: &str, v2: &pg_store::StatsV2Response) {
+    println!("daemon {addr}: up {:.1}s", v2.uptime_s);
+    if !v2.snapshot.counters.is_empty() {
+        println!("  {:<52} {:>14}", "counter", "value");
+        for c in &v2.snapshot.counters {
+            println!(
+                "  {:<52} {:>14}",
+                format!("{}{}", c.name, fmt_metric_labels(&c.labels)),
+                c.value
+            );
+        }
+    }
+    if !v2.snapshot.gauges.is_empty() {
+        println!("  {:<52} {:>14}", "gauge", "value");
+        for g in &v2.snapshot.gauges {
+            println!(
+                "  {:<52} {:>14}",
+                format!("{}{}", g.name, fmt_metric_labels(&g.labels)),
+                g.value
+            );
+        }
+    }
+    if !v2.snapshot.histograms.is_empty() {
+        println!(
+            "  {:<52} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50<=", "p95<=", "mean"
+        );
+        for h in &v2.snapshot.histograms {
+            println!(
+                "  {:<52} {:>10} {:>10} {:>10} {:>10.1}",
+                format!("{}{}", h.name, fmt_metric_labels(&h.labels)),
+                h.count,
+                fmt_bound(h.percentile(0.5)),
+                fmt_bound(h.percentile(0.95)),
+                h.mean()
+            );
+        }
+    }
 }
 
 /// `serve <kernel> [N]` without `--listen`: the original in-process

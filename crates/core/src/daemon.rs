@@ -60,6 +60,7 @@ use pg_gnn::{AdmissionQueue, BatchPolicy, ServeConfig};
 use pg_graphcon::PowerGraph;
 use pg_store::frame::{self, error_code};
 use pg_store::{ModelArtifact, ModelInfo, ModelRegistry, StoreError};
+use pg_util::{metrics, trace};
 use std::collections::BTreeMap;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -93,6 +94,12 @@ pub struct DaemonConfig {
     /// A single `.pgm` artifact to serve (`--model`); combinable with
     /// `registry_dir`, which takes precedence on a name collision.
     pub model_path: Option<PathBuf>,
+    /// Address for the plain-text Prometheus exposition endpoint
+    /// (`--metrics-listen`); `None` disables it.
+    pub metrics_listen: Option<String>,
+    /// JSONL file receiving one per-request span trace per served Predict
+    /// (`--trace-out`); `None` disables tracing.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl DaemonConfig {
@@ -108,6 +115,8 @@ impl DaemonConfig {
             threads: 1,
             registry_dir: None,
             model_path: None,
+            metrics_listen: None,
+            trace_out: None,
         }
     }
 }
@@ -285,9 +294,7 @@ fn rescan(cfg: &DaemonConfig, prev: &Catalog) -> (Catalog, bool, u64) {
             },
         }
     }
-    if next.entries.len() != prev.entries.len()
-        || !next.entries.keys().eq(prev.entries.keys())
-    {
+    if next.entries.len() != prev.entries.len() || !next.entries.keys().eq(prev.entries.keys()) {
         changed = true;
     }
     (next, changed, load_errors)
@@ -301,6 +308,38 @@ struct Job {
     kernel: String,
     graphs: Vec<PowerGraph>,
     reply: mpsc::Sender<frame::RawFrame>,
+    /// Admission timestamp ([`metrics::monotonic_us`]) for the
+    /// admission-wait histogram and the `admission` span.
+    admitted_us: u64,
+    /// Per-request span trace, present only when `--trace-out` is set.
+    trace: Option<trace::Trace>,
+}
+
+/// Pre-resolved registry handles for the request-path metrics that are
+/// not per-model (per-model handles resolve per batch in
+/// [`execute_group`]). The metric catalog is documented in
+/// `docs/OBSERVABILITY.md`.
+struct ServeMetrics {
+    admission_wait_us: metrics::Histogram,
+    queue_depth: metrics::Gauge,
+    errors_total: metrics::Counter,
+    load_errors_total: metrics::Counter,
+    swaps_total: metrics::Counter,
+}
+
+impl ServeMetrics {
+    fn resolve() -> ServeMetrics {
+        ServeMetrics {
+            admission_wait_us: metrics::histogram(
+                "serve_admission_wait_us",
+                metrics::buckets::LATENCY_US,
+            ),
+            queue_depth: metrics::gauge("serve_queue_depth"),
+            errors_total: metrics::counter("serve_errors_total"),
+            load_errors_total: metrics::counter("serve_load_errors_total"),
+            swaps_total: metrics::counter("serve_swaps_total"),
+        }
+    }
 }
 
 struct Shared {
@@ -317,16 +356,13 @@ struct Shared {
     errors: AtomicU64,
     swaps: AtomicU64,
     load_errors: AtomicU64,
+    metrics: ServeMetrics,
+    trace_sink: Option<trace::TraceSink>,
 }
 
 impl Shared {
     fn catalog(&self) -> Arc<Catalog> {
-        Arc::clone(
-            &self
-                .catalog
-                .read()
-                .unwrap_or_else(PoisonError::into_inner),
-        )
+        Arc::clone(&self.catalog.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     fn stats(&self) -> frame::StatsResponse {
@@ -340,6 +376,23 @@ impl Shared {
             swaps: self.swaps.load(Ordering::Relaxed),
             models: self.catalog().entries.len() as u64,
         }
+    }
+
+    /// A full registry snapshot for the `StatsV2` frame (includes the
+    /// prof scope roll-ins, see [`metrics::snapshot`]).
+    fn stats_v2(&self) -> frame::StatsV2Response {
+        frame::StatsV2Response {
+            // pg-lint: allow(wall_clock, reason = "uptime telemetry for the Stats frame only; never feeds model arithmetic")
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            snapshot: metrics::snapshot(),
+        }
+    }
+
+    /// Counts one served error on both the v1 Stats counter and the
+    /// registry.
+    fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.errors_total.inc();
     }
 
     fn stopping(&self) -> bool {
@@ -369,6 +422,7 @@ impl Shared {
 /// background thread and returns a [`DaemonHandle`] (the test path).
 pub struct Daemon {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -393,8 +447,18 @@ impl Daemon {
         }
         let listener = TcpListener::bind(&cfg.listen)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_listen {
+            Some(listen) => Some(TcpListener::bind(listen)?),
+            None => None,
+        };
+        let trace_sink = match &cfg.trace_out {
+            Some(path) => Some(trace::TraceSink::create(path)?),
+            None => None,
+        };
         let (catalog, _, load_errors) = rescan(&cfg, &Catalog::default());
         let queue = AdmissionQueue::new(BatchPolicy::new(cfg.max_batch, cfg.batch_deadline));
+        let serve_metrics = ServeMetrics::resolve();
+        serve_metrics.load_errors_total.add(load_errors);
         let shared = Arc::new(Shared {
             cfg,
             addr,
@@ -409,8 +473,22 @@ impl Daemon {
             errors: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             load_errors: AtomicU64::new(load_errors),
+            metrics: serve_metrics,
+            trace_sink,
         });
-        Ok(Daemon { listener, shared })
+        Ok(Daemon {
+            listener,
+            metrics_listener,
+            shared,
+        })
+    }
+
+    /// The bound Prometheus endpoint address, when `metrics_listen` is
+    /// configured (resolves port 0 to the actual port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -447,6 +525,10 @@ impl Daemon {
             let shared = Arc::clone(&shared);
             thread::spawn(move || poller_loop(&shared))
         };
+        let exposition = self.metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || exposition_loop(&shared, &listener))
+        });
         for stream in self.listener.incoming() {
             if shared.stopping() {
                 break;
@@ -460,6 +542,9 @@ impl Daemon {
         shared.begin_stop();
         let _ = batcher.join();
         let _ = poller.join();
+        if let Some(t) = exposition {
+            let _ = t.join();
+        }
         Ok(())
     }
 
@@ -467,14 +552,20 @@ impl Daemon {
     /// it and joins.
     pub fn spawn(self) -> DaemonHandle {
         let shared = Arc::clone(&self.shared);
+        let metrics_addr = self.metrics_addr();
         let thread = thread::spawn(move || self.run());
-        DaemonHandle { shared, thread }
+        DaemonHandle {
+            shared,
+            metrics_addr,
+            thread,
+        }
     }
 }
 
 /// Handle to a daemon running via [`Daemon::spawn`].
 pub struct DaemonHandle {
     shared: Arc<Shared>,
+    metrics_addr: Option<SocketAddr>,
     thread: thread::JoinHandle<Result<(), ServeError>>,
 }
 
@@ -482,6 +573,11 @@ impl DaemonHandle {
     /// The daemon's bound address.
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The Prometheus endpoint address, when one is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Serving counters so far.
@@ -550,7 +646,7 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
             }
             Err(ref e) if io_would_block(e) => continue, // poll the stop flag
             Err(e) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.record_error();
                 let f = error_frame(error_code::BAD_REQUEST, format!("bad frame: {e}"));
                 let _ = frame::write_frame(&mut stream, &f);
                 return;
@@ -570,6 +666,9 @@ fn respond(
         Some(frame::FrameType::Stats) => {
             frame::RawFrame::new(frame::FrameType::StatsOk, shared.stats().to_payload())
         }
+        Some(frame::FrameType::StatsV2) => {
+            frame::RawFrame::new(frame::FrameType::StatsV2Ok, shared.stats_v2().to_payload())
+        }
         Some(frame::FrameType::ModelList) => {
             let payload = frame::ModelListResponse {
                 models: shared.catalog().infos(),
@@ -583,7 +682,7 @@ fn respond(
         }
         Some(frame::FrameType::Predict) => predict(shared, &req.payload),
         _ => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.record_error();
             error_frame(
                 error_code::UNKNOWN_TYPE,
                 format!("unsupported frame type 0x{:02x}", req.tag),
@@ -598,26 +697,32 @@ fn predict(shared: &Shared, payload: &[u8]) -> frame::RawFrame {
     let request = match frame::PredictRequest::from_payload(payload) {
         Ok(r) => r,
         Err(e) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.record_error();
             return error_frame(error_code::BAD_REQUEST, format!("bad predict request: {e}"));
         }
     };
     let (tx, rx) = mpsc::channel();
     let weight = request.graphs.len();
     let job = Job {
+        trace: shared
+            .trace_sink
+            .is_some()
+            .then(|| trace::Trace::begin(&request.kernel)),
         kernel: request.kernel,
         graphs: request.graphs,
         reply: tx,
+        admitted_us: metrics::monotonic_us(),
     };
     if !shared.queue.push(job, weight) {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
+        shared.record_error();
         return error_frame(error_code::SHUTTING_DOWN, "daemon is shutting down");
     }
+    shared.metrics.queue_depth.add(1);
     shared.requests.fetch_add(1, Ordering::Relaxed);
     match rx.recv() {
         Ok(f) => f,
         Err(_) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.record_error();
             error_frame(error_code::INTERNAL, "batcher dropped the request")
         }
     }
@@ -631,9 +736,18 @@ fn predict(shared: &Shared, payload: &[u8]) -> frame::RawFrame {
 /// always answered, which is the "hot swap / shutdown drops zero
 /// requests" guarantee the protocol tests enforce.
 fn batcher_loop(shared: &Shared) {
-    while let Some(jobs) = shared.queue.next_batch() {
+    while let Some(mut jobs) = shared.queue.next_batch() {
         if jobs.is_empty() {
             continue;
+        }
+        shared.metrics.queue_depth.add(-(jobs.len() as i64));
+        let pulled_us = metrics::monotonic_us();
+        for job in &mut jobs {
+            let wait_us = pulled_us.saturating_sub(job.admitted_us);
+            shared.metrics.admission_wait_us.observe(wait_us);
+            if let Some(t) = &mut job.trace {
+                t.span("admission", job.admitted_us, wait_us);
+            }
         }
         // One model snapshot per batch: resolved here, so a concurrent
         // swap affects only later batches and never splits a request.
@@ -650,7 +764,7 @@ fn batcher_loop(shared: &Shared) {
                         .push(job);
                 }
                 None => {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.record_error();
                     let f = error_frame(
                         error_code::NO_MODEL,
                         format!("no loaded model serves kernel `{}`", job.kernel),
@@ -659,16 +773,43 @@ fn batcher_loop(shared: &Shared) {
                 }
             }
         }
+        let routed_us = metrics::monotonic_us();
         for (name, (model, jobs)) in groups {
-            execute_group(shared, &name, &model, jobs);
+            execute_group(shared, &name, &model, jobs, pulled_us, routed_us);
         }
     }
 }
 
 /// Runs one model's share of a micro-batch through the engine and fans
 /// the predictions back out to the per-request reply channels.
-fn execute_group(shared: &Shared, name: &str, model: &LoadedModel, jobs: Vec<Job>) {
+/// `pulled_us`/`routed_us` bound the batch's grouping phase for the
+/// `batching`/`routing` trace spans.
+fn execute_group(
+    shared: &Shared,
+    name: &str,
+    model: &LoadedModel,
+    jobs: Vec<Job>,
+    pulled_us: u64,
+    routed_us: u64,
+) {
     let refs: Vec<&PowerGraph> = jobs.iter().flat_map(|j| j.graphs.iter()).collect();
+    let labels = [("model", name)];
+    metrics::counter_with("serve_requests_total", &labels).add(jobs.len() as u64);
+    metrics::counter_with("serve_graphs_total", &labels).add(refs.len() as u64);
+    metrics::counter_with("serve_batches_total", &labels).inc();
+    metrics::histogram_with(
+        "serve_batch_size_graphs",
+        &labels,
+        metrics::buckets::SIZE_POW2,
+    )
+    .observe(refs.len() as u64);
+    let service_timer = metrics::histogram_with(
+        "serve_service_time_us",
+        &labels,
+        metrics::buckets::LATENCY_US,
+    )
+    .start_timer();
+    let infer_start_us = metrics::monotonic_us();
     let preds = if refs.is_empty() {
         Vec::new()
     } else {
@@ -678,13 +819,17 @@ fn execute_group(shared: &Shared, name: &str, model: &LoadedModel, jobs: Vec<Job
         );
         model.gear.estimate_graphs_with(&refs, &serve)
     };
+    let infer_us = service_timer.stop();
     shared.batches.fetch_add(1, Ordering::Relaxed);
-    shared.graphs.fetch_add(refs.len() as u64, Ordering::Relaxed);
+    shared
+        .graphs
+        .fetch_add(refs.len() as u64, Ordering::Relaxed);
     let mut offset = 0usize;
-    for job in jobs {
+    for mut job in jobs {
         let n = job.graphs.len();
         let predictions = preds[offset..offset + n].to_vec();
         offset += n;
+        let encode_start_us = metrics::monotonic_us();
         let payload = frame::PredictResponse {
             model: name.to_string(),
             fingerprint: model.fingerprint,
@@ -692,7 +837,55 @@ fn execute_group(shared: &Shared, name: &str, model: &LoadedModel, jobs: Vec<Job
         }
         .to_payload();
         let f = frame::RawFrame::new(frame::FrameType::PredictOk, payload);
+        if let (Some(sink), Some(t)) = (&shared.trace_sink, &mut job.trace) {
+            t.span("batching", pulled_us, routed_us.saturating_sub(pulled_us));
+            t.span(
+                "routing",
+                routed_us,
+                infer_start_us.saturating_sub(routed_us),
+            );
+            t.span("inference", infer_start_us, infer_us);
+            t.span(
+                "encode",
+                encode_start_us,
+                metrics::monotonic_us().saturating_sub(encode_start_us),
+            );
+            sink.record(t);
+        }
         let _ = job.reply.send(f);
+    }
+}
+
+/// Answers every HTTP connection on the metrics listener with the full
+/// registry rendered as Prometheus text exposition (HTTP/1.0, one
+/// response per connection). Non-blocking accept keeps shutdown prompt.
+fn exposition_loop(shared: &Shared, listener: &TcpListener) {
+    use std::io::{Read, Write};
+    const IDLE: Duration = Duration::from_millis(50);
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                // Drain the request head (best effort; any request path
+                // gets the same document).
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = metrics::render_prometheus(&shared.stats_v2().snapshot);
+                let head = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream
+                    .write_all(head.as_bytes())
+                    .and_then(|()| stream.write_all(body.as_bytes()));
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(IDLE),
+            Err(_) => thread::sleep(IDLE),
+        }
     }
 }
 
@@ -714,6 +907,7 @@ fn poller_loop(shared: &Shared) {
         let prev = shared.catalog();
         let (next, changed, load_errors) = rescan(&shared.cfg, &prev);
         shared.load_errors.fetch_add(load_errors, Ordering::Relaxed);
+        shared.metrics.load_errors_total.add(load_errors);
         if changed {
             let mut slot = shared
                 .catalog
@@ -722,6 +916,7 @@ fn poller_loop(shared: &Shared) {
             *slot = Arc::new(next);
             drop(slot);
             shared.swaps.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.swaps_total.inc();
         }
     }
 }
@@ -737,10 +932,7 @@ mod tests {
     fn tmp_dir(tag: &str) -> PathBuf {
         static N: AtomicUsize = AtomicUsize::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "pg_daemon_{tag}_{}_{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("pg_daemon_{tag}_{}_{n}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -824,10 +1016,16 @@ mod tests {
         let handle = daemon_on(&dir);
         let mut s = TcpStream::connect(handle.addr()).unwrap();
 
-        let pong = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Ping, vec![]));
+        let pong = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::Ping, vec![]),
+        );
         assert_eq!(pong.frame_type(), Some(frame::FrameType::Pong));
 
-        let resp = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::ModelList, vec![]));
+        let resp = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::ModelList, vec![]),
+        );
         assert_eq!(resp.frame_type(), Some(frame::FrameType::ModelListOk));
         let list = frame::ModelListResponse::from_payload(&resp.payload).unwrap();
         assert_eq!(list.models.len(), 1);
@@ -835,12 +1033,18 @@ mod tests {
         assert_eq!(list.models[0].kernel, "mvt");
         assert_eq!(list.models[0].fingerprint, 0xabc);
 
-        let resp = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Stats, vec![]));
+        let resp = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::Stats, vec![]),
+        );
         let stats = frame::StatsResponse::from_payload(&resp.payload).unwrap();
         assert_eq!(stats.models, 1);
         assert!(stats.uptime_s >= 0.0);
 
-        let resp = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Shutdown, vec![]));
+        let resp = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::Shutdown, vec![]),
+        );
         assert_eq!(resp.frame_type(), Some(frame::FrameType::ShutdownOk));
         handle.stop().unwrap();
         std::fs::remove_dir_all(&dir).ok();
@@ -914,7 +1118,10 @@ mod tests {
         let err = frame::ErrorFrame::from_payload(&resp.payload).unwrap();
         assert_eq!(err.code, error_code::UNKNOWN_TYPE);
         // the connection survives: a Ping still works
-        let pong = rpc(&mut s, &frame::RawFrame::new(frame::FrameType::Ping, vec![]));
+        let pong = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::Ping, vec![]),
+        );
         assert_eq!(pong.frame_type(), Some(frame::FrameType::Pong));
         handle.stop().unwrap();
         std::fs::remove_dir_all(&dir).ok();
@@ -960,6 +1167,102 @@ mod tests {
             assert_eq!(out.model, want, "kernel {kernel}");
         }
         handle.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_v2_metrics_endpoint_and_traces() {
+        let dir = tmp_dir("obs");
+        // Unique model name: per-model counters are process-global, so
+        // exact assertions need a name no other test routes to.
+        publish(&dir, "obsd-v1", "obsd", &tiny_gear(11), 42);
+        let trace_path = dir.join("traces.jsonl");
+        let mut cfg = DaemonConfig::new("127.0.0.1:0");
+        cfg.registry_dir = Some(dir.clone());
+        cfg.batch_deadline = Duration::from_micros(200);
+        cfg.metrics_listen = Some("127.0.0.1:0".into());
+        cfg.trace_out = Some(trace_path.clone());
+        let daemon = Daemon::bind(cfg).unwrap();
+        let metrics_addr = daemon.metrics_addr().expect("metrics listener bound");
+        let handle = daemon.spawn();
+
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let total_reqs = 3usize;
+        let graphs_per_req = 2usize;
+        for i in 0..total_reqs {
+            let req = frame::PredictRequest {
+                kernel: "obsd".into(),
+                graphs: (0..graphs_per_req as u64)
+                    .map(|g| graph(i as u64 + g))
+                    .collect(),
+            };
+            let resp = rpc(
+                &mut s,
+                &frame::RawFrame::new(frame::FrameType::Predict, req.to_payload()),
+            );
+            assert_eq!(resp.frame_type(), Some(frame::FrameType::PredictOk));
+        }
+
+        // StatsV2 carries the full registry snapshot.
+        let resp = rpc(
+            &mut s,
+            &frame::RawFrame::new(frame::FrameType::StatsV2, vec![]),
+        );
+        assert_eq!(resp.frame_type(), Some(frame::FrameType::StatsV2Ok));
+        let v2 = frame::StatsV2Response::from_payload(&resp.payload).unwrap();
+        assert!(v2.uptime_s >= 0.0);
+        let labels = [("model", "obsd-v1")];
+        assert_eq!(
+            v2.snapshot.counter_value("serve_requests_total", &labels),
+            Some(total_reqs as u64)
+        );
+        assert_eq!(
+            v2.snapshot.counter_value("serve_graphs_total", &labels),
+            Some((total_reqs * graphs_per_req) as u64)
+        );
+        let batches = v2
+            .snapshot
+            .counter_value("serve_batches_total", &labels)
+            .unwrap();
+        assert!(batches >= 1 && batches <= total_reqs as u64);
+        let bs = v2
+            .snapshot
+            .histogram("serve_batch_size_graphs", &labels)
+            .unwrap();
+        assert_eq!(bs.count, batches);
+        assert_eq!(bs.sum, (total_reqs * graphs_per_req) as u64);
+        let st = v2
+            .snapshot
+            .histogram("serve_service_time_us", &labels)
+            .unwrap();
+        assert_eq!(st.count, batches);
+        // All admitted work is done, so the queue gauge is back to zero.
+        assert_eq!(v2.snapshot.gauge_value("serve_queue_depth", &[]), Some(0));
+
+        // The HTTP endpoint serves the same registry as Prometheus text.
+        let mut http = TcpStream::connect(metrics_addr).unwrap();
+        http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        use std::io::Read;
+        http.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("text/plain; version=0.0.4"));
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total{model=\"obsd-v1\"}"));
+        assert!(text.contains("serve_service_time_us_bucket{model=\"obsd-v1\",le=\"+Inf\"}"));
+
+        handle.stop().unwrap();
+
+        // One JSONL trace per served request, with all five spans.
+        let traces = std::fs::read_to_string(&trace_path).unwrap();
+        let lines: Vec<&str> = traces.lines().collect();
+        assert_eq!(lines.len(), total_reqs);
+        for line in lines {
+            assert!(line.contains("\"kernel\":\"obsd\""));
+            for span in ["admission", "batching", "routing", "inference", "encode"] {
+                assert!(line.contains(&format!("\"name\":\"{span}\"")), "{line}");
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

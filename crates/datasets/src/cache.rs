@@ -24,11 +24,11 @@
 use pg_hls::{Directives, HlsDesign, HlsError, HlsFlow, KernelAnalysis, PreparedKernel};
 use pg_ir::Kernel;
 use pg_store::{dec_design, enc_design, Dec, Enc, Reader, StoreError, Writer};
-use pg_util::prof;
 use pg_util::rng::hash64;
+use pg_util::{metrics, prof};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Section name the cache spill is stored under.
 const CACHE_SECTION: &str = "hls_cache";
@@ -38,6 +38,26 @@ const CACHE_SECTION: &str = "hls_cache";
 pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
     let _t = prof::scope("hls.fingerprint");
     hash64(format!("{kernel:?}").as_bytes())
+}
+
+/// Process-global cache counters (`hls_cache_*` in the metric catalog,
+/// `docs/OBSERVABILITY.md`) aggregated across every cache instance, so
+/// the serving daemon's registry sees offline-pipeline cache behavior
+/// too. The per-instance [`HlsCache::hits`]/[`HlsCache::misses`]
+/// accessors stay exact per cache.
+struct CacheMetrics {
+    hits_total: metrics::Counter,
+    misses_total: metrics::Counter,
+    sessions_total: metrics::Counter,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| CacheMetrics {
+        hits_total: metrics::counter("hls_cache_hits_total"),
+        misses_total: metrics::counter("hls_cache_misses_total"),
+        sessions_total: metrics::counter("hls_cache_sessions_total"),
+    })
 }
 
 /// A thread-safe memoizing wrapper around [`HlsFlow`].
@@ -94,6 +114,7 @@ impl HlsCache {
     ) -> Result<KernelSession<'c, 'k>, HlsError> {
         let fingerprint = kernel_fingerprint(kernel);
         let analysis = self.analysis(fingerprint, kernel)?;
+        cache_metrics().sessions_total.inc();
         Ok(KernelSession {
             cache: self,
             prepared: PreparedKernel::with_analysis(kernel, analysis),
@@ -120,6 +141,7 @@ impl HlsCache {
             .get(&(fingerprint, directives.id()))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits_total.inc();
             return Ok(Arc::clone(design));
         }
         let analysis = self.analysis(fingerprint, kernel)?;
@@ -141,9 +163,11 @@ impl HlsCache {
         let key = (fingerprint, directives.id());
         if let Some(design) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits_total.inc();
             return Ok(Arc::clone(design));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cache_metrics().misses_total.inc();
         let design = Arc::new(self.flow.run_prepared(prepared, directives)?);
         let mut map = self.map.lock().expect("cache lock");
         let entry = map.entry(key).or_insert(design);

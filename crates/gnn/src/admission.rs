@@ -163,10 +163,7 @@ impl<T> AdmissionQueue<T> {
                 if st.closed {
                     return None;
                 }
-                st = self
-                    .cv
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
                 continue;
             }
             if st.closed || st.pending_weight >= self.policy.max_weight {
@@ -320,7 +317,9 @@ mod tests {
         q.close();
         let mut seen = consumer.join().unwrap();
         seen.sort_unstable();
-        let mut expect: Vec<i32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
         expect.sort_unstable();
         assert_eq!(seen, expect);
     }

@@ -182,6 +182,13 @@ impl<'a> InferenceEngine<'a> {
             threads_used: workers,
             seconds: t0.elapsed().as_secs_f64(),
         };
+        pg_util::metrics::counter("engine_batches_total").add(stats.batches as u64);
+        pg_util::metrics::counter("engine_graphs_total").add(stats.graphs as u64);
+        pg_util::metrics::histogram(
+            "engine_batch_time_us",
+            pg_util::metrics::buckets::LATENCY_US,
+        )
+        .observe((stats.seconds * 1e6) as u64);
         (per_batch.into_iter().flatten().collect(), stats)
     }
 

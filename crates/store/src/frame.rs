@@ -65,6 +65,8 @@ pub enum FrameType {
     ModelList = 0x04,
     /// Graceful shutdown request (empty payload).
     Shutdown = 0x05,
+    /// Full metrics-registry snapshot request (empty payload).
+    StatsV2 = 0x06,
     /// Response to [`FrameType::Ping`] (empty payload).
     Pong = 0x81,
     /// Response to [`FrameType::Predict`]: [`PredictResponse`].
@@ -76,6 +78,8 @@ pub enum FrameType {
     /// Response to [`FrameType::Shutdown`] (empty payload), sent before the
     /// server closes the connection.
     ShutdownOk = 0x85,
+    /// Response to [`FrameType::StatsV2`]: [`StatsV2Response`].
+    StatsV2Ok = 0x86,
     /// Failure response: [`ErrorFrame`].
     Error = 0xFF,
 }
@@ -89,11 +93,13 @@ impl FrameType {
             0x03 => Some(FrameType::Stats),
             0x04 => Some(FrameType::ModelList),
             0x05 => Some(FrameType::Shutdown),
+            0x06 => Some(FrameType::StatsV2),
             0x81 => Some(FrameType::Pong),
             0x82 => Some(FrameType::PredictOk),
             0x83 => Some(FrameType::StatsOk),
             0x84 => Some(FrameType::ModelListOk),
             0x85 => Some(FrameType::ShutdownOk),
+            0x86 => Some(FrameType::StatsV2Ok),
             0xFF => Some(FrameType::Error),
             _ => None,
         }
@@ -434,6 +440,135 @@ impl StatsResponse {
     }
 }
 
+/// Payload format version carried *inside* `StatsV2Ok`. The frame type
+/// itself rides the protocol's forward-compatibility rule (unknown tags
+/// get `Error { UNKNOWN_TYPE }`, no `PGRPC_VERSION` bump needed); this
+/// inner version lets the snapshot schema evolve independently — readers
+/// reject a newer format the same way the frame header rejects a newer
+/// protocol.
+pub const STATSV2_FORMAT_VERSION: u32 = 1;
+
+/// `StatsV2Ok` response: a full [`pg_util::metrics`] registry snapshot —
+/// every counter, gauge and histogram (with label sets), plus the prof
+/// scope roll-ins — superseding the fixed-field [`StatsResponse`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsV2Response {
+    /// Seconds since the daemon started listening.
+    pub uptime_s: f64,
+    /// Point-in-time registry snapshot.
+    pub snapshot: pg_util::metrics::MetricsSnapshot,
+}
+
+fn enc_labels(e: &mut Enc, labels: &[(String, String)]) {
+    e.u32(labels.len() as u32);
+    for (k, v) in labels {
+        e.str(k);
+        e.str(v);
+    }
+}
+
+fn dec_labels(d: &mut Dec) -> Result<Vec<(String, String)>, StoreError> {
+    let n = d.count(8, "metric label count")?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push((d.str("metric label key")?, d.str("metric label value")?));
+    }
+    Ok(labels)
+}
+
+impl StatsV2Response {
+    /// Encodes the response payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(STATSV2_FORMAT_VERSION);
+        e.f64(self.uptime_s);
+        e.u32(self.snapshot.counters.len() as u32);
+        for c in &self.snapshot.counters {
+            e.str(&c.name);
+            enc_labels(&mut e, &c.labels);
+            e.u64(c.value);
+        }
+        e.u32(self.snapshot.gauges.len() as u32);
+        for g in &self.snapshot.gauges {
+            e.str(&g.name);
+            enc_labels(&mut e, &g.labels);
+            // i64 travels as its two's-complement bit pattern.
+            e.u64(g.value as u64);
+        }
+        e.u32(self.snapshot.histograms.len() as u32);
+        for h in &self.snapshot.histograms {
+            e.str(&h.name);
+            enc_labels(&mut e, &h.labels);
+            e.u64(h.count);
+            e.u64(h.sum);
+            e.u32(h.buckets.len() as u32);
+            for &(ub, c) in &h.buckets {
+                e.u64(ub);
+                e.u64(c);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnsupportedVersion`] for a newer snapshot format;
+    /// otherwise any malformed byte surfaces as a typed [`StoreError`] —
+    /// never a panic, never an oversized allocation.
+    pub fn from_payload(payload: &[u8]) -> Result<StatsV2Response, StoreError> {
+        use pg_util::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+        let mut d = Dec::new(payload);
+        let version = d.u32("stats v2 format version")?;
+        if version > STATSV2_FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: STATSV2_FORMAT_VERSION,
+            });
+        }
+        let uptime_s = d.f64("stats v2 uptime")?;
+        let mut snapshot = pg_util::metrics::MetricsSnapshot::default();
+        let nc = d.count(16, "stats v2 counter count")?;
+        for _ in 0..nc {
+            snapshot.counters.push(CounterSnapshot {
+                name: d.str("counter name")?,
+                labels: dec_labels(&mut d)?,
+                value: d.u64("counter value")?,
+            });
+        }
+        let ng = d.count(16, "stats v2 gauge count")?;
+        for _ in 0..ng {
+            snapshot.gauges.push(GaugeSnapshot {
+                name: d.str("gauge name")?,
+                labels: dec_labels(&mut d)?,
+                value: d.u64("gauge value")? as i64,
+            });
+        }
+        let nh = d.count(28, "stats v2 histogram count")?;
+        for _ in 0..nh {
+            let name = d.str("histogram name")?;
+            let labels = dec_labels(&mut d)?;
+            let count = d.u64("histogram count")?;
+            let sum = d.u64("histogram sum")?;
+            let nb = d.count(16, "histogram bucket count")?;
+            let mut buckets = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                buckets.push((d.u64("bucket bound")?, d.u64("bucket value")?));
+            }
+            snapshot.histograms.push(HistogramSnapshot {
+                name,
+                labels,
+                count,
+                sum,
+                buckets,
+            });
+        }
+        d.finish("stats v2 response")?;
+        Ok(StatsV2Response { uptime_s, snapshot })
+    }
+}
+
 /// One row of a `ModelListOk` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelInfo {
@@ -595,11 +730,17 @@ mod tests {
 
         let mut bad = good.clone();
         bad[6] = 1; // reserved flags
-        assert!(matches!(decode_frame(&bad), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(StoreError::Corrupt { .. })
+        ));
 
         let mut bad = good.clone();
         bad[8..12].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
-        assert!(matches!(decode_frame(&bad), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(StoreError::Corrupt { .. })
+        ));
 
         let mut bad = good.clone();
         let n = bad.len();
@@ -708,6 +849,75 @@ mod tests {
             message: "no model for kernel `syrk`".into(),
         };
         assert_eq!(ErrorFrame::from_payload(&err.to_payload()).unwrap(), err);
+    }
+
+    fn sample_stats_v2() -> StatsV2Response {
+        use pg_util::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+        StatsV2Response {
+            uptime_s: 3.75,
+            snapshot: pg_util::metrics::MetricsSnapshot {
+                counters: vec![
+                    CounterSnapshot {
+                        name: "serve_requests_total".into(),
+                        labels: vec![("model".into(), "gemm-v1".into())],
+                        value: 123,
+                    },
+                    CounterSnapshot {
+                        name: "serve_errors_total".into(),
+                        labels: vec![],
+                        value: u64::MAX,
+                    },
+                ],
+                gauges: vec![GaugeSnapshot {
+                    name: "serve_queue_depth".into(),
+                    labels: vec![],
+                    value: -3,
+                }],
+                histograms: vec![HistogramSnapshot {
+                    name: "serve_service_time_us".into(),
+                    labels: vec![("model".into(), "gemm-v1".into())],
+                    count: 5,
+                    sum: 999,
+                    buckets: vec![(100, 2), (1_000, 2), (u64::MAX, 1)],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn stats_v2_roundtrip_bit_exact() {
+        let resp = sample_stats_v2();
+        let back = StatsV2Response::from_payload(&resp.to_payload()).unwrap();
+        assert_eq!(back.uptime_s.to_bits(), resp.uptime_s.to_bits());
+        assert_eq!(back.snapshot, resp.snapshot);
+
+        // Empty snapshot is valid too.
+        let empty = StatsV2Response::default();
+        assert_eq!(
+            StatsV2Response::from_payload(&empty.to_payload()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn stats_v2_rejects_newer_format_version() {
+        let mut payload = sample_stats_v2().to_payload();
+        payload[..4].copy_from_slice(&(STATSV2_FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            StatsV2Response::from_payload(&payload),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_v2_truncation_is_typed_error() {
+        let full = sample_stats_v2().to_payload();
+        for cut in 0..full.len() {
+            assert!(
+                StatsV2Response::from_payload(&full[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

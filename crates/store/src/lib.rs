@@ -87,7 +87,7 @@ pub use design::{dec_design, enc_design};
 pub use error::StoreError;
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, ErrorFrame, FrameType, ModelInfo,
-    ModelListResponse, PredictRequest, PredictResponse, RawFrame, StatsResponse, FRAME_MAGIC,
-    HEADER_LEN, MAX_PAYLOAD, PGRPC_VERSION,
+    ModelListResponse, PredictRequest, PredictResponse, RawFrame, StatsResponse, StatsV2Response,
+    FRAME_MAGIC, HEADER_LEN, MAX_PAYLOAD, PGRPC_VERSION, STATSV2_FORMAT_VERSION,
 };
 pub use registry::{ModelRegistry, RegistryEntry, ARTIFACT_EXT};

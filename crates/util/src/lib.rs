@@ -3,8 +3,10 @@
 //! Provides a deterministic pseudo-random number generator ([`Rng64`]),
 //! summary statistics used throughout the evaluation harness, plain-text
 //! table/CSV writers used by the benchmark binaries to regenerate the
-//! paper's tables and figures, and lightweight timer-scope instrumentation
-//! ([`prof`]) attributing cold-synthesis time across pipeline stages.
+//! paper's tables and figures, lightweight timer-scope instrumentation
+//! ([`prof`]) attributing cold-synthesis time across pipeline stages, and
+//! the workspace observability layer ([`metrics`] registry + [`trace`]
+//! per-request spans) surfaced by the serving daemon.
 //!
 //! # Examples
 //!
@@ -16,10 +18,12 @@
 //! ```
 
 pub mod csv;
+pub mod metrics;
 pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use csv::CsvWriter;
 pub use rng::Rng64;

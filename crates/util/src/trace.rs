@@ -1,0 +1,186 @@
+//! Lightweight per-request span tracing for the serving path.
+//!
+//! Each request entering the daemon gets a `trace_id` from a process-wide
+//! atomic counter; the stages it passes through (admission → batching →
+//! routing → inference → encode) each record a [`Span`] with a start
+//! timestamp and duration in monotonic microseconds (from
+//! [`crate::metrics::monotonic_us`] — no wall-clock tokens here). When the
+//! daemon runs with `--trace-out <path>`, completed traces are appended to
+//! that file as JSON Lines, one object per request:
+//!
+//! ```json
+//! {"trace_id":7,"kernel":"gemm","spans":[{"name":"admission","start_us":120,"dur_us":480}]}
+//! ```
+//!
+//! The format is documented in `docs/OBSERVABILITY.md`. Writing is
+//! buffered behind a mutex and flushed per record so traces survive an
+//! abrupt daemon stop; a failed write disables the sink rather than
+//! failing the request.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Allocates the next process-unique trace id (starting at 1).
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One named stage of a request's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (`admission`, `batching`, `routing`, `inference`,
+    /// `encode`).
+    pub name: &'static str,
+    /// Start in monotonic microseconds ([`crate::metrics::monotonic_us`]).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A completed request trace, ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Process-unique request id.
+    pub trace_id: u64,
+    /// Kernel the request targeted.
+    pub kernel: String,
+    /// Stages in the order they completed.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Starts a trace for `kernel` with a fresh id.
+    pub fn begin(kernel: &str) -> Self {
+        Self {
+            trace_id: next_trace_id(),
+            kernel: kernel.to_string(),
+            spans: Vec::new(),
+        }
+    }
+    /// Appends a span covering `[start_us, start_us + dur_us)`.
+    pub fn span(&mut self, name: &'static str, start_us: u64, dur_us: u64) {
+        self.spans.push(Span {
+            name,
+            start_us,
+            dur_us,
+        });
+    }
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + 48 * self.spans.len());
+        out.push_str("{\"trace_id\":");
+        out.push_str(&self.trace_id.to_string());
+        out.push_str(",\"kernel\":\"");
+        json_escape_into(&mut out, &self.kernel);
+        out.push_str("\",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape_into(&mut out, s.name);
+            out.push_str("\",\"start_us\":");
+            out.push_str(&s.start_us.to_string());
+            out.push_str(",\"dur_us\":");
+            out.push_str(&s.dur_us.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append-only JSONL sink for completed traces. Clone-free: share via
+/// `Arc`.
+pub struct TraceSink {
+    writer: Mutex<BufWriter<File>>,
+    failed: AtomicBool,
+}
+
+impl TraceSink {
+    /// Creates (truncates) the trace file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// Appends one trace as a JSON line and flushes. A write failure
+    /// latches the sink off; tracing must never take a request down.
+    pub fn record(&self, trace: &Trace) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let line = trace.to_json();
+        let mut w = self.writer.lock().expect("trace sink lock");
+        let ok = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush())
+            .is_ok();
+        if !ok {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_increasing() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn json_line_shape_and_escaping() {
+        let mut t = Trace {
+            trace_id: 42,
+            kernel: "ge\"mm\\x".into(),
+            spans: Vec::new(),
+        };
+        t.span("admission", 10, 5);
+        t.span("inference", 15, 100);
+        let line = t.to_json();
+        assert!(line.starts_with("{\"trace_id\":42,\"kernel\":\"ge\\\"mm\\\\x\","));
+        assert!(line.contains("{\"name\":\"admission\",\"start_us\":10,\"dur_us\":5}"));
+        assert!(line.ends_with("]}"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn sink_appends_jsonl() {
+        let path = std::env::temp_dir().join(format!("pg_trace_test_{}.jsonl", std::process::id()));
+        let sink = TraceSink::create(&path).unwrap();
+        let mut t = Trace::begin("mm");
+        t.span("encode", 0, 1);
+        sink.record(&t);
+        sink.record(&t);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.contains("\"kernel\":\"mm\"")));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -280,8 +280,9 @@ fn concurrent_clients_are_bit_identical_to_in_process() {
                 for r in 0..REQUESTS {
                     // client- and request-dependent composition so
                     // concurrent batches coalesce different mixes
-                    let indices: Vec<usize> =
-                        (0..1 + (c + r) % 4).map(|i| (c * 7 + r + i) % graphs.len()).collect();
+                    let indices: Vec<usize> = (0..1 + (c + r) % 4)
+                        .map(|i| (c * 7 + r + i) % graphs.len())
+                        .collect();
                     let req = PredictRequest {
                         kernel: "proto".into(),
                         graphs: indices.iter().map(|&i| graphs[i].clone()).collect(),
@@ -338,8 +339,7 @@ fn hot_swap_mid_stream_drops_nothing_and_never_mixes_models() {
                 let mut s = TcpStream::connect(addr).unwrap();
                 let mut fps = Vec::with_capacity(REQUESTS);
                 for r in 0..REQUESTS {
-                    let indices: Vec<usize> =
-                        (0..2).map(|i| (c + r + i) % graphs.len()).collect();
+                    let indices: Vec<usize> = (0..2).map(|i| (c + r + i) % graphs.len()).collect();
                     let req = PredictRequest {
                         kernel: "proto".into(),
                         graphs: indices.iter().map(|&i| graphs[i].clone()).collect(),
@@ -359,8 +359,18 @@ fn hot_swap_mid_stream_drops_nothing_and_never_mixes_models() {
                     };
                     for (&gi, &(t, d)) in indices.iter().zip(&out.predictions) {
                         let (et, ed) = expected[gi];
-                        assert_eq!(t.to_bits(), et.to_bits(), "fp {} graph {gi}", out.fingerprint);
-                        assert_eq!(d.to_bits(), ed.to_bits(), "fp {} graph {gi}", out.fingerprint);
+                        assert_eq!(
+                            t.to_bits(),
+                            et.to_bits(),
+                            "fp {} graph {gi}",
+                            out.fingerprint
+                        );
+                        assert_eq!(
+                            d.to_bits(),
+                            ed.to_bits(),
+                            "fp {} graph {gi}",
+                            out.fingerprint
+                        );
                     }
                     fps.push(out.fingerprint);
                     thread::sleep(Duration::from_millis(2));

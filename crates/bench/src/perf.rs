@@ -20,6 +20,10 @@
 //!   generation is affordable, and the regression gate for the cold-path
 //!   optimizations (shared work graph, pre-resolved interpreter,
 //!   single-pass trim, interned port keys);
+//! * `train_throughput` — training rate in graph-epochs per second
+//!   (`samples × epochs × ensemble members / wall-clock`): the regression
+//!   gate for the tiled `pg_tensor` kernels, fused tape ops, and
+//!   arena-reusing deterministic training loop;
 //! * `warm_start_speedup` — training the ensemble from scratch versus
 //!   loading the saved `pg_store` artifact from disk (the train-once /
 //!   serve-forever win; collapses toward 1 if artifact loading ever gets
@@ -151,6 +155,8 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
     let t_train = Instant::now();
     let ensemble = train_ensemble(&data, &tc);
     let train_s = t_train.elapsed().as_secs_f64();
+    let members = tc.folds * tc.seeds.len();
+    let graph_epochs = (data.len() * tc.epochs * members) as f64;
 
     // Warm-start probe: persist the trained ensemble and reload it from
     // disk — the cross-process replacement for retraining at serve time.
@@ -291,6 +297,10 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> Vec<PerfResult> {
         PerfResult {
             name: "cold_synth_throughput".into(),
             value: cold_build_designs as f64 / build_s.max(1e-9),
+        },
+        PerfResult {
+            name: "train_throughput".into(),
+            value: graph_epochs / train_s.max(1e-9),
         },
         PerfResult {
             name: "warm_start_speedup".into(),
@@ -439,7 +449,7 @@ mod tests {
             epochs: 1,
             reps: 1,
         });
-        assert_eq!(results.len(), 9);
+        assert_eq!(results.len(), 10);
         for r in &results {
             assert!(
                 r.value.is_finite() && r.value > 0.0,

@@ -251,18 +251,14 @@ impl PowerModel {
             let meta = tape.leaf(batch.meta.clone());
             let mw = self.p(tape, self.slots.meta_w);
             let mb = self.p(tape, self.slots.meta_b);
-            let m1 = tape.matmul(meta, mw);
-            let m2 = tape.add_row(m1, mb);
-            let hm = tape.relu(m2);
+            let hm = tape.linear_bias_relu(meta, mw, mb);
             tape.concat_cols(hg, hm)
         } else {
             hg
         };
         let w1 = self.p(tape, self.slots.head_w1);
         let b1 = self.p(tape, self.slots.head_b1);
-        let z1 = tape.matmul(joint, w1);
-        let z1b = tape.add_row(z1, b1);
-        let z1r = tape.relu(z1b);
+        let z1r = tape.linear_bias_relu(joint, w1, b1);
         let w2 = self.p(tape, self.slots.head_w2);
         let b2 = self.p(tape, self.slots.head_b2);
         let out = tape.matmul(z1r, w2);
@@ -319,8 +315,7 @@ impl PowerModel {
         }
         let s = tape.add_n(terms);
         let b = self.p(tape, self.slots.bias[l]);
-        let sb = tape.add_row(s, b);
-        tape.relu(sb)
+        tape.add_row_relu(s, b)
     }
 
     fn gcn_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
@@ -328,10 +323,8 @@ impl PowerModel {
         let hw = tape.scale_rows(hs, &batch.gcn_coeff);
         let agg = tape.scatter_add(hw, &batch.gcn_dst, n);
         let wv = self.p(tape, self.slots.wv[l]);
-        let m = tape.matmul(agg, wv);
         let b = self.p(tape, self.slots.bias[l]);
-        let mb = tape.add_row(m, b);
-        tape.relu(mb)
+        tape.linear_bias_relu(agg, wv, b)
     }
 
     fn sage_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
@@ -345,8 +338,7 @@ impl PowerModel {
         let neigh_term = tape.matmul(mean, w2);
         let s = tape.add(self_term, neigh_term);
         let b = self.p(tape, self.slots.bias[l]);
-        let sb = tape.add_row(s, b);
-        tape.relu(sb)
+        tape.add_row_relu(s, b)
     }
 
     fn graphconv_layer(
@@ -371,17 +363,14 @@ impl PowerModel {
         let neigh_term = tape.matmul(agg, w2);
         let s = tape.add(self_term, neigh_term);
         let b = self.p(tape, self.slots.bias[l]);
-        let sb = tape.add_row(s, b);
-        tape.relu(sb)
+        tape.add_row_relu(s, b)
     }
 
     fn gine_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
         if batch.all.is_empty() {
             let wv = self.p(tape, self.slots.wv[l]);
-            let m = tape.matmul(x, wv);
             let b = self.p(tape, self.slots.bias[l]);
-            let mb = tape.add_row(m, b);
-            return tape.relu(mb);
+            return tape.linear_bias_relu(x, wv, b);
         }
         let hs = tape.gather(x, &batch.all.src);
         let ef = tape.leaf(batch.all.feats.clone());
@@ -392,10 +381,8 @@ impl PowerModel {
         let agg = tape.scatter_add(r, &batch.all.dst, n);
         let tot = tape.add(x, agg); // ε = 0
         let wv = self.p(tape, self.slots.wv[l]);
-        let m1 = tape.matmul(tot, wv);
         let b = self.p(tape, self.slots.bias[l]);
-        let m1b = tape.add_row(m1, b);
-        let m1r = tape.relu(m1b);
+        let m1r = tape.linear_bias_relu(tot, wv, b);
         let w3 = self.p(tape, self.slots.w3[l]);
         tape.matmul(m1r, w3)
     }
@@ -411,7 +398,22 @@ impl PowerModel {
         rng: &mut Rng64,
     ) -> (f64, Vec<Option<Matrix>>) {
         let mut tape = Tape::new();
-        let pred = self.forward(&mut tape, batch, true, rng);
+        self.loss_and_grads_in(batch, rng, &mut tape)
+    }
+
+    /// [`PowerModel::loss_and_grads`] recording onto a caller-owned tape.
+    ///
+    /// The tape is [`Tape::reset`] first, so a training loop can hold one
+    /// long-lived tape per worker and reuse its arenas every step instead
+    /// of reallocating the whole graph.
+    pub fn loss_and_grads_in(
+        &self,
+        batch: &GraphBatch,
+        rng: &mut Rng64,
+        tape: &mut Tape,
+    ) -> (f64, Vec<Option<Matrix>>) {
+        tape.reset();
+        let pred = self.forward(tape, batch, true, rng);
         let scaled: Vec<f32> = batch
             .targets
             .iter()
@@ -438,8 +440,15 @@ impl PowerModel {
     /// outputs are floored at 1 mW.
     pub fn predict_prebuilt(&self, batch: &GraphBatch) -> Vec<f64> {
         let mut tape = Tape::new();
+        self.predict_prebuilt_in(batch, &mut tape)
+    }
+
+    /// [`PowerModel::predict_prebuilt`] recording onto a caller-owned tape
+    /// (reset first), so serving workers can reuse one tape per shard.
+    pub fn predict_prebuilt_in(&self, batch: &GraphBatch, tape: &mut Tape) -> Vec<f64> {
+        tape.reset();
         let mut rng = Rng64::new(0);
-        let pred = self.forward(&mut tape, batch, false, &mut rng);
+        let pred = self.forward(tape, batch, false, &mut rng);
         tape.value(pred)
             .data
             .iter()

@@ -161,7 +161,7 @@ impl<'a> InferenceEngine<'a> {
         let workers = batches.len().div_ceil(shard);
 
         let per_batch: Vec<Vec<f64>> = if workers == 1 {
-            batches.iter().map(|b| self.predict_batch(b)).collect()
+            self.predict_shard(&batches)
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = batches
@@ -192,16 +192,17 @@ impl<'a> InferenceEngine<'a> {
         (per_batch.into_iter().flatten().collect(), stats)
     }
 
+    /// One worker's batches through the sequential path, sharing a single
+    /// tape whose arenas are reused across batches and ensemble members.
+    /// Delegating to [`Ensemble::predict_in`] makes the bit-identity
+    /// contract hold by construction (the engine only changes batch
+    /// composition, scheduling, and buffer reuse — never the arithmetic).
     fn predict_shard(&self, group: &[&[&PowerGraph]]) -> Vec<Vec<f64>> {
-        group.iter().map(|b| self.predict_batch(b)).collect()
-    }
-
-    /// One batch through the sequential path — delegating to
-    /// [`Ensemble::predict`] makes the bit-identity contract hold by
-    /// construction (the engine only changes batch composition and
-    /// scheduling, never the arithmetic).
-    fn predict_batch(&self, graphs: &[&PowerGraph]) -> Vec<f64> {
-        self.ensemble.predict(graphs)
+        let mut tape = pg_tensor::Tape::new();
+        group
+            .iter()
+            .map(|b| self.ensemble.predict_in(b, &mut tape))
+            .collect()
     }
 }
 

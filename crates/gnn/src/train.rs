@@ -11,8 +11,15 @@
 use crate::batch::GraphBatch;
 use crate::model::{ModelConfig, PowerModel};
 use pg_graphcon::PowerGraph;
-use pg_tensor::{Adam, GradAccum, ParamStore};
+use pg_tensor::{Adam, GradAccum, ParamStore, Tape};
+use pg_util::rng::mix64;
 use pg_util::{mape, Rng64};
+
+/// Graphs per gradient shard. Shard boundaries are a pure function of the
+/// batch — never of `cfg.threads` — so the per-shard computations (and the
+/// dropout RNG streams seeded per shard) are identical at any thread
+/// count; threads only change which worker executes which shard.
+const SHARD_GRAPHS: usize = 8;
 
 /// How regression labels are normalized before training.
 ///
@@ -104,12 +111,20 @@ pub struct Ensemble {
 impl Ensemble {
     /// Mean prediction across members (the batch is assembled once).
     pub fn predict(&self, graphs: &[&PowerGraph]) -> Vec<f64> {
+        let mut tape = Tape::new();
+        self.predict_in(graphs, &mut tape)
+    }
+
+    /// [`Ensemble::predict`] recording onto a caller-owned tape, so serving
+    /// workers can reuse one tape's arenas across batches and members.
+    /// Output is bit-identical to [`Ensemble::predict`].
+    pub fn predict_in(&self, graphs: &[&PowerGraph], tape: &mut Tape) -> Vec<f64> {
         assert!(!self.models.is_empty(), "empty ensemble");
         let targets = vec![0.0; graphs.len()];
         let batch = GraphBatch::new(graphs, &targets);
         let mut acc = vec![0.0f64; graphs.len()];
         for m in &self.models {
-            for (a, p) in acc.iter_mut().zip(m.predict_prebuilt(&batch)) {
+            for (a, p) in acc.iter_mut().zip(m.predict_prebuilt_in(&batch, tape)) {
                 *a += p;
             }
         }
@@ -128,6 +143,14 @@ impl Ensemble {
 }
 
 /// Trains one model on `train`, early-stopping/model-selecting on `val`.
+///
+/// Training is **bit-identical for any `cfg.threads`**: mini-batches are
+/// split into fixed `SHARD_GRAPHS`-graph shards independent of the
+/// thread count, every shard's RNG seed is derived statelessly from
+/// `(seed, epoch, batch, shard)` via [`mix64`], each shard accumulates
+/// into its own [`GradAccum`] slot, and the slots are merged in ascending
+/// shard order. The merged gradient is the exact sample-weighted batch
+/// mean, so an uneven tail shard contributes proportionally to its size.
 pub fn train_single(
     train: &[Labeled<'_>],
     val: &[Labeled<'_>],
@@ -155,6 +178,16 @@ pub fn train_single(
     let mut best: Option<(f64, ParamStore)> = None;
     let mut stale = 0usize;
 
+    // Long-lived per-shard-slot arenas, reused across batches and epochs:
+    // one tape and one accumulator per shard slot, plus the batch-level
+    // accumulator the slots are merged into.
+    let max_shards = cfg.batch_size.max(1).div_ceil(SHARD_GRAPHS);
+    let mut shard_accums: Vec<GradAccum> = (0..max_shards)
+        .map(|_| GradAccum::new(model.store.len()))
+        .collect();
+    let mut shard_tapes: Vec<Tape> = (0..max_shards).map(|_| Tape::new()).collect();
+    let mut accum = GradAccum::new(model.store.len());
+
     for epoch in 0..cfg.epochs {
         // step learning-rate decay: x0.5 at 60 % and 85 % of the budget
         let frac = epoch as f32 / cfg.epochs.max(1) as f32;
@@ -167,49 +200,71 @@ pub fn train_single(
                 1.0
             };
         rng.shuffle(&mut order);
-        for chunk in order.chunks(cfg.batch_size) {
-            let shards: Vec<&[usize]> = chunk
-                .chunks(chunk.len().div_ceil(cfg.threads.max(1)))
+        for (batch_idx, chunk) in order.chunks(cfg.batch_size).enumerate() {
+            // Shard boundaries depend only on the batch content; worker
+            // seeds only on (seed, epoch, batch, shard). Neither consumes
+            // the main RNG stream, so `cfg.threads` cannot perturb it.
+            let shards: Vec<&[usize]> = chunk.chunks(SHARD_GRAPHS).collect();
+            let nshards = shards.len();
+            let seeds: Vec<u64> = (0..nshards)
+                .map(|s| mix64(&[seed, epoch as u64, batch_idx as u64, s as u64]))
                 .collect();
-            let mut accum = GradAccum::new(model.store.len());
-            let mut worker_seeds = Vec::new();
-            for _ in 0..shards.len() {
-                worker_seeds.push(rng.next_u64());
-            }
-            if shards.len() == 1 {
-                let (g, t) = shard_batch(train, shards[0]);
+            let threads = cfg.threads.max(1).min(nshards);
+            let per_worker = nshards.div_ceil(threads);
+
+            let run_shard = |acc: &mut GradAccum,
+                             tape: &mut Tape,
+                             shard: &[usize],
+                             ws: u64,
+                             model_ref: &PowerModel| {
+                let (g, t) = shard_batch(train, shard);
                 let batch = GraphBatch::new(&g, &t);
-                let (_, grads) = model.loss_and_grads(&batch, &mut Rng64::new(worker_seeds[0]));
-                accum.add(grads);
-            } else {
-                let results = std::thread::scope(|scope| {
-                    let model_ref = &model;
-                    let handles: Vec<_> = shards
-                        .iter()
-                        .zip(&worker_seeds)
-                        .map(|(shard, &ws)| {
-                            scope.spawn(move || {
-                                let (g, t) = shard_batch(train, shard);
-                                let batch = GraphBatch::new(&g, &t);
-                                let mut wrng = Rng64::new(ws);
-                                let mut local = GradAccum::new(model_ref.store.len());
-                                let (_, grads) = model_ref.loss_and_grads(&batch, &mut wrng);
-                                local.add(grads);
-                                local
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
-                        .collect::<Vec<_>>()
-                });
-                for r in results {
-                    accum.merge(r);
+                let mut wrng = Rng64::new(ws);
+                let (_, grads) = model_ref.loss_and_grads_in(&batch, &mut wrng, tape);
+                acc.add(grads, shard.len());
+            };
+
+            if threads == 1 {
+                for (s, shard) in shards.iter().enumerate() {
+                    run_shard(
+                        &mut shard_accums[s],
+                        &mut shard_tapes[s],
+                        shard,
+                        seeds[s],
+                        &model,
+                    );
                 }
+            } else {
+                std::thread::scope(|scope| {
+                    let model_ref = &model;
+                    let run = &run_shard;
+                    let accs = shard_accums[..nshards].chunks_mut(per_worker);
+                    let tapes = shard_tapes[..nshards].chunks_mut(per_worker);
+                    for (((accs, tapes), shs), sds) in accs
+                        .zip(tapes)
+                        .zip(shards.chunks(per_worker))
+                        .zip(seeds.chunks(per_worker))
+                    {
+                        scope.spawn(move || {
+                            for (((acc, tape), shard), &ws) in
+                                accs.iter_mut().zip(tapes.iter_mut()).zip(shs).zip(sds)
+                            {
+                                run(acc, tape, shard, ws, model_ref);
+                            }
+                        });
+                    }
+                });
             }
-            let grads = accum.mean();
-            opt.step(&mut model.store, &grads);
+
+            // Fixed-order reduction: ascending shard index, regardless of
+            // which worker finished first — parallel merge is bit-identical
+            // to sequential.
+            accum.reset();
+            for sa in &mut shard_accums[..nshards] {
+                accum.merge_from(sa);
+                sa.reset();
+            }
+            opt.step(&mut model.store, accum.mean_in_place());
         }
 
         if !val.is_empty() {

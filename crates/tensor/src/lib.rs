@@ -5,17 +5,27 @@
 //! effort), this crate provides the exact numerical machinery those models
 //! need and nothing more:
 //!
-//! * [`Matrix`] — dense row-major `f32` matrices with cache-friendly
-//!   matmuls (plain, `·ᵀ`, `ᵀ·`);
+//! * [`Matrix`] — dense row-major `f32` matrices with register-tiled,
+//!   autovectorizable matmul kernels (plain, `·ᵀ`, `ᵀ·`) that sum in a
+//!   fixed k-ascending order — results are bit-identical across runs,
+//!   call sites and thread counts (contract in the [`matrix`] module
+//!   docs);
 //! * [`Tape`] — reverse-mode autodiff over matmul / bias / ReLU / dropout /
 //!   concat / sum-pool / **gather & scatter-add rows** (the message-passing
-//!   primitives) / row scaling, with MAPE and MSE losses;
+//!   primitives) / row scaling, plus fused `linear_bias_relu` /
+//!   `add_row_relu` nodes for the convolution hot path, with MAPE and MSE
+//!   losses. [`Tape::reset`] recycles node, value and gradient buffers
+//!   into arenas, so steady-state training and serving loops allocate
+//!   nothing per step;
 //! * [`Adam`], [`ParamStore`], [`GradAccum`] — optimization and
-//!   data-parallel gradient accumulation;
+//!   sample-weighted data-parallel gradient accumulation (shard merges
+//!   weight each shard by its sample count, so uneven shards average
+//!   correctly);
 //! * [`init`] — Glorot initialization.
 //!
 //! Every op's gradient is verified against central finite differences in
-//! the test suite.
+//! the test suite, and each fused op against its unfused chain bit for
+//! bit.
 //!
 //! # Examples
 //!

@@ -1,9 +1,56 @@
-//! Dense row-major `f32` matrices with the handful of kernels the GNN
-//! models need. Matmul uses the i-k-j loop order with row slicing, which on
-//! the small hidden dimensions involved (16–128) runs within a small factor
-//! of BLAS without any dependency.
+//! Dense row-major `f32` matrices with cache-blocked, register-tiled
+//! matmul kernels.
+//!
+//! # Blocked layout
+//!
+//! All three matmul variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) walk the output in
+//! fixed-size register tiles:
+//!
+//! * [`Matrix::matmul`] and [`Matrix::matmul_tn`] produce `MR × NR`
+//!   (4 × 8) output tiles. The `NR`-wide accumulator rows are fixed-size
+//!   arrays with a constant trip count, which the compiler autovectorizes
+//!   to SIMD lanes on every target (8 × f32 = two SSE or one AVX
+//!   register per row); `MR` output rows share each loaded `B` panel row,
+//!   cutting `B` bandwidth 4×. Edge tiles (output fringes narrower than a
+//!   full tile) fall back to a scalar loop *with the same k-ascending
+//!   summation order*, so tile interior and fringe follow one contract.
+//! * [`Matrix::matmul_nt`] is a row-dot kernel: each output element is a
+//!   dot product of two contiguous rows, accumulated in `NR` independent
+//!   lanes that are folded in fixed lane order, then the `< NR` remainder
+//!   is added last.
+//!
+//! # Determinism and IEEE contract
+//!
+//! Every kernel sums `k` in ascending index order with a fixed lane
+//! layout, so results are bit-identical across runs, platforms with the
+//! same float semantics, and call sites — nothing depends on allocation
+//! state or thread count.
+//!
+//! `matmul` and `matmul_tn` additionally exploit left-operand sparsity
+//! (one-hot node features, post-ReLU activations) with a **guarded**
+//! zero-skip: the right operand is scanned once per call, and only when
+//! it is entirely finite are `a == 0.0` contributions skipped. Under that
+//! guard the skip is *bitwise identical* to the dense k-ascending sum —
+//! each skipped product is `±0.0` (zero times a finite value), an
+//! accumulator initialized to `+0.0` can never become `-0.0` through
+//! addition (IEEE round-to-nearest yields `-0.0` only from `-0.0 + -0.0`),
+//! and `x + ±0.0 == x` bitwise for every `x ≠ -0.0`. When the right
+//! operand contains NaN/Inf the dense path runs, so non-finite values
+//! propagate exactly as written (`0 · NaN = NaN`, `0 · ∞ = NaN`). Earlier
+//! revisions skipped zeros *unconditionally*, which silently dropped
+//! NaN/Inf from the right operand; the tape boundary now also backstops
+//! finiteness with debug assertions (see `pg_tensor::tape`).
+//!
+//! The `*_into` variants write into a caller-provided output matrix so
+//! hot loops (the autodiff tape's arena) can recycle buffers instead of
+//! reallocating every step.
 
 use std::fmt;
+
+/// Output-tile height shared by the blocked kernels.
+const MR: usize = 4;
+/// Output-tile width (f32 lanes) shared by the blocked kernels.
+const NR: usize = 8;
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -65,27 +112,84 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes `self` to `rows × cols`, reusing the existing buffer.
+    /// Contents are unspecified afterwards (callers overwrite).
+    fn reshape_for_output(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self · other`.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other`, written into `out` (reshaped and overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &av) in arow.iter().enumerate() {
-                if av != 0.0 {
-                    let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
+        let (m, kk, n) = (self.rows, self.cols, other.cols);
+        out.reshape_for_output(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        // Guarded zero-skip: exact (bitwise) only when b is all-finite;
+        // see the module docs for the proof sketch.
+        let skip = other.is_finite();
+        let mut i = 0;
+        while i < m {
+            let ir = (m - i).min(MR);
+            let mut j = 0;
+            while j < n {
+                let jr = (n - j).min(NR);
+                if ir == MR && jr == NR {
+                    // Register tile: MR×NR accumulators, k ascending.
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for k in 0..kk {
+                        let brow = &b[k * n + j..k * n + j + NR];
+                        for (r, arow) in acc.iter_mut().enumerate() {
+                            let av = a[(i + r) * kk + k];
+                            if skip && av == 0.0 {
+                                continue;
+                            }
+                            for (o, &bv) in arow.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                    for (r, arow) in acc.iter().enumerate() {
+                        out.data[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(arow);
+                    }
+                } else {
+                    // Fringe: scalar loop, identical k-ascending order.
+                    for r in 0..ir {
+                        for c in 0..jr {
+                            let mut s = 0.0f32;
+                            for k in 0..kk {
+                                let av = a[(i + r) * kk + k];
+                                if skip && av == 0.0 {
+                                    continue;
+                                }
+                                s += av * b[k * n + j + c];
+                            }
+                            out.data[(i + r) * n + j + c] = s;
+                        }
                     }
                 }
+                j += jr;
             }
+            i += ir;
         }
-        out
     }
 
     /// `self · otherᵀ`.
@@ -94,20 +198,27 @@ impl Matrix {
     ///
     /// Panics if column counts differ.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ`, written into `out` (reshaped and overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
+        let (m, n) = (self.rows, other.rows);
+        out.reshape_for_output(m, n);
+        for i in 0..m {
             let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot(arow, other.row(j));
             }
         }
-        out
     }
 
     /// `selfᵀ · other`.
@@ -116,21 +227,71 @@ impl Matrix {
     ///
     /// Panics if row counts differ.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other`, written into `out` (reshaped and overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (i, &av) in arow.iter().enumerate() {
-                if av != 0.0 {
-                    let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
+        let (kk, m, n) = (self.rows, self.cols, other.cols);
+        out.reshape_for_output(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        // Guarded zero-skip (see module docs); in the backward pass `self`
+        // is a post-ReLU activation, so this prunes roughly half the rows.
+        let skip = other.is_finite();
+        // out[i][j] = Σ_k a[k][i] · b[k][j]; the k loop is innermost so
+        // every output element sums k in ascending order, matching the
+        // other kernels' contract. An MR×NR register tile amortizes the
+        // strided a-column loads across NR output columns.
+        let mut i = 0;
+        while i < m {
+            let ir = (m - i).min(MR);
+            let mut j = 0;
+            while j < n {
+                let jr = (n - j).min(NR);
+                if ir == MR && jr == NR {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for k in 0..kk {
+                        let brow = &b[k * n + j..k * n + j + NR];
+                        for (r, arow) in acc.iter_mut().enumerate() {
+                            let av = a[k * m + i + r];
+                            if skip && av == 0.0 {
+                                continue;
+                            }
+                            for (o, &bv) in arow.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                    for (r, arow) in acc.iter().enumerate() {
+                        out.data[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(arow);
+                    }
+                } else {
+                    for r in 0..ir {
+                        for c in 0..jr {
+                            let mut s = 0.0f32;
+                            for k in 0..kk {
+                                let av = a[k * m + i + r];
+                                if skip && av == 0.0 {
+                                    continue;
+                                }
+                                s += av * b[k * n + j + c];
+                            }
+                            out.data[(i + r) * n + j + c] = s;
+                        }
                     }
                 }
+                j += jr;
             }
+            i += ir;
         }
-        out
     }
 
     /// Transposed copy.
@@ -160,11 +321,32 @@ impl Matrix {
         }
     }
 
+    /// `self += k · other` (axpy; the gradient-accumulation primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, k: f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
     /// `self *= k`.
     pub fn scale_assign(&mut self, k: f32) {
         for v in &mut self.data {
             *v *= k;
         }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
     }
 
     /// Frobenius norm.
@@ -188,6 +370,31 @@ impl Matrix {
     }
 }
 
+/// Dot product of two equal-length slices: `NR` independent lanes over the
+/// `chunks_exact` body, folded in fixed lane order, remainder last. The
+/// fixed shape keeps the reduction order deterministic while letting the
+/// compiler lower the lane loop to SIMD.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; NR];
+    let ac = a.chunks_exact(NR);
+    let bc = b.chunks_exact(NR);
+    let (ra, rb) = (ac.remainder(), bc.remainder());
+    for (ca, cb) in ac.zip(bc) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += ca[l] * cb[l];
+        }
+    }
+    let mut s = 0.0f32;
+    for &lane in &lanes {
+        s += lane;
+    }
+    for (&x, &y) in ra.iter().zip(rb) {
+        s += x * y;
+    }
+    s
+}
+
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "[{}x{}]", self.rows, self.cols)?;
@@ -208,12 +415,47 @@ impl fmt::Display for Matrix {
 mod tests {
     use super::*;
 
+    /// Naive triple-loop reference (k ascending, matching the kernels'
+    /// documented summation order).
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut s = 0.0f32;
+                for k in 0..a.cols {
+                    s += a.at(i, k) * b.at(k, j);
+                }
+                out.data[i * b.cols + j] = s;
+            }
+        }
+        out
+    }
+
     #[test]
     fn matmul_basic() {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference_across_tile_boundaries() {
+        // Shapes straddling the MR×NR tile: interiors, fringes, both.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 4, 8),
+            (5, 3, 9),
+            (8, 16, 8),
+            (13, 7, 17),
+            (3, 40, 11),
+        ] {
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|v| (v as f32) * 0.37 - 1.0).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|v| (v as f32) * -0.11 + 2.0).collect());
+            let got = a.matmul(&b);
+            let want = reference_matmul(&a, &b);
+            assert_eq!(got, want, "shape {m}x{k}x{n}");
+        }
     }
 
     #[test]
@@ -231,6 +473,81 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_recycle_output_buffers() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // Reuse one output across differently-shaped products.
+        let mut out = Matrix::zeros(7, 7);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data, vec![58.0, 64.0, 139.0, 154.0]);
+        a.matmul_nt_into(&a, &mut out);
+        assert_eq!((out.rows, out.cols), (2, 2));
+        assert_eq!(out, a.matmul(&a.transpose()));
+        a.matmul_tn_into(&a, &mut out);
+        assert_eq!((out.rows, out.cols), (3, 3));
+        assert_eq!(out, a.transpose().matmul(&a));
+    }
+
+    #[test]
+    fn empty_and_vector_edges() {
+        // 0-row / 0-col operands must produce empty outputs, not panic.
+        let e = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(e.matmul(&b), Matrix::zeros(0, 4));
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]); // 1×N
+        let c = Matrix::from_vec(3, 1, vec![4.0, 5.0, 6.0]); // N×1
+        assert_eq!(a.matmul(&c).data, vec![32.0]);
+        assert_eq!(c.matmul(&a).rows, 3);
+        assert_eq!(c.matmul(&a), reference_matmul(&c, &a));
+    }
+
+    #[test]
+    fn zero_skip_is_bitwise_identical_to_dense_sum() {
+        // Mostly-zero left operand (one-hot-ish rows plus sign-varied
+        // values, including -0.0) against a finite right operand: the
+        // guarded fast path must reproduce the dense k-ascending sum
+        // bit-for-bit, including on fringe tiles.
+        let (m, k, n) = (9, 11, 13);
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k)
+                .map(|v| match v % 7 {
+                    0 => (v as f32) * 0.31 - 3.0,
+                    3 => -0.0,
+                    _ => 0.0,
+                })
+                .collect(),
+        );
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|v| (v as f32) * -0.23 + 1.5).collect());
+        let got = a.matmul(&b);
+        let want = reference_matmul(&a, &b);
+        for (g, w) in got.data.iter().zip(&want.data) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        let at = a.transpose();
+        let got_tn = at.matmul_tn(&b);
+        for (g, w) in got_tn.data.iter().zip(&want.data) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_zero_operands() {
+        // The dense kernels must honor IEEE: 0 · NaN = NaN (the old
+        // sparsity skip silently produced 0 here).
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::NAN, 1.0]);
+        assert!(a.matmul(&b).data[0].is_nan());
+        let at = Matrix::from_vec(2, 1, vec![0.0, 0.0]);
+        assert!(at.matmul_tn(&b).data[0].is_nan());
+        assert!(a
+            .matmul_nt(&Matrix::from_vec(1, 2, vec![f32::NAN, 0.0]))
+            .data[0]
+            .is_nan());
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(a.transpose().transpose(), a);
@@ -243,6 +560,10 @@ mod tests {
         a.add_assign(&b);
         a.scale_assign(2.0);
         assert_eq!(a.data, vec![3.0, 5.0, 7.0]);
+        a.add_scaled(&b, 4.0);
+        assert_eq!(a.data, vec![5.0, 7.0, 9.0]);
+        a.fill_zero();
+        assert_eq!(a.data, vec![0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -62,11 +62,25 @@ impl ParamStore {
     }
 }
 
-/// Gradient accumulator matching a [`ParamStore`] layout.
+/// Sample-weighted gradient accumulator matching a [`ParamStore`] layout.
+///
+/// Each [`GradAccum::add`] contributes a *shard mean* gradient together
+/// with the number of samples it averages over; internally the
+/// accumulator keeps the sample-weighted sum `Σ nᵢ·gᵢ` and the total
+/// sample count `Σ nᵢ`, so [`GradAccum::mean`] is the exact batch mean
+/// regardless of how unevenly the batch was sharded. (An earlier
+/// revision divided by the number of `add`/`merge` *calls*, which turned
+/// uneven shards — e.g. a 5-graph tail split 3+2 — into an unweighted
+/// mean of shard means.)
+///
+/// Buffers are reusable across steps: [`GradAccum::reset`] zeroes the
+/// accumulated sums in place without freeing them, and
+/// [`GradAccum::mean_in_place`] produces the mean without consuming the
+/// accumulator.
 #[derive(Debug, Clone, Default)]
 pub struct GradAccum {
     grads: Vec<Option<Matrix>>,
-    count: usize,
+    samples: usize,
 }
 
 impl GradAccum {
@@ -74,54 +88,95 @@ impl GradAccum {
     pub fn new(n: usize) -> Self {
         GradAccum {
             grads: vec![None; n],
-            count: 0,
+            samples: 0,
         }
     }
 
-    /// Adds one sample's gradients (from [`crate::Tape::backward`]).
-    pub fn add(&mut self, sample: Vec<Option<Matrix>>) {
-        if self.grads.len() < sample.len() {
-            self.grads.resize(sample.len(), None);
+    /// Adds a shard's mean gradient (from [`crate::Tape::backward`] over a
+    /// `samples`-sample batch), weighted by its sample count.
+    pub fn add(&mut self, shard_mean: Vec<Option<Matrix>>, samples: usize) {
+        if self.grads.len() < shard_mean.len() {
+            self.grads.resize(shard_mean.len(), None);
         }
-        for (slot, g) in sample.into_iter().enumerate() {
-            if let Some(g) = g {
+        let w = samples as f32;
+        for (slot, g) in shard_mean.into_iter().enumerate() {
+            if let Some(mut g) = g {
                 match &mut self.grads[slot] {
-                    Some(acc) => acc.add_assign(&g),
-                    s => *s = Some(g),
+                    Some(acc) => acc.add_scaled(&g, w),
+                    s => {
+                        g.scale_assign(w);
+                        *s = Some(g);
+                    }
                 }
             }
         }
-        self.count += 1;
+        self.samples += samples;
     }
 
-    /// Merges another accumulator (for data-parallel workers).
-    pub fn merge(&mut self, other: GradAccum) {
+    /// Merges another accumulator's weighted sums into `self`, leaving
+    /// `other` untouched (reset it with [`GradAccum::reset`] for reuse).
+    /// Merge order is caller-controlled: merging shards in ascending shard
+    /// index keeps parallel reduction bit-identical to sequential.
+    pub fn merge_from(&mut self, other: &GradAccum) {
         if self.grads.len() < other.grads.len() {
             self.grads.resize(other.grads.len(), None);
         }
-        for (slot, g) in other.grads.into_iter().enumerate() {
+        for (slot, g) in other.grads.iter().enumerate() {
             if let Some(g) = g {
                 match &mut self.grads[slot] {
-                    Some(acc) => acc.add_assign(&g),
-                    s => *s = Some(g),
+                    Some(acc) => acc.add_assign(g),
+                    s => *s = Some(g.clone()),
                 }
             }
         }
-        self.count += other.count;
+        self.samples += other.samples;
     }
 
-    /// Mean gradients (scaled by `1/count`); `None` slots stay `None`.
-    pub fn mean(mut self) -> Vec<Option<Matrix>> {
-        let k = 1.0 / self.count.max(1) as f32;
+    /// Merges another accumulator (consuming form of
+    /// [`GradAccum::merge_from`]).
+    pub fn merge(&mut self, other: GradAccum) {
+        self.merge_from(&other);
+    }
+
+    /// Zeroes the accumulated sums in place, keeping the buffers for the
+    /// next accumulation round.
+    pub fn reset(&mut self) {
         for g in self.grads.iter_mut().flatten() {
-            g.scale_assign(k);
+            g.fill_zero();
         }
+        self.samples = 0;
+    }
+
+    /// Sample-weighted mean gradients (`Σ nᵢ·gᵢ / Σ nᵢ`); `None` slots
+    /// stay `None`.
+    pub fn mean(mut self) -> Vec<Option<Matrix>> {
+        self.scale_to_mean();
         self.grads
     }
 
-    /// Number of samples accumulated.
+    /// Scales the weighted sums to the mean in place and returns a view.
+    /// The accumulator must be [`GradAccum::reset`] before the next round.
+    pub fn mean_in_place(&mut self) -> &[Option<Matrix>] {
+        self.scale_to_mean();
+        &self.grads
+    }
+
+    fn scale_to_mean(&mut self) {
+        let k = 1.0 / self.samples.max(1) as f32;
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_assign(k);
+        }
+    }
+
+    /// Total number of samples accumulated.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Total number of samples accumulated (alias kept for older call
+    /// sites).
     pub fn count(&self) -> usize {
-        self.count
+        self.samples
     }
 }
 
@@ -204,23 +259,61 @@ mod tests {
     #[test]
     fn accum_means_gradients() {
         let mut acc = GradAccum::new(1);
-        acc.add(vec![Some(Matrix::scalar(2.0))]);
-        acc.add(vec![Some(Matrix::scalar(4.0))]);
-        assert_eq!(acc.count(), 2);
+        acc.add(vec![Some(Matrix::scalar(2.0))], 1);
+        acc.add(vec![Some(Matrix::scalar(4.0))], 1);
+        assert_eq!(acc.samples(), 2);
         let mean = acc.mean();
         assert!((mean[0].as_ref().unwrap().data[0] - 3.0).abs() < 1e-6);
     }
 
     #[test]
+    fn accum_weights_uneven_shards() {
+        // Shard of 3 samples with mean 2.0 plus shard of 1 sample with
+        // mean 6.0: the batch mean is (3·2 + 1·6)/4 = 3, not the
+        // mean-of-means 4.
+        let mut acc = GradAccum::new(1);
+        acc.add(vec![Some(Matrix::scalar(2.0))], 3);
+        acc.add(vec![Some(Matrix::scalar(6.0))], 1);
+        assert_eq!(acc.samples(), 4);
+        let mean = acc.mean();
+        assert_eq!(mean[0].as_ref().unwrap().data[0], 3.0);
+    }
+
+    #[test]
     fn accum_merge_combines_counts() {
         let mut a = GradAccum::new(1);
-        a.add(vec![Some(Matrix::scalar(1.0))]);
+        a.add(vec![Some(Matrix::scalar(1.0))], 1);
         let mut b = GradAccum::new(1);
-        b.add(vec![Some(Matrix::scalar(3.0))]);
+        b.add(vec![Some(Matrix::scalar(3.0))], 1);
         a.merge(b);
-        assert_eq!(a.count(), 2);
+        assert_eq!(a.samples(), 2);
         let mean = a.mean();
         assert!((mean[0].as_ref().unwrap().data[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accum_merge_is_sample_weighted() {
+        // 2-sample shard at mean 1.0 merged with 6-sample shard at mean
+        // 5.0: batch mean is (2·1 + 6·5)/8 = 4.
+        let mut a = GradAccum::new(1);
+        a.add(vec![Some(Matrix::scalar(1.0))], 2);
+        let mut b = GradAccum::new(1);
+        b.add(vec![Some(Matrix::scalar(5.0))], 6);
+        a.merge_from(&b);
+        assert_eq!(a.samples(), 8);
+        assert_eq!(a.mean()[0].as_ref().unwrap().data[0], 4.0);
+    }
+
+    #[test]
+    fn accum_reset_reuses_buffers() {
+        let mut acc = GradAccum::new(1);
+        acc.add(vec![Some(Matrix::scalar(2.0))], 2);
+        let first = acc.mean_in_place()[0].as_ref().unwrap().data[0];
+        assert_eq!(first, 2.0);
+        acc.reset();
+        assert_eq!(acc.samples(), 0);
+        acc.add(vec![Some(Matrix::scalar(7.0))], 1);
+        assert_eq!(acc.mean_in_place()[0].as_ref().unwrap().data[0], 7.0);
     }
 
     #[test]

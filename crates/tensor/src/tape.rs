@@ -4,7 +4,30 @@
 //! walks it in reverse, producing gradients for every parameter leaf. The op
 //! set is exactly what the GNN models need: matmul, broadcast bias, ReLU,
 //! dropout, column concatenation, row summation, row gather/scatter (the
-//! message-passing primitives) and per-row scaling (normalized adjacency).
+//! message-passing primitives), per-row scaling (normalized adjacency), and
+//! two fused ops — [`Tape::linear_bias_relu`] (`relu(x·W + b)`) and
+//! [`Tape::add_row_relu`] (`relu(a + b)`) — that collapse the per-layer
+//! `matmul → add_row → relu` chain into one node without materializing the
+//! intermediates.
+//!
+//! # Arena reuse
+//!
+//! Tapes recycle their buffers: [`Tape::reset`] returns every node value,
+//! dropout mask, index list and loss-target buffer to internal pools, and
+//! subsequent ops draw from those pools instead of the allocator. A
+//! training loop keeps one long-lived tape per worker and calls `reset`
+//! each step, so steady-state forward/backward passes perform no value
+//! allocations. Reuse never changes results: every op writes its full
+//! output before the node is published.
+//!
+//! # Tape-boundary finiteness checks
+//!
+//! The matmul kernels in [`crate::matrix`] are dense and IEEE-faithful —
+//! NaN/Inf propagate instead of being masked by sparsity short-circuits.
+//! To catch poisoned inputs at the boundary where data enters the graph,
+//! [`Tape::leaf`] and [`Tape::param`] `debug_assert` that the incoming
+//! matrix is finite, and [`Tape::backward`] asserts the loss value is
+//! finite in debug builds.
 //!
 //! # Examples
 //!
@@ -28,17 +51,24 @@ pub struct Var(usize);
 
 #[derive(Debug, Clone)]
 enum Op {
-    Leaf { param: Option<usize> },
+    Leaf {
+        param: Option<usize>,
+    },
     MatMul(Var, Var),
     Add(Var, Var),
     AddRow(Var, Var),
     AddN(Vec<Var>),
     Relu(Var),
+    /// `relu(a · w + bias)` in one node (no intermediate materialization).
+    LinearBiasRelu(Var, Var, Var),
+    /// `relu(a + bias)` in one node, for pre-summed layer inputs.
+    AddRowRelu(Var, Var),
+    /// An empty mask means identity (eval mode) — no per-element buffer.
     Dropout(Var, Vec<f32>),
     ConcatCols(Var, Var),
     SumRows(Var),
     Gather(Var, Vec<u32>),
-    ScatterAdd(Var, Vec<u32>, usize),
+    ScatterAdd(Var, Vec<u32>),
     ScaleRows(Var, Vec<f32>),
     Scale(Var, f32),
     MapeLoss(Var, Vec<f32>),
@@ -51,17 +81,63 @@ struct Node {
     op: Op,
 }
 
-/// A reverse-mode autodiff tape.
+/// A reverse-mode autodiff tape with pooled (arena-reused) buffers.
 #[derive(Debug, Clone, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     num_params: usize,
+    /// Recycled `f32` buffers (node values, masks, loss targets).
+    f32_pool: Vec<Vec<f32>>,
+    /// Recycled index buffers (gather/scatter).
+    u32_pool: Vec<Vec<u32>>,
+}
+
+/// Pops a buffer from `pool` (or allocates) and resizes it to `len` zeros.
+fn take_f32(pool: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
+    let mut b = pool.pop().unwrap_or_default();
+    b.clear();
+    b.resize(len, 0.0);
+    b
+}
+
+/// Pops a buffer from `pool` (or allocates) and copies `src` into it.
+fn copy_f32(pool: &mut Vec<Vec<f32>>, src: &[f32]) -> Vec<f32> {
+    let mut b = pool.pop().unwrap_or_default();
+    b.clear();
+    b.extend_from_slice(src);
+    b
+}
+
+fn copy_u32(pool: &mut Vec<Vec<u32>>, src: &[u32]) -> Vec<u32> {
+    let mut b = pool.pop().unwrap_or_default();
+    b.clear();
+    b.extend_from_slice(src);
+    b
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// Clears the recorded graph, returning every node value and op buffer
+    /// to the internal pools for reuse by the next step. Parameter slots
+    /// reset too; the tape is indistinguishable from a fresh one except
+    /// that subsequent ops allocate from the pools.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.f32_pool.push(node.value.data);
+            match node.op {
+                Op::Dropout(_, m)
+                | Op::ScaleRows(_, m)
+                | Op::MapeLoss(_, m)
+                | Op::MseLoss(_, m) => self.f32_pool.push(m),
+                Op::Gather(_, i) | Op::ScatterAdd(_, i) => self.u32_pool.push(i),
+                _ => {}
+            }
+        }
+        self.num_params = 0;
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
@@ -75,26 +151,45 @@ impl Tape {
     }
 
     /// Constant leaf (no gradient).
+    ///
+    /// Debug builds assert the input is finite — the matmul kernels are
+    /// IEEE-faithful, so a NaN entering here poisons everything downstream.
     pub fn leaf(&mut self, m: Matrix) -> Var {
+        debug_assert!(m.is_finite(), "non-finite leaf entered the tape");
         self.push(m, Op::Leaf { param: None })
     }
 
     /// Parameter leaf; `slot` indexes the gradient vector returned by
-    /// [`Tape::backward`].
+    /// [`Tape::backward`]. Debug builds assert the parameter is finite.
     pub fn param(&mut self, slot: usize, m: Matrix) -> Var {
+        debug_assert!(m.is_finite(), "non-finite parameter entered the tape");
         self.num_params = self.num_params.max(slot + 1);
         self.push(m, Op::Leaf { param: Some(slot) })
     }
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::MatMul(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows, self.nodes[b.0].value.cols);
+        let mut out = Matrix {
+            rows: 0,
+            cols: 0,
+            data: take_f32(&mut self.f32_pool, rows * cols),
+        };
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let mut v = self.nodes[a.0].value.clone();
+        let mut data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let av = &self.nodes[a.0].value;
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data: std::mem::take(&mut data),
+        };
         v.add_assign(&self.nodes[b.0].value);
         self.push(v, Op::Add(a, b))
     }
@@ -105,14 +200,19 @@ impl Tape {
     ///
     /// Panics if `bias` is not `1 × a.cols`.
     pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
-        let b = &self.nodes[bias.0].value;
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
         let av = &self.nodes[a.0].value;
+        let b = &self.nodes[bias.0].value;
         assert_eq!(b.rows, 1, "bias must be a row vector");
         assert_eq!(b.cols, av.cols, "bias width mismatch");
-        let mut v = av.clone();
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data,
+        };
         for r in 0..v.rows {
-            for c in 0..v.cols {
-                v.data[r * v.cols + c] += b.data[c];
+            for (x, &bv) in v.row_mut(r).iter_mut().zip(&b.data) {
+                *x += bv;
             }
         }
         self.push(v, Op::AddRow(a, bias))
@@ -125,7 +225,13 @@ impl Tape {
     /// Panics if `vars` is empty or shapes differ.
     pub fn add_n(&mut self, vars: Vec<Var>) -> Var {
         assert!(!vars.is_empty(), "add_n needs at least one input");
-        let mut v = self.nodes[vars[0].0].value.clone();
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[vars[0].0].value.data);
+        let first = &self.nodes[vars[0].0].value;
+        let mut v = Matrix {
+            rows: first.rows,
+            cols: first.cols,
+            data,
+        };
         for x in &vars[1..] {
             v.add_assign(&self.nodes[x.0].value);
         }
@@ -134,7 +240,13 @@ impl Tape {
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let mut v = self.nodes[a.0].value.clone();
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let av = &self.nodes[a.0].value;
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data,
+        };
         for x in &mut v.data {
             if *x < 0.0 {
                 *x = 0.0;
@@ -143,20 +255,88 @@ impl Tape {
         self.push(v, Op::Relu(a))
     }
 
+    /// Fused `relu(a · w + bias)`: the per-layer `matmul → add_row → relu`
+    /// chain as a single node, materializing only the final activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `bias` is not `1 × w.cols`.
+    pub fn linear_bias_relu(&mut self, a: Var, w: Var, bias: Var) -> Var {
+        let (rows, cols) = (self.nodes[a.0].value.rows, self.nodes[w.0].value.cols);
+        let b = &self.nodes[bias.0].value;
+        assert_eq!(b.rows, 1, "bias must be a row vector");
+        assert_eq!(b.cols, cols, "bias width mismatch");
+        let mut out = Matrix {
+            rows: 0,
+            cols: 0,
+            data: take_f32(&mut self.f32_pool, rows * cols),
+        };
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[w.0].value, &mut out);
+        let bdata = &self.nodes[bias.0].value.data;
+        for r in 0..rows {
+            for (x, &bv) in out.row_mut(r).iter_mut().zip(bdata) {
+                let z = *x + bv;
+                *x = if z > 0.0 { z } else { 0.0 };
+            }
+        }
+        self.push(out, Op::LinearBiasRelu(a, w, bias))
+    }
+
+    /// Fused `relu(a + bias)` for layers whose pre-activation is already
+    /// summed (HEC/SAGE/GraphConv aggregation outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × a.cols`.
+    pub fn add_row_relu(&mut self, a: Var, bias: Var) -> Var {
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let av = &self.nodes[a.0].value;
+        let b = &self.nodes[bias.0].value;
+        assert_eq!(b.rows, 1, "bias must be a row vector");
+        assert_eq!(b.cols, av.cols, "bias width mismatch");
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data,
+        };
+        for r in 0..v.rows {
+            for (x, &bv) in v.row_mut(r).iter_mut().zip(&b.data) {
+                let z = *x + bv;
+                *x = if z > 0.0 { z } else { 0.0 };
+            }
+        }
+        self.push(v, Op::AddRowRelu(a, bias))
+    }
+
     /// Inverted dropout with keep-probability `1 - p`; pass `train = false`
     /// for identity.
     pub fn dropout(&mut self, a: Var, p: f32, train: bool, rng: &mut Rng64) -> Var {
         if !train || p <= 0.0 {
-            let v = self.nodes[a.0].value.clone();
-            let n = v.len();
-            return self.push(v, Op::Dropout(a, vec![1.0; n]));
+            let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+            let av = &self.nodes[a.0].value;
+            let v = Matrix {
+                rows: av.rows,
+                cols: av.cols,
+                data,
+            };
+            // Empty mask = identity; avoids an n-element buffer per call.
+            return self.push(v, Op::Dropout(a, Vec::new()));
         }
         let keep = 1.0 - p;
-        let src = self.nodes[a.0].value.clone();
-        let mask: Vec<f32> = (0..src.len())
-            .map(|_| if rng.f32() < keep { 1.0 / keep } else { 0.0 })
-            .collect();
-        let mut v = src;
+        let n = self.nodes[a.0].value.len();
+        let mut mask = take_f32(&mut self.f32_pool, n);
+        for m in &mut mask {
+            *m = if rng.f32() < keep { 1.0 / keep } else { 0.0 };
+        }
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let av = &self.nodes[a.0].value;
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data,
+        };
         for (x, m) in v.data.iter_mut().zip(&mask) {
             *x *= m;
         }
@@ -169,20 +349,35 @@ impl Tape {
     ///
     /// Panics if row counts differ.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (rows, ca, cb) = {
+            let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            assert_eq!(ma.rows, mb.rows, "concat_cols row mismatch");
+            (ma.rows, ma.cols, mb.cols)
+        };
+        let data = take_f32(&mut self.f32_pool, rows * (ca + cb));
         let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(ma.rows, mb.rows, "concat_cols row mismatch");
-        let mut v = Matrix::zeros(ma.rows, ma.cols + mb.cols);
-        for r in 0..ma.rows {
-            v.row_mut(r)[..ma.cols].copy_from_slice(ma.row(r));
-            v.row_mut(r)[ma.cols..].copy_from_slice(mb.row(r));
+        let mut v = Matrix {
+            rows,
+            cols: ca + cb,
+            data,
+        };
+        for r in 0..rows {
+            v.row_mut(r)[..ca].copy_from_slice(ma.row(r));
+            v.row_mut(r)[ca..].copy_from_slice(mb.row(r));
         }
         self.push(v, Op::ConcatCols(a, b))
     }
 
     /// Column-wise sum over rows: `[n, d] → [1, d]`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
+        let cols = self.nodes[a.0].value.cols;
+        let data = take_f32(&mut self.f32_pool, cols);
         let m = &self.nodes[a.0].value;
-        let mut v = Matrix::zeros(1, m.cols);
+        let mut v = Matrix {
+            rows: 1,
+            cols,
+            data,
+        };
         for r in 0..m.rows {
             for (o, &x) in v.data.iter_mut().zip(m.row(r)) {
                 *o += x;
@@ -193,25 +388,35 @@ impl Tape {
 
     /// Gathers rows: `out[i] = a[idx[i]]`.
     pub fn gather(&mut self, a: Var, idx: &[u32]) -> Var {
+        let cols = self.nodes[a.0].value.cols;
+        let data = take_f32(&mut self.f32_pool, idx.len() * cols);
+        let owned_idx = copy_u32(&mut self.u32_pool, idx);
         let m = &self.nodes[a.0].value;
-        let mut v = Matrix::zeros(idx.len(), m.cols);
+        let mut v = Matrix {
+            rows: idx.len(),
+            cols,
+            data,
+        };
         for (i, &j) in idx.iter().enumerate() {
             v.row_mut(i).copy_from_slice(m.row(j as usize));
         }
-        self.push(v, Op::Gather(a, idx.to_vec()))
+        self.push(v, Op::Gather(a, owned_idx))
     }
 
     /// Scatter-add rows: `out[idx[i]] += a[i]`, `out` has `rows` rows.
     pub fn scatter_add(&mut self, a: Var, idx: &[u32], rows: usize) -> Var {
+        let cols = self.nodes[a.0].value.cols;
+        let data = take_f32(&mut self.f32_pool, rows * cols);
+        let owned_idx = copy_u32(&mut self.u32_pool, idx);
         let m = &self.nodes[a.0].value;
-        let mut v = Matrix::zeros(rows, m.cols);
+        let mut v = Matrix { rows, cols, data };
         for (i, &j) in idx.iter().enumerate() {
             let dst = v.row_mut(j as usize);
             for (o, &x) in dst.iter_mut().zip(m.row(i)) {
                 *o += x;
             }
         }
-        self.push(v, Op::ScatterAdd(a, idx.to_vec(), rows))
+        self.push(v, Op::ScatterAdd(a, owned_idx))
     }
 
     /// Multiplies row `i` by `weights[i]`.
@@ -220,20 +425,32 @@ impl Tape {
     ///
     /// Panics if `weights.len() != a.rows`.
     pub fn scale_rows(&mut self, a: Var, weights: &[f32]) -> Var {
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let owned_w = copy_f32(&mut self.f32_pool, weights);
         let m = &self.nodes[a.0].value;
         assert_eq!(weights.len(), m.rows, "scale_rows weight count mismatch");
-        let mut v = m.clone();
+        let mut v = Matrix {
+            rows: m.rows,
+            cols: m.cols,
+            data,
+        };
         for (r, &w) in weights.iter().enumerate() {
             for x in v.row_mut(r) {
                 *x *= w;
             }
         }
-        self.push(v, Op::ScaleRows(a, weights.to_vec()))
+        self.push(v, Op::ScaleRows(a, owned_w))
     }
 
     /// Scalar multiplication.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let mut v = self.nodes[a.0].value.clone();
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let av = &self.nodes[a.0].value;
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data,
+        };
         v.scale_assign(k);
         self.push(v, Op::Scale(a, k))
     }
@@ -245,6 +462,8 @@ impl Tape {
     ///
     /// Panics if shapes disagree.
     pub fn mape_loss(&mut self, pred: Var, targets: &[f32]) -> Var {
+        let owned_t = copy_f32(&mut self.f32_pool, targets);
+        let mut data = take_f32(&mut self.f32_pool, 1);
         let p = &self.nodes[pred.0].value;
         assert_eq!(p.cols, 1, "predictions must be a column");
         assert_eq!(p.rows, targets.len(), "target count mismatch");
@@ -254,8 +473,13 @@ impl Tape {
                 acc += ((p.data[i] - t) / t).abs();
             }
         }
-        let v = Matrix::scalar(acc / targets.len().max(1) as f32);
-        self.push(v, Op::MapeLoss(pred, targets.to_vec()))
+        data[0] = acc / targets.len().max(1) as f32;
+        let v = Matrix {
+            rows: 1,
+            cols: 1,
+            data,
+        };
+        self.push(v, Op::MapeLoss(pred, owned_t))
     }
 
     /// Mean squared error; returns a `1 × 1` loss node.
@@ -264,6 +488,8 @@ impl Tape {
     ///
     /// Panics if shapes disagree.
     pub fn mse_loss(&mut self, pred: Var, targets: &[f32]) -> Var {
+        let owned_t = copy_f32(&mut self.f32_pool, targets);
+        let mut data = take_f32(&mut self.f32_pool, 1);
         let p = &self.nodes[pred.0].value;
         assert_eq!(p.cols, 1, "predictions must be a column");
         assert_eq!(p.rows, targets.len(), "target count mismatch");
@@ -272,18 +498,31 @@ impl Tape {
             let d = p.data[i] - t;
             acc += d * d;
         }
-        let v = Matrix::scalar(acc / targets.len().max(1) as f32);
-        self.push(v, Op::MseLoss(pred, targets.to_vec()))
+        data[0] = acc / targets.len().max(1) as f32;
+        let v = Matrix {
+            rows: 1,
+            cols: 1,
+            data,
+        };
+        self.push(v, Op::MseLoss(pred, owned_t))
     }
 
     /// Runs backpropagation from `loss` (must be `1 × 1`), returning one
     /// gradient slot per parameter index used (missing slots are `None`).
     ///
+    /// Intermediate gradient buffers are recycled into the tape pools as
+    /// they are consumed, so steady-state backward passes allocate only
+    /// the returned parameter gradients.
+    ///
     /// # Panics
     ///
     /// Panics if `loss` is not scalar.
-    pub fn backward(&self, loss: Var) -> Vec<Option<Matrix>> {
+    pub fn backward(&mut self, loss: Var) -> Vec<Option<Matrix>> {
         assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
+        debug_assert!(
+            self.nodes[loss.0].value.is_finite(),
+            "non-finite loss at the tape boundary"
+        );
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Matrix::scalar(1.0));
         let mut out: Vec<Option<Matrix>> = vec![None; self.num_params];
@@ -294,129 +533,292 @@ impl Tape {
                 Op::Leaf { param } => {
                     if let Some(slot) = param {
                         match &mut out[*slot] {
-                            Some(acc) => acc.add_assign(&g),
+                            Some(acc) => {
+                                acc.add_assign(&g);
+                                self.f32_pool.push(g.data);
+                            }
                             slot_ref => *slot_ref = Some(g),
                         }
+                    } else {
+                        self.f32_pool.push(g.data);
                     }
                 }
                 Op::MatMul(a, b) => {
-                    let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    accumulate(&mut grads, *a, g.matmul_nt(mb));
-                    accumulate(&mut grads, *b, ma.matmul_tn(&g));
+                    let (a, b) = (*a, *b);
+                    let ga = {
+                        let mut ga = Matrix {
+                            rows: 0,
+                            cols: 0,
+                            data: take_f32(&mut self.f32_pool, 0),
+                        };
+                        g.matmul_nt_into(&self.nodes[b.0].value, &mut ga);
+                        ga
+                    };
+                    let gb = {
+                        let mut gb = Matrix {
+                            rows: 0,
+                            cols: 0,
+                            data: take_f32(&mut self.f32_pool, 0),
+                        };
+                        self.nodes[a.0].value.matmul_tn_into(&g, &mut gb);
+                        gb
+                    };
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, b, gb);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    let (a, b) = (*a, *b);
+                    let gc = self.clone_grad(&g);
+                    accumulate(&mut self.f32_pool, &mut grads, a, gc);
+                    accumulate(&mut self.f32_pool, &mut grads, b, g);
                 }
                 Op::AddRow(a, bias) => {
-                    let mut gb = Matrix::zeros(1, g.cols);
-                    for r in 0..g.rows {
-                        for (o, &x) in gb.data.iter_mut().zip(g.row(r)) {
-                            *o += x;
-                        }
-                    }
-                    accumulate(&mut grads, *bias, gb);
-                    accumulate(&mut grads, *a, g);
+                    let (a, bias) = (*a, *bias);
+                    let gb = self.colsum(&g);
+                    accumulate(&mut self.f32_pool, &mut grads, bias, gb);
+                    accumulate(&mut self.f32_pool, &mut grads, a, g);
                 }
                 Op::AddN(vars) => {
-                    for v in vars {
-                        accumulate(&mut grads, *v, g.clone());
+                    let vars = vars.clone();
+                    for v in &vars[1..] {
+                        let gc = self.clone_grad(&g);
+                        accumulate(&mut self.f32_pool, &mut grads, *v, gc);
                     }
+                    accumulate(&mut self.f32_pool, &mut grads, vars[0], g);
                 }
                 Op::Relu(a) => {
+                    let a = *a;
                     let mut ga = g;
                     for (x, &v) in ga.data.iter_mut().zip(&self.nodes[i].value.data) {
                         if v <= 0.0 {
                             *x = 0.0;
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                }
+                Op::LinearBiasRelu(a, w, bias) => {
+                    let (a, w, bias) = (*a, *w, *bias);
+                    // Mask by the fused output (post-ReLU), then split into
+                    // the three operand gradients exactly as the unfused
+                    // relu → add_row → matmul chain would.
+                    let mut gm = g;
+                    for (x, &v) in gm.data.iter_mut().zip(&self.nodes[i].value.data) {
+                        if v <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    let gb = self.colsum(&gm);
+                    let ga = {
+                        let mut ga = Matrix {
+                            rows: 0,
+                            cols: 0,
+                            data: take_f32(&mut self.f32_pool, 0),
+                        };
+                        gm.matmul_nt_into(&self.nodes[w.0].value, &mut ga);
+                        ga
+                    };
+                    let gw = {
+                        let mut gw = Matrix {
+                            rows: 0,
+                            cols: 0,
+                            data: take_f32(&mut self.f32_pool, 0),
+                        };
+                        self.nodes[a.0].value.matmul_tn_into(&gm, &mut gw);
+                        gw
+                    };
+                    self.f32_pool.push(gm.data);
+                    accumulate(&mut self.f32_pool, &mut grads, bias, gb);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, w, gw);
+                }
+                Op::AddRowRelu(a, bias) => {
+                    let (a, bias) = (*a, *bias);
+                    let mut gm = g;
+                    for (x, &v) in gm.data.iter_mut().zip(&self.nodes[i].value.data) {
+                        if v <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    let gb = self.colsum(&gm);
+                    accumulate(&mut self.f32_pool, &mut grads, bias, gb);
+                    accumulate(&mut self.f32_pool, &mut grads, a, gm);
                 }
                 Op::Dropout(a, mask) => {
+                    let a = *a;
                     let mut ga = g;
-                    for (x, &m) in ga.data.iter_mut().zip(mask) {
-                        *x *= m;
+                    if !mask.is_empty() {
+                        for (x, &m) in ga.data.iter_mut().zip(mask) {
+                            *x *= m;
+                        }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
                 }
                 Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
                     let (ca, cb) = (self.nodes[a.0].value.cols, self.nodes[b.0].value.cols);
-                    let mut ga = Matrix::zeros(g.rows, ca);
-                    let mut gb = Matrix::zeros(g.rows, cb);
+                    let mut ga = Matrix {
+                        rows: g.rows,
+                        cols: ca,
+                        data: take_f32(&mut self.f32_pool, g.rows * ca),
+                    };
+                    let mut gb = Matrix {
+                        rows: g.rows,
+                        cols: cb,
+                        data: take_f32(&mut self.f32_pool, g.rows * cb),
+                    };
                     for r in 0..g.rows {
                         ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
                         gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
                     }
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, b, gb);
                 }
                 Op::SumRows(a) => {
+                    let a = *a;
                     let rows = self.nodes[a.0].value.rows;
-                    let mut ga = Matrix::zeros(rows, g.cols);
+                    let mut ga = Matrix {
+                        rows,
+                        cols: g.cols,
+                        data: take_f32(&mut self.f32_pool, rows * g.cols),
+                    };
                     for r in 0..rows {
                         ga.row_mut(r).copy_from_slice(g.row(0));
                     }
-                    accumulate(&mut grads, *a, ga);
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
                 }
-                Op::Gather(a, idx) => {
-                    let src = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(src.rows, src.cols);
+                Op::Gather(a, _) => {
+                    let a = *a;
+                    let (rows, cols) = {
+                        let src = &self.nodes[a.0].value;
+                        (src.rows, src.cols)
+                    };
+                    let mut ga = Matrix {
+                        rows,
+                        cols,
+                        data: take_f32(&mut self.f32_pool, rows * cols),
+                    };
+                    let Op::Gather(_, idx) = &self.nodes[i].op else {
+                        unreachable!()
+                    };
                     for (r, &j) in idx.iter().enumerate() {
                         let dst = ga.row_mut(j as usize);
                         for (o, &x) in dst.iter_mut().zip(g.row(r)) {
                             *o += x;
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
                 }
-                Op::ScatterAdd(a, idx, _rows) => {
-                    let src = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(src.rows, src.cols);
+                Op::ScatterAdd(a, _) => {
+                    let a = *a;
+                    let (rows, cols) = {
+                        let src = &self.nodes[a.0].value;
+                        (src.rows, src.cols)
+                    };
+                    let mut ga = Matrix {
+                        rows,
+                        cols,
+                        data: take_f32(&mut self.f32_pool, rows * cols),
+                    };
+                    let Op::ScatterAdd(_, idx) = &self.nodes[i].op else {
+                        unreachable!()
+                    };
                     for (r, &j) in idx.iter().enumerate() {
                         ga.row_mut(r).copy_from_slice(g.row(j as usize));
                     }
-                    accumulate(&mut grads, *a, ga);
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
                 }
                 Op::ScaleRows(a, w) => {
+                    let a = *a;
                     let mut ga = g;
                     for (r, &k) in w.iter().enumerate() {
                         for x in ga.row_mut(r) {
                             *x *= k;
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
                 }
                 Op::Scale(a, k) => {
+                    let (a, k) = (*a, *k);
                     let mut ga = g;
-                    ga.scale_assign(*k);
-                    accumulate(&mut grads, *a, ga);
+                    ga.scale_assign(k);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
                 }
                 Op::MapeLoss(pred, targets) => {
-                    let p = &self.nodes[pred.0].value;
+                    let pred = *pred;
+                    let rows = self.nodes[pred.0].value.rows;
                     let n = targets.len().max(1) as f32;
                     let scale = g.data[0] / n;
-                    let mut gp = Matrix::zeros(p.rows, 1);
+                    let mut gp = Matrix {
+                        rows,
+                        cols: 1,
+                        data: take_f32(&mut self.f32_pool, rows),
+                    };
+                    let Op::MapeLoss(_, targets) = &self.nodes[i].op else {
+                        unreachable!()
+                    };
+                    let p = &self.nodes[pred.0].value;
                     for (r, &t) in targets.iter().enumerate() {
                         if t.abs() > 1e-12 {
                             let sign = if p.data[r] >= t { 1.0 } else { -1.0 };
                             gp.data[r] = scale * sign / t.abs();
                         }
                     }
-                    accumulate(&mut grads, *pred, gp);
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, pred, gp);
                 }
                 Op::MseLoss(pred, targets) => {
-                    let p = &self.nodes[pred.0].value;
+                    let pred = *pred;
+                    let rows = self.nodes[pred.0].value.rows;
                     let n = targets.len().max(1) as f32;
                     let scale = 2.0 * g.data[0] / n;
-                    let mut gp = Matrix::zeros(p.rows, 1);
+                    let mut gp = Matrix {
+                        rows,
+                        cols: 1,
+                        data: take_f32(&mut self.f32_pool, rows),
+                    };
+                    let Op::MseLoss(_, targets) = &self.nodes[i].op else {
+                        unreachable!()
+                    };
+                    let p = &self.nodes[pred.0].value;
                     for (r, &t) in targets.iter().enumerate() {
                         gp.data[r] = scale * (p.data[r] - t);
                     }
-                    accumulate(&mut grads, *pred, gp);
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, pred, gp);
                 }
             }
         }
         out
+    }
+
+    /// Pool-backed copy of a gradient matrix.
+    fn clone_grad(&mut self, g: &Matrix) -> Matrix {
+        let data = copy_f32(&mut self.f32_pool, &g.data);
+        Matrix {
+            rows: g.rows,
+            cols: g.cols,
+            data,
+        }
+    }
+
+    /// Pool-backed column sum `[n, d] → [1, d]` (bias gradient).
+    fn colsum(&mut self, g: &Matrix) -> Matrix {
+        let mut gb = Matrix {
+            rows: 1,
+            cols: g.cols,
+            data: take_f32(&mut self.f32_pool, g.cols),
+        };
+        for r in 0..g.rows {
+            for (o, &x) in gb.data.iter_mut().zip(g.row(r)) {
+                *o += x;
+            }
+        }
+        gb
     }
 
     /// Number of nodes recorded (for memory diagnostics).
@@ -430,9 +832,14 @@ impl Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+/// Adds `g` into the gradient slot for `v`, recycling `g`'s buffer into
+/// the pool when the slot already holds an accumulator.
+fn accumulate(pool: &mut Vec<Vec<f32>>, grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
     match &mut grads[v.0] {
-        Some(acc) => acc.add_assign(&g),
+        Some(acc) => {
+            acc.add_assign(&g);
+            pool.push(g.data);
+        }
         slot => *slot = Some(g),
     }
 }
@@ -498,6 +905,108 @@ mod tests {
             let r = t.relu(h);
             t.mse_loss(r, &[1.0, 0.0])
         });
+    }
+
+    #[test]
+    fn grad_linear_bias_relu_weight() {
+        let w = Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.1]);
+        grad_check(w, |t, p| {
+            let x = t.leaf(Matrix::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 0.3, -0.7]));
+            let b = t.leaf(Matrix::from_vec(1, 3, vec![0.05, -0.1, 0.2]));
+            let h = t.linear_bias_relu(x, p, b);
+            let v = t.leaf(Matrix::from_vec(3, 1, vec![1.0, -0.5, 0.25]));
+            let y = t.matmul(h, v);
+            t.mse_loss(y, &[0.5, -0.2, 0.1])
+        });
+    }
+
+    #[test]
+    fn grad_linear_bias_relu_bias() {
+        let b = Matrix::from_vec(1, 2, vec![0.15, -0.35]);
+        grad_check(b, |t, p| {
+            let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.5, 1.5]));
+            let w = t.leaf(Matrix::from_vec(2, 2, vec![0.6, -0.3, 0.2, 0.9]));
+            let h = t.linear_bias_relu(x, w, p);
+            let v = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+            let y = t.matmul(h, v);
+            t.mse_loss(y, &[0.3, -0.6])
+        });
+    }
+
+    #[test]
+    fn grad_add_row_relu() {
+        let w = Matrix::from_vec(1, 3, vec![0.1, -0.2, 0.3]);
+        grad_check(w, |t, p| {
+            let x = t.leaf(Matrix::from_vec(
+                2,
+                3,
+                vec![0.4, -0.6, 1.0, -0.2, 0.8, -1.1],
+            ));
+            let h = t.add_row_relu(x, p);
+            let s = t.sum_rows(h);
+            let v = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]));
+            let y = t.matmul(s, v);
+            t.mse_loss(y, &[1.0])
+        });
+    }
+
+    #[test]
+    fn fused_ops_match_unfused_chain() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 0.3, -0.7]);
+        let w = Matrix::from_vec(2, 2, vec![0.3, -0.2, 0.5, 0.7]);
+        let b = Matrix::from_vec(1, 2, vec![0.1, -0.4]);
+
+        let v = Matrix::from_vec(2, 1, vec![1.0, -0.75]);
+
+        let mut fused = Tape::new();
+        let (xf, wf, bf) = (
+            fused.leaf(x.clone()),
+            fused.param(0, w.clone()),
+            fused.param(1, b.clone()),
+        );
+        let hf = fused.linear_bias_relu(xf, wf, bf);
+        let vf = fused.leaf(v.clone());
+        let yf = fused.matmul(hf, vf);
+        let lf = fused.mse_loss(yf, &[1.0, 0.0, -0.5]);
+        let fused_val = fused.value(hf).clone();
+        let fused_grads = fused.backward(lf);
+
+        let mut plain = Tape::new();
+        let (xp, wp, bp) = (plain.leaf(x), plain.param(0, w), plain.param(1, b));
+        let mm = plain.matmul(xp, wp);
+        let ar = plain.add_row(mm, bp);
+        let hp = plain.relu(ar);
+        let vp = plain.leaf(v);
+        let yp = plain.matmul(hp, vp);
+        let lp = plain.mse_loss(yp, &[1.0, 0.0, -0.5]);
+        assert_eq!(fused_val, *plain.value(hp));
+        let plain_grads = plain.backward(lp);
+        for (f, p) in fused_grads.iter().zip(&plain_grads) {
+            assert_eq!(f, p, "fused gradient diverged from unfused chain");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_preserves_results() {
+        let mut t = Tape::new();
+        let mut reference: Option<Vec<f32>> = None;
+        for _ in 0..3 {
+            t.reset();
+            let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.5, 1.5]));
+            let w = t.param(0, Matrix::from_vec(2, 1, vec![0.8, -0.6]));
+            let b = t.param(1, Matrix::from_vec(1, 1, vec![0.1]));
+            let h = t.linear_bias_relu(x, w, b);
+            let loss = t.mse_loss(h, &[1.0, 0.0]);
+            let grads = t.backward(loss);
+            let gw = grads[0].as_ref().expect("weight grad").data.clone();
+            match &reference {
+                None => reference = Some(gw),
+                Some(r) => assert_eq!(r, &gw, "tape reuse changed gradients"),
+            }
+        }
+        assert!(t.len() > 0);
+        t.reset();
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -179,6 +179,29 @@ pub fn hash64(bytes: &[u8]) -> u64 {
     splitmix64(&mut s)
 }
 
+/// Stateless mix of several identifiers into one seed (SplitMix64 steps
+/// folded over the inputs). Use this to derive per-worker RNG seeds as a
+/// pure function of coordinates like `(seed, epoch, batch, shard)` — no
+/// stream is consumed, so the derivation is independent of how many
+/// workers exist or in which order they run.
+///
+/// # Examples
+///
+/// ```
+/// let a = pg_util::rng::mix64(&[42, 0, 3, 1]);
+/// let b = pg_util::rng::mix64(&[42, 0, 3, 1]);
+/// assert_eq!(a, b);
+/// assert_ne!(a, pg_util::rng::mix64(&[42, 0, 3, 2]));
+/// ```
+pub fn mix64(parts: &[u64]) -> u64 {
+    let mut s: u64 = 0x243F_6A88_85A3_08D3; // pi fractional bits, arbitrary non-zero start
+    for &p in parts {
+        s ^= p;
+        s = splitmix64(&mut s);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +297,17 @@ mod tests {
     fn hash64_stable_and_spread() {
         assert_eq!(hash64(b"abc"), hash64(b"abc"));
         assert_ne!(hash64(b"abc"), hash64(b"abd"));
+    }
+
+    #[test]
+    fn mix64_pure_and_order_sensitive() {
+        assert_eq!(mix64(&[1, 2, 3]), mix64(&[1, 2, 3]));
+        assert_ne!(mix64(&[1, 2, 3]), mix64(&[3, 2, 1]));
+        assert_ne!(mix64(&[0]), mix64(&[0, 0]));
+        // Seeding an Rng64 from a mixed seed is reproducible.
+        let mut a = Rng64::new(mix64(&[7, 0, 4, 2]));
+        let mut b = Rng64::new(mix64(&[7, 0, 4, 2]));
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -135,6 +135,53 @@ fn build_all_scale_determinism_paper_xl() {
     });
 }
 
+/// Training must be bit-identical at any `threads` setting: shard
+/// boundaries are a pure function of the batch, per-shard RNG seeds are
+/// derived from (seed, epoch, batch, shard), and gradient reduction runs
+/// in fixed shard order — so thread count is pure scheduling. The dataset
+/// is sized so batches split into multiple uneven shards (8 + 2), which
+/// also exercises the sample-weighted gradient merge.
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let cfg = DatasetConfig {
+        size: 6,
+        max_samples: 20,
+        seed: 7,
+        threads: 2,
+    };
+    let ds = build_kernel_dataset(&polybench::atax(6), &cfg);
+    let data = ds.labeled(PowerTarget::Dynamic);
+    assert!(
+        data.len() >= 16,
+        "need multi-shard batches, got {}",
+        data.len()
+    );
+
+    let mut tc = TrainConfig::quick(ModelConfig::hec(8));
+    tc.epochs = 2;
+    tc.folds = 2;
+    tc.seeds = vec![5];
+
+    let graphs: Vec<&PowerGraph> = data.iter().map(|(g, _)| *g).collect();
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 4] {
+        tc.threads = threads;
+        let ensemble = train_ensemble(&data, &tc);
+        let bits: Vec<u64> = ensemble
+            .predict(&graphs)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(
+                r, &bits,
+                "training diverged between 1 and {threads} threads"
+            ),
+        }
+    }
+}
+
 #[test]
 fn one_training_epoch_is_bit_identical_across_runs() {
     let (preds1, err1) = one_epoch_metrics();

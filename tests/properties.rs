@@ -8,7 +8,7 @@ use powergear_repro::graphcon::GraphFlow;
 use powergear_repro::hls::{Directives, FuLibrary, HlsFlow};
 use powergear_repro::ir::expr::{aff, Expr};
 use powergear_repro::ir::{ArrayKind, Kernel, KernelBuilder, Opcode};
-use powergear_repro::tensor::{Matrix, Tape};
+use powergear_repro::tensor::{GradAccum, Matrix, Tape};
 
 /// A small random-but-valid kernel family: `y[i] = y[i] + a[i]*x[i] ...`
 /// with parameterized trip count and extra terms.
@@ -209,5 +209,118 @@ proptest! {
                 "grad[{}]: {} vs {}", k, g.data[k], numeric
             );
         }
+    }
+
+    /// The tiled matmul kernels agree with a scalar reference on random
+    /// shapes, including degenerate ones (0 rows, 1×N, N×1) and shapes
+    /// straddling the 4×8 register-tile boundary. `matmul` and `matmul_tn`
+    /// promise k-ascending summation, so they must match the reference
+    /// *bitwise*; `matmul_nt` folds lanes and is compared within a
+    /// tolerance.
+    #[test]
+    fn tiled_matmul_matches_scalar_reference(
+        m in prop::sample::select(vec![0usize, 1, 3, 4, 5, 8, 13]),
+        k in prop::sample::select(vec![1usize, 2, 7, 8, 9, 16]),
+        n in prop::sample::select(vec![1usize, 3, 7, 8, 9, 17]),
+        seed in 0u64..1000
+    ) {
+        let mut rng = powergear_repro::util::Rng64::new(seed);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.f32() * 2.0 - 1.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.f32() * 2.0 - 1.0).collect());
+
+        // Scalar reference with k-ascending accumulation per element.
+        let mut want = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.data[i * k + kk] * b.data[kk * n + j];
+                }
+                want.data[i * n + j] = acc;
+            }
+        }
+
+        let got = a.matmul(&b);
+        prop_assert_eq!(
+            got.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "matmul must be bitwise k-ascending"
+        );
+
+        // a = at^T keeps the same product; matmul_tn shares the contract.
+        let at = a.transpose();
+        let got_tn = at.matmul_tn(&b);
+        prop_assert_eq!(
+            got_tn.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // b = bt^T; matmul_nt uses a lane-folded dot, so allow rounding.
+        let bt = b.transpose();
+        let got_nt = a.matmul_nt(&bt);
+        for (g, w) in got_nt.data.iter().zip(&want.data) {
+            prop_assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{} vs {}", g, w);
+        }
+    }
+
+    /// Sample-weighted gradient accumulation: splitting a batch into
+    /// uneven shards and merging must reproduce the per-sample reference
+    /// accumulation *exactly*. Gradients are integer-valued and shard
+    /// sizes are powers of two, so every intermediate (shard mean, weight
+    /// scaling, sums) is exact in f32 and the comparison is bitwise.
+    #[test]
+    fn grad_accum_weighted_merge_matches_per_sample_reference(
+        samples in prop::collection::vec(prop::collection::vec(-8i32..9, 4), 1..25),
+        split_seed in 0u64..1000
+    ) {
+        let n = samples.len();
+
+        // Per-sample reference: every gradient added with weight 1.
+        let mut reference = GradAccum::new(1);
+        for s in &samples {
+            let g = Matrix::from_vec(2, 2, s.iter().map(|&v| v as f32).collect());
+            reference.add(vec![Some(g)], 1);
+        }
+
+        // Shard the batch into random power-of-two-sized shards (uneven
+        // mixes like 8+4+1), add each shard's exact mean with its sample
+        // count, and merge the shard accumulators in order.
+        let mut rng = powergear_repro::util::Rng64::new(split_seed);
+        let mut sizes = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let mut take = 1usize << rng.below(4); // 1, 2, 4, or 8
+            while take > left { take /= 2; }
+            sizes.push(take);
+            left -= take;
+        }
+        let mut merged = GradAccum::new(1);
+        let mut offset = 0;
+        for &sz in &sizes {
+            let shard = &samples[offset..offset + sz];
+            offset += sz;
+            let mut mean = vec![0.0f32; 4];
+            for s in shard {
+                for (m, &v) in mean.iter_mut().zip(s) {
+                    *m += v as f32;
+                }
+            }
+            for m in &mut mean {
+                *m /= sz as f32; // exact: power-of-two divisor
+            }
+            let mut shard_acc = GradAccum::new(1);
+            shard_acc.add(vec![Some(Matrix::from_vec(2, 2, mean))], sz);
+            merged.merge_from(&shard_acc);
+        }
+
+        prop_assert_eq!(merged.samples(), reference.samples());
+        let got = merged.mean();
+        let want = reference.mean();
+        prop_assert_eq!(
+            got[0].as_ref().unwrap().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want[0].as_ref().unwrap().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "sharded mean must equal the per-sample batch mean exactly (shards {:?})",
+            sizes
+        );
     }
 }

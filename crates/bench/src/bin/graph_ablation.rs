@@ -1,24 +1,30 @@
-//! Design-choice ablation for the **graph construction flow** itself
-//! (complementary to the paper's Table II, which ablates the model): how
-//! much does each of §III-A's passes — buffer insertion, datapath merging,
-//! graph trimming — contribute to dynamic-power accuracy?
+//! Design-choice ablation driver, two complementary sweeps:
 //!
-//! For each pass configuration, datasets are rebuilt with that flow and a
-//! single HEC-GNN is trained/evaluated leave-one-kernel-out on a kernel
-//! subset. The full flow is expected to win; `raw DFG` (everything off)
-//! to lose.
+//! * **Flow ablation** (default) — how much does each of §III-A's graph
+//!   construction passes — buffer insertion, datapath merging, graph
+//!   trimming — contribute to dynamic-power accuracy? For each pass
+//!   configuration, datasets are rebuilt with that flow and a single
+//!   HEC-GNN is trained/evaluated leave-one-kernel-out on a kernel
+//!   subset. The full flow is expected to win; `raw DFG` (everything
+//!   off) to lose.
+//! * **Architecture zoo** (`--zoo`) — holds the graph flow fixed and
+//!   sweeps the model zoo ([`pg_gnn::zoo_variants`]: HEC vs baselines,
+//!   pooling modes, depths, attention) through the LOKO harness, ranking
+//!   configurations by held-out dynamic-power MAPE.
 //!
 //! ```text
 //! cargo run -p powergear-bench --release --bin graph_ablation [-- --kernels atax,mvt,bicg]
+//! cargo run -p powergear-bench --release --bin graph_ablation -- --zoo
 //! ```
 
 use pg_activity::{execute, Stimuli};
-use pg_datasets::{polybench, sample_space, DatasetConfig};
-use pg_gnn::{evaluate_model, train_single, ModelConfig, TrainConfig};
+use pg_datasets::{build_all, polybench, sample_space, DatasetConfig, PowerTarget};
+use pg_gnn::{evaluate_model, train_single, zoo_variants, ModelConfig, TrainConfig};
 use pg_graphcon::{GraphConfig, GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsFlow};
 use pg_powersim::BoardOracle;
 use pg_util::{mean, Rng64, Table};
+use powergear::eval::{run_loko, EvalConfig};
 use powergear_bench::drivers::results_dir;
 
 struct FlowVariant {
@@ -100,6 +106,44 @@ fn build_with_flow(
         .collect()
 }
 
+/// Zoo comparison: sweep [`zoo_variants`] through the LOKO harness on one
+/// shared dataset build and rank configurations by held-out dynamic MAPE.
+fn run_zoo(kernels: &[String]) {
+    let base = EvalConfig::quick(ModelConfig::hec(16));
+    let datasets = build_all(&base.data);
+    let mut ranked: Vec<(String, f64, f64, u64)> = Vec::new();
+    for v in zoo_variants(16) {
+        eprintln!("[graph-ablation] zoo config: {}", v.config.zoo_name());
+        let mut cfg = EvalConfig::quick(v.config.clone());
+        cfg.kernels = Some(kernels.to_vec());
+        let report = run_loko(&datasets, &cfg);
+        ranked.push((
+            v.config.zoo_name(),
+            report.mean_mape(PowerTarget::Dynamic),
+            report.mean_mape(PowerTarget::Total),
+            report.digest(),
+        ));
+    }
+    // Rank on held-out dynamic-power MAPE; ties broken by name for a
+    // deterministic table.
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let mut table = Table::new(&["rank", "config", "dyn MAPE %", "total MAPE %", "digest"]);
+    for (i, (name, dyn_mape, total_mape, digest)) in ranked.iter().enumerate() {
+        table.row(vec![
+            format!("{}", i + 1),
+            name.clone(),
+            Table::fmt_f(*dyn_mape, 2),
+            Table::fmt_f(*total_mape, 2),
+            format!("{digest:016x}"),
+        ]);
+    }
+    println!("\nArchitecture-zoo comparison (leave-one-kernel-out, ranked by dynamic MAPE)\n");
+    println!("{table}");
+    let out = results_dir().join("zoo_ablation.txt");
+    std::fs::write(&out, format!("{table}")).ok();
+    eprintln!("[graph-ablation] written to {}", out.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let kernels: Vec<String> = args
@@ -108,6 +152,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|l| l.split(',').map(|s| s.to_string()).collect())
         .unwrap_or_else(|| vec!["atax".into(), "mvt".into(), "bicg".into()]);
+    if args.iter().any(|a| a == "--zoo") {
+        run_zoo(&kernels);
+        return;
+    }
     let ds_cfg = DatasetConfig {
         size: 12,
         max_samples: 28,

@@ -18,6 +18,7 @@
 //! powergear models  [--registry <dir>]         # list the model registry
 //! powergear models  --verify-all               # replay every artifact's probe
 //! powergear dse     <kernel> [N] --model <m.pgm>   # explore with a loaded model
+//! powergear eval    --loko [flags]             # leave-one-kernel-out table
 //!
 //! directive syntax:  pipeline=<loop>  unroll=<loop>:<k>  partition=<array>:<k>
 //! common flags:      --size <n>  (problem size, default 12)
@@ -31,6 +32,11 @@
 //! dataset flags:     --samples <N> (default 500) --threads <t> --seed <s>
 //!                    --out <snapshot.pgstore>
 //! dse flags:         --budget <frac>  (sampling budget, default 0.2)
+//! eval flags:        --loko (required)  --arch <hec|gcn|sage|graphconv|gine>
+//!                    --pool <add|mean|max>  --layers <n>  --heads <n>
+//!                    --hidden <n>  --kernels <a,b,c>  --samples <N>
+//!                    --size <n>  --epochs <e>  --folds <f>  --seed <s>
+//!                    --threads <t>  --out <table.tsv>
 //! ```
 //!
 //! Examples:
@@ -44,7 +50,7 @@
 
 use pg_activity::{execute, Stimuli};
 use pg_datasets::{build_kernel_dataset_cached, polybench, DatasetConfig, HlsCache, PowerTarget};
-use pg_gnn::{InferenceEngine, ModelConfig, ServeConfig, TrainConfig};
+use pg_gnn::{Arch, InferenceEngine, ModelConfig, Pool, ServeConfig, TrainConfig};
 use pg_graphcon::{GraphFlow, PowerGraph};
 use pg_hls::{Directives, HlsFlow};
 use pg_powersim::BoardOracle;
@@ -57,7 +63,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: powergear <kernels|report|graph|measure|space|serve|stats|train|predict|verify|models|dse> ..."
+            "usage: powergear <kernels|report|graph|measure|space|serve|stats|train|predict|verify|models|dse|eval> ..."
         );
         return ExitCode::FAILURE;
     };
@@ -74,6 +80,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "models" => cmd_models(rest),
         "dse" => cmd_dse(rest),
+        "eval" => cmd_eval(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -105,7 +112,14 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
 }
 
 /// Every value-taking flag the CLI understands.
-const KNOWN_FLAGS: [&str; 19] = [
+const KNOWN_FLAGS: [&str; 26] = [
+    "--arch",
+    "--pool",
+    "--layers",
+    "--heads",
+    "--hidden",
+    "--folds",
+    "--kernels",
     "--size",
     "--threads",
     "--samples",
@@ -128,7 +142,7 @@ const KNOWN_FLAGS: [&str; 19] = [
 ];
 
 /// Boolean flags (present or absent, no value).
-const KNOWN_BOOL_FLAGS: [&str; 1] = ["--verify-all"];
+const KNOWN_BOOL_FLAGS: [&str; 2] = ["--verify-all", "--loko"];
 
 /// Positional (non-flag) arguments, rejecting unknown `--flags` so typos
 /// fail instead of being treated as kernel names or directives.
@@ -925,5 +939,116 @@ fn cmd_serve_oneshot(args: &[String], scfg: &ServeCliConfig) -> Result<(), Strin
         "  speedup    : {:.2}x (bit-identical output)",
         seq_s / stats.seconds.max(1e-12)
     );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// eval: leave-one-kernel-out cross-kernel evaluation
+
+/// Parses `--arch/--pool/--layers/--heads/--hidden` into a zoo
+/// [`ModelConfig`], validating value domains with loud errors.
+fn parse_zoo_config(args: &[String]) -> Result<ModelConfig, String> {
+    let hidden: usize = flag_value(args, "--hidden")?.unwrap_or(16);
+    if hidden == 0 {
+        return Err("`--hidden` must be at least 1".into());
+    }
+    let arch_name: Option<String> = flag_value(args, "--arch")?;
+    let mut model = match arch_name.as_deref() {
+        None | Some("hec") => ModelConfig::hec(hidden),
+        Some("gcn") => ModelConfig::baseline(Arch::Gcn, hidden),
+        Some("sage") => ModelConfig::baseline(Arch::Sage, hidden),
+        Some("graphconv") => ModelConfig::baseline(Arch::GraphConv, hidden),
+        Some("gine") => ModelConfig::baseline(Arch::Gine, hidden),
+        Some(other) => {
+            return Err(format!(
+                "unknown arch `{other}`; available: hec, gcn, sage, graphconv, gine"
+            ))
+        }
+    };
+    if let Some(pool) = flag_value::<String>(args, "--pool")? {
+        model.pool = Pool::parse(&pool)
+            .ok_or_else(|| format!("unknown pool `{pool}`; available: add, mean, max"))?;
+    }
+    if let Some(layers) = flag_value(args, "--layers")? {
+        if layers == 0 {
+            return Err("`--layers` must be at least 1".into());
+        }
+        model.layers = layers;
+    }
+    if let Some(heads) = flag_value(args, "--heads")? {
+        if heads > 0 && model.arch != Arch::Hec {
+            return Err("`--heads` requires the hec arch (edge attention)".into());
+        }
+        if heads > 0 && model.hidden % heads != 0 {
+            return Err(format!(
+                "`--heads {heads}` must divide `--hidden {}`",
+                model.hidden
+            ));
+        }
+        model.heads = heads;
+    }
+    Ok(model)
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(format!("unexpected argument `{extra}`; eval takes flags only"));
+    }
+    if !args.iter().any(|a| a == "--loko") {
+        return Err("eval requires `--loko` (leave-one-kernel-out protocol)".into());
+    }
+    let mut cfg = powergear::eval::EvalConfig::quick(parse_zoo_config(args)?);
+    if let Some(size) = flag_value(args, "--size")? {
+        cfg.data.size = size;
+    }
+    if let Some(samples) = flag_value(args, "--samples")? {
+        cfg.data.max_samples = samples;
+    }
+    if let Some(seed) = flag_value(args, "--seed")? {
+        cfg.data.seed = seed;
+    }
+    if let Some(epochs) = flag_value(args, "--epochs")? {
+        cfg.epochs = epochs;
+    }
+    if let Some(folds) = flag_value(args, "--folds")? {
+        cfg.folds = folds;
+    }
+    if let Some(threads) = flag_value(args, "--threads")? {
+        cfg.threads = threads;
+        cfg.data.threads = threads;
+    }
+    if let Some(list) = flag_value::<String>(args, "--kernels")? {
+        let kernels: Vec<String> = list.split(',').map(|k| k.trim().to_string()).collect();
+        for k in &kernels {
+            if !polybench::KERNEL_NAMES.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown kernel `{k}`; available: {}",
+                    polybench::KERNEL_NAMES.join(", ")
+                ));
+            }
+        }
+        if kernels.len() < 2 {
+            return Err("`--kernels` needs at least 2 kernels (train on N-1)".into());
+        }
+        cfg.kernels = Some(kernels);
+    }
+
+    let t0 = Instant::now();
+    let report = powergear::eval::run_loko_built(&cfg);
+    println!(
+        "loko config {} ({} kernels x 2 targets, {} samples/kernel, {:.1}s)",
+        report.config,
+        report.rows.len() / 2,
+        cfg.data.max_samples,
+        t0.elapsed().as_secs_f64()
+    );
+    println!("{}", report.to_table());
+    println!("digest {:016x}", report.digest());
+    if let Some(path) = flag_value::<String>(args, "--out")? {
+        std::fs::write(&path, report.to_tsv())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod daemon;
+pub mod eval;
 
 use pg_activity::{execute, Stimuli};
 use pg_datasets::{HlsCache, KernelDataset, PowerTarget};

@@ -22,7 +22,7 @@
 //! win carries across runs instead of evaporating with the process.
 
 use pg_hls::{Directives, HlsDesign, HlsError, HlsFlow, KernelAnalysis, PreparedKernel};
-use pg_ir::Kernel;
+use pg_ir::{ArrayKind, Block, Kernel};
 use pg_store::{dec_design, enc_design, Dec, Enc, Reader, StoreError, Writer};
 use pg_util::rng::hash64;
 use pg_util::{metrics, prof};
@@ -35,9 +35,58 @@ const CACHE_SECTION: &str = "hls_cache";
 
 /// A stable content fingerprint of a kernel (name, arrays, loop nest),
 /// distinguishing e.g. the same Polybench kernel at different sizes.
+///
+/// The digest is a structural serialization — explicit field tags plus the
+/// hand-written `Display` forms for statements — never `format!("{:?}")`,
+/// whose derive output shifts whenever a field is added or reordered and
+/// would silently invalidate cache spills and `.pgm` provenance.
 pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
     let _t = prof::scope("hls.fingerprint");
-    hash64(format!("{kernel:?}").as_bytes())
+    let mut buf = Vec::with_capacity(256);
+    let push_str = |buf: &mut Vec<u8>, s: &str| {
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    };
+    push_str(&mut buf, &kernel.name);
+    buf.extend_from_slice(&(kernel.arrays.len() as u32).to_le_bytes());
+    for a in &kernel.arrays {
+        push_str(&mut buf, &a.name);
+        buf.push(match a.kind {
+            ArrayKind::Input => 0,
+            ArrayKind::Output => 1,
+            ArrayKind::Temp => 2,
+        });
+        buf.extend_from_slice(&(a.dims.len() as u32).to_le_bytes());
+        for &d in &a.dims {
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(&(kernel.scalars.len() as u32).to_le_bytes());
+    for s in &kernel.scalars {
+        push_str(&mut buf, s);
+    }
+    fn walk(blocks: &[Block], buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+        for b in blocks {
+            match b {
+                Block::Loop(l) => {
+                    buf.push(b'L');
+                    buf.extend_from_slice(&(l.var.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(l.var.as_bytes());
+                    buf.extend_from_slice(&(l.trip as u64).to_le_bytes());
+                    walk(&l.body, buf);
+                }
+                Block::Stmt(s) => {
+                    buf.push(b'S');
+                    let rendered = format!("{} = {}", s.target, s.expr);
+                    buf.extend_from_slice(&(rendered.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(rendered.as_bytes());
+                }
+            }
+        }
+    }
+    walk(&kernel.body, &mut buf);
+    hash64(&buf)
 }
 
 /// Process-global cache counters (`hls_cache_*` in the metric catalog,
@@ -364,6 +413,49 @@ mod tests {
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.hits(), 0);
         assert_ne!(kernel_fingerprint(&mvt6), kernel_fingerprint(&mvt8));
+    }
+
+    /// Pins the structural digest of a known kernel. If this fails, the
+    /// fingerprint definition changed: every cache spill and `.pgm`
+    /// provenance record keyed on it is invalidated, so bump deliberately.
+    #[test]
+    fn fingerprint_is_pinned() {
+        assert_eq!(
+            kernel_fingerprint(&polybench::atax(8)),
+            0xb870_edda_5b21_e296
+        );
+    }
+
+    /// The digest must cover each structural component: name, array decls,
+    /// and the loop nest (vars, trip counts, statements).
+    #[test]
+    fn fingerprint_sees_every_structural_field() {
+        let base = polybench::atax(8);
+        let fp = kernel_fingerprint(&base);
+
+        let mut renamed = base.clone();
+        renamed.name = "atax2".into();
+        assert_ne!(fp, kernel_fingerprint(&renamed), "name ignored");
+
+        let mut arrays = base.clone();
+        arrays.arrays[0].dims[0] += 1;
+        assert_ne!(fp, kernel_fingerprint(&arrays), "array dims ignored");
+
+        let mut kind = base.clone();
+        kind.arrays[0].kind = pg_ir::ArrayKind::Temp;
+        assert_ne!(fp, kernel_fingerprint(&kind), "array kind ignored");
+
+        let mut trip = base.clone();
+        if let pg_ir::Block::Loop(l) = &mut trip.body[0] {
+            l.trip += 1;
+        }
+        assert_ne!(fp, kernel_fingerprint(&trip), "trip count ignored");
+
+        let mut var = base.clone();
+        if let pg_ir::Block::Loop(l) = &mut var.body[0] {
+            l.var = "z".into();
+        }
+        assert_ne!(fp, kernel_fingerprint(&var), "loop var ignored");
     }
 
     #[test]

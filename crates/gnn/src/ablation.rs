@@ -1,4 +1,5 @@
-//! The HEC-GNN ablation variants of Table II.
+//! The HEC-GNN ablation variants of Table II, plus the architecture-zoo
+//! sweep grid.
 //!
 //! * `w/o opt.` — no edge features, no directionality, no heterogeneity, no
 //!   metadata (single model);
@@ -9,8 +10,13 @@
 //! * `w/o md.` — no metadata embedding branch (single);
 //! * `sgl.` — the full model, single instance (no ensemble);
 //! * `prop.` — the full model with the k-fold × seed ensemble.
+//!
+//! [`zoo_variants`] spans the orthogonal zoo axes instead: architecture
+//! (HEC vs node-centric baselines), readout pooling, convolution depth,
+//! and multi-head edge attention — the grid the LOKO harness ranks on
+//! held-out MAPE.
 
-use crate::model::ModelConfig;
+use crate::model::{Arch, ModelConfig, Pool};
 
 /// One ablation variant: display name, model configuration, and whether the
 /// ensemble strategy is applied.
@@ -85,9 +91,59 @@ pub fn table2_variants(hidden: usize) -> Vec<Variant> {
     ]
 }
 
+/// The architecture-zoo sweep grid at the given hidden width, in fixed
+/// order: the paper's HEC against two node-centric baselines, the three
+/// readout modes, two extra depths, and an attention variant — every
+/// config a [`crate::PowerModel`] can instantiate directly.
+pub fn zoo_variants(hidden: usize) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, config: ModelConfig| {
+        out.push(Variant {
+            name,
+            config,
+            ensemble: false,
+        });
+    };
+    // Architecture axis: HEC vs 2 baselines.
+    push("hec", ModelConfig::hec(hidden));
+    push("gcn", ModelConfig::baseline(Arch::Gcn, hidden));
+    push("sage", ModelConfig::baseline(Arch::Sage, hidden));
+    // Pooling axis (sum is the paper's readout, covered by `hec`).
+    push("hec-mean", ModelConfig::hec(hidden).with_pool(Pool::Mean));
+    push("hec-max", ModelConfig::hec(hidden).with_pool(Pool::Max));
+    // Depth axis (3 layers is the paper's depth, covered by `hec`).
+    push("hec-2l", ModelConfig::hec(hidden).with_layers(2));
+    push("hec-4l", ModelConfig::hec(hidden).with_layers(4));
+    // Attention axis (2 heads; hidden must stay divisible).
+    push("hec-attn2", ModelConfig::hec(hidden).with_heads(2));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zoo_spans_every_axis_with_distinct_configs() {
+        let zoo = zoo_variants(16);
+        assert!(zoo.len() >= 8);
+        // ≥ 3 architectures, ≥ 2 pooling modes, ≥ 2 depths, attention.
+        let archs: std::collections::BTreeSet<String> =
+            zoo.iter().map(|v| format!("{:?}", v.config.arch)).collect();
+        assert!(archs.len() >= 3, "{archs:?}");
+        let pools: std::collections::BTreeSet<&str> =
+            zoo.iter().map(|v| v.config.pool.name()).collect();
+        assert!(pools.len() >= 3, "{pools:?}");
+        let depths: std::collections::BTreeSet<usize> =
+            zoo.iter().map(|v| v.config.layers).collect();
+        assert!(depths.len() >= 3, "{depths:?}");
+        assert!(zoo.iter().any(|v| v.config.heads > 0));
+        // All configs and zoo names distinct.
+        let mut names: Vec<String> = zoo.iter().map(|v| v.config.zoo_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), zoo.len(), "duplicate zoo configs");
+    }
 
     #[test]
     fn seven_variants_in_paper_order() {

@@ -35,10 +35,10 @@ pub mod model;
 pub mod serve;
 pub mod train;
 
-pub use ablation::{table2_variants, Variant};
+pub use ablation::{table2_variants, zoo_variants, Variant};
 pub use admission::{AdmissionQueue, BatchPolicy};
 pub use batch::{GraphBatch, RelEdges};
-pub use model::{Arch, ModelConfig, PowerModel};
+pub use model::{Arch, ModelConfig, Pool, PowerModel};
 pub use serve::{InferenceEngine, ServeConfig, ServeStats};
 pub use train::{
     evaluate_model, train_ensemble, train_ensemble_with, train_single, Ensemble, LabelNorm,

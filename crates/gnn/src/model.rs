@@ -33,6 +33,41 @@ pub enum Arch {
     Gine,
 }
 
+/// Graph readout (pooling) mode for the jumping-knowledge stage (Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// Sum pooling — the paper's readout.
+    Add,
+    /// Mean pooling (sum scaled by 1/|V_g| per graph).
+    Mean,
+    /// Elementwise max pooling (gradient routes to the argmax node).
+    Max,
+}
+
+impl Pool {
+    /// All pooling modes, in a fixed sweep order.
+    pub const ALL: [Pool; 3] = [Pool::Add, Pool::Mean, Pool::Max];
+
+    /// CLI/sweep name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pool::Add => "add",
+            Pool::Mean => "mean",
+            Pool::Max => "max",
+        }
+    }
+
+    /// Parses a CLI/sweep name.
+    pub fn parse(s: &str) -> Option<Pool> {
+        match s {
+            "add" | "sum" => Some(Pool::Add),
+            "mean" => Some(Pool::Mean),
+            "max" => Some(Pool::Max),
+            _ => None,
+        }
+    }
+}
+
 /// Model hyperparameters and ablation switches.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
@@ -42,6 +77,12 @@ pub struct ModelConfig {
     pub hidden: usize,
     /// Number of convolution layers (paper: 3).
     pub layers: usize,
+    /// Graph readout mode (paper: sum).
+    pub pool: Pool,
+    /// Attention heads for the HEC edge aggregation; `0` disables
+    /// attention (the paper's unweighted scatter-sum). When nonzero,
+    /// `hidden` must be divisible by `heads`.
+    pub heads: usize,
     /// Dropout rate (paper: 0.2).
     pub dropout: f32,
     /// Use edge features in aggregation (HEC `w/o e.f.` ablation).
@@ -67,6 +108,8 @@ impl ModelConfig {
             arch: Arch::Hec,
             hidden,
             layers: 3,
+            pool: Pool::Add,
+            heads: 0,
             dropout: 0.2,
             use_edge_feats: true,
             directed: true,
@@ -84,6 +127,8 @@ impl ModelConfig {
             arch,
             hidden,
             layers: 3,
+            pool: Pool::Add,
+            heads: 0,
             dropout: 0.2,
             use_edge_feats: matches!(arch, Arch::GraphConv | Arch::Gine),
             directed: true,
@@ -93,12 +138,52 @@ impl ModelConfig {
             meta_dim: 10,
         }
     }
+
+    /// Returns the config with a different readout mode.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Returns the config with a different convolution depth.
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Returns the config with multi-head edge attention enabled (HEC
+    /// only; `0` disables it).
+    pub fn with_heads(mut self, heads: usize) -> Self {
+        self.heads = heads;
+        self
+    }
+
+    /// Short zoo identifier, e.g. `hec-p_add-l3-h0`, used in sweep tables.
+    pub fn zoo_name(&self) -> String {
+        let arch = match self.arch {
+            Arch::Hec => "hec",
+            Arch::Gcn => "gcn",
+            Arch::Sage => "sage",
+            Arch::GraphConv => "graphconv",
+            Arch::Gine => "gine",
+        };
+        format!(
+            "{arch}-p_{}-l{}-h{}",
+            self.pool.name(),
+            self.layers,
+            self.heads
+        )
+    }
 }
 
 #[derive(Debug, Clone, Default, PartialEq)]
 struct Slots {
     wv: Vec<usize>,
     we: Vec<usize>,
+    /// Per-layer, per-head attention score vectors (HEC, `heads > 0`).
+    wa: Vec<Vec<usize>>,
+    /// Per-layer, per-head edge projections (HEC, `heads > 0`).
+    weh: Vec<Vec<usize>>,
     wr: Vec<Vec<usize>>,
     w2: Vec<usize>,
     w3: Vec<usize>,
@@ -140,19 +225,29 @@ impl PowerModel {
         let mut store = ParamStore::new();
         let mut slots = Slots::default();
         let h = config.hidden;
+        let attention = config.arch == Arch::Hec && config.heads > 0;
+        if attention {
+            assert!(
+                h % config.heads == 0,
+                "hidden ({h}) must be divisible by heads ({})",
+                config.heads
+            );
+        }
         for l in 0..config.layers {
             let ind = if l == 0 { config.node_dim } else { h };
             slots
                 .wv
                 .push(store.register(&format!("wv{l}"), init::glorot(ind, h, &mut rng)));
+            // Edge-message input width: raw activity features, or gathered
+            // source embeddings when the edge-feature ablation is off.
+            let edge_in = if config.use_edge_feats {
+                PowerGraph::EDGE_FEATS
+            } else {
+                ind
+            };
             let we_dims = match config.arch {
-                Arch::Hec => {
-                    if config.use_edge_feats {
-                        Some((PowerGraph::EDGE_FEATS, h))
-                    } else {
-                        Some((ind, h))
-                    }
-                }
+                Arch::Hec if attention => None, // per-head weh replaces we
+                Arch::Hec => Some((edge_in, h)),
                 Arch::Gine => Some((PowerGraph::EDGE_FEATS, ind)),
                 _ => None,
             };
@@ -162,6 +257,24 @@ impl PowerModel {
                     .push(store.register(&format!("we{l}"), init::glorot(r, c, &mut rng)));
             } else {
                 slots.we.push(usize::MAX);
+            }
+            if attention {
+                let (mut wa, mut weh) = (Vec::new(), Vec::new());
+                for k in 0..config.heads {
+                    wa.push(store.register(
+                        &format!("wa{l}_{k}"),
+                        init::glorot(edge_in, 1, &mut rng),
+                    ));
+                    weh.push(store.register(
+                        &format!("weh{l}_{k}"),
+                        init::glorot(edge_in, h / config.heads, &mut rng),
+                    ));
+                }
+                slots.wa.push(wa);
+                slots.weh.push(weh);
+            } else {
+                slots.wa.push(Vec::new());
+                slots.weh.push(Vec::new());
             }
             if config.arch == Arch::Hec && config.heterogeneous {
                 let mut per_rel = Vec::new();
@@ -235,10 +348,27 @@ impl PowerModel {
             layer_outputs.push(h);
             x = h;
         }
-        // Eq. 6: jumping-knowledge sum pooling over all conv layers.
+        // Eq. 6: jumping-knowledge pooling over all conv layers (the
+        // paper uses sum; mean and max are zoo variants).
+        let inv_counts: Vec<f32> = if self.config.pool == Pool::Mean {
+            let mut counts = vec![0.0f32; batch.num_graphs];
+            for &g in &batch.graph_of {
+                counts[g as usize] += 1.0;
+            }
+            counts.iter().map(|&c| 1.0 / c.max(1.0)).collect()
+        } else {
+            Vec::new()
+        };
         let pooled: Vec<Var> = layer_outputs
             .into_iter()
-            .map(|h| tape.scatter_add(h, &batch.graph_of, batch.num_graphs))
+            .map(|h| match self.config.pool {
+                Pool::Add => tape.scatter_add(h, &batch.graph_of, batch.num_graphs),
+                Pool::Mean => {
+                    let s = tape.scatter_add(h, &batch.graph_of, batch.num_graphs);
+                    tape.scale_rows(s, &inv_counts)
+                }
+                Pool::Max => tape.scatter_max(h, &batch.graph_of, batch.num_graphs),
+            })
             .collect();
         let hg = tape.add_n(pooled);
         // Eq. 7: optional metadata embedding, then the regression head.
@@ -290,20 +420,28 @@ impl PowerModel {
     fn hec_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
         let wv = self.p(tape, self.slots.wv[l]);
         let mut terms = vec![tape.matmul(x, wv)];
-        let we = self.p(tape, self.slots.we[l]);
+        let we = if self.config.heads == 0 {
+            Some(self.p(tape, self.slots.we[l]))
+        } else {
+            None // attention path projects per head instead
+        };
         for (r, edges) in self.hec_groups(batch) {
             if edges.is_empty() {
                 continue;
             }
-            let agg = if self.config.use_edge_feats {
-                // Σ_u e_{u,v,r} first (linearity of Eq. 5), then W_E, W_r.
-                let ef = tape.leaf(edges.feats.clone());
-                let summed = tape.scatter_add(ef, &edges.dst, n);
-                tape.matmul(summed, we)
+            let agg = if let Some(we) = we {
+                if self.config.use_edge_feats {
+                    // Σ_u e_{u,v,r} first (linearity of Eq. 5), then W_E, W_r.
+                    let ef = tape.leaf(edges.feats.clone());
+                    let summed = tape.scatter_add(ef, &edges.dst, n);
+                    tape.matmul(summed, we)
+                } else {
+                    let hs = tape.gather(x, &edges.src);
+                    let summed = tape.scatter_add(hs, &edges.dst, n);
+                    tape.matmul(summed, we)
+                }
             } else {
-                let hs = tape.gather(x, &edges.src);
-                let summed = tape.scatter_add(hs, &edges.dst, n);
-                tape.matmul(summed, we)
+                self.attention_agg(tape, x, edges, l, n)
             };
             let msg = if self.config.heterogeneous {
                 let wr = self.p(tape, self.slots.wr[l][r]);
@@ -316,6 +454,41 @@ impl PowerModel {
         let s = tape.add_n(terms);
         let b = self.p(tape, self.slots.bias[l]);
         tape.add_row_relu(s, b)
+    }
+
+    /// Multi-head attention-weighted edge aggregation for one relation
+    /// group: per head, edge messages are softmax-weighted per destination
+    /// node before the scatter-sum, and head outputs are concatenated back
+    /// to the hidden width. Weighting breaks the linearity shortcut of
+    /// Eq. 5, so messages are projected after the weighted sum per head.
+    fn attention_agg(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        edges: &RelEdges,
+        l: usize,
+        n: usize,
+    ) -> Var {
+        let ein = if self.config.use_edge_feats {
+            tape.leaf(edges.feats.clone())
+        } else {
+            tape.gather(x, &edges.src)
+        };
+        let mut acc: Option<Var> = None;
+        for k in 0..self.config.heads {
+            let wa = self.p(tape, self.slots.wa[l][k]);
+            let score = tape.matmul(ein, wa);
+            let alpha = tape.segment_softmax(score, &edges.dst, n);
+            let weighted = tape.mul_col(ein, alpha);
+            let summed = tape.scatter_add(weighted, &edges.dst, n);
+            let weh = self.p(tape, self.slots.weh[l][k]);
+            let head = tape.matmul(summed, weh);
+            acc = Some(match acc {
+                None => head,
+                Some(prev) => tape.concat_cols(prev, head),
+            });
+        }
+        acc.expect("heads > 0 on the attention path")
     }
 
     fn gcn_layer(&self, tape: &mut Tape, batch: &GraphBatch, x: Var, l: usize, n: usize) -> Var {
@@ -548,6 +721,92 @@ mod tests {
         let nm = PowerModel::new(no_md, 1);
         // metadata params still registered but head shrinks
         assert!(nm.store.get(nm.slots.head_w1).rows < full.store.get(full.slots.head_w1).rows);
+    }
+
+    #[test]
+    fn zoo_axes_forward_and_train() {
+        let graphs: Vec<PowerGraph> = (0..3).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs, &[1.0, 2.0, 3.0]);
+        let mut zoo = Vec::new();
+        for pool in Pool::ALL {
+            zoo.push(ModelConfig::hec(16).with_pool(pool));
+        }
+        for layers in [1, 2, 4] {
+            zoo.push(ModelConfig::hec(16).with_layers(layers));
+        }
+        for heads in [1, 2, 4] {
+            zoo.push(ModelConfig::hec(16).with_heads(heads));
+        }
+        zoo.push(
+            ModelConfig::hec(16)
+                .with_pool(Pool::Max)
+                .with_layers(2)
+                .with_heads(2),
+        );
+        zoo.push(ModelConfig::baseline(Arch::Gcn, 16).with_pool(Pool::Mean));
+        for cfg in zoo {
+            let name = cfg.zoo_name();
+            let model = PowerModel::new(cfg, 7);
+            let mut rng = Rng64::new(3);
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &batch, false, &mut rng);
+            let v = tape.value(out);
+            assert_eq!((v.rows, v.cols), (3, 1), "{name}");
+            assert!(v.is_finite(), "{name}");
+            let (loss, grads) = model.loss_and_grads(&batch, &mut rng);
+            assert!(loss.is_finite(), "{name}");
+            assert!(
+                grads.iter().any(|g| g.is_some()),
+                "{name}: no gradients flowed"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_gradients_reach_every_head() {
+        let graphs: Vec<PowerGraph> = (0..4).map(tiny_graph).collect();
+        let refs: Vec<&PowerGraph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs, &[1.0, 1.5, 0.5, 2.0]);
+        let cfg = ModelConfig::hec(16).with_heads(2);
+        let model = PowerModel::new(cfg, 2);
+        let mut rng = Rng64::new(3);
+        let (_, grads) = model.loss_and_grads(&batch, &mut rng);
+        for l in 0..model.config.layers {
+            for k in 0..model.config.heads {
+                assert!(
+                    grads[model.slots.wa[l][k]].is_some(),
+                    "no gradient for wa{l}_{k}"
+                );
+                assert!(
+                    grads[model.slots.weh[l][k]].is_some(),
+                    "no gradient for weh{l}_{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by heads")]
+    fn heads_must_divide_hidden() {
+        PowerModel::new(ModelConfig::hec(16).with_heads(3), 1);
+    }
+
+    #[test]
+    fn zoo_names_are_distinct() {
+        let configs = [
+            ModelConfig::hec(16),
+            ModelConfig::hec(16).with_pool(Pool::Mean),
+            ModelConfig::hec(16).with_pool(Pool::Max),
+            ModelConfig::hec(16).with_layers(2),
+            ModelConfig::hec(16).with_heads(2),
+            ModelConfig::baseline(Arch::Gcn, 16),
+            ModelConfig::baseline(Arch::Sage, 16),
+        ];
+        let mut names: Vec<String> = configs.iter().map(|c| c.zoo_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), configs.len(), "zoo names collide: {names:?}");
     }
 
     #[test]

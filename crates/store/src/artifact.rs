@@ -448,4 +448,25 @@ mod tests {
         assert_ne!(train_fingerprint(&a), train_fingerprint(&b));
         assert_eq!(train_fingerprint(&a), train_fingerprint(&a.clone()));
     }
+
+    #[test]
+    fn fingerprint_distinguishes_zoo_axes() {
+        use pg_gnn::Pool;
+        let zoo = [
+            ModelConfig::hec(16),
+            ModelConfig::hec(16).with_pool(Pool::Mean),
+            ModelConfig::hec(16).with_pool(Pool::Max),
+            ModelConfig::hec(16).with_layers(2),
+            ModelConfig::hec(16).with_layers(4),
+            ModelConfig::hec(16).with_heads(2),
+            ModelConfig::hec(16).with_heads(4),
+        ];
+        let mut prints: Vec<u64> = zoo
+            .iter()
+            .map(|m| train_fingerprint(&TrainConfig::quick(m.clone())))
+            .collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), zoo.len(), "zoo fingerprints collide");
+    }
 }

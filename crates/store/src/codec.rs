@@ -9,7 +9,7 @@
 //! returns [`StoreError`] instead of panicking on malformed input.
 
 use crate::error::StoreError;
-use pg_gnn::{Arch, Ensemble, ModelConfig, PowerModel};
+use pg_gnn::{Arch, Ensemble, ModelConfig, Pool, PowerModel};
 use pg_graphcon::{PowerGraph, Relation};
 use pg_hls::{Directives, HlsReport};
 use pg_tensor::Matrix;
@@ -267,11 +267,30 @@ fn arch_from_tag(t: u8) -> Result<Arch, StoreError> {
     })
 }
 
+fn pool_tag(p: Pool) -> u8 {
+    match p {
+        Pool::Add => 0,
+        Pool::Mean => 1,
+        Pool::Max => 2,
+    }
+}
+
+fn pool_from_tag(t: u8) -> Result<Pool, StoreError> {
+    Ok(match t {
+        0 => Pool::Add,
+        1 => Pool::Mean,
+        2 => Pool::Max,
+        _ => return Err(StoreError::corrupt(format!("unknown pool tag {t}"))),
+    })
+}
+
 /// Encodes a [`ModelConfig`].
 pub fn enc_model_config(e: &mut Enc, c: &ModelConfig) {
     e.u8(arch_tag(c.arch));
     e.u32(c.hidden as u32);
     e.u32(c.layers as u32);
+    e.u8(pool_tag(c.pool));
+    e.u32(c.heads as u32);
     e.f32(c.dropout);
     e.bool(c.use_edge_feats);
     e.bool(c.directed);
@@ -305,6 +324,8 @@ pub fn dec_model_config(d: &mut Dec<'_>) -> Result<ModelConfig, StoreError> {
         arch: arch_from_tag(d.u8("arch")?)?,
         hidden: bounded(d.u32("hidden")?, 4096, "hidden width")?,
         layers: bounded(d.u32("layers")?, 64, "layer count")?,
+        pool: pool_from_tag(d.u8("pool")?)?,
+        heads: bounded(d.u32("heads")?, 64, "attention heads")?,
         dropout: d.f32("dropout")?,
         use_edge_feats: d.bool("use_edge_feats")?,
         directed: d.bool("directed")?,
@@ -648,6 +669,9 @@ mod tests {
             ModelConfig::hec(12),
             ModelConfig::baseline(Arch::Gcn, 8),
             ModelConfig::baseline(Arch::Gine, 8),
+            ModelConfig::hec(12).with_pool(Pool::Mean),
+            ModelConfig::hec(12).with_pool(Pool::Max).with_layers(2),
+            ModelConfig::hec(12).with_heads(2),
         ] {
             let mut m = PowerModel::new(cfg, 9);
             m.target_scale = 0.731;
@@ -681,6 +705,24 @@ mod tests {
         let graphs: Vec<PowerGraph> = (0..4).map(graph).collect();
         let refs: Vec<&PowerGraph> = graphs.iter().collect();
         assert_eq!(ens.predict(&refs), back.predict(&refs));
+    }
+
+    #[test]
+    fn model_config_zoo_axes_roundtrip_exactly() {
+        for cfg in [
+            ModelConfig::hec(16),
+            ModelConfig::hec(16).with_pool(Pool::Mean),
+            ModelConfig::hec(16).with_pool(Pool::Max),
+            ModelConfig::hec(16).with_layers(5).with_heads(4),
+            ModelConfig::baseline(Arch::Sage, 8).with_pool(Pool::Max),
+        ] {
+            let mut e = Enc::new();
+            enc_model_config(&mut e, &cfg);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            assert_eq!(dec_model_config(&mut d).unwrap(), cfg);
+            d.finish("model config").unwrap();
+        }
     }
 
     #[test]

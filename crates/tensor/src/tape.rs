@@ -73,6 +73,13 @@ enum Op {
     Scale(Var, f32),
     MapeLoss(Var, Vec<f32>),
     MseLoss(Var, Vec<f32>),
+    /// Segment max with argmax routing: second index buffer records, per
+    /// output element, the winning input row (`u32::MAX` = empty segment).
+    ScatterMax(Var, Vec<u32>, Vec<u32>),
+    /// Per-segment softmax over a single-column input.
+    SegmentSoftmax(Var, Vec<u32>),
+    /// Row-broadcast product: `out[r][c] = a[r][c] * w[r][0]`.
+    MulCol(Var, Var),
 }
 
 #[derive(Debug, Clone)]
@@ -115,6 +122,15 @@ fn copy_u32(pool: &mut Vec<Vec<u32>>, src: &[u32]) -> Vec<u32> {
     b
 }
 
+/// Pops a buffer from `pool` (or allocates) and resizes it to `len` copies
+/// of `fill`.
+fn take_u32(pool: &mut Vec<Vec<u32>>, len: usize, fill: u32) -> Vec<u32> {
+    let mut b = pool.pop().unwrap_or_default();
+    b.clear();
+    b.resize(len, fill);
+    b
+}
+
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
@@ -133,7 +149,13 @@ impl Tape {
                 | Op::ScaleRows(_, m)
                 | Op::MapeLoss(_, m)
                 | Op::MseLoss(_, m) => self.f32_pool.push(m),
-                Op::Gather(_, i) | Op::ScatterAdd(_, i) => self.u32_pool.push(i),
+                Op::Gather(_, i) | Op::ScatterAdd(_, i) | Op::SegmentSoftmax(_, i) => {
+                    self.u32_pool.push(i)
+                }
+                Op::ScatterMax(_, i, am) => {
+                    self.u32_pool.push(i);
+                    self.u32_pool.push(am);
+                }
                 _ => {}
             }
         }
@@ -417,6 +439,92 @@ impl Tape {
             }
         }
         self.push(v, Op::ScatterAdd(a, owned_idx))
+    }
+
+    /// Scatter-max rows: `out[idx[i]] = max(out[idx[i]], a[i])` per column,
+    /// with `out` having `rows` rows. Empty segments yield `0.0` and pass
+    /// no gradient. Ties route the gradient to the first contributing row
+    /// (strict `>` comparison), so results are order-deterministic.
+    pub fn scatter_max(&mut self, a: Var, idx: &[u32], rows: usize) -> Var {
+        let cols = self.nodes[a.0].value.cols;
+        let data = take_f32(&mut self.f32_pool, rows * cols);
+        let owned_idx = copy_u32(&mut self.u32_pool, idx);
+        let mut argmax = take_u32(&mut self.u32_pool, rows * cols, u32::MAX);
+        let m = &self.nodes[a.0].value;
+        let mut v = Matrix { rows, cols, data };
+        for (i, &j) in idx.iter().enumerate() {
+            let src = m.row(i);
+            let dst = v.row_mut(j as usize);
+            for c in 0..cols {
+                let slot = j as usize * cols + c;
+                if argmax[slot] == u32::MAX || src[c] > dst[c] {
+                    dst[c] = src[c];
+                    argmax[slot] = i as u32;
+                }
+            }
+        }
+        self.push(v, Op::ScatterMax(a, owned_idx, argmax))
+    }
+
+    /// Per-segment softmax over a single-column input: row `i` belongs to
+    /// segment `seg[i]`, and within each segment the outputs form a softmax
+    /// of the inputs (max-subtracted for stability). Rows are visited in
+    /// order, so results are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a column or `seg.len() != a.rows`.
+    pub fn segment_softmax(&mut self, a: Var, seg: &[u32], segments: usize) -> Var {
+        let m = &self.nodes[a.0].value;
+        assert_eq!(m.cols, 1, "segment_softmax input must be a column");
+        assert_eq!(seg.len(), m.rows, "segment index count mismatch");
+        let owned_seg = copy_u32(&mut self.u32_pool, seg);
+        let mut data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let mut maxes = take_f32(&mut self.f32_pool, segments);
+        maxes.iter_mut().for_each(|x| *x = f32::NEG_INFINITY);
+        let mut sums = take_f32(&mut self.f32_pool, segments);
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            if data[i] > maxes[s] {
+                maxes[s] = data[i];
+            }
+        }
+        for (i, &s) in seg.iter().enumerate() {
+            data[i] = (data[i] - maxes[s as usize]).exp();
+            sums[s as usize] += data[i];
+        }
+        for (i, &s) in seg.iter().enumerate() {
+            data[i] /= sums[s as usize];
+        }
+        self.f32_pool.push(maxes);
+        self.f32_pool.push(sums);
+        let rows = data.len();
+        let v = Matrix { rows, cols: 1, data };
+        self.push(v, Op::SegmentSoftmax(a, owned_seg))
+    }
+
+    /// Row-broadcast product: `out[r][c] = a[r][c] * w[r][0]`, where `w`
+    /// is a column with one weight per row of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not `a.rows × 1`.
+    pub fn mul_col(&mut self, a: Var, w: Var) -> Var {
+        let data = copy_f32(&mut self.f32_pool, &self.nodes[a.0].value.data);
+        let (av, wv) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
+        assert_eq!(wv.cols, 1, "mul_col weights must be a column");
+        assert_eq!(wv.rows, av.rows, "mul_col weight count mismatch");
+        let mut v = Matrix {
+            rows: av.rows,
+            cols: av.cols,
+            data,
+        };
+        for (r, &k) in wv.data.iter().enumerate() {
+            for x in v.row_mut(r) {
+                *x *= k;
+            }
+        }
+        self.push(v, Op::MulCol(a, w))
     }
 
     /// Multiplies row `i` by `weights[i]`.
@@ -791,6 +899,75 @@ impl Tape {
                     self.f32_pool.push(g.data);
                     accumulate(&mut self.f32_pool, &mut grads, pred, gp);
                 }
+                Op::ScatterMax(a, _, _) => {
+                    let a = *a;
+                    let (rows, cols) = {
+                        let src = &self.nodes[a.0].value;
+                        (src.rows, src.cols)
+                    };
+                    let mut ga = Matrix {
+                        rows,
+                        cols,
+                        data: take_f32(&mut self.f32_pool, rows * cols),
+                    };
+                    let Op::ScatterMax(_, _, argmax) = &self.nodes[i].op else {
+                        unreachable!()
+                    };
+                    // Route each output gradient to the row that won the max.
+                    for (slot, &am) in argmax.iter().enumerate() {
+                        if am != u32::MAX {
+                            let c = slot % cols;
+                            ga.row_mut(am as usize)[c] += g.data[slot];
+                        }
+                    }
+                    self.f32_pool.push(g.data);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                }
+                Op::SegmentSoftmax(a, _) => {
+                    let a = *a;
+                    let Op::SegmentSoftmax(_, seg) = &self.nodes[i].op else {
+                        unreachable!()
+                    };
+                    let segments = seg.iter().max().map_or(0, |&m| m as usize + 1);
+                    let mut dots = take_f32(&mut self.f32_pool, segments);
+                    let y = &self.nodes[i].value;
+                    for (r, &s) in seg.iter().enumerate() {
+                        dots[s as usize] += y.data[r] * g.data[r];
+                    }
+                    // dL/dx_i = y_i * (g_i - Σ_{j in segment} y_j g_j)
+                    let mut ga = g;
+                    for (r, &s) in seg.iter().enumerate() {
+                        ga.data[r] = y.data[r] * (ga.data[r] - dots[s as usize]);
+                    }
+                    self.f32_pool.push(dots);
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                }
+                Op::MulCol(a, w) => {
+                    let (a, w) = (*a, *w);
+                    let rows = g.rows;
+                    let mut gw = Matrix {
+                        rows,
+                        cols: 1,
+                        data: take_f32(&mut self.f32_pool, rows),
+                    };
+                    let av = &self.nodes[a.0].value;
+                    for r in 0..rows {
+                        let mut acc = 0.0f32;
+                        for (&gx, &ax) in g.row(r).iter().zip(av.row(r)) {
+                            acc += gx * ax;
+                        }
+                        gw.data[r] = acc;
+                    }
+                    let wv = &self.nodes[w.0].value;
+                    let mut ga = g;
+                    for (r, &k) in wv.data.iter().enumerate() {
+                        for x in ga.row_mut(r) {
+                            *x *= k;
+                        }
+                    }
+                    accumulate(&mut self.f32_pool, &mut grads, a, ga);
+                    accumulate(&mut self.f32_pool, &mut grads, w, gw);
+                }
             }
         }
         out
@@ -1067,6 +1244,85 @@ mod tests {
             let sr = t.sum_rows(s);
             let v = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -2.0]));
             let y = t.matmul(sr, v);
+            t.mse_loss(y, &[0.1])
+        });
+    }
+
+    #[test]
+    fn grad_scatter_max() {
+        // Values are well-separated so the argmax is stable under the
+        // finite-difference epsilon.
+        let w = Matrix::from_vec(4, 2, vec![0.9, 0.1, 0.2, 0.8, 0.5, -0.4, -0.3, 0.6]);
+        grad_check(w, |t, p| {
+            let s = t.scatter_max(p, &[0, 1, 0, 1], 2);
+            let v = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+            let y = t.matmul(s, v);
+            t.mse_loss(y, &[0.2, -0.1])
+        });
+    }
+
+    #[test]
+    fn scatter_max_routes_ties_to_first_row_and_zeroes_empty_segments() {
+        let mut t = Tape::new();
+        let x = t.param(0, Matrix::from_vec(3, 1, vec![2.0, 2.0, 1.0]));
+        // Rows 0 and 1 tie in segment 0; segment 1 is empty.
+        let s = t.scatter_max(x, &[0, 0, 0], 2);
+        assert_eq!(t.value(s).data, vec![2.0, 0.0]);
+        let loss = t.mse_loss(s, &[0.0, 0.0]);
+        let g = t.backward(loss);
+        let gx = g[0].as_ref().expect("param grad");
+        assert!(gx.data[0] != 0.0, "first tying row must take the gradient");
+        assert_eq!(gx.data[1], 0.0, "later tying row must get none");
+        assert_eq!(gx.data[2], 0.0, "non-max row must get none");
+    }
+
+    #[test]
+    fn grad_segment_softmax() {
+        let w = Matrix::from_vec(5, 1, vec![0.4, -0.6, 1.1, 0.2, -0.9]);
+        grad_check(w, |t, p| {
+            let a = t.segment_softmax(p, &[0, 1, 0, 1, 1], 2);
+            let v = t.leaf(Matrix::from_vec(5, 2, vec![1.0, 0.3, -0.5, 0.8, 0.2, -0.7, 0.6, 0.1, -0.2, 0.9]));
+            let wsum = t.mul_col(v, a);
+            let s = t.sum_rows(wsum);
+            let u = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+            let y = t.matmul(s, u);
+            t.mse_loss(y, &[0.25])
+        });
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(4, 1, vec![10.0, -3.0, 10.5, 0.0]));
+        let y = t.segment_softmax(x, &[1, 0, 1, 0], 2);
+        let d = &t.value(y).data;
+        assert!((d[1] + d[3] - 1.0).abs() < 1e-6, "segment 0 sums to 1");
+        assert!((d[0] + d[2] - 1.0).abs() < 1e-6, "segment 1 sums to 1");
+        assert!(d.iter().all(|&p| p > 0.0 && p < 1.0));
+    }
+
+    #[test]
+    fn grad_mul_col_weights() {
+        let w = Matrix::from_vec(3, 1, vec![0.7, -0.2, 1.3]);
+        grad_check(w, |t, p| {
+            let a = t.leaf(Matrix::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 0.3, -0.7]));
+            let m = t.mul_col(a, p);
+            let s = t.sum_rows(m);
+            let v = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -0.5]));
+            let y = t.matmul(s, v);
+            t.mse_loss(y, &[0.4])
+        });
+    }
+
+    #[test]
+    fn grad_mul_col_matrix() {
+        let w = Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.1]);
+        grad_check(w, |t, p| {
+            let k = t.leaf(Matrix::from_vec(2, 1, vec![0.6, -1.2]));
+            let m = t.mul_col(p, k);
+            let s = t.sum_rows(m);
+            let v = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 0.5, -0.5]));
+            let y = t.matmul(s, v);
             t.mse_loss(y, &[0.1])
         });
     }

@@ -27,5 +27,5 @@ pub mod trace;
 
 pub use csv::CsvWriter;
 pub use rng::Rng64;
-pub use stats::{mape, mean, median, percentile, stddev};
+pub use stats::{mape, mean, median, percentile, rmse, stddev};
 pub use table::Table;

@@ -97,9 +97,42 @@ pub fn mape(pred: &[f64], target: &[f64]) -> f64 {
     }
 }
 
+/// Root-mean-square error between predictions and targets (same unit as
+/// the inputs). Empty inputs yield `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// let err = pg_util::rmse(&[3.0, 1.0], &[0.0, 1.0]);
+/// assert!((err - (4.5f64).sqrt()).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "rmse requires equal lengths");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (p, t) in pred.iter().zip(target) {
+        let d = p - t;
+        total += d * d;
+    }
+    (total / pred.len() as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[2.0], &[0.0]) - 2.0).abs() < 1e-12);
+    }
 
     #[test]
     fn mean_basic() {

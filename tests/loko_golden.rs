@@ -1,0 +1,108 @@
+//! Golden-eval regression harness for the leave-one-kernel-out harness
+//! (`powergear::eval`).
+//!
+//! A checked-in fixture (`tests/golden/loko_mape.tsv`) pins the **full
+//! TSV table** — per-kernel MAPE/RMSE for both power targets plus the
+//! trailing digest — of a reduced LOKO run. Any change to dataset
+//! construction, training, batching, or the harness itself that moves a
+//! single bit of any metric fails here; the companion thread-parity test
+//! pins the house invariant that the table is identical at 1, 2 and 4
+//! training threads.
+//!
+//! Regenerating (only legitimate after an *intentional* semantic change):
+//!
+//! ```text
+//! PG_GOLDEN_REGEN=1 cargo test --test loko_golden
+//! ```
+
+use powergear_repro::datasets::{build_all, KERNEL_NAMES};
+use powergear_repro::gnn::ModelConfig;
+use powergear_repro::powergear::eval::{run_loko, target_name, EvalConfig};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/loko_mape.tsv");
+
+/// Reduced configuration: three kernels with distinct loop structures,
+/// tiny model, few epochs — big enough to exercise the full train/eval
+/// path, small enough for CI.
+fn tiny_config() -> EvalConfig {
+    let mut cfg = EvalConfig::quick(ModelConfig::hec(8));
+    cfg.data.max_samples = 6;
+    cfg.epochs = 2;
+    cfg.kernels = Some(vec!["atax".into(), "mvt".into(), "bicg".into()]);
+    cfg
+}
+
+#[test]
+fn loko_table_matches_golden_fixture() {
+    let cfg = tiny_config();
+    let datasets = build_all(&cfg.data);
+    let tsv = run_loko(&datasets, &cfg).to_tsv();
+    if std::env::var_os("PG_GOLDEN_REGEN").is_some() {
+        std::fs::write(FIXTURE, &tsv).expect("write fixture");
+        eprintln!("regenerated {FIXTURE}");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
+        panic!("missing fixture {FIXTURE} ({e}); regenerate with PG_GOLDEN_REGEN=1")
+    });
+    assert_eq!(
+        tsv, golden,
+        "LOKO table drifted from the golden fixture; if the change is an \
+         intentional semantic change, regenerate with PG_GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn loko_table_is_bit_identical_across_thread_counts() {
+    let mut tables: Vec<(usize, String)> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut cfg = tiny_config();
+        cfg.threads = threads;
+        cfg.data.threads = threads;
+        let datasets = build_all(&cfg.data);
+        tables.push((threads, run_loko(&datasets, &cfg).to_tsv()));
+    }
+    let (_, base) = &tables[0];
+    for (threads, tsv) in &tables[1..] {
+        assert_eq!(
+            tsv, base,
+            "LOKO table at {threads} threads differs from 1 thread"
+        );
+    }
+}
+
+/// Paper-scale protocol: every one of the nine polybench kernels is held
+/// out once, for both power targets. Too slow for the default suite; the
+/// CI dataset-scale job runs it with `-- --ignored`.
+#[test]
+#[ignore = "paper-scale: all nine kernels; run with -- --ignored"]
+fn loko_covers_all_nine_kernels() {
+    let cfg = EvalConfig::quick(ModelConfig::hec(8));
+    let datasets = build_all(&cfg.data);
+    let report = run_loko(&datasets, &cfg);
+    assert_eq!(report.rows.len(), KERNEL_NAMES.len() * 2);
+    for name in KERNEL_NAMES {
+        for target in ["total", "dynamic"] {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.kernel == *name && target_name_of(r) == target)
+                .unwrap_or_else(|| panic!("missing row for {name}/{target}"));
+            assert!(row.n_test > 0, "{name}: empty test set");
+            assert!(
+                row.mape_pct.is_finite() && row.mape_pct >= 0.0,
+                "{name}/{target}: bad MAPE {}",
+                row.mape_pct
+            );
+            assert!(
+                row.rmse_w.is_finite() && row.rmse_w >= 0.0,
+                "{name}/{target}: bad RMSE {}",
+                row.rmse_w
+            );
+        }
+    }
+}
+
+fn target_name_of(row: &powergear_repro::powergear::eval::KernelEval) -> &'static str {
+    target_name(row.target)
+}
